@@ -1,0 +1,29 @@
+//! Criterion bench for E2: cost of mapping the workload onto the 1553B bus,
+//! building the major-frame schedule and analysing it.
+
+use bench::{baseline_1553, bus_sized_case_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use milstd1553::analysis::BusAnalysis;
+use milstd1553::schedule::Scheduler;
+use workload::map1553::{map_workload, MappingConfig};
+
+fn bench_baseline(c: &mut Criterion) {
+    c.bench_function("e2/full_baseline_comparison", |b| b.iter(baseline_1553));
+
+    let workload = bus_sized_case_study();
+    c.bench_function("e2/map_schedule_analyze", |b| {
+        b.iter(|| {
+            let reqs = map_workload(std::hint::black_box(&workload), MappingConfig::default())
+                .unwrap();
+            let schedule = Scheduler::paper_default().schedule(reqs).unwrap();
+            BusAnalysis::analyze(&schedule)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E3: the five-point link-rate sweep.
+
+use bench::rate_sweep;
+use criterion::{criterion_group, criterion_main, Criterion};
+use units::DataRate;
+use workload::case_study::case_study;
+
+fn bench_rate_sweep(c: &mut Criterion) {
+    let workload = case_study();
+    let rates = [
+        DataRate::from_mbps(10),
+        DataRate::from_mbps(25),
+        DataRate::from_mbps(50),
+        DataRate::from_mbps(100),
+        DataRate::from_gbps(1),
+    ];
+    c.bench_function("e3/rate_sweep_5_points", |b| {
+        b.iter(|| rate_sweep(std::hint::black_box(&workload), &rates))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rate_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for E4: cost of one simulation-based validation pass
+//! (analysis + one seeded simulation run + per-flow comparison).
+
+use bench::{bus_sized_case_study, sim_validation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{SimConfig, Simulator};
+use rtswitch_core::{Approach, NetworkConfig};
+use units::Duration;
+
+fn bench_validation(c: &mut Criterion) {
+    let workload = bus_sized_case_study();
+    let config = NetworkConfig::paper_default();
+    c.bench_function("e4/validate_priority_160ms_horizon", |b| {
+        b.iter(|| {
+            sim_validation(
+                std::hint::black_box(&workload),
+                &config,
+                Approach::StrictPriority,
+                Duration::from_millis(160),
+                &[1],
+            )
+        })
+    });
+
+    // Raw simulator throughput: one 160 ms horizon of the full architecture.
+    let sim = Simulator::new(
+        workload.clone(),
+        SimConfig::paper_default().with_horizon(Duration::from_millis(160)),
+    );
+    c.bench_function("e4/simulator_one_major_frame", |b| b.iter(|| sim.run()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_validation
+}
+criterion_main!(benches);

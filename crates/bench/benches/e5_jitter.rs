@@ -1,0 +1,18 @@
+//! Criterion bench for E5: the three-architecture jitter comparison.
+
+use bench::jitter;
+use criterion::{criterion_group, criterion_main, Criterion};
+use units::Duration;
+
+fn bench_jitter(c: &mut Criterion) {
+    c.bench_function("e5/jitter_320ms_horizon", |b| {
+        b.iter(|| jitter(Duration::from_millis(320), 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_jitter
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E6: the shaped-vs-unshaped simulation pair.
+
+use bench::shaping_ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use units::{DataSize, Duration};
+
+fn bench_ablation(c: &mut Criterion) {
+    c.bench_function("e6/shaping_ablation_200ms_horizon", |b| {
+        b.iter(|| {
+            shaping_ablation(
+                16,
+                DataSize::from_bytes(24_000),
+                Duration::from_millis(200),
+                5,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for E1 / Figure 1: how long the two delay-bound analyses
+//! take on the case-study workload (and how the analysis scales with the
+//! number of subsystems).
+
+use bench::figure1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtswitch_core::{analyze, Approach, NetworkConfig};
+use workload::case_study::{case_study, case_study_with, CaseStudyConfig};
+
+fn bench_figure1(c: &mut Criterion) {
+    let workload = case_study();
+    let config = NetworkConfig::paper_default();
+    c.bench_function("e1/figure1_both_approaches", |b| {
+        b.iter(|| figure1(std::hint::black_box(&workload), &config))
+    });
+
+    let mut group = c.benchmark_group("e1/analysis_scaling");
+    for subsystems in [5usize, 10, 20, 30] {
+        let w = case_study_with(CaseStudyConfig {
+            subsystems,
+            with_command_traffic: true,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("strict_priority", subsystems),
+            &w,
+            |b, w| b.iter(|| analyze(w, &config, Approach::StrictPriority).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("fcfs", subsystems), &w, |b, w| {
+            b.iter(|| analyze(w, &config, Approach::Fcfs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figure1
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 — the MIL-STD-1553B baseline: worst-case response times of the polled
+//! bus against the prioritized switched-Ethernet bounds, plus the
+//! schedulability verdict for the full case study.
+//!
+//! Usage: `cargo run -p bench --bin e2_1553_baseline [--json <path>]`
+
+use bench::baseline_1553;
+use rtswitch_core::report::{render_baseline_table, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = baseline_1553();
+
+    println!("E2 — MIL-STD-1553B baseline (bus-sized case study: 3 subsystems)");
+    print!("{}", render_baseline_table(&result.comparison));
+    println!(
+        "full case study (15 subsystems) schedulable on the 1 Mbps bus: {}",
+        if result.full_case_study_schedulable { "yes" } else { "no" }
+    );
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&result).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! E3 — "a higher rate is not sufficient": sweep the link rate and report
+//! whether each approach meets the urgent 3 ms deadline.
+//!
+//! Usage: `cargo run -p bench --bin e3_rate_sweep [--json <path>]`
+
+use bench::{rate_sweep, render_rate_sweep};
+use rtswitch_core::report::to_json;
+use units::DataRate;
+use workload::case_study::case_study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = case_study();
+    let rates = [
+        DataRate::from_mbps(10),
+        DataRate::from_mbps(25),
+        DataRate::from_mbps(50),
+        DataRate::from_mbps(100),
+        DataRate::from_gbps(1),
+    ];
+    let rows = rate_sweep(&workload, &rates);
+    print!("{}", render_rate_sweep(&rows));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! E5 — the paper's future-work outlook: observed jitter per class for FCFS
+//! Ethernet, prioritized Ethernet and the 1553B bus.
+//!
+//! Usage: `cargo run -p bench --bin e5_jitter [--json <path>]`
+
+use bench::{jitter, render_jitter};
+use rtswitch_core::report::to_json;
+use units::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = jitter(Duration::from_millis(1_600), 7);
+    print!("{}", render_jitter(&rows));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

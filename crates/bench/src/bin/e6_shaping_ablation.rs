@@ -1,0 +1,26 @@
+//! E6 — shaping ablation: what the token-bucket source shapers buy when
+//! background stations misbehave and switch buffers are bounded.
+//!
+//! Usage: `cargo run -p bench --bin e6_shaping_ablation [--json <path>]`
+
+use bench::shaping_ablation;
+use rtswitch_core::report::to_json;
+use units::{DataSize, Duration};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = shaping_ablation(
+        16,
+        DataSize::from_bytes(24_000),
+        Duration::from_millis(800),
+        11,
+    );
+    print!("{}", result.render());
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&result).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

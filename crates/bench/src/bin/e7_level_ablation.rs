@@ -1,0 +1,21 @@
+//! E7 — ablation: how many strict-priority levels does the avionics traffic
+//! actually need?
+//!
+//! Usage: `cargo run -p bench --bin e7_level_ablation [--json <path>]`
+
+use bench::{level_ablation, render_level_ablation};
+use rtswitch_core::report::to_json;
+use workload::case_study::case_study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = level_ablation(&case_study());
+    print!("{}", render_level_ablation(&rows));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

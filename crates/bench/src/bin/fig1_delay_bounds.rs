@@ -1,0 +1,33 @@
+//! E1 / Figure 1 — delay bounds of the FCFS and prioritized approaches on
+//! the case-study traffic at 10 Mbps.
+//!
+//! Usage: `cargo run -p bench --bin fig1_delay_bounds [--json <path>] [--per-message]`
+
+use bench::figure1;
+use rtswitch_core::report::{render_message_table, to_json};
+use rtswitch_core::NetworkConfig;
+use workload::case_study::case_study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = case_study();
+    let config = NetworkConfig::paper_default();
+    let figure = figure1(&workload, &config);
+
+    print!("{}", figure.render());
+
+    if args.iter().any(|a| a == "--per-message") {
+        println!("\nFCFS approach, per message:");
+        print!("{}", render_message_table(&figure.fcfs));
+        println!("\nStrict-priority approach, per message:");
+        print!("{}", render_message_table(&figure.priority));
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let json = to_json(&figure).expect("figure serializes");
+            std::fs::write(path, json).expect("write JSON output");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! The experiment implementations.
+
+use milstd1553::schedule::Scheduler;
+use milstd1553::sim::BusSimulation;
+use netsim::{SimConfig, SimReport, Simulator};
+use rtswitch_core::{
+    analyze, compare_with_1553, AnalysisReport, Approach, BaselineComparison, NetworkConfig,
+    ValidationReport,
+};
+use serde::Serialize;
+use shaping::TrafficClass;
+use units::{DataRate, DataSize, Duration};
+use workload::case_study::{case_study, case_study_with, CaseStudyConfig};
+use workload::map1553::{map_workload, MappingConfig};
+use workload::Workload;
+
+/// The reduced case-study configuration used whenever the MIL-STD-1553B bus
+/// is part of the experiment (the full case study exceeds the 1 Mbps bus
+/// capacity — itself one of the findings recorded by E2).
+pub fn bus_sized_case_study() -> Workload {
+    case_study_with(CaseStudyConfig {
+        subsystems: 3,
+        with_command_traffic: false,
+    })
+}
+
+// ---------------------------------------------------------------- E1
+
+/// Result of experiment E1 (Figure 1).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Figure1 {
+    /// The FCFS-approach analysis.
+    pub fcfs: AnalysisReport,
+    /// The strict-priority-approach analysis.
+    pub priority: AnalysisReport,
+}
+
+/// One row of the Figure-1 style class table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Figure1Row {
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Worst FCFS bound of the class, milliseconds.
+    pub fcfs_bound_ms: f64,
+    /// Worst strict-priority bound of the class, milliseconds.
+    pub priority_bound_ms: f64,
+    /// Tightest deadline of the class, milliseconds.
+    pub deadline_ms: f64,
+    /// Whether FCFS meets every deadline of the class.
+    pub fcfs_ok: bool,
+    /// Whether strict priority meets every deadline of the class.
+    pub priority_ok: bool,
+}
+
+/// E1 / Figure 1: delay bounds of the two approaches on the case-study
+/// traffic at 10 Mbps.
+pub fn figure1(workload: &Workload, config: &NetworkConfig) -> Figure1 {
+    let fcfs = analyze(workload, config, Approach::Fcfs)
+        .expect("the case study is stable at the configured rate");
+    let priority = analyze(workload, config, Approach::StrictPriority)
+        .expect("the case study is stable at the configured rate");
+    Figure1 { fcfs, priority }
+}
+
+impl Figure1 {
+    /// The per-class rows of the figure.
+    pub fn rows(&self) -> Vec<Figure1Row> {
+        self.fcfs
+            .class_summaries()
+            .into_iter()
+            .zip(self.priority.class_summaries())
+            .map(|(f, p)| Figure1Row {
+                class: f.class,
+                fcfs_bound_ms: f.worst_bound.as_millis_f64(),
+                priority_bound_ms: p.worst_bound.as_millis_f64(),
+                deadline_ms: f
+                    .tightest_deadline
+                    .map(|d| d.as_millis_f64())
+                    .unwrap_or(f64::NAN),
+                fcfs_ok: f.satisfied(),
+                priority_ok: p.satisfied(),
+            })
+            .collect()
+    }
+
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "E1 / Figure 1 — delay bounds, C = {}, t_techno = {}\n",
+            self.fcfs.config.link_rate, self.fcfs.config.ttechno
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>14} {:>12} {:>9} {:>9}\n",
+            "class", "FCFS bound", "priority bound", "deadline", "FCFS", "priority"
+        ));
+        for row in self.rows() {
+            out.push_str(&format!(
+                "{:<16} {:>9.3} ms {:>11.3} ms {:>9.3} ms {:>9} {:>9}\n",
+                row.class.to_string(),
+                row.fcfs_bound_ms,
+                row.priority_bound_ms,
+                row.deadline_ms,
+                if row.fcfs_ok { "OK" } else { "VIOLATED" },
+                if row.priority_ok { "OK" } else { "VIOLATED" },
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- E2
+
+/// Result of experiment E2 (1553B baseline).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Baseline1553 {
+    /// The Ethernet-vs-bus comparison on the bus-sized workload.
+    pub comparison: BaselineComparison,
+    /// Whether the *full* case study fits on the bus at all.
+    pub full_case_study_schedulable: bool,
+    /// Bus utilization of the bus-sized workload schedule.
+    pub bus_utilization: f64,
+}
+
+/// E2: the MIL-STD-1553B baseline — worst-case response times of the polled
+/// bus against the prioritized switched-Ethernet bounds.
+pub fn baseline_1553() -> Baseline1553 {
+    let bus_workload = bus_sized_case_study();
+    let ethernet = analyze(
+        &bus_workload,
+        &NetworkConfig::paper_default(),
+        Approach::StrictPriority,
+    )
+    .expect("bus-sized case study is stable on Ethernet");
+    let comparison =
+        compare_with_1553(&bus_workload, &ethernet).expect("bus-sized case study is schedulable");
+
+    // Is the full case study even schedulable on the bus?
+    let full = case_study();
+    let full_case_study_schedulable = map_workload(&full, MappingConfig::default())
+        .ok()
+        .and_then(|reqs| Scheduler::paper_default().schedule(reqs).ok())
+        .is_some();
+
+    Baseline1553 {
+        bus_utilization: comparison.bus_utilization,
+        comparison,
+        full_case_study_schedulable,
+    }
+}
+
+// ---------------------------------------------------------------- E3
+
+/// One row of the rate sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RateSweepRow {
+    /// Link rate.
+    pub rate: DataRate,
+    /// Worst FCFS bound of the urgent class, milliseconds.
+    pub fcfs_urgent_ms: f64,
+    /// Worst strict-priority bound of the urgent class, milliseconds.
+    pub priority_urgent_ms: f64,
+    /// Whether FCFS meets the 3 ms urgent deadline at this rate.
+    pub fcfs_urgent_ok: bool,
+    /// Whether strict priority meets the 3 ms urgent deadline at this rate.
+    pub priority_urgent_ok: bool,
+    /// Whether FCFS meets every deadline at this rate.
+    pub fcfs_all_ok: bool,
+    /// Whether strict priority meets every deadline at this rate.
+    pub priority_all_ok: bool,
+}
+
+/// E3: sweep the link rate to test the paper's claim that a higher rate
+/// alone is not sufficient — priorities are needed.
+pub fn rate_sweep(workload: &Workload, rates: &[DataRate]) -> Vec<RateSweepRow> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let config = NetworkConfig::paper_default().with_link_rate(rate);
+            let fcfs = analyze(workload, &config, Approach::Fcfs)
+                .expect("case study is stable at every swept rate");
+            let priority = analyze(workload, &config, Approach::StrictPriority)
+                .expect("case study is stable at every swept rate");
+            let urgent_deadline = Duration::from_millis(3);
+            let fcfs_urgent = fcfs
+                .worst_bound_of_class(TrafficClass::UrgentSporadic)
+                .unwrap_or(Duration::ZERO);
+            let priority_urgent = priority
+                .worst_bound_of_class(TrafficClass::UrgentSporadic)
+                .unwrap_or(Duration::ZERO);
+            RateSweepRow {
+                rate,
+                fcfs_urgent_ms: fcfs_urgent.as_millis_f64(),
+                priority_urgent_ms: priority_urgent.as_millis_f64(),
+                fcfs_urgent_ok: fcfs_urgent <= urgent_deadline,
+                priority_urgent_ok: priority_urgent <= urgent_deadline,
+                fcfs_all_ok: fcfs.all_deadlines_met(),
+                priority_all_ok: priority.all_deadlines_met(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rate-sweep rows as a text table.
+pub fn render_rate_sweep(rows: &[RateSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E3 — link-rate sweep (urgent deadline 3 ms)\n{:<12} {:>14} {:>9} {:>18} {:>9} {:>10} {:>13}\n",
+        "rate", "FCFS urgent", "meets?", "priority urgent", "meets?", "FCFS all", "priority all"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:>11.3} ms {:>9} {:>15.3} ms {:>9} {:>10} {:>13}\n",
+            row.rate.to_string(),
+            row.fcfs_urgent_ms,
+            if row.fcfs_urgent_ok { "yes" } else { "no" },
+            row.priority_urgent_ms,
+            if row.priority_urgent_ok { "yes" } else { "no" },
+            if row.fcfs_all_ok { "yes" } else { "no" },
+            if row.priority_all_ok { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E4
+
+/// Result of experiment E4 (bounds vs simulation) for one approach.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimValidation {
+    /// Which approach was validated.
+    pub approach: Approach,
+    /// Per-seed validation reports.
+    pub runs: Vec<ValidationReport>,
+}
+
+impl SimValidation {
+    /// `true` when every run respected every bound.
+    pub fn all_sound(&self) -> bool {
+        self.runs.iter().all(|r| r.all_sound())
+    }
+
+    /// The mean bound tightness across runs.
+    pub fn mean_tightness(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.mean_tightness()).sum::<f64>() / self.runs.len() as f64
+    }
+}
+
+/// E4: simulate the analysed configuration for several seeds and check that
+/// every observed worst-case delay stays below its analytic bound.
+pub fn sim_validation(
+    workload: &Workload,
+    config: &NetworkConfig,
+    approach: Approach,
+    horizon: Duration,
+    seeds: &[u64],
+) -> SimValidation {
+    let report = analyze(workload, config, approach).expect("workload is stable");
+    let runs = seeds
+        .iter()
+        .map(|&seed| {
+            rtswitch_core::validate_against_simulation(workload, &report, horizon, seed)
+        })
+        .collect();
+    SimValidation { approach, runs }
+}
+
+// ---------------------------------------------------------------- E5
+
+/// One row of the jitter comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JitterRow {
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Worst observed jitter under FCFS switched Ethernet, milliseconds.
+    pub fcfs_jitter_ms: f64,
+    /// Worst observed jitter under prioritized switched Ethernet,
+    /// milliseconds.
+    pub priority_jitter_ms: f64,
+    /// Worst observed jitter on the 1553B bus, milliseconds (`NaN` for
+    /// classes the bus workload does not carry).
+    pub bus_jitter_ms: f64,
+}
+
+/// E5: observed jitter per traffic class for the three architectures, on
+/// the bus-sized workload (so the 1553B column exists).
+pub fn jitter(horizon: Duration, seed: u64) -> Vec<JitterRow> {
+    let workload = bus_sized_case_study();
+
+    let priority_report = Simulator::new(
+        workload.clone(),
+        SimConfig::paper_default().with_horizon(horizon).with_seed(seed),
+    )
+    .run();
+    let fcfs_report = Simulator::new(
+        workload.clone(),
+        SimConfig::paper_default()
+            .with_fcfs()
+            .with_horizon(horizon)
+            .with_seed(seed),
+    )
+    .run();
+
+    // 1553B: map, schedule, replay.
+    let requirements = map_workload(&workload, MappingConfig::default())
+        .expect("bus-sized case study maps onto the bus");
+    let schedule = Scheduler::paper_default()
+        .schedule(requirements)
+        .expect("bus-sized case study is schedulable");
+    let major_frames = horizon
+        .div_duration_ceil(Duration::from_millis(160))
+        .unwrap_or(1)
+        .max(1);
+    let bus_stats = BusSimulation::new(schedule, major_frames, seed).run();
+
+    TrafficClass::ALL
+        .iter()
+        .map(|&class| {
+            // Worst observed bus jitter over the messages of this class
+            // (match by workload message name prefix, chunks included).
+            let class_names: Vec<&str> = workload
+                .messages
+                .iter()
+                .filter(|m| m.traffic_class() == class)
+                .map(|m| m.name.as_str())
+                .collect();
+            let bus_jitter = bus_stats
+                .iter()
+                .filter(|s| {
+                    class_names
+                        .iter()
+                        .any(|n| s.label == *n || s.label.starts_with(&format!("{n}#")))
+                })
+                .map(|s| s.jitter)
+                .fold(Duration::ZERO, Duration::max);
+            JitterRow {
+                class,
+                fcfs_jitter_ms: fcfs_report.worst_jitter_of_class(class).as_millis_f64(),
+                priority_jitter_ms: priority_report
+                    .worst_jitter_of_class(class)
+                    .as_millis_f64(),
+                bus_jitter_ms: if class_names.is_empty() {
+                    f64::NAN
+                } else {
+                    bus_jitter.as_millis_f64()
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders the jitter rows as a text table.
+pub fn render_jitter(rows: &[JitterRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E5 — observed jitter per class\n{:<16} {:>14} {:>18} {:>14}\n",
+        "class", "FCFS Ethernet", "priority Ethernet", "1553B bus"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>11.3} ms {:>15.3} ms {:>11.3} ms\n",
+            row.class.to_string(),
+            row.fcfs_jitter_ms,
+            row.priority_jitter_ms,
+            row.bus_jitter_ms
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E6
+
+/// Result of the shaping ablation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShapingAblation {
+    /// Run with the paper's source shapers enabled.
+    pub shaped: SimReport,
+    /// Run with the shapers bypassed.
+    pub unshaped: SimReport,
+}
+
+impl ShapingAblation {
+    /// Frames lost at the switch without shaping.
+    pub fn unshaped_losses(&self) -> u64 {
+        self.unshaped.total_dropped
+    }
+
+    /// Frames lost at the switch with shaping.
+    pub fn shaped_losses(&self) -> u64 {
+        self.shaped.total_dropped
+    }
+
+    /// Renders the comparison as a text table.
+    pub fn render(&self) -> String {
+        format!(
+            "E6 — shaping ablation\n\
+             {:<28} {:>12} {:>12}\n\
+             {:<28} {:>12} {:>12}\n\
+             {:<28} {:>12} {:>12}\n\
+             {:<28} {:>9.3} ms {:>9.3} ms\n",
+            "metric", "shaped", "unshaped",
+            "frames dropped", self.shaped.total_dropped, self.unshaped.total_dropped,
+            "peak switch backlog (bytes)",
+            self.shaped.peak_switch_backlog().bytes(),
+            self.unshaped.peak_switch_backlog().bytes(),
+            "worst urgent delay",
+            self.shaped
+                .worst_delay_of_class(TrafficClass::UrgentSporadic)
+                .as_millis_f64(),
+            self.unshaped
+                .worst_delay_of_class(TrafficClass::UrgentSporadic)
+                .as_millis_f64(),
+        )
+    }
+}
+
+/// E6: the effect of the source shapers when background stations misbehave
+/// (dump `burst_factor` frames at once) and the switch buffers are bounded.
+pub fn shaping_ablation(
+    burst_factor: u32,
+    switch_buffer: DataSize,
+    horizon: Duration,
+    seed: u64,
+) -> ShapingAblation {
+    let workload = case_study();
+    let base = SimConfig::paper_default()
+        .with_horizon(horizon)
+        .with_seed(seed)
+        .with_background_burst(burst_factor)
+        .with_switch_buffer(switch_buffer);
+    let shaped = Simulator::new(workload.clone(), base).run();
+    let unshaped = Simulator::new(workload, base.without_shaping()).run();
+    ShapingAblation { shaped, unshaped }
+}
+
+// ---------------------------------------------------------------- E7
+
+/// One row of the priority-level ablation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LevelAblationRow {
+    /// Number of strict-priority levels configured.
+    pub levels: usize,
+    /// Worst urgent-class bound, milliseconds.
+    pub urgent_ms: f64,
+    /// Worst periodic-class bound, milliseconds.
+    pub periodic_ms: f64,
+    /// Worst background-class bound, milliseconds.
+    pub background_ms: f64,
+    /// Whether every deadline is met with this many levels.
+    pub all_ok: bool,
+}
+
+/// E7 (ablation): how many priority levels are actually needed?  With one
+/// level the scheme degenerates to FCFS; the paper chose four.  This sweeps
+/// 1, 2, 3, 4 and 8 levels (classes beyond the configured count collapse
+/// into the lowest queue).
+pub fn level_ablation(workload: &Workload) -> Vec<LevelAblationRow> {
+    [1usize, 2, 3, 4, 8]
+        .iter()
+        .map(|&levels| {
+            let config = NetworkConfig {
+                priority_levels: levels,
+                ..NetworkConfig::paper_default()
+            };
+            let report = analyze(workload, &config, Approach::StrictPriority)
+                .expect("case study is stable at 10 Mbps");
+            LevelAblationRow {
+                levels,
+                urgent_ms: report
+                    .worst_bound_of_class(TrafficClass::UrgentSporadic)
+                    .unwrap_or(Duration::ZERO)
+                    .as_millis_f64(),
+                periodic_ms: report
+                    .worst_bound_of_class(TrafficClass::Periodic)
+                    .unwrap_or(Duration::ZERO)
+                    .as_millis_f64(),
+                background_ms: report
+                    .worst_bound_of_class(TrafficClass::Background)
+                    .unwrap_or(Duration::ZERO)
+                    .as_millis_f64(),
+                all_ok: report.all_deadlines_met(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the level-ablation rows as a text table.
+pub fn render_level_ablation(rows: &[LevelAblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E7 — priority-level ablation (strict priority, C = 10 Mbps)\n{:<8} {:>12} {:>14} {:>16} {:>10}\n",
+        "levels", "P0 urgent", "P1 periodic", "P3 background", "all met?"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<8} {:>9.3} ms {:>11.3} ms {:>13.3} ms {:>10}\n",
+            row.levels,
+            row.urgent_ms,
+            row.periodic_ms,
+            row.background_ms,
+            if row.all_ok { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ablation_shows_two_levels_suffice_for_urgent_but_four_help_periodic() {
+        let rows = level_ablation(&case_study());
+        assert_eq!(rows.len(), 5);
+        // One level = FCFS: urgent violated.
+        assert!(!rows[0].all_ok);
+        assert!(rows[0].urgent_ms > 3.0);
+        // Two levels already rescue the urgent class.
+        assert!(rows[1].urgent_ms < 3.0);
+        // Adding levels never meaningfully worsens the urgent class (the
+        // inflated burst of the blocking lower-priority frame can move the
+        // bound by a few microseconds between level counts) and the paper's
+        // four levels meet every deadline.
+        assert!(rows[3].all_ok);
+        for w in rows.windows(2) {
+            assert!(w[1].urgent_ms <= w[0].urgent_ms + 0.01);
+        }
+        assert!(render_level_ablation(&rows).contains("levels"));
+    }
+
+    #[test]
+    fn figure1_shape_matches_the_paper() {
+        let fig = figure1(&case_study(), &NetworkConfig::paper_default());
+        let rows = fig.rows();
+        assert_eq!(rows.len(), 4);
+        let urgent = &rows[0];
+        assert_eq!(urgent.class, TrafficClass::UrgentSporadic);
+        assert!(!urgent.fcfs_ok, "FCFS must violate the 3 ms urgent deadline");
+        assert!(urgent.priority_ok, "priority must meet the 3 ms deadline");
+        assert!(urgent.priority_bound_ms < urgent.fcfs_bound_ms);
+        // Periodic: priority bound below the FCFS bound (the paper's second
+        // observation).
+        let periodic = &rows[1];
+        assert!(periodic.priority_bound_ms <= periodic.fcfs_bound_ms);
+        assert!(fig.render().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn baseline_1553_shows_the_polling_limitation() {
+        let result = baseline_1553();
+        assert!(!result.full_case_study_schedulable);
+        assert!(result.bus_utilization > 0.0 && result.bus_utilization <= 1.0);
+        assert!(result.comparison.ethernet_only_wins > 0);
+        assert_eq!(result.comparison.bus_only_wins, 0);
+    }
+
+    #[test]
+    fn rate_sweep_shows_priorities_matter_beyond_rate() {
+        let rows = rate_sweep(
+            &case_study(),
+            &[
+                DataRate::from_mbps(10),
+                DataRate::from_mbps(100),
+                DataRate::from_gbps(1),
+            ],
+        );
+        assert_eq!(rows.len(), 3);
+        // At 10 Mbps FCFS violates the urgent deadline while priority meets it.
+        assert!(!rows[0].fcfs_urgent_ok);
+        assert!(rows[0].priority_urgent_ok);
+        // Bounds shrink monotonically with the rate.
+        assert!(rows[1].fcfs_urgent_ms < rows[0].fcfs_urgent_ms);
+        assert!(rows[2].fcfs_urgent_ms < rows[1].fcfs_urgent_ms);
+        assert!(render_rate_sweep(&rows).contains("10Mbps"));
+    }
+
+    #[test]
+    fn sim_validation_is_sound_for_both_approaches() {
+        let w = bus_sized_case_study();
+        let cfg = NetworkConfig::paper_default();
+        for approach in [Approach::Fcfs, Approach::StrictPriority] {
+            let result = sim_validation(&w, &cfg, approach, Duration::from_millis(320), &[1, 2]);
+            assert!(result.all_sound(), "{approach} produced a bound violation");
+            assert!(result.mean_tightness() > 0.0 && result.mean_tightness() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_rows_cover_all_classes() {
+        let rows = jitter(Duration::from_millis(320), 3);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.fcfs_jitter_ms >= 0.0);
+            assert!(row.priority_jitter_ms >= 0.0);
+        }
+        assert!(render_jitter(&rows).contains("1553B bus"));
+    }
+
+    #[test]
+    fn shaping_ablation_protects_the_switch() {
+        let result = shaping_ablation(
+            16,
+            DataSize::from_bytes(24_000),
+            Duration::from_millis(200),
+            5,
+        );
+        assert!(result.unshaped_losses() > result.shaped_losses());
+        assert!(result.render().contains("frames dropped"));
+    }
+}

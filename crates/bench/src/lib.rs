@@ -1,0 +1,20 @@
+//! Experiment harness: one function per figure/table of the paper.
+//!
+//! Each experiment function is pure (workload in, structured results out) so
+//! it can be driven both by the `src/bin/*` command-line harnesses (which
+//! print the tables `EXPERIMENTS.md` records) and by the Criterion benches
+//! (which measure how long the analyses take on workloads of increasing
+//! size).
+//!
+//! | id | paper artefact | function |
+//! |----|----------------|----------|
+//! | E1 | Figure 1 — delay bounds, FCFS vs priority | [`experiments::figure1`] |
+//! | E2 | §2 — MIL-STD-1553B baseline | [`experiments::baseline_1553`] |
+//! | E3 | §2 — "a higher rate is not sufficient" | [`experiments::rate_sweep`] |
+//! | E4 | methodology — bounds vs simulation | [`experiments::sim_validation`] |
+//! | E5 | §3 — jitter outlook | [`experiments::jitter`] |
+//! | E6 | ablation — effect of source shaping | [`experiments::shaping_ablation`] |
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,36 @@
+//! The delay-bound analyses.
+
+pub mod end_to_end;
+pub mod jitter;
+pub mod stage;
+
+use serde::{Deserialize, Serialize};
+
+/// The two multiplexing approaches the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Approach {
+    /// A single FCFS queue per output port.
+    Fcfs,
+    /// Four strict-priority queues per output port (802.1p).
+    StrictPriority,
+}
+
+impl core::fmt::Display for Approach {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Approach::Fcfs => write!(f, "FCFS"),
+            Approach::StrictPriority => write!(f, "strict priority"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Approach::Fcfs.to_string(), "FCFS");
+        assert_eq!(Approach::StrictPriority.to_string(), "strict priority");
+    }
+}

@@ -1,0 +1,173 @@
+//! Analysis of one multiplexing stage (a station uplink or a switch output
+//! port).
+
+use crate::analysis::Approach;
+use netcalc::{FcfsMux, NcError, StaticPriorityMux, TokenBucket};
+use serde::{Deserialize, Serialize};
+use units::{DataRate, Duration};
+use workload::MessageId;
+
+/// One shaped flow entering a multiplexing stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageFlow {
+    /// The message stream the flow belongs to.
+    pub message: MessageId,
+    /// The arrival envelope of the flow *at this stage* (at the source this
+    /// is the shaper's `(b_i, r_i)`; at the switch it is the source stage's
+    /// output envelope).
+    pub envelope: TokenBucket,
+    /// Queue index under the strict-priority policy (ignored by FCFS).
+    pub priority: usize,
+}
+
+/// The per-flow outcome of a stage analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageBound {
+    /// Worst-case delay through the stage (queueing + serialization +
+    /// relaying latency).
+    pub delay: Duration,
+    /// The flow's arrival envelope after the stage (burst inflated by the
+    /// stage delay).
+    pub output: TokenBucket,
+}
+
+/// Analyses one stage under the given approach.
+///
+/// * `capacity` — the outgoing link rate `C`;
+/// * `ttechno` — the relaying latency of the element (0 for an end system,
+///   the switch's `t_techno` for a switch output port);
+/// * `levels` — number of strict-priority queues (ignored by FCFS).
+pub fn analyze_stage(
+    flows: &[StageFlow],
+    approach: Approach,
+    capacity: DataRate,
+    ttechno: Duration,
+    levels: usize,
+) -> Result<Vec<(MessageId, StageBound)>, NcError> {
+    match approach {
+        Approach::Fcfs => {
+            let mut mux = FcfsMux::new(capacity, ttechno);
+            for flow in flows {
+                mux.add_flow(flow.envelope);
+            }
+            let delay = mux.delay_bound()?;
+            flows
+                .iter()
+                .map(|flow| {
+                    let output = mux.output_envelope(&flow.envelope)?;
+                    Ok((flow.message, StageBound { delay, output }))
+                })
+                .collect()
+        }
+        Approach::StrictPriority => {
+            let mut mux = StaticPriorityMux::new(levels, capacity, ttechno);
+            for flow in flows {
+                mux.add_flow(flow.priority.min(levels.saturating_sub(1)), flow.envelope)?;
+            }
+            mux.check_stability()?;
+            flows
+                .iter()
+                .map(|flow| {
+                    let priority = flow.priority.min(levels.saturating_sub(1));
+                    let delay = mux.delay_bound(priority)?;
+                    let output = mux.output_envelope(priority, &flow.envelope)?;
+                    Ok((flow.message, StageBound { delay, output }))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::DataSize;
+
+    fn flow(id: usize, bytes: u64, period_ms: u64, priority: usize) -> StageFlow {
+        StageFlow {
+            message: MessageId(id),
+            envelope: TokenBucket::for_message(
+                DataSize::from_bytes(bytes),
+                Duration::from_millis(period_ms),
+            ),
+            priority,
+        }
+    }
+
+    fn c10() -> DataRate {
+        DataRate::from_mbps(10)
+    }
+
+    #[test]
+    fn fcfs_stage_gives_every_flow_the_same_bound() {
+        let flows = [flow(0, 68, 20, 0), flow(1, 86, 40, 1), flow(2, 1046, 160, 3)];
+        let result = analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4)
+            .unwrap();
+        assert_eq!(result.len(), 3);
+        let d0 = result[0].1.delay;
+        assert!(result.iter().all(|(_, b)| b.delay == d0));
+        // Σ b = (68+86+1046) bytes = 9600 bits -> 960 us + 16 us.
+        assert_eq!(d0, Duration::from_micros(976));
+        // Output bursts are inflated.
+        for (i, (_, bound)) in result.iter().enumerate() {
+            assert!(bound.output.burst() >= flows[i].envelope.burst());
+            assert_eq!(bound.output.rate(), flows[i].envelope.rate());
+        }
+    }
+
+    #[test]
+    fn priority_stage_orders_bounds_by_priority() {
+        let flows = [flow(0, 68, 20, 0), flow(1, 86, 40, 1), flow(2, 1046, 160, 3)];
+        let result = analyze_stage(
+            &flows,
+            Approach::StrictPriority,
+            c10(),
+            Duration::from_micros(16),
+            4,
+        )
+        .unwrap();
+        assert!(result[0].1.delay <= result[1].1.delay);
+        assert!(result[1].1.delay <= result[2].1.delay);
+        // The urgent flow's bound beats the FCFS bound for the same stage.
+        let fcfs =
+            analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4).unwrap();
+        assert!(result[0].1.delay < fcfs[0].1.delay);
+    }
+
+    #[test]
+    fn priority_indices_above_the_level_count_are_clamped() {
+        let flows = [flow(0, 68, 20, 9)];
+        let result = analyze_stage(
+            &flows,
+            Approach::StrictPriority,
+            c10(),
+            Duration::ZERO,
+            4,
+        )
+        .unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result[0].1.delay > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_stage_is_fine() {
+        assert!(analyze_stage(&[], Approach::Fcfs, c10(), Duration::ZERO, 4)
+            .unwrap()
+            .is_empty());
+        assert!(
+            analyze_stage(&[], Approach::StrictPriority, c10(), Duration::ZERO, 4)
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn overload_is_reported() {
+        // 1518 bytes every 1 ms ≈ 12 Mbps > 10 Mbps.
+        let flows = [flow(0, 1518, 1, 0)];
+        assert!(analyze_stage(&flows, Approach::Fcfs, c10(), Duration::ZERO, 4).is_err());
+        assert!(
+            analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).is_err()
+        );
+    }
+}

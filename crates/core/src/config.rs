@@ -1,0 +1,84 @@
+//! Network configuration of the analysed architecture.
+
+use serde::{Deserialize, Serialize};
+use units::{DataRate, Duration};
+
+/// The parameters of the paper's reference architecture: a single
+/// store-and-forward switch, one full-duplex link of capacity `C` per
+/// station, a bounded technological relaying latency `t_techno`, and a
+/// number of strict-priority levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Link capacity `C` (the paper evaluates 10 Mbps).
+    pub link_rate: DataRate,
+    /// Bounded relaying latency of the switch (`t_techno`).
+    pub ttechno: Duration,
+    /// One-way propagation delay per link (negligible in the paper; kept
+    /// explicit so the analysis and the simulator stay comparable).
+    pub propagation: Duration,
+    /// Number of strict-priority levels (4 in the paper).
+    pub priority_levels: usize,
+}
+
+impl NetworkConfig {
+    /// The paper's configuration: 10 Mbps, 16 µs relaying latency, zero
+    /// propagation delay, 4 priority levels.
+    pub fn paper_default() -> Self {
+        NetworkConfig {
+            link_rate: DataRate::from_mbps(10),
+            ttechno: Duration::from_micros(16),
+            propagation: Duration::ZERO,
+            priority_levels: 4,
+        }
+    }
+
+    /// Overrides the link rate (the E3 rate sweep).
+    pub fn with_link_rate(mut self, rate: DataRate) -> Self {
+        self.link_rate = rate;
+        self
+    }
+
+    /// Overrides the relaying latency.
+    pub fn with_ttechno(mut self, ttechno: Duration) -> Self {
+        self.ttechno = ttechno;
+        self
+    }
+
+    /// Overrides the propagation delay.
+    pub fn with_propagation(mut self, propagation: Duration) -> Self {
+        self.propagation = propagation;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let cfg = NetworkConfig::paper_default();
+        assert_eq!(cfg.link_rate, DataRate::from_mbps(10));
+        assert_eq!(cfg.ttechno, Duration::from_micros(16));
+        assert_eq!(cfg.propagation, Duration::ZERO);
+        assert_eq!(cfg.priority_levels, 4);
+        assert_eq!(NetworkConfig::default(), cfg);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = NetworkConfig::paper_default()
+            .with_link_rate(DataRate::from_mbps(100))
+            .with_ttechno(Duration::from_micros(5))
+            .with_propagation(Duration::from_nanos(500));
+        assert_eq!(cfg.link_rate, DataRate::from_mbps(100));
+        assert_eq!(cfg.ttechno, Duration::from_micros(5));
+        assert_eq!(cfg.propagation, Duration::from_nanos(500));
+    }
+}

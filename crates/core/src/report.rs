@@ -1,0 +1,194 @@
+//! Human-readable and machine-readable rendering of analysis results.
+
+use crate::analysis::end_to_end::AnalysisReport;
+use crate::compare1553::BaselineComparison;
+use crate::validation::ValidationReport;
+use std::fmt::Write as _;
+
+/// Renders the per-class Figure-1 style table of one analysis report:
+/// one row per traffic class with the worst bound, the tightest deadline and
+/// the verdict.
+pub fn render_class_table(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "approach: {} | C = {} | t_techno = {}",
+        report.approach, report.config.link_rate, report.config.ttechno
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>14} {:>14} {:>10}",
+        "class", "messages", "worst bound", "deadline", "verdict"
+    );
+    for summary in report.class_summaries() {
+        let deadline = summary
+            .tightest_deadline
+            .map(|d| format!("{:.3} ms", d.as_millis_f64()))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>11.3} ms {:>14} {:>10}",
+            summary.class.to_string(),
+            summary.message_count,
+            summary.worst_bound.as_millis_f64(),
+            deadline,
+            if summary.satisfied() { "OK" } else { "VIOLATED" }
+        );
+    }
+    out
+}
+
+/// Renders the per-message table of one analysis report (one row per
+/// message: bound vs deadline).
+pub fn render_message_table(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:<14} {:>12} {:>12} {:>9}",
+        "message", "class", "bound", "deadline", "verdict"
+    );
+    for bound in &report.messages {
+        let _ = writeln!(
+            out,
+            "{:<32} {:<14} {:>9.3} ms {:>9.3} ms {:>9}",
+            bound.name,
+            bound.class.to_string(),
+            bound.total_bound.as_millis_f64(),
+            bound.deadline.as_millis_f64(),
+            if bound.meets_deadline { "OK" } else { "VIOLATED" }
+        );
+    }
+    out
+}
+
+/// Renders the Ethernet-vs-1553B comparison table (experiment E2).
+pub fn render_baseline_table(comparison: &BaselineComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12} {:>14} {:>14} {:>8} {:>8}",
+        "message", "deadline", "1553B worst", "Ethernet bound", "1553B", "Ethernet"
+    );
+    for entry in &comparison.entries {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>9.3} ms {:>11.3} ms {:>11.3} ms {:>8} {:>8}",
+            entry.name,
+            entry.deadline.as_millis_f64(),
+            entry.bus_worst_case.as_millis_f64(),
+            entry.ethernet_bound.as_millis_f64(),
+            if entry.bus_meets_deadline { "OK" } else { "MISS" },
+            if entry.ethernet_meets_deadline { "OK" } else { "MISS" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "1553B bus utilization: {:.1}% | Ethernet-only wins: {} | 1553B-only wins: {}",
+        comparison.bus_utilization * 100.0,
+        comparison.ethernet_only_wins,
+        comparison.bus_only_wins
+    );
+    out
+}
+
+/// Renders the bound-vs-simulation validation table (experiment E4).
+pub fn render_validation_table(validation: &ValidationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>12} {:>14} {:>10} {:>8}",
+        "message", "bound", "observed max", "tightness", "sound"
+    );
+    for entry in &validation.entries {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>9.3} ms {:>11.3} ms {:>9.1}% {:>8}",
+            entry.name,
+            entry.bound.as_millis_f64(),
+            entry.observed_worst.as_millis_f64(),
+            entry.tightness() * 100.0,
+            if entry.sound { "yes" } else { "NO" },
+        );
+    }
+    out
+}
+
+/// Serializes any of the report structures to pretty-printed JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Approach;
+    use crate::compare1553::compare_with_1553;
+    use crate::config::NetworkConfig;
+    use crate::validation::validate_against_simulation;
+    use crate::analyze;
+    use units::Duration;
+    use workload::case_study::{case_study_with, CaseStudyConfig};
+
+    fn workload() -> workload::Workload {
+        case_study_with(CaseStudyConfig {
+            subsystems: 3,
+            with_command_traffic: false,
+        })
+    }
+
+    #[test]
+    fn class_table_contains_all_classes_and_verdicts() {
+        let w = workload();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let table = render_class_table(&report);
+        assert!(table.contains("P0/urgent"));
+        assert!(table.contains("P3/background"));
+        assert!(table.contains("OK"));
+        assert!(table.contains("10Mbps"));
+    }
+
+    #[test]
+    fn message_table_lists_every_message() {
+        let w = workload();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::Fcfs).unwrap();
+        let table = render_message_table(&report);
+        for m in &w.messages {
+            assert!(table.contains(&m.name), "missing {}", m.name);
+        }
+    }
+
+    #[test]
+    fn baseline_table_renders() {
+        let w = workload();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let cmp = compare_with_1553(&w, &report).unwrap();
+        let table = render_baseline_table(&cmp);
+        assert!(table.contains("1553B worst"));
+        assert!(table.contains("bus utilization"));
+    }
+
+    #[test]
+    fn validation_table_renders() {
+        let w = workload();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let validation = validate_against_simulation(&w, &report, Duration::from_millis(320), 1);
+        let table = render_validation_table(&validation);
+        assert!(table.contains("observed max"));
+        assert!(table.contains("yes"));
+        assert!(!table.contains(" NO"));
+    }
+
+    #[test]
+    fn json_serialization_roundtrips() {
+        let w = workload();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let json = to_json(&report).unwrap();
+        assert!(json.contains("\"approach\""));
+        let parsed: crate::AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+}

@@ -1,0 +1,208 @@
+//! Validation of the analytic bounds against the discrete-event simulator
+//! (experiment E4).
+
+use crate::analysis::end_to_end::AnalysisReport;
+use crate::analysis::Approach;
+use netsim::{MuxPolicy, SimConfig, SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+use units::Duration;
+use workload::{MessageId, Workload};
+
+/// The per-message outcome of a validation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationEntry {
+    /// The message stream.
+    pub message: MessageId,
+    /// Message name.
+    pub name: String,
+    /// The analytic worst-case bound.
+    pub bound: Duration,
+    /// The worst delay the simulator observed.
+    pub observed_worst: Duration,
+    /// Number of delivered instances the observation is based on.
+    pub samples: u64,
+    /// `true` when the observation respects the bound (it must, if both the
+    /// analysis and the simulator are correct).
+    pub sound: bool,
+}
+
+impl ValidationEntry {
+    /// How much of the analytic bound the simulation actually used
+    /// (`observed / bound`, in `[0, 1]` when sound).
+    pub fn tightness(&self) -> f64 {
+        if self.bound.is_zero() {
+            return if self.observed_worst.is_zero() { 1.0 } else { f64::INFINITY };
+        }
+        self.observed_worst.as_secs_f64() / self.bound.as_secs_f64()
+    }
+}
+
+/// The outcome of validating one analysis report against one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Per-message entries, in workload message order.
+    pub entries: Vec<ValidationEntry>,
+    /// The simulation report the entries were computed from.
+    pub simulation: SimReport,
+}
+
+impl ValidationReport {
+    /// `true` when every observed delay respects its bound.
+    pub fn all_sound(&self) -> bool {
+        self.entries.iter().all(|e| e.sound)
+    }
+
+    /// Entries whose observation exceeded the bound (must be empty).
+    pub fn violations(&self) -> Vec<&ValidationEntry> {
+        self.entries.iter().filter(|e| !e.sound).collect()
+    }
+
+    /// The mean tightness over all messages that delivered at least one
+    /// instance (how close the simulation came to the bounds on average).
+    pub fn mean_tightness(&self) -> f64 {
+        let with_samples: Vec<&ValidationEntry> =
+            self.entries.iter().filter(|e| e.samples > 0).collect();
+        if with_samples.is_empty() {
+            return 0.0;
+        }
+        with_samples.iter().map(|e| e.tightness()).sum::<f64>() / with_samples.len() as f64
+    }
+}
+
+/// Builds the simulation configuration matching an analysis report so the
+/// two describe the same system.
+pub fn matching_sim_config(report: &AnalysisReport, horizon: Duration, seed: u64) -> SimConfig {
+    let policy = match report.approach {
+        Approach::Fcfs => MuxPolicy::Fcfs,
+        Approach::StrictPriority => MuxPolicy::StrictPriority {
+            levels: report.config.priority_levels,
+        },
+    };
+    SimConfig {
+        policy,
+        link_rate: report.config.link_rate,
+        ttechno: report.config.ttechno,
+        propagation: report.config.propagation,
+        horizon,
+        seed,
+        ..SimConfig::paper_default()
+    }
+}
+
+/// Runs the simulator with a configuration matching `report` and checks that
+/// every observed worst-case delay stays below its analytic bound.
+pub fn validate_against_simulation(
+    workload: &Workload,
+    report: &AnalysisReport,
+    horizon: Duration,
+    seed: u64,
+) -> ValidationReport {
+    let config = matching_sim_config(report, horizon, seed);
+    let simulation = Simulator::new(workload.clone(), config).run();
+    let entries = workload
+        .messages
+        .iter()
+        .map(|spec| {
+            let bound = report
+                .bound_for(spec.id)
+                .map(|b| b.total_bound)
+                .unwrap_or(Duration::ZERO);
+            let stats = simulation.flow(spec.id);
+            let observed_worst = stats.map(|s| s.max_delay).unwrap_or(Duration::ZERO);
+            let samples = stats.map(|s| s.delivered).unwrap_or(0);
+            ValidationEntry {
+                message: spec.id,
+                name: spec.name.clone(),
+                bound,
+                observed_worst,
+                samples,
+                sound: observed_worst <= bound,
+            }
+        })
+        .collect();
+    ValidationReport {
+        entries,
+        simulation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::end_to_end::analyze;
+    use crate::config::NetworkConfig;
+    use workload::case_study::{case_study_with, CaseStudyConfig};
+
+    fn reduced_case_study() -> Workload {
+        case_study_with(CaseStudyConfig {
+            subsystems: 6,
+            with_command_traffic: true,
+        })
+    }
+
+    #[test]
+    fn priority_bounds_hold_in_simulation() {
+        let w = reduced_case_study();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let validation =
+            validate_against_simulation(&w, &report, Duration::from_millis(640), 42);
+        assert!(
+            validation.all_sound(),
+            "violations: {:?}",
+            validation
+                .violations()
+                .iter()
+                .map(|v| (&v.name, v.observed_worst, v.bound))
+                .collect::<Vec<_>>()
+        );
+        assert!(validation.mean_tightness() > 0.0);
+        assert!(validation.mean_tightness() <= 1.0);
+        assert!(validation.entries.iter().any(|e| e.samples > 0));
+    }
+
+    #[test]
+    fn fcfs_bounds_hold_in_simulation() {
+        let w = reduced_case_study();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::Fcfs).unwrap();
+        let validation =
+            validate_against_simulation(&w, &report, Duration::from_millis(640), 7);
+        assert!(validation.all_sound());
+    }
+
+    #[test]
+    fn matching_config_mirrors_the_analysis_parameters() {
+        let w = reduced_case_study();
+        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
+            .unwrap();
+        let cfg = matching_sim_config(&report, Duration::from_millis(100), 3);
+        assert_eq!(cfg.link_rate, report.config.link_rate);
+        assert_eq!(cfg.ttechno, report.config.ttechno);
+        assert_eq!(cfg.policy, MuxPolicy::StrictPriority { levels: 4 });
+        assert_eq!(cfg.horizon, Duration::from_millis(100));
+        assert_eq!(cfg.seed, 3);
+        let fcfs_report = analyze(&w, &NetworkConfig::paper_default(), Approach::Fcfs).unwrap();
+        assert_eq!(
+            matching_sim_config(&fcfs_report, Duration::from_millis(100), 3).policy,
+            MuxPolicy::Fcfs
+        );
+    }
+
+    #[test]
+    fn tightness_handles_degenerate_bounds() {
+        let entry = ValidationEntry {
+            message: MessageId(0),
+            name: "m".into(),
+            bound: Duration::ZERO,
+            observed_worst: Duration::ZERO,
+            samples: 0,
+            sound: true,
+        };
+        assert_eq!(entry.tightness(), 1.0);
+        let entry = ValidationEntry {
+            observed_worst: Duration::from_millis(1),
+            ..entry
+        };
+        assert!(entry.tightness().is_infinite());
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-class verdicts: the rows of the paper's Figure 1.
+
+use crate::analysis::end_to_end::MessageBound;
+use serde::{Deserialize, Serialize};
+use shaping::TrafficClass;
+use units::Duration;
+
+/// Aggregated verdict for one of the paper's four traffic classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The traffic class.
+    pub class: TrafficClass,
+    /// Number of message streams in the class.
+    pub message_count: usize,
+    /// The worst end-to-end bound across the class (zero if the class is
+    /// empty).
+    pub worst_bound: Duration,
+    /// The tightest deadline across the class (`None` if the class is
+    /// empty).
+    pub tightest_deadline: Option<Duration>,
+    /// Number of messages whose deadline is violated.
+    pub violations: usize,
+}
+
+impl ClassSummary {
+    /// Builds the four per-class summaries from per-message bounds.
+    pub fn from_bounds(bounds: &[MessageBound]) -> Vec<ClassSummary> {
+        TrafficClass::ALL
+            .iter()
+            .map(|&class| {
+                let members: Vec<&MessageBound> =
+                    bounds.iter().filter(|b| b.class == class).collect();
+                ClassSummary {
+                    class,
+                    message_count: members.len(),
+                    worst_bound: members
+                        .iter()
+                        .map(|b| b.total_bound)
+                        .fold(Duration::ZERO, Duration::max),
+                    tightest_deadline: members.iter().map(|b| b.deadline).min(),
+                    violations: members.iter().filter(|b| !b.meets_deadline).count(),
+                }
+            })
+            .collect()
+    }
+
+    /// `true` when every message of the class meets its deadline.
+    pub fn satisfied(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::Duration;
+    use workload::{MessageId, StationId};
+
+    fn bound(class: TrafficClass, total_ms: u64, deadline_ms: u64) -> MessageBound {
+        MessageBound {
+            message: MessageId(0),
+            name: "m".into(),
+            class,
+            source: StationId(1),
+            destination: StationId(0),
+            deadline: Duration::from_millis(deadline_ms),
+            source_bound: Duration::from_millis(total_ms / 2),
+            switch_bound: Duration::from_millis(total_ms - total_ms / 2),
+            total_bound: Duration::from_millis(total_ms),
+            meets_deadline: total_ms <= deadline_ms,
+        }
+    }
+
+    #[test]
+    fn summaries_cover_all_four_classes() {
+        let bounds = vec![
+            bound(TrafficClass::UrgentSporadic, 2, 3),
+            bound(TrafficClass::UrgentSporadic, 5, 3),
+            bound(TrafficClass::Periodic, 8, 20),
+        ];
+        let summaries = ClassSummary::from_bounds(&bounds);
+        assert_eq!(summaries.len(), 4);
+        let urgent = &summaries[0];
+        assert_eq!(urgent.class, TrafficClass::UrgentSporadic);
+        assert_eq!(urgent.message_count, 2);
+        assert_eq!(urgent.worst_bound, Duration::from_millis(5));
+        assert_eq!(urgent.tightest_deadline, Some(Duration::from_millis(3)));
+        assert_eq!(urgent.violations, 1);
+        assert!(!urgent.satisfied());
+        let periodic = &summaries[1];
+        assert_eq!(periodic.message_count, 1);
+        assert!(periodic.satisfied());
+        let background = &summaries[3];
+        assert_eq!(background.message_count, 0);
+        assert_eq!(background.worst_bound, Duration::ZERO);
+        assert_eq!(background.tightest_deadline, None);
+        assert!(background.satisfied());
+    }
+}

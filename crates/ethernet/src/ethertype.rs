@@ -1,0 +1,66 @@
+//! EtherType values used by the avionics network model.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An EtherType / length field value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4 (`0x0800`) — the usual payload carrier for avionics UDP traffic
+    /// (AFDX carries UDP/IP inside its virtual links).
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP (`0x0806`).
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// 802.1Q VLAN tag (`0x8100`) — also carries the 802.1p priority bits.
+    pub const VLAN: EtherType = EtherType(0x8100);
+    /// A locally-assigned experimental EtherType used by this workspace for
+    /// raw avionics messages that bypass IP.
+    pub const AVIONICS_RAW: EtherType = EtherType(0x88B5);
+
+    /// Raw 16-bit value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// `true` when the field is an actual EtherType (≥ 0x0600) rather than
+    /// an 802.3 length.
+    pub const fn is_ethertype(self) -> bool {
+        self.0 >= 0x0600
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EtherType::IPV4 => write!(f, "IPv4"),
+            EtherType::ARP => write!(f, "ARP"),
+            EtherType::VLAN => write!(f, "802.1Q"),
+            EtherType::AVIONICS_RAW => write!(f, "AvionicsRaw"),
+            EtherType(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(EtherType::IPV4.value(), 0x0800);
+        assert_eq!(EtherType::VLAN.value(), 0x8100);
+        assert!(EtherType::IPV4.is_ethertype());
+        assert!(!EtherType(0x05DC).is_ethertype());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EtherType::IPV4.to_string(), "IPv4");
+        assert_eq!(EtherType::ARP.to_string(), "ARP");
+        assert_eq!(EtherType::VLAN.to_string(), "802.1Q");
+        assert_eq!(EtherType::AVIONICS_RAW.to_string(), "AvionicsRaw");
+        assert_eq!(EtherType(0x1234).to_string(), "0x1234");
+    }
+}

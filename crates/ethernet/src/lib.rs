@@ -1,0 +1,39 @@
+//! Full-duplex switched Ethernet substrate.
+//!
+//! The paper replaces the MIL-STD-1553B bus with COTS Full-Duplex Switched
+//! Ethernet: end systems connect to a store-and-forward switch over
+//! full-duplex links (no CSMA/CD, no collisions), and the urgent traffic is
+//! tagged with 802.1p priorities.  This crate models the parts of Ethernet
+//! that the delay analysis and the simulator depend on:
+//!
+//! * frame formats and their on-the-wire overheads ([`frame`], [`vlan`],
+//!   [`wire`]),
+//! * PHY generations and their timing (preamble, inter-frame gap, minimum /
+//!   maximum frame sizes) ([`phy`]),
+//! * links, store-and-forward switches and full network topologies with
+//!   route computation ([`link`], [`switch`], [`topology`]).
+//!
+//! All timing helpers return exact integer [`units::Duration`]s rounded up,
+//! so every downstream worst-case figure stays pessimistic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ethertype;
+pub mod frame;
+pub mod link;
+pub mod mac;
+pub mod phy;
+pub mod switch;
+pub mod topology;
+pub mod vlan;
+pub mod wire;
+
+pub use ethertype::EtherType;
+pub use frame::{EthernetFrame, FrameError, MAX_PAYLOAD, MIN_FRAME_SIZE};
+pub use link::Link;
+pub use mac::MacAddress;
+pub use phy::Phy;
+pub use switch::SwitchModel;
+pub use topology::{NodeId, PortId, Route, Topology, TopologyError};
+pub use vlan::{Pcp, VlanTag};

@@ -1,0 +1,86 @@
+//! Full-duplex point-to-point links.
+
+use crate::phy::Phy;
+use serde::{Deserialize, Serialize};
+use units::{DataSize, Duration};
+
+/// A full-duplex Ethernet link between an end system and a switch port (or
+/// between two switches).
+///
+/// Full duplex means each direction is an independent collision-free
+/// transmission resource; the delay a frame experiences on the link is its
+/// serialization time at the PHY rate plus the propagation delay of the
+/// cable (a few hundred nanoseconds for the cable lengths found in an
+/// airframe — negligible next to serialization at 10 Mbps, but modelled for
+/// completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// PHY generation and thus bit rate of the link.
+    pub phy: Phy,
+    /// One-way propagation delay of the cable.
+    pub propagation_delay: Duration,
+}
+
+impl Link {
+    /// A link with the given PHY and a default 500 ns propagation delay
+    /// (≈ 100 m of copper).
+    pub fn new(phy: Phy) -> Self {
+        Link {
+            phy,
+            propagation_delay: Duration::from_nanos(500),
+        }
+    }
+
+    /// Overrides the propagation delay.
+    pub fn with_propagation_delay(mut self, delay: Duration) -> Self {
+        self.propagation_delay = delay;
+        self
+    }
+
+    /// Serialization time of a frame of `size` bits on this link
+    /// (paper convention: no preamble / IFG).
+    pub fn serialization_time(&self, size: DataSize) -> Duration {
+        self.phy.serialization_time(size)
+    }
+
+    /// Total one-way latency of a single frame crossing an otherwise idle
+    /// link: serialization plus propagation.
+    pub fn latency(&self, size: DataSize) -> Duration {
+        self.serialization_time(size) + self.propagation_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_propagation_delay() {
+        let link = Link::new(Phy::TenMbps);
+        assert_eq!(link.propagation_delay, Duration::from_nanos(500));
+        let link = link.with_propagation_delay(Duration::from_nanos(100));
+        assert_eq!(link.propagation_delay, Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn latency_is_serialization_plus_propagation() {
+        let link = Link::new(Phy::TenMbps).with_propagation_delay(Duration::from_nanos(400));
+        // 64 bytes at 10 Mbps = 51.2 us.
+        assert_eq!(
+            link.serialization_time(DataSize::from_bytes(64)),
+            Duration::from_nanos(51_200)
+        );
+        assert_eq!(
+            link.latency(DataSize::from_bytes(64)),
+            Duration::from_nanos(51_600)
+        );
+    }
+
+    #[test]
+    fn faster_phy_shortens_latency() {
+        let slow = Link::new(Phy::TenMbps);
+        let fast = Link::new(Phy::FastEthernet);
+        let size = DataSize::from_bytes(1518);
+        assert!(fast.latency(size) < slow.latency(size));
+    }
+}

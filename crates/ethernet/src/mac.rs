@@ -1,0 +1,131 @@
+//! IEEE 802 MAC addresses.
+
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacAddress(pub [u8; 6]);
+
+impl MacAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddress = MacAddress([0xff; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddress(octets)
+    }
+
+    /// A deterministic locally-administered unicast address for end system
+    /// `index` — handy for generating avionics subsystem addresses.
+    pub const fn local(index: u16) -> Self {
+        MacAddress([0x02, 0x00, 0x00, 0x00, (index >> 8) as u8, index as u8])
+    }
+
+    /// The six octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// `true` for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// `true` if the group bit (I/G, least-significant bit of the first
+    /// octet) is set — multicast and broadcast destinations.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` if the locally-administered bit (U/L) is set.
+    pub fn is_locally_administered(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(pub String);
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddress {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split([':', '-']).collect();
+        if parts.len() != 6 {
+            return Err(ParseMacError(format!("expected 6 octets, got {}", parts.len())));
+        }
+        let mut octets = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] = u8::from_str_radix(p, 16)
+                .map_err(|_| ParseMacError(format!("bad octet `{p}`")))?;
+        }
+        Ok(MacAddress(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let mac = MacAddress::new([0x02, 0x00, 0x00, 0x00, 0x01, 0x2a]);
+        let text = mac.to_string();
+        assert_eq!(text, "02:00:00:00:01:2a");
+        assert_eq!(text.parse::<MacAddress>().unwrap(), mac);
+        assert_eq!("02-00-00-00-01-2A".parse::<MacAddress>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!("02:00:00".parse::<MacAddress>().is_err());
+        assert!("02:00:00:00:01:zz".parse::<MacAddress>().is_err());
+        assert!("".parse::<MacAddress>().is_err());
+    }
+
+    #[test]
+    fn address_classes() {
+        assert!(MacAddress::BROADCAST.is_broadcast());
+        assert!(MacAddress::BROADCAST.is_multicast());
+        let local = MacAddress::local(3);
+        assert!(!local.is_broadcast());
+        assert!(!local.is_multicast());
+        assert!(local.is_locally_administered());
+        assert_eq!(local.octets()[5], 3);
+        let multicast = MacAddress::new([0x01, 0x00, 0x5e, 0, 0, 1]);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_broadcast());
+    }
+
+    #[test]
+    fn local_addresses_are_distinct() {
+        let a = MacAddress::local(1);
+        let b = MacAddress::local(2);
+        let c = MacAddress::local(258);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(c.octets()[4], 1);
+        assert_eq!(c.octets()[5], 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Store-and-forward switch model.
+
+use serde::{Deserialize, Serialize};
+use units::{DataSize, Duration};
+
+/// Output-port scheduling policy of a switch (and, symmetrically, of an end
+/// system's transmit path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// A single FIFO queue per output port.
+    Fcfs,
+    /// Strict priority with the given number of levels (the paper uses 4);
+    /// level 0 is served first, the frame in transmission is never
+    /// preempted.
+    StrictPriority {
+        /// Number of priority levels (≥ 1).
+        levels: usize,
+    },
+}
+
+impl SchedulingPolicy {
+    /// Number of queues an output port needs under this policy.
+    pub fn queue_count(&self) -> usize {
+        match self {
+            SchedulingPolicy::Fcfs => 1,
+            SchedulingPolicy::StrictPriority { levels } => (*levels).max(1),
+        }
+    }
+}
+
+/// Configuration of a store-and-forward Ethernet switch.
+///
+/// The paper abstracts the switch as a bounded "technological" relaying
+/// latency `t_techno` (fabric traversal, lookup, store-and-forward
+/// processing — everything except output queueing, which the Network
+/// Calculus accounts for separately).  The simulator uses the same split:
+/// a frame entering the switch becomes eligible for output scheduling
+/// `relaying_latency` after it has been fully received.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchModel {
+    /// Human-readable switch name.
+    pub name: String,
+    /// Number of ports.
+    pub ports: usize,
+    /// Bounded relaying latency `t_techno`.
+    pub relaying_latency: Duration,
+    /// Output-port scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Optional per-output-port buffer capacity; `None` models unbounded
+    /// buffers (the analysis then bounds the backlog), `Some` lets the
+    /// simulator exercise loss under the shaping ablation.
+    pub buffer_capacity: Option<DataSize>,
+}
+
+impl SwitchModel {
+    /// A switch with the paper's parameters: 16 µs relaying latency and the
+    /// given policy, unbounded buffers.
+    pub fn new(name: impl Into<String>, ports: usize, policy: SchedulingPolicy) -> Self {
+        SwitchModel {
+            name: name.into(),
+            ports,
+            relaying_latency: Duration::from_micros(16),
+            policy,
+            buffer_capacity: None,
+        }
+    }
+
+    /// Overrides the relaying latency (`t_techno`).
+    pub fn with_relaying_latency(mut self, latency: Duration) -> Self {
+        self.relaying_latency = latency;
+        self
+    }
+
+    /// Limits the per-output-port buffer capacity.
+    pub fn with_buffer_capacity(mut self, capacity: DataSize) -> Self {
+        self.buffer_capacity = Some(capacity);
+        self
+    }
+
+    /// `true` if an output queue currently holding `queued` bits can accept
+    /// another frame of `frame` bits without overflowing.
+    pub fn accepts(&self, queued: DataSize, frame: DataSize) -> bool {
+        match self.buffer_capacity {
+            None => true,
+            Some(cap) => queued + frame <= cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_counts() {
+        assert_eq!(SchedulingPolicy::Fcfs.queue_count(), 1);
+        assert_eq!(SchedulingPolicy::StrictPriority { levels: 4 }.queue_count(), 4);
+        assert_eq!(SchedulingPolicy::StrictPriority { levels: 0 }.queue_count(), 1);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let sw = SwitchModel::new("sw0", 24, SchedulingPolicy::StrictPriority { levels: 4 });
+        assert_eq!(sw.relaying_latency, Duration::from_micros(16));
+        assert_eq!(sw.buffer_capacity, None);
+        assert_eq!(sw.ports, 24);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let sw = SwitchModel::new("sw0", 8, SchedulingPolicy::Fcfs)
+            .with_relaying_latency(Duration::from_micros(5))
+            .with_buffer_capacity(DataSize::from_kib(64));
+        assert_eq!(sw.relaying_latency, Duration::from_micros(5));
+        assert_eq!(sw.buffer_capacity, Some(DataSize::from_kib(64)));
+    }
+
+    #[test]
+    fn unbounded_buffer_accepts_everything() {
+        let sw = SwitchModel::new("sw0", 8, SchedulingPolicy::Fcfs);
+        assert!(sw.accepts(DataSize::from_kib(10_000), DataSize::from_bytes(1518)));
+    }
+
+    #[test]
+    fn bounded_buffer_rejects_overflow() {
+        let sw = SwitchModel::new("sw0", 8, SchedulingPolicy::Fcfs)
+            .with_buffer_capacity(DataSize::from_bytes(2000));
+        assert!(sw.accepts(DataSize::from_bytes(400), DataSize::from_bytes(1518)));
+        assert!(!sw.accepts(DataSize::from_bytes(600), DataSize::from_bytes(1518)));
+    }
+}

@@ -1,0 +1,438 @@
+//! Network topologies: end systems, switches, links and routes.
+
+use crate::link::Link;
+use crate::mac::MacAddress;
+use crate::switch::SwitchModel;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a node (end system or switch) within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed port: frames leaving `from` towards `to`.
+///
+/// In a full-duplex network each unordered link carries two independent
+/// directed ports; output queueing happens per directed port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// What a topology node is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A traffic source/sink (an avionics subsystem, remote terminal, …).
+    EndSystem {
+        /// Station name (e.g. "nav", "radar", "bus-controller").
+        name: String,
+        /// MAC address of the station.
+        mac: MacAddress,
+    },
+    /// A store-and-forward switch.
+    Switch(SwitchModel),
+}
+
+impl NodeKind {
+    /// The human-readable name of the node.
+    pub fn name(&self) -> &str {
+        match self {
+            NodeKind::EndSystem { name, .. } => name,
+            NodeKind::Switch(model) => &model.name,
+        }
+    }
+}
+
+/// Errors raised while building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id referenced by an operation does not exist.
+    UnknownNode(NodeId),
+    /// The two endpoints of a link are the same node.
+    SelfLoop(NodeId),
+    /// The requested pair of nodes is already connected.
+    DuplicateLink(NodeId, NodeId),
+    /// No path exists between the two nodes.
+    NoRoute(NodeId, NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "cannot connect node {n} to itself"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "nodes {a} and {b} already connected"),
+            TopologyError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A route through the network: the ordered list of directed ports a frame
+/// traverses from its source end system to its destination end system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Directed ports, in traversal order.
+    pub ports: Vec<PortId>,
+}
+
+impl Route {
+    /// The number of hops (links traversed).
+    pub fn hop_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The number of switches traversed (hops minus the final delivery leg,
+    /// i.e. every intermediate node).
+    pub fn switch_count(&self) -> usize {
+        self.ports.len().saturating_sub(1)
+    }
+
+    /// The nodes visited, starting at the source and ending at the
+    /// destination.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.ports.len() + 1);
+        if let Some(first) = self.ports.first() {
+            nodes.push(first.from);
+        }
+        nodes.extend(self.ports.iter().map(|p| p.to));
+        nodes
+    }
+}
+
+/// A full-duplex switched Ethernet topology.
+///
+/// The paper's reference architecture is a single switch with one port per
+/// subsystem ([`Topology::single_switch`]), but multi-switch topologies
+/// (e.g. one switch per zone, daisy-chained) are supported: routes are
+/// computed by breadth-first search, i.e. minimum hop count, which matches
+/// statically-configured forwarding tables in an avionics context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<NodeKind>,
+    /// Adjacency: for each node, the list of (neighbour, link) pairs.
+    adjacency: Vec<Vec<(NodeId, Link)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Adds an end system and returns its id.
+    pub fn add_end_system(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::EndSystem {
+            name: name.into(),
+            mac: MacAddress::local(id.0 as u16),
+        });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self, model: SwitchModel) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::Switch(model));
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Connects two nodes with a full-duplex link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) -> Result<(), TopologyError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        if self.adjacency[a.0].iter().any(|(n, _)| *n == b) {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        self.adjacency[a.0].push((b, link));
+        self.adjacency[b.0].push((a, link));
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node ids of all end systems.
+    pub fn end_systems(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, NodeKind::EndSystem { .. }))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The node ids of all switches.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, NodeKind::Switch(_)))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The kind of a node.
+    pub fn node(&self, id: NodeId) -> Result<&NodeKind, TopologyError> {
+        self.nodes.get(id.0).ok_or(TopologyError::UnknownNode(id))
+    }
+
+    /// The switch model of a node, if it is a switch.
+    pub fn switch_model(&self, id: NodeId) -> Option<&SwitchModel> {
+        match self.nodes.get(id.0) {
+            Some(NodeKind::Switch(model)) => Some(model),
+            _ => None,
+        }
+    }
+
+    /// The link between two directly-connected nodes.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<Link> {
+        self.adjacency
+            .get(a.0)?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// The neighbours of a node.
+    pub fn neighbours(&self, id: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        self.check_node(id)?;
+        Ok(self.adjacency[id.0].iter().map(|(n, _)| *n).collect())
+    }
+
+    /// Computes the minimum-hop route from `src` to `dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Route, TopologyError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Ok(Route { ports: Vec::new() });
+        }
+        let mut predecessor: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        predecessor.insert(src, src);
+        while let Some(current) = queue.pop_front() {
+            if current == dst {
+                break;
+            }
+            for (next, _) in &self.adjacency[current.0] {
+                if !predecessor.contains_key(next) {
+                    predecessor.insert(*next, current);
+                    queue.push_back(*next);
+                }
+            }
+        }
+        if !predecessor.contains_key(&dst) {
+            return Err(TopologyError::NoRoute(src, dst));
+        }
+        let mut ports = Vec::new();
+        let mut node = dst;
+        while node != src {
+            let prev = predecessor[&node];
+            ports.push(PortId {
+                from: prev,
+                to: node,
+            });
+            node = prev;
+        }
+        ports.reverse();
+        Ok(Route { ports })
+    }
+
+    /// Builds the paper's reference architecture: one switch, `stations` end
+    /// systems, every station connected to the switch over identical links.
+    ///
+    /// Returns the topology, the switch id and the station ids (in creation
+    /// order).
+    pub fn single_switch(
+        stations: usize,
+        switch: SwitchModel,
+        link: Link,
+    ) -> (Self, NodeId, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let switch_id = topo.add_switch(switch);
+        let mut station_ids = Vec::with_capacity(stations);
+        for i in 0..stations {
+            let id = topo.add_end_system(format!("station-{i}"));
+            topo.connect(id, switch_id, link)
+                .expect("fresh nodes cannot clash");
+            station_ids.push(id);
+        }
+        (topo, switch_id, station_ids)
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
+        if id.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownNode(id))
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phy::Phy;
+    use crate::switch::SchedulingPolicy;
+
+    fn switch(name: &str) -> SwitchModel {
+        SwitchModel::new(name, 16, SchedulingPolicy::StrictPriority { levels: 4 })
+    }
+
+    #[test]
+    fn single_switch_star() {
+        let (topo, sw, stations) =
+            Topology::single_switch(5, switch("sw0"), Link::new(Phy::TenMbps));
+        assert_eq!(topo.node_count(), 6);
+        assert_eq!(stations.len(), 5);
+        assert_eq!(topo.end_systems().len(), 5);
+        assert_eq!(topo.switches(), vec![sw]);
+        for s in &stations {
+            assert_eq!(topo.neighbours(*s).unwrap(), vec![sw]);
+        }
+        assert_eq!(topo.node(sw).unwrap().name(), "sw0");
+        assert!(topo.switch_model(sw).is_some());
+        assert!(topo.switch_model(stations[0]).is_none());
+    }
+
+    #[test]
+    fn route_through_one_switch() {
+        let (topo, sw, stations) =
+            Topology::single_switch(3, switch("sw0"), Link::new(Phy::TenMbps));
+        let route = topo.route(stations[0], stations[2]).unwrap();
+        assert_eq!(route.hop_count(), 2);
+        assert_eq!(route.switch_count(), 1);
+        assert_eq!(route.nodes(), vec![stations[0], sw, stations[2]]);
+        assert_eq!(
+            route.ports,
+            vec![
+                PortId { from: stations[0], to: sw },
+                PortId { from: sw, to: stations[2] }
+            ]
+        );
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (topo, _, stations) =
+            Topology::single_switch(2, switch("sw0"), Link::new(Phy::TenMbps));
+        let route = topo.route(stations[0], stations[0]).unwrap();
+        assert_eq!(route.hop_count(), 0);
+        assert!(route.nodes().is_empty());
+    }
+
+    #[test]
+    fn multi_switch_route_is_minimum_hop() {
+        // s0 - sw0 - sw1 - s1, plus a long detour sw0 - sw2 - sw3 - sw1.
+        let mut topo = Topology::new();
+        let s0 = topo.add_end_system("s0");
+        let s1 = topo.add_end_system("s1");
+        let sw0 = topo.add_switch(switch("sw0"));
+        let sw1 = topo.add_switch(switch("sw1"));
+        let sw2 = topo.add_switch(switch("sw2"));
+        let sw3 = topo.add_switch(switch("sw3"));
+        let link = Link::new(Phy::FastEthernet);
+        topo.connect(s0, sw0, link).unwrap();
+        topo.connect(sw0, sw1, link).unwrap();
+        topo.connect(sw1, s1, link).unwrap();
+        topo.connect(sw0, sw2, link).unwrap();
+        topo.connect(sw2, sw3, link).unwrap();
+        topo.connect(sw3, sw1, link).unwrap();
+        let route = topo.route(s0, s1).unwrap();
+        assert_eq!(route.hop_count(), 3);
+        assert_eq!(route.nodes(), vec![s0, sw0, sw1, s1]);
+        assert_eq!(route.switch_count(), 2);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_route() {
+        let mut topo = Topology::new();
+        let a = topo.add_end_system("a");
+        let b = topo.add_end_system("b");
+        assert_eq!(topo.route(a, b), Err(TopologyError::NoRoute(a, b)));
+    }
+
+    #[test]
+    fn invalid_connections_are_rejected() {
+        let mut topo = Topology::new();
+        let a = topo.add_end_system("a");
+        let b = topo.add_end_system("b");
+        let link = Link::new(Phy::TenMbps);
+        assert_eq!(topo.connect(a, a, link), Err(TopologyError::SelfLoop(a)));
+        topo.connect(a, b, link).unwrap();
+        assert_eq!(
+            topo.connect(a, b, link),
+            Err(TopologyError::DuplicateLink(a, b))
+        );
+        assert_eq!(
+            topo.connect(a, NodeId(99), link),
+            Err(TopologyError::UnknownNode(NodeId(99)))
+        );
+        assert!(topo.node(NodeId(42)).is_err());
+        assert!(topo.neighbours(NodeId(42)).is_err());
+        assert!(topo.route(NodeId(42), a).is_err());
+    }
+
+    #[test]
+    fn link_between_is_symmetric() {
+        let mut topo = Topology::new();
+        let a = topo.add_end_system("a");
+        let b = topo.add_end_system("b");
+        let link = Link::new(Phy::GigabitEthernet);
+        topo.connect(a, b, link).unwrap();
+        assert_eq!(topo.link_between(a, b), Some(link));
+        assert_eq!(topo.link_between(b, a), Some(link));
+        assert_eq!(topo.link_between(a, NodeId(9)), None);
+    }
+
+    #[test]
+    fn end_system_macs_are_unique() {
+        let (topo, _, stations) =
+            Topology::single_switch(10, switch("sw0"), Link::new(Phy::TenMbps));
+        let macs: Vec<_> = stations
+            .iter()
+            .map(|s| match topo.node(*s).unwrap() {
+                NodeKind::EndSystem { mac, .. } => *mac,
+                _ => panic!("expected end system"),
+            })
+            .collect();
+        let mut dedup = macs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), macs.len());
+    }
+}

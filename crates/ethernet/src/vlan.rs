@@ -1,0 +1,143 @@
+//! 802.1Q VLAN tagging and 802.1p priority code points.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An 802.1p Priority Code Point (0–7).
+///
+/// The paper maps its four traffic classes onto 802.1p priorities; this type
+/// keeps the raw 3-bit PCP and provides the mapping to the paper's four-level
+/// scheme (`0` = most urgent in the paper, whereas on the wire `7` is the
+/// highest PCP — [`Pcp::from_paper_priority`] handles the inversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pcp(u8);
+
+impl Pcp {
+    /// Creates a PCP, clamping to the 3-bit range.
+    pub const fn new(value: u8) -> Self {
+        Pcp(if value > 7 { 7 } else { value })
+    }
+
+    /// The raw 3-bit value (0–7).
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Maps one of the paper's four priority classes (0 = urgent sporadic,
+    /// 1 = periodic, 2 = sporadic ≤ 160 ms, 3 = background sporadic) to a
+    /// PCP, using the top of the 802.1p range so that class 0 gets PCP 7.
+    pub const fn from_paper_priority(class: usize) -> Self {
+        let class = if class > 3 { 3 } else { class };
+        Pcp(7 - class as u8)
+    }
+
+    /// The inverse of [`Pcp::from_paper_priority`] (PCPs below 4 all map to
+    /// the paper's lowest class, 3).
+    pub const fn to_paper_priority(self) -> usize {
+        if self.0 >= 4 {
+            (7 - self.0) as usize
+        } else {
+            3
+        }
+    }
+}
+
+impl fmt::Display for Pcp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PCP{}", self.0)
+    }
+}
+
+/// An 802.1Q tag: PCP, DEI and VLAN identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VlanTag {
+    /// Priority code point (802.1p).
+    pub pcp: Pcp,
+    /// Drop-eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (12 bits).
+    pub vid: u16,
+}
+
+impl VlanTag {
+    /// Creates a tag; the VID is masked to 12 bits.
+    pub const fn new(pcp: Pcp, dei: bool, vid: u16) -> Self {
+        VlanTag {
+            pcp,
+            dei,
+            vid: vid & 0x0FFF,
+        }
+    }
+
+    /// Encodes the 16-bit Tag Control Information field.
+    pub const fn tci(&self) -> u16 {
+        ((self.pcp.value() as u16) << 13) | ((self.dei as u16) << 12) | self.vid
+    }
+
+    /// Decodes a 16-bit Tag Control Information field.
+    pub const fn from_tci(tci: u16) -> Self {
+        VlanTag {
+            pcp: Pcp::new((tci >> 13) as u8),
+            dei: (tci >> 12) & 1 == 1,
+            vid: tci & 0x0FFF,
+        }
+    }
+
+    /// The number of extra bytes a tagged frame carries on the wire
+    /// (TPID + TCI).
+    pub const WIRE_OVERHEAD_BYTES: u64 = 4;
+}
+
+impl fmt::Display for VlanTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vlan {} {}{}", self.vid, self.pcp, if self.dei { " DEI" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcp_clamps_to_three_bits() {
+        assert_eq!(Pcp::new(9).value(), 7);
+        assert_eq!(Pcp::new(3).value(), 3);
+    }
+
+    #[test]
+    fn paper_priority_mapping_is_inverted() {
+        assert_eq!(Pcp::from_paper_priority(0).value(), 7);
+        assert_eq!(Pcp::from_paper_priority(1).value(), 6);
+        assert_eq!(Pcp::from_paper_priority(2).value(), 5);
+        assert_eq!(Pcp::from_paper_priority(3).value(), 4);
+        assert_eq!(Pcp::from_paper_priority(99).value(), 4);
+        for class in 0..4 {
+            assert_eq!(Pcp::from_paper_priority(class).to_paper_priority(), class);
+        }
+        assert_eq!(Pcp::new(0).to_paper_priority(), 3);
+    }
+
+    #[test]
+    fn tci_roundtrip() {
+        let tag = VlanTag::new(Pcp::new(5), true, 0x0ABC);
+        let tci = tag.tci();
+        assert_eq!(VlanTag::from_tci(tci), tag);
+        assert_eq!(tci >> 13, 5);
+        assert_eq!((tci >> 12) & 1, 1);
+        assert_eq!(tci & 0x0FFF, 0x0ABC);
+    }
+
+    #[test]
+    fn vid_is_masked() {
+        let tag = VlanTag::new(Pcp::new(0), false, 0xFFFF);
+        assert_eq!(tag.vid, 0x0FFF);
+    }
+
+    #[test]
+    fn display() {
+        let tag = VlanTag::new(Pcp::new(7), false, 42);
+        assert_eq!(tag.to_string(), "vlan 42 PCP7");
+        let tag = VlanTag::new(Pcp::new(1), true, 7);
+        assert_eq!(tag.to_string(), "vlan 7 PCP1 DEI");
+    }
+}

@@ -1,0 +1,204 @@
+//! Frame serialization and parsing.
+//!
+//! The simulator mostly works with [`EthernetFrame`] values directly, but
+//! the end-system model can also emit real byte images (e.g. to feed a pcap
+//! writer or to cross-check sizes); this module provides the encode/decode
+//! pair with the FCS computed over the serialized bytes.
+
+use crate::ethertype::EtherType;
+use crate::frame::{EthernetFrame, FrameError, FCS_SIZE, HEADER_SIZE, MIN_FRAME_SIZE};
+use crate::mac::MacAddress;
+use crate::vlan::VlanTag;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serializes a frame to its wire image (header, optional tag, payload,
+/// padding to the 64-byte minimum, FCS).  Preamble and IFG are *not*
+/// included: they are PHY-level overhead accounted for by
+/// [`crate::phy::Phy::wire_time_with_overhead`].
+pub fn encode(frame: &EthernetFrame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1522);
+    buf.put_slice(&frame.destination.octets());
+    buf.put_slice(&frame.source.octets());
+    if let Some(tag) = frame.vlan {
+        buf.put_u16(EtherType::VLAN.value());
+        buf.put_u16(tag.tci());
+    }
+    buf.put_u16(frame.ethertype.value());
+    buf.put_slice(&frame.payload);
+    // Pad so that the *untagged-equivalent* length reaches the minimum frame
+    // size (the tag does not count towards the 64-byte minimum).
+    let tag_bytes = if frame.vlan.is_some() {
+        VlanTag::WIRE_OVERHEAD_BYTES as usize
+    } else {
+        0
+    };
+    let min_without_fcs = MIN_FRAME_SIZE as usize - FCS_SIZE as usize + tag_bytes;
+    while buf.len() < min_without_fcs {
+        buf.put_u8(0);
+    }
+    let fcs = crc32(&buf);
+    buf.put_u32(fcs);
+    buf.freeze()
+}
+
+/// Parses a wire image produced by [`encode`].
+///
+/// Returns the frame and a flag telling whether the FCS verified.  Padding
+/// cannot be distinguished from payload at this layer, so the parsed payload
+/// of a padded frame includes the padding bytes (as on real hardware, where
+/// the upper layer's length field disambiguates).
+pub fn decode(bytes: &[u8]) -> Result<(EthernetFrame, bool), FrameError> {
+    let minimum = (HEADER_SIZE + FCS_SIZE) as usize;
+    if bytes.len() < minimum {
+        return Err(FrameError::Truncated {
+            needed: minimum,
+            got: bytes.len(),
+        });
+    }
+    let mut buf = bytes;
+    let body_len = bytes.len() - FCS_SIZE as usize;
+    let mut dst = [0u8; 6];
+    let mut src = [0u8; 6];
+    buf.copy_to_slice(&mut dst);
+    buf.copy_to_slice(&mut src);
+    let mut ethertype = EtherType(buf.get_u16());
+    let vlan = if ethertype == EtherType::VLAN {
+        if buf.remaining() < 4 + FCS_SIZE as usize {
+            return Err(FrameError::Truncated {
+                needed: bytes.len() + 4,
+                got: bytes.len(),
+            });
+        }
+        let tag = VlanTag::from_tci(buf.get_u16());
+        ethertype = EtherType(buf.get_u16());
+        Some(tag)
+    } else {
+        None
+    };
+    let header_len = bytes.len() - buf.remaining();
+    let payload = bytes[header_len..body_len].to_vec();
+    let fcs_ok = {
+        let mut trailer = &bytes[body_len..];
+        let stored = trailer.get_u32();
+        stored == crc32(&bytes[..body_len])
+    };
+    let mut frame = EthernetFrame::new(
+        MacAddress::new(dst),
+        MacAddress::new(src),
+        ethertype,
+        payload,
+    )?;
+    frame.vlan = vlan;
+    Ok((frame, fcs_ok))
+}
+
+/// IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320), returned in the
+/// byte order [`encode`] writes it.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vlan::Pcp;
+
+    fn sample_frame(tagged: bool, payload_len: usize) -> EthernetFrame {
+        let mut frame = EthernetFrame::new(
+            MacAddress::local(7),
+            MacAddress::local(3),
+            EtherType::AVIONICS_RAW,
+            (0..payload_len).map(|i| i as u8).collect(),
+        )
+        .unwrap();
+        if tagged {
+            frame.vlan = Some(VlanTag::new(Pcp::from_paper_priority(1), false, 100));
+        }
+        frame
+    }
+
+    #[test]
+    fn encode_length_matches_wire_size() {
+        for (tagged, len) in [(false, 0), (false, 46), (false, 1500), (true, 10), (true, 1500)] {
+            let frame = sample_frame(tagged, len);
+            let bytes = encode(&frame);
+            assert_eq!(
+                bytes.len() as u64,
+                frame.wire_size().bytes(),
+                "tagged={tagged} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_untagged() {
+        let frame = sample_frame(false, 200);
+        let bytes = encode(&frame);
+        let (parsed, fcs_ok) = decode(&bytes).unwrap();
+        assert!(fcs_ok);
+        assert_eq!(parsed.destination, frame.destination);
+        assert_eq!(parsed.source, frame.source);
+        assert_eq!(parsed.ethertype, frame.ethertype);
+        assert_eq!(parsed.vlan, None);
+        assert_eq!(parsed.payload, frame.payload);
+    }
+
+    #[test]
+    fn roundtrip_tagged_preserves_priority() {
+        let frame = sample_frame(true, 300);
+        let bytes = encode(&frame);
+        let (parsed, fcs_ok) = decode(&bytes).unwrap();
+        assert!(fcs_ok);
+        assert_eq!(parsed.vlan, frame.vlan);
+        assert_eq!(parsed.priority(), Some(6));
+        assert_eq!(parsed.payload, frame.payload);
+    }
+
+    #[test]
+    fn padded_frame_payload_grows_on_decode() {
+        let frame = sample_frame(false, 3);
+        let bytes = encode(&frame);
+        assert_eq!(bytes.len(), 64);
+        let (parsed, fcs_ok) = decode(&bytes).unwrap();
+        assert!(fcs_ok);
+        assert_eq!(parsed.payload.len(), 46);
+        assert_eq!(&parsed.payload[..3], &frame.payload[..]);
+        assert!(parsed.payload[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corrupted_frame_fails_fcs() {
+        let frame = sample_frame(true, 128);
+        let bytes = encode(&frame);
+        let mut corrupted = bytes.to_vec();
+        corrupted[20] ^= 0xFF;
+        let (_, fcs_ok) = decode(&corrupted).unwrap();
+        assert!(!fcs_ok);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        assert!(matches!(
+            decode(&[0u8; 10]),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Worst-case response-time analysis of the polled 1553B bus.
+
+use crate::schedule::MajorFrameSchedule;
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// The worst-case response bound of one scheduled message.
+///
+/// The response time is measured from the instant the producing subsystem
+/// has the data ready to the instant the last data word of the transfer has
+/// been received — the same definition used for the switched-Ethernet
+/// end-to-end delay so the two architectures can be compared directly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageResponseBound {
+    /// Label of the message (the transaction label).
+    pub label: String,
+    /// Issue period of the message on the bus.
+    pub period: Duration,
+    /// Worst-case response time.
+    pub worst_case: Duration,
+    /// Best-case response time (data ready just before its slot).
+    pub best_case: Duration,
+    /// Release jitter bound: the spread between best and worst case.
+    pub jitter: Duration,
+}
+
+/// Whole-bus analysis results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusAnalysis {
+    /// Per-message bounds, in requirement order.
+    pub messages: Vec<MessageResponseBound>,
+    /// Average bus utilization over the major frame.
+    pub bus_utilization: f64,
+    /// Worst minor-frame load.
+    pub peak_frame_load: Duration,
+}
+
+impl BusAnalysis {
+    /// Analyses a schedule.
+    ///
+    /// For a message issued with period `T` whose transaction completes at
+    /// offset `o` from the start of its minor frame (`o` maximised over the
+    /// frames it appears in):
+    ///
+    /// * worst case: the data misses its slot by an instant and waits one
+    ///   full period for the next issue, then the transfer completes at the
+    ///   offset — `T + o_max`;
+    /// * best case: the data becomes ready exactly at the frame boundary of
+    ///   a frame that issues it — the completion offset of the *least*
+    ///   loaded of its frames, `o_min`;
+    /// * jitter: `worst − best`.
+    pub fn analyze(schedule: &MajorFrameSchedule) -> Self {
+        let mut messages = Vec::with_capacity(schedule.requirements.len());
+        for (req_idx, req) in schedule.requirements.iter().enumerate() {
+            let frames = schedule.frames_of(req_idx);
+            let offsets: Vec<Duration> = frames
+                .iter()
+                .filter_map(|&f| schedule.completion_offset(f, req_idx))
+                .collect();
+            let o_max = offsets.iter().copied().fold(Duration::ZERO, Duration::max);
+            let o_min = offsets
+                .iter()
+                .copied()
+                .fold(Duration::MAX, Duration::min)
+                .min(o_max);
+            let worst_case = req.period + o_max;
+            let best_case = o_min;
+            messages.push(MessageResponseBound {
+                label: req.transaction.label.clone(),
+                period: req.period,
+                worst_case,
+                best_case,
+                jitter: worst_case - best_case,
+            });
+        }
+        BusAnalysis {
+            messages,
+            bus_utilization: schedule.bus_utilization(),
+            peak_frame_load: schedule.peak_frame_load(),
+        }
+    }
+
+    /// The bound for a message by label.
+    pub fn bound_for(&self, label: &str) -> Option<&MessageResponseBound> {
+        self.messages.iter().find(|m| m.label == label)
+    }
+
+    /// The worst response bound across all messages.
+    pub fn worst_overall(&self) -> Duration {
+        self.messages
+            .iter()
+            .map(|m| m.worst_case)
+            .fold(Duration::ZERO, Duration::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{PeriodicRequirement, Scheduler};
+    use crate::terminal::RtAddress;
+    use crate::transaction::Transaction;
+
+    fn req(label: &str, rt: u8, words: u8, period_ms: u64) -> PeriodicRequirement {
+        PeriodicRequirement::new(
+            Transaction::rt_to_bc(label, RtAddress::new(rt).unwrap(), 1, words),
+            Duration::from_millis(period_ms),
+        )
+    }
+
+    fn analyze(reqs: Vec<PeriodicRequirement>) -> BusAnalysis {
+        let schedule = Scheduler::paper_default().schedule(reqs).unwrap();
+        BusAnalysis::analyze(&schedule)
+    }
+
+    #[test]
+    fn single_message_bound_is_period_plus_own_duration() {
+        let analysis = analyze(vec![req("solo", 1, 4, 20)]);
+        let bound = analysis.bound_for("solo").unwrap();
+        // Transaction duration 136 us; WCRT = 20 ms + 136 us.
+        assert_eq!(
+            bound.worst_case,
+            Duration::from_millis(20) + Duration::from_micros(136)
+        );
+        assert_eq!(bound.best_case, Duration::from_micros(136));
+        assert_eq!(bound.jitter, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn slower_messages_have_larger_bounds() {
+        let analysis = analyze(vec![req("fast", 1, 4, 20), req("slow", 2, 4, 160)]);
+        let fast = analysis.bound_for("fast").unwrap();
+        let slow = analysis.bound_for("slow").unwrap();
+        assert!(slow.worst_case > fast.worst_case);
+        // The 1553B response of even the fastest message exceeds 20 ms —
+        // the structural limitation the paper wants to escape for urgent
+        // (3 ms deadline) traffic.
+        assert!(fast.worst_case > Duration::from_millis(20));
+        assert_eq!(analysis.worst_overall(), slow.worst_case);
+    }
+
+    #[test]
+    fn queued_messages_in_same_frame_accumulate_offsets() {
+        let analysis = analyze(vec![
+            req("first", 1, 4, 20),
+            req("second", 2, 4, 20),
+            req("third", 3, 4, 20),
+        ]);
+        let d = Duration::from_micros(136);
+        assert_eq!(
+            analysis.bound_for("first").unwrap().worst_case,
+            Duration::from_millis(20) + d
+        );
+        assert_eq!(
+            analysis.bound_for("second").unwrap().worst_case,
+            Duration::from_millis(20) + d * 2
+        );
+        assert_eq!(
+            analysis.bound_for("third").unwrap().worst_case,
+            Duration::from_millis(20) + d * 3
+        );
+    }
+
+    #[test]
+    fn utilization_and_peak_load_are_reported() {
+        let analysis = analyze(vec![req("a", 1, 32, 20), req("b", 2, 32, 20)]);
+        assert!(analysis.bus_utilization > 0.0);
+        assert_eq!(analysis.peak_frame_load, Duration::from_micros(696 * 2));
+        assert!(analysis.bound_for("missing").is_none());
+    }
+
+    #[test]
+    fn empty_schedule_analysis() {
+        let analysis = analyze(vec![]);
+        assert!(analysis.messages.is_empty());
+        assert_eq!(analysis.worst_overall(), Duration::ZERO);
+    }
+}

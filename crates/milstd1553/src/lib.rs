@@ -1,0 +1,40 @@
+//! MIL-STD-1553B data bus baseline.
+//!
+//! The incumbent interconnect the paper wants to replace is the
+//! MIL-STD-1553B bus: a 1 Mbps serial command/response bus with a
+//! centralized bus controller (BC) polling up to 31 remote terminals (RTs)
+//! according to a transaction table.  Real-time behaviour comes from a
+//! static cyclic schedule: a *major frame* no shorter than the largest
+//! message period (160 ms in the paper's case study) divided into *minor
+//! frames* matching the smallest period (20 ms); at each minor frame
+//! boundary the BC issues the transactions assigned to that frame.
+//!
+//! This crate provides:
+//!
+//! * word- and message-level timing of the protocol ([`word`], [`message`]),
+//! * remote terminals and the BC transaction table ([`terminal`],
+//!   [`transaction`]),
+//! * construction of major/minor frame schedules from a periodic message set
+//!   and admission checks ([`schedule`]),
+//! * worst-case response-time analysis of the polled bus ([`analysis`]),
+//! * a deterministic discrete-event simulation of the schedule used for the
+//!   jitter comparison experiment ([`sim`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod message;
+pub mod schedule;
+pub mod sim;
+pub mod terminal;
+pub mod transaction;
+pub mod word;
+
+pub use analysis::{BusAnalysis, MessageResponseBound};
+pub use message::{MessageTiming, TransferType};
+pub use schedule::{MajorFrameSchedule, MinorFrame, ScheduleError, Scheduler};
+pub use sim::{BusSimulation, ObservedMessageStats};
+pub use terminal::{RtAddress, RemoteTerminal};
+pub use transaction::Transaction;
+pub use word::{Word, WordKind, BUS_RATE, WORD_BITS, WORD_TIME};

@@ -1,0 +1,159 @@
+//! Message-level transfer types and their bus-occupation timing.
+
+use crate::word::{INTERMESSAGE_GAP, MAX_DATA_WORDS, MAX_RESPONSE_TIME, WORD_TIME};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// The three information-transfer formats of MIL-STD-1553B used here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferType {
+    /// Bus controller to remote terminal (receive command + data words,
+    /// answered by a status word).
+    BcToRt,
+    /// Remote terminal to bus controller (transmit command, answered by a
+    /// status word followed by the data words).
+    RtToBc,
+    /// Remote terminal to remote terminal (two commands, then the source RT
+    /// sends status + data and the destination RT answers with its status).
+    RtToRt,
+}
+
+impl fmt::Display for TransferType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferType::BcToRt => write!(f, "BC->RT"),
+            TransferType::RtToBc => write!(f, "RT->BC"),
+            TransferType::RtToRt => write!(f, "RT->RT"),
+        }
+    }
+}
+
+/// Worst-case bus occupation of one transaction.
+///
+/// All figures use the standard's worst-case values: 20 µs per word, 12 µs
+/// RT response time, 4 µs intermessage gap appended after the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageTiming {
+    /// Transfer format.
+    pub transfer: TransferType,
+    /// Number of data words (1–32).
+    pub data_words: u8,
+}
+
+impl MessageTiming {
+    /// Creates the timing descriptor, clamping the data word count to 1–32.
+    pub fn new(transfer: TransferType, data_words: u8) -> Self {
+        MessageTiming {
+            transfer,
+            data_words: data_words.clamp(1, MAX_DATA_WORDS),
+        }
+    }
+
+    /// Number of command words the BC issues for this transfer.
+    pub fn command_words(&self) -> u64 {
+        match self.transfer {
+            TransferType::BcToRt | TransferType::RtToBc => 1,
+            TransferType::RtToRt => 2,
+        }
+    }
+
+    /// Number of status words returned by the addressed RT(s).
+    pub fn status_words(&self) -> u64 {
+        match self.transfer {
+            TransferType::BcToRt | TransferType::RtToBc => 1,
+            TransferType::RtToRt => 2,
+        }
+    }
+
+    /// Number of RT response gaps in the transaction.
+    pub fn response_gaps(&self) -> u64 {
+        self.status_words()
+    }
+
+    /// Worst-case duration of the transaction on the bus, **including** the
+    /// trailing intermessage gap.
+    pub fn duration(&self) -> Duration {
+        let words = self.command_words() + self.status_words() + self.data_words as u64;
+        WORD_TIME * words
+            + MAX_RESPONSE_TIME * self.response_gaps()
+            + INTERMESSAGE_GAP
+    }
+
+    /// Protocol overhead of the transaction: everything except the data
+    /// words themselves.
+    pub fn overhead(&self) -> Duration {
+        self.duration() - WORD_TIME * self.data_words as u64
+    }
+
+    /// Efficiency: fraction of the bus occupation that carries payload.
+    pub fn efficiency(&self) -> f64 {
+        (WORD_TIME * self.data_words as u64).as_secs_f64() / self.duration().as_secs_f64()
+    }
+
+    /// The number of payload bytes the transaction carries (2 bytes per data
+    /// word).
+    pub fn payload_bytes(&self) -> u64 {
+        self.data_words as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bc_to_rt_duration() {
+        // 1 command + N data + response + 1 status + gap.
+        let t = MessageTiming::new(TransferType::BcToRt, 4);
+        // (1 + 1 + 4) * 20 us + 12 us + 4 us = 120 + 16 = 136 us.
+        assert_eq!(t.duration(), Duration::from_micros(136));
+        assert_eq!(t.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn rt_to_bc_duration_equals_bc_to_rt() {
+        // Symmetric word counts: same worst-case duration.
+        let a = MessageTiming::new(TransferType::BcToRt, 10);
+        let b = MessageTiming::new(TransferType::RtToBc, 10);
+        assert_eq!(a.duration(), b.duration());
+    }
+
+    #[test]
+    fn rt_to_rt_carries_double_overhead() {
+        let t = MessageTiming::new(TransferType::RtToRt, 4);
+        // (2 + 2 + 4) * 20 + 2*12 + 4 = 160 + 28 = 188 us.
+        assert_eq!(t.duration(), Duration::from_micros(188));
+        assert!(t.overhead() > MessageTiming::new(TransferType::BcToRt, 4).overhead());
+    }
+
+    #[test]
+    fn data_word_count_is_clamped() {
+        assert_eq!(MessageTiming::new(TransferType::BcToRt, 0).data_words, 1);
+        assert_eq!(MessageTiming::new(TransferType::BcToRt, 200).data_words, 32);
+    }
+
+    #[test]
+    fn max_size_message_duration() {
+        // Full 32-word transfer: (1 + 1 + 32)*20 + 12 + 4 = 696 us.
+        let t = MessageTiming::new(TransferType::RtToBc, 32);
+        assert_eq!(t.duration(), Duration::from_micros(696));
+        // Efficiency: 640/696 ≈ 0.92.
+        assert!(t.efficiency() > 0.9 && t.efficiency() < 0.93);
+    }
+
+    #[test]
+    fn overhead_dominates_small_messages() {
+        let t = MessageTiming::new(TransferType::BcToRt, 1);
+        // 1 data word = 20 us of payload in a 76 us transaction.
+        assert_eq!(t.duration(), Duration::from_micros(76));
+        assert!(t.efficiency() < 0.3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TransferType::BcToRt.to_string(), "BC->RT");
+        assert_eq!(TransferType::RtToBc.to_string(), "RT->BC");
+        assert_eq!(TransferType::RtToRt.to_string(), "RT->RT");
+    }
+}

@@ -1,0 +1,386 @@
+//! Major/minor frame scheduling of the bus controller.
+
+use crate::transaction::Transaction;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// A transaction the bus controller must issue once every `period`.
+///
+/// For strictly periodic avionics messages the period is the message period;
+/// for sporadic messages polled by the BC it is the polling period (the
+/// paper's case study polls sporadic sources every minor frame, i.e. 20 ms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicRequirement {
+    /// The transaction to issue.
+    pub transaction: Transaction,
+    /// Issue period; must be a multiple of the minor frame duration.
+    pub period: Duration,
+}
+
+impl PeriodicRequirement {
+    /// Creates a requirement.
+    pub fn new(transaction: Transaction, period: Duration) -> Self {
+        PeriodicRequirement {
+            transaction,
+            period,
+        }
+    }
+}
+
+/// Errors raised when a message set cannot be scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The major frame is not a multiple of the minor frame.
+    MajorNotMultipleOfMinor {
+        /// Major frame duration.
+        major: Duration,
+        /// Minor frame duration.
+        minor: Duration,
+    },
+    /// A requirement's period is not a multiple of the minor frame, or is
+    /// longer than the major frame.
+    InvalidPeriod {
+        /// The offending transaction label.
+        label: String,
+        /// The requested period.
+        period: Duration,
+    },
+    /// A minor frame's transactions exceed its duration.
+    Overloaded {
+        /// Index of the overloaded minor frame.
+        frame: usize,
+        /// Load of the offending frame.
+        load: Duration,
+        /// Minor frame capacity.
+        capacity: Duration,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MajorNotMultipleOfMinor { major, minor } => {
+                write!(f, "major frame {major} is not a multiple of minor frame {minor}")
+            }
+            ScheduleError::InvalidPeriod { label, period } => {
+                write!(f, "message `{label}`: period {period} is not schedulable")
+            }
+            ScheduleError::Overloaded { frame, load, capacity } => {
+                write!(f, "minor frame {frame} overloaded: {load} of work in a {capacity} frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// One minor frame of the cyclic schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinorFrame {
+    /// Index of the frame within the major frame.
+    pub index: usize,
+    /// Indices (into the requirement list) of the transactions issued in
+    /// this frame, in issue order.
+    pub entries: Vec<usize>,
+}
+
+/// The complete cyclic schedule of the bus controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MajorFrameSchedule {
+    /// Minor frame duration (the BC interrupt period).
+    pub minor_frame: Duration,
+    /// The scheduled requirements, in the order they were submitted.
+    pub requirements: Vec<PeriodicRequirement>,
+    /// The minor frames of one major frame.
+    pub frames: Vec<MinorFrame>,
+}
+
+impl MajorFrameSchedule {
+    /// Major frame duration.
+    pub fn major_frame(&self) -> Duration {
+        self.minor_frame * self.frames.len() as u64
+    }
+
+    /// The bus time consumed by minor frame `index`.
+    pub fn frame_load(&self, index: usize) -> Duration {
+        self.frames[index]
+            .entries
+            .iter()
+            .map(|&req| self.requirements[req].transaction.duration())
+            .sum()
+    }
+
+    /// The worst minor-frame load across the major frame.
+    pub fn peak_frame_load(&self) -> Duration {
+        (0..self.frames.len())
+            .map(|i| self.frame_load(i))
+            .fold(Duration::ZERO, Duration::max)
+    }
+
+    /// Average bus utilization over the major frame.
+    pub fn bus_utilization(&self) -> f64 {
+        let busy: Duration = (0..self.frames.len()).map(|i| self.frame_load(i)).sum();
+        busy.as_secs_f64() / self.major_frame().as_secs_f64()
+    }
+
+    /// The completion offset of requirement `req` within minor frame
+    /// `frame`: bus time from the frame boundary until the requirement's
+    /// transaction has fully completed (including every transaction issued
+    /// before it in that frame).  Returns `None` if the requirement is not
+    /// issued in that frame.
+    pub fn completion_offset(&self, frame: usize, req: usize) -> Option<Duration> {
+        let mut elapsed = Duration::ZERO;
+        for &entry in &self.frames[frame].entries {
+            elapsed += self.requirements[entry].transaction.duration();
+            if entry == req {
+                return Some(elapsed);
+            }
+        }
+        None
+    }
+
+    /// The frames in which requirement `req` is issued.
+    pub fn frames_of(&self, req: usize) -> Vec<usize> {
+        self.frames
+            .iter()
+            .filter(|f| f.entries.contains(&req))
+            .map(|f| f.index)
+            .collect()
+    }
+}
+
+/// Builds major/minor frame schedules from periodic requirements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheduler {
+    /// Minor frame duration (20 ms in the paper's case study).
+    pub minor_frame: Duration,
+    /// Major frame duration (160 ms in the paper's case study).
+    pub major_frame: Duration,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the paper's frame durations (20 ms / 160 ms).
+    pub fn paper_default() -> Self {
+        Scheduler {
+            minor_frame: Duration::from_millis(20),
+            major_frame: Duration::from_millis(160),
+        }
+    }
+
+    /// Creates a scheduler with explicit frame durations.
+    pub fn new(minor_frame: Duration, major_frame: Duration) -> Self {
+        Scheduler {
+            minor_frame,
+            major_frame,
+        }
+    }
+
+    /// Builds the cyclic schedule, balancing minor-frame load by choosing
+    /// phases greedily (largest bus occupation first, placed on the phase
+    /// whose worst affected frame is currently the least loaded).
+    pub fn schedule(
+        &self,
+        requirements: Vec<PeriodicRequirement>,
+    ) -> Result<MajorFrameSchedule, ScheduleError> {
+        let frame_count = self
+            .major_frame
+            .div_duration(self.minor_frame)
+            .filter(|&n| n > 0 && self.minor_frame * n == self.major_frame)
+            .ok_or(ScheduleError::MajorNotMultipleOfMinor {
+                major: self.major_frame,
+                minor: self.minor_frame,
+            })? as usize;
+
+        // Validate periods and compute each requirement's cadence (in minor
+        // frames).
+        let mut cadences = Vec::with_capacity(requirements.len());
+        for req in &requirements {
+            let cadence = req
+                .period
+                .div_duration(self.minor_frame)
+                .filter(|&n| n > 0 && self.minor_frame * n == req.period)
+                .ok_or_else(|| ScheduleError::InvalidPeriod {
+                    label: req.transaction.label.clone(),
+                    period: req.period,
+                })?;
+            if cadence as usize > frame_count || req.period > self.major_frame {
+                return Err(ScheduleError::InvalidPeriod {
+                    label: req.transaction.label.clone(),
+                    period: req.period,
+                });
+            }
+            cadences.push(cadence as usize);
+        }
+
+        // Greedy load balancing: longest transactions first.
+        let mut order: Vec<usize> = (0..requirements.len()).collect();
+        order.sort_by_key(|&i| {
+            core::cmp::Reverse((
+                requirements[i].transaction.duration(),
+                cadences[i],
+            ))
+        });
+
+        let mut frames: Vec<Vec<usize>> = vec![Vec::new(); frame_count];
+        let mut loads = vec![Duration::ZERO; frame_count];
+        for &req in &order {
+            let cadence = cadences[req];
+            let duration = requirements[req].transaction.duration();
+            // Pick the phase minimizing the resulting worst load among the
+            // frames the requirement would occupy.
+            let best_phase = (0..cadence)
+                .min_by_key(|&phase| {
+                    (phase..frame_count)
+                        .step_by(cadence)
+                        .map(|f| (loads[f] + duration).as_nanos())
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            for f in (best_phase..frame_count).step_by(cadence) {
+                frames[f].push(req);
+                loads[f] += duration;
+            }
+        }
+
+        // Keep issue order within a frame deterministic and stable: the
+        // submission order of the requirements.
+        for frame in &mut frames {
+            frame.sort_unstable();
+        }
+
+        // Admission check.
+        for (i, &load) in loads.iter().enumerate() {
+            if load > self.minor_frame {
+                return Err(ScheduleError::Overloaded {
+                    frame: i,
+                    load,
+                    capacity: self.minor_frame,
+                });
+            }
+        }
+
+        Ok(MajorFrameSchedule {
+            minor_frame: self.minor_frame,
+            requirements,
+            frames: frames
+                .into_iter()
+                .enumerate()
+                .map(|(index, entries)| MinorFrame { index, entries })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terminal::RtAddress;
+
+    fn rt(n: u8) -> RtAddress {
+        RtAddress::new(n).unwrap()
+    }
+
+    fn req(label: &str, rt_addr: u8, words: u8, period_ms: u64) -> PeriodicRequirement {
+        PeriodicRequirement::new(
+            Transaction::rt_to_bc(label, rt(rt_addr), 1, words),
+            Duration::from_millis(period_ms),
+        )
+    }
+
+    #[test]
+    fn paper_default_has_eight_minor_frames() {
+        let sched = Scheduler::paper_default()
+            .schedule(vec![req("a", 1, 4, 20), req("b", 2, 8, 160)])
+            .unwrap();
+        assert_eq!(sched.frames.len(), 8);
+        assert_eq!(sched.major_frame(), Duration::from_millis(160));
+        // "a" appears in all 8 frames, "b" in exactly one.
+        assert_eq!(sched.frames_of(0).len(), 8);
+        assert_eq!(sched.frames_of(1).len(), 1);
+    }
+
+    #[test]
+    fn harmonic_periods_repeat_at_cadence() {
+        let sched = Scheduler::paper_default()
+            .schedule(vec![req("fast", 1, 2, 20), req("mid", 2, 2, 40), req("slow", 3, 2, 80)])
+            .unwrap();
+        assert_eq!(sched.frames_of(0).len(), 8);
+        assert_eq!(sched.frames_of(1).len(), 4);
+        assert_eq!(sched.frames_of(2).len(), 2);
+        // Frames of the 40 ms message are spaced by 2.
+        let f = sched.frames_of(1);
+        assert!(f.windows(2).all(|w| w[1] - w[0] == 2));
+    }
+
+    #[test]
+    fn non_multiple_period_is_rejected() {
+        let err = Scheduler::paper_default()
+            .schedule(vec![req("odd", 1, 2, 30)])
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidPeriod { .. }));
+        // Period longer than the major frame is rejected too.
+        let err = Scheduler::paper_default()
+            .schedule(vec![req("long", 1, 2, 320)])
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidPeriod { .. }));
+    }
+
+    #[test]
+    fn bad_frame_ratio_is_rejected() {
+        let sched = Scheduler::new(Duration::from_millis(30), Duration::from_millis(160));
+        assert!(matches!(
+            sched.schedule(vec![]),
+            Err(ScheduleError::MajorNotMultipleOfMinor { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        // Each 32-word RT->BC transaction takes 696 us; 30 of them every
+        // 20 ms equals 20.88 ms > 20 ms.
+        let reqs: Vec<_> = (0..30)
+            .map(|i| req(&format!("m{i}"), (i % 30) as u8, 32, 20))
+            .collect();
+        let err = Scheduler::paper_default().schedule(reqs).unwrap_err();
+        assert!(matches!(err, ScheduleError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn load_balancing_spreads_low_rate_messages() {
+        // Eight 160 ms messages of equal size should end up one per minor
+        // frame rather than all in frame 0.
+        let reqs: Vec<_> = (0..8)
+            .map(|i| req(&format!("slow{i}"), i as u8, 16, 160))
+            .collect();
+        let sched = Scheduler::paper_default().schedule(reqs).unwrap();
+        for f in 0..8 {
+            assert_eq!(sched.frames[f].entries.len(), 1, "frame {f}");
+        }
+        let peak = sched.peak_frame_load();
+        let avg_util = sched.bus_utilization();
+        assert!(peak <= Duration::from_millis(1));
+        assert!(avg_util > 0.0 && avg_util < 0.05);
+    }
+
+    #[test]
+    fn completion_offset_accumulates_prior_transactions() {
+        let sched = Scheduler::paper_default()
+            .schedule(vec![req("a", 1, 4, 20), req("b", 2, 4, 20)])
+            .unwrap();
+        // Both are in every frame; requirement 0 completes after its own
+        // duration, requirement 1 after both.
+        let d = Duration::from_micros(136);
+        assert_eq!(sched.completion_offset(0, 0), Some(d));
+        assert_eq!(sched.completion_offset(0, 1), Some(d * 2));
+        assert_eq!(sched.completion_offset(0, 7), None);
+    }
+
+    #[test]
+    fn empty_message_set_is_valid() {
+        let sched = Scheduler::paper_default().schedule(vec![]).unwrap();
+        assert_eq!(sched.bus_utilization(), 0.0);
+        assert_eq!(sched.peak_frame_load(), Duration::ZERO);
+    }
+}

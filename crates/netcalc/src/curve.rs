@@ -1,0 +1,470 @@
+//! General piecewise-linear, non-decreasing curves on `[0, ∞)`.
+//!
+//! Both arrival curves (concave, e.g. token buckets) and service curves
+//! (convex, e.g. rate-latency) are special cases of a [`Curve`]: a list of
+//! breakpoints joined by straight segments and extended beyond the last
+//! breakpoint by a constant final slope.  Coordinates are `f64` seconds on
+//! the x-axis and `f64` bits on the y-axis; all conversions back to exact
+//! integer quantities round pessimistically at the caller.
+
+use crate::NcError;
+use serde::{Deserialize, Serialize};
+
+/// Numerical tolerance used when comparing curve ordinates (bits).
+///
+/// The workloads analysed here are kilobits over milliseconds, so one
+/// millionth of a bit is far below any physically meaningful difference.
+pub const EPS: f64 = 1e-6;
+
+/// A non-decreasing piecewise-linear function `f : [0, ∞) → [0, ∞)`.
+///
+/// Invariants (enforced by [`Curve::new`]):
+/// * breakpoint abscissas are finite, non-negative and strictly increasing,
+///   and the first breakpoint is at `x = 0`;
+/// * ordinates are finite, non-negative and non-decreasing;
+/// * the final slope is finite and non-negative.
+///
+/// A token-bucket arrival curve `γ_{r,b}` is represented with a single
+/// breakpoint `(0, b)` and final slope `r` (i.e. the value *just after* the
+/// origin; the conventional `γ(0) = 0` is irrelevant for the deviation-based
+/// bounds and this representation yields exactly Cruz's closed forms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// Breakpoints `(x seconds, y bits)`, sorted by `x`, starting at `x = 0`.
+    points: Vec<(f64, f64)>,
+    /// Slope (bits per second) beyond the last breakpoint.
+    final_slope: f64,
+}
+
+impl Curve {
+    /// Builds a curve from breakpoints and a final slope, validating the
+    /// invariants listed on [`Curve`].
+    pub fn new(points: Vec<(f64, f64)>, final_slope: f64) -> Result<Self, NcError> {
+        if points.is_empty() {
+            return Err(NcError::InvalidCurve("curve needs at least one breakpoint".into()));
+        }
+        if !final_slope.is_finite() || final_slope < 0.0 {
+            return Err(NcError::InvalidCurve(format!(
+                "final slope must be finite and non-negative, got {final_slope}"
+            )));
+        }
+        if points[0].0 != 0.0 {
+            return Err(NcError::InvalidCurve(format!(
+                "first breakpoint must be at x = 0, got x = {}",
+                points[0].0
+            )));
+        }
+        for w in points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if !(x1.is_finite() && y1.is_finite()) {
+                return Err(NcError::InvalidCurve("non-finite breakpoint".into()));
+            }
+            if x1 <= x0 {
+                return Err(NcError::InvalidCurve(format!(
+                    "breakpoint abscissas must be strictly increasing ({x0} then {x1})"
+                )));
+            }
+            if y1 + EPS < y0 {
+                return Err(NcError::InvalidCurve(format!(
+                    "curve must be non-decreasing ({y0} then {y1})"
+                )));
+            }
+        }
+        let (x0, y0) = points[0];
+        if !(x0.is_finite() && y0.is_finite()) || y0 < 0.0 {
+            return Err(NcError::InvalidCurve("invalid first breakpoint".into()));
+        }
+        Ok(Curve { points, final_slope })
+    }
+
+    /// The constant-zero curve.
+    pub fn zero() -> Self {
+        Curve {
+            points: vec![(0.0, 0.0)],
+            final_slope: 0.0,
+        }
+    }
+
+    /// An affine curve `f(t) = burst + rate·t` (a token-bucket envelope).
+    pub fn affine(burst_bits: f64, rate_bps: f64) -> Result<Self, NcError> {
+        if burst_bits < 0.0 || !burst_bits.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid burst {burst_bits}")));
+        }
+        Curve::new(vec![(0.0, burst_bits)], rate_bps)
+    }
+
+    /// A rate-latency curve `β_{R,T}(t) = R·(t − T)⁺`.
+    pub fn rate_latency(rate_bps: f64, latency_s: f64) -> Result<Self, NcError> {
+        if latency_s < 0.0 || !latency_s.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid latency {latency_s}")));
+        }
+        if latency_s == 0.0 {
+            Curve::new(vec![(0.0, 0.0)], rate_bps)
+        } else {
+            Curve::new(vec![(0.0, 0.0), (latency_s, 0.0)], rate_bps)
+        }
+    }
+
+    /// A staircase curve for a strictly periodic source: `burst` bits
+    /// released every `period` seconds, i.e. `f(t) = burst·(⌊t/period⌋ + 1)`,
+    /// truncated to `steps` steps and continued with the average rate.
+    ///
+    /// This is a tighter envelope than the token bucket for strictly
+    /// periodic traffic and is used by the ablation experiments.
+    pub fn staircase(burst_bits: f64, period_s: f64, steps: usize) -> Result<Self, NcError> {
+        if period_s <= 0.0 || !period_s.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid period {period_s}")));
+        }
+        if burst_bits < 0.0 || !burst_bits.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid burst {burst_bits}")));
+        }
+        let steps = steps.max(1);
+        // Piecewise-linear over-approximation of the staircase: we keep the
+        // exact step ordinates at the step instants (the staircase is
+        // upper-bounded by the piecewise-linear curve through the top of
+        // each riser).
+        let mut points = Vec::with_capacity(steps + 1);
+        points.push((0.0, burst_bits));
+        for k in 1..=steps {
+            points.push((k as f64 * period_s, burst_bits * (k as f64 + 1.0)));
+        }
+        let rate = burst_bits / period_s;
+        Curve::new(points, rate)
+    }
+
+    /// The breakpoints of the curve.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The slope beyond the last breakpoint, in bits per second.
+    pub fn final_slope(&self) -> f64 {
+        self.final_slope
+    }
+
+    /// The long-run growth rate of the curve (equal to the final slope).
+    pub fn long_term_rate(&self) -> f64 {
+        self.final_slope
+    }
+
+    /// Evaluates the curve at `t` seconds (`t < 0` is clamped to 0).
+    pub fn eval(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        let (last_x, last_y) = *self.points.last().expect("curve has at least one point");
+        if t >= last_x {
+            return last_y + self.final_slope * (t - last_x);
+        }
+        // Find the segment containing t.
+        let idx = match self
+            .points
+            .binary_search_by(|&(x, _)| x.partial_cmp(&t).expect("finite abscissa"))
+        {
+            Ok(i) => return self.points[i].1,
+            Err(i) => i,
+        };
+        // idx >= 1 because points[0].0 == 0.0 <= t.
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+    }
+
+    /// The smallest `t` such that `f(t) ≥ y` (the pseudo-inverse), or `None`
+    /// if the curve never reaches `y` (flat tail below `y`).
+    pub fn inverse(&self, y: f64) -> Option<f64> {
+        if y <= self.points[0].1 + EPS {
+            // Reached at (or before) the origin.
+            return Some(0.0);
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if y <= y1 + EPS {
+                if (y1 - y0).abs() < EPS {
+                    // Flat segment that already reaches y (within tolerance).
+                    return Some(x1.min(x0));
+                }
+                let t = x0 + (y - y0) * (x1 - x0) / (y1 - y0);
+                return Some(t.clamp(x0, x1));
+            }
+        }
+        let (last_x, last_y) = *self.points.last().expect("non-empty");
+        if y <= last_y + EPS {
+            return Some(last_x);
+        }
+        if self.final_slope <= 0.0 {
+            return None;
+        }
+        Some(last_x + (y - last_y) / self.final_slope)
+    }
+
+    /// The largest `t` such that `f(t) ≤ y` — more precisely
+    /// `inf { x : f(x) > y }` — or `None` if the curve never exceeds `y`
+    /// (flat tail at or below `y`).
+    ///
+    /// This "upper pseudo-inverse" is what the horizontal-deviation
+    /// computation needs on the service-curve side: a bit that arrives when
+    /// the arrival curve reads `y` may have to wait until the *end* of any
+    /// plateau of the service curve at level `y` (e.g. the full latency `T`
+    /// of a rate-latency curve even when `y = 0`).
+    pub fn inverse_upper(&self, y: f64) -> Option<f64> {
+        if self.points[0].1 > y + EPS {
+            return Some(0.0);
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if y1 > y + EPS {
+                if (y1 - y0).abs() < EPS {
+                    return Some(x0);
+                }
+                let t = x0 + (y - y0).max(0.0) * (x1 - x0) / (y1 - y0);
+                return Some(t.clamp(x0, x1));
+            }
+        }
+        let (last_x, last_y) = *self.points.last().expect("non-empty");
+        if self.final_slope <= 0.0 {
+            return None;
+        }
+        Some(last_x + (y - last_y).max(0.0) / self.final_slope)
+    }
+
+    /// Pointwise sum of two curves (the arrival curve of an aggregate flow).
+    pub fn add(&self, other: &Curve) -> Curve {
+        let xs = merged_abscissas(self, other);
+        let points = xs
+            .iter()
+            .map(|&x| (x, self.eval(x) + other.eval(x)))
+            .collect();
+        Curve {
+            points,
+            final_slope: self.final_slope + other.final_slope,
+        }
+    }
+
+    /// Pointwise minimum of two curves (combining two envelopes of the same
+    /// flow, e.g. token bucket ∧ staircase).
+    pub fn min(&self, other: &Curve) -> Curve {
+        let mut xs = merged_abscissas(self, other);
+        // Insert intersection abscissas so the minimum stays piecewise-linear
+        // on the breakpoint grid.
+        let mut crossings = Vec::new();
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            let d0 = self.eval(x0) - other.eval(x0);
+            let d1 = self.eval(x1) - other.eval(x1);
+            if (d0 > EPS && d1 < -EPS) || (d0 < -EPS && d1 > EPS) {
+                // Linear in between, so a single crossing.
+                let t = x0 + (x1 - x0) * d0.abs() / (d0.abs() + d1.abs());
+                crossings.push(t);
+            }
+        }
+        xs.extend(crossings);
+        // Tail crossing beyond the last breakpoint.
+        let last = *xs.last().expect("non-empty");
+        let da = self.eval(last) - other.eval(last);
+        let ds = self.final_slope_at(last) - other.final_slope_at(last);
+        if da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum() {
+            let t_cross = last + da.abs() / ds.abs();
+            xs.push(t_cross);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let points = xs
+            .iter()
+            .map(|&x| (x, self.eval(x).min(other.eval(x))))
+            .collect();
+        Curve {
+            points,
+            final_slope: self.final_slope.min(other.final_slope),
+        }
+    }
+
+    /// Horizontal shift to the right by `delta` seconds:
+    /// `g(t) = f((t − delta)⁺)` keeping `g(t) = f(0)`… actually for service
+    /// curves the natural shift is `g(t) = f(t − delta)` for `t ≥ delta`,
+    /// `0` below, which is what this returns.
+    pub fn shift_right(&self, delta: f64) -> Result<Curve, NcError> {
+        if delta < 0.0 || !delta.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid shift {delta}")));
+        }
+        if delta == 0.0 {
+            return Ok(self.clone());
+        }
+        let mut points = vec![(0.0, 0.0)];
+        if self.points[0].1 > 0.0 {
+            // Keep the jump after the dead time.
+            points.push((delta, 0.0));
+        }
+        for &(x, y) in &self.points {
+            let nx = x + delta;
+            if points.last().map(|&(px, _)| nx > px + 1e-15).unwrap_or(true) {
+                points.push((nx, y));
+            } else if let Some(last) = points.last_mut() {
+                last.1 = y;
+            }
+        }
+        Curve::new(points, self.final_slope)
+    }
+
+    /// Slope of the curve just after abscissa `x`.
+    fn final_slope_at(&self, x: f64) -> f64 {
+        let (last_x, _) = *self.points.last().expect("non-empty");
+        if x >= last_x {
+            return self.final_slope;
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x >= x0 && x < x1 {
+                return (y1 - y0) / (x1 - x0);
+            }
+        }
+        self.final_slope
+    }
+
+    /// `true` if the two curves are equal within [`EPS`] at every breakpoint
+    /// of either curve and have the same final slope (within `EPS`).
+    pub fn approx_eq(&self, other: &Curve) -> bool {
+        if (self.final_slope - other.final_slope).abs() > EPS {
+            return false;
+        }
+        merged_abscissas(self, other)
+            .iter()
+            .all(|&x| (self.eval(x) - other.eval(x)).abs() <= EPS.max(1e-9 * self.eval(x).abs()))
+    }
+}
+
+/// The sorted, deduplicated union of the breakpoint abscissas of two curves.
+fn merged_abscissas(a: &Curve, b: &Curve) -> Vec<f64> {
+    let mut xs: Vec<f64> = a
+        .points
+        .iter()
+        .chain(b.points.iter())
+        .map(|&(x, _)| x)
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_curve_evaluation() {
+        // 512 bits of burst at 25.6 kbps.
+        let c = Curve::affine(512.0, 25_600.0).unwrap();
+        assert_eq!(c.eval(0.0), 512.0);
+        assert!((c.eval(1.0) - 26_112.0).abs() < EPS);
+        assert!((c.eval(0.02) - (512.0 + 512.0)).abs() < EPS);
+        assert_eq!(c.eval(-3.0), 512.0);
+    }
+
+    #[test]
+    fn rate_latency_evaluation() {
+        let c = Curve::rate_latency(10_000_000.0, 0.000_016).unwrap();
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(0.000_016), 0.0);
+        assert!((c.eval(0.001_016) - 10_000.0).abs() < 1e-3);
+        // Zero latency degenerates to a pure rate curve.
+        let c0 = Curve::rate_latency(5.0, 0.0).unwrap();
+        assert!((c0.eval(2.0) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn staircase_dominates_token_bucket_average() {
+        let st = Curve::staircase(512.0, 0.02, 8).unwrap();
+        // At each multiple of the period the staircase has released k+1 bursts.
+        assert!((st.eval(0.0) - 512.0).abs() < EPS);
+        assert!((st.eval(0.04) - 3.0 * 512.0).abs() < EPS);
+        // Beyond the covered steps it grows at the average rate.
+        assert!((st.eval(0.16) - 9.0 * 512.0).abs() < EPS);
+        assert!((st.eval(0.18) - (9.0 * 512.0 + 512.0 * 0.02 / 0.02)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constructor_rejects_invalid_curves() {
+        assert!(Curve::new(vec![], 1.0).is_err());
+        assert!(Curve::new(vec![(1.0, 0.0)], 1.0).is_err());
+        assert!(Curve::new(vec![(0.0, 0.0), (0.0, 1.0)], 1.0).is_err());
+        assert!(Curve::new(vec![(0.0, 2.0), (1.0, 1.0)], 1.0).is_err());
+        assert!(Curve::new(vec![(0.0, 0.0)], -1.0).is_err());
+        assert!(Curve::new(vec![(0.0, 0.0)], f64::NAN).is_err());
+        assert!(Curve::affine(-1.0, 1.0).is_err());
+        assert!(Curve::rate_latency(1.0, -0.1).is_err());
+        assert!(Curve::staircase(1.0, 0.0, 3).is_err());
+    }
+
+    #[test]
+    fn inverse_of_affine_and_rate_latency() {
+        let a = Curve::affine(100.0, 50.0).unwrap();
+        assert_eq!(a.inverse(100.0), Some(0.0));
+        assert!((a.inverse(200.0).unwrap() - 2.0).abs() < 1e-9);
+        let b = Curve::rate_latency(50.0, 1.0).unwrap();
+        assert_eq!(b.inverse(0.0), Some(0.0));
+        assert!((b.inverse(100.0).unwrap() - 3.0).abs() < 1e-9);
+        // A flat curve never reaches values above its plateau.
+        let flat = Curve::new(vec![(0.0, 0.0), (1.0, 5.0)], 0.0).unwrap();
+        assert_eq!(flat.inverse(6.0), None);
+        assert!((flat.inverse(5.0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_two_token_buckets() {
+        let a = Curve::affine(100.0, 10.0).unwrap();
+        let b = Curve::affine(50.0, 5.0).unwrap();
+        let s = a.add(&b);
+        assert!((s.eval(0.0) - 150.0).abs() < EPS);
+        assert!((s.eval(2.0) - 180.0).abs() < EPS);
+        assert!((s.final_slope() - 15.0).abs() < EPS);
+    }
+
+    #[test]
+    fn min_of_token_bucket_and_staircase_is_tighter() {
+        let tb = Curve::affine(512.0, 25_600.0).unwrap();
+        let st = Curve::staircase(512.0, 0.02, 8).unwrap();
+        let m = tb.min(&st);
+        for &t in &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 1.0] {
+            let expect = tb.eval(t).min(st.eval(t));
+            assert!(
+                (m.eval(t) - expect).abs() < 1e-3,
+                "min mismatch at t={t}: {} vs {}",
+                m.eval(t),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn min_detects_crossing_inside_segment() {
+        // a starts below b but grows faster; they cross at t = 10.
+        let a = Curve::affine(0.0, 2.0).unwrap();
+        let b = Curve::affine(10.0, 1.0).unwrap();
+        let m = a.min(&b);
+        assert!((m.eval(5.0) - 10.0).abs() < 1e-9);
+        assert!((m.eval(10.0) - 20.0).abs() < 1e-9);
+        assert!((m.eval(20.0) - 30.0).abs() < 1e-9);
+        assert!((m.final_slope() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn shift_right_adds_dead_time() {
+        let c = Curve::rate_latency(100.0, 0.5).unwrap();
+        let s = c.shift_right(0.5).unwrap();
+        assert_eq!(s.eval(0.9), 0.0);
+        assert!((s.eval(2.0) - 100.0).abs() < 1e-9);
+        assert!(c.shift_right(-1.0).is_err());
+        assert!(c.shift_right(0.0).unwrap().approx_eq(&c));
+    }
+
+    #[test]
+    fn approx_eq_detects_differences() {
+        let a = Curve::affine(100.0, 10.0).unwrap();
+        let b = Curve::affine(100.0, 10.0).unwrap();
+        let c = Curve::affine(101.0, 10.0).unwrap();
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&c));
+    }
+}

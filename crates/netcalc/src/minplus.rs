@@ -1,0 +1,241 @@
+//! Min-plus operations on piecewise-linear curves: deviations, convolution
+//! and deconvolution.
+//!
+//! Only the operations actually needed by the delay analysis are provided,
+//! and all of them are exact for the curve shapes used in this workspace
+//! (concave arrival curves with a jump at the origin, convex service curves
+//! with a dead time).  The deviation routines are written for *any*
+//! non-decreasing piecewise-linear curves, evaluating candidates on the
+//! union of breakpoints and handling the linear tails analytically.
+
+use crate::curve::{Curve, EPS};
+use crate::NcError;
+
+/// The horizontal deviation `h(α, β) = sup_{t ≥ 0} inf { d ≥ 0 : α(t) ≤ β(t + d) }`
+/// in seconds — the worst-case delay of a flow with arrival curve `α` served
+/// with service curve `β` (FIFO per flow).
+///
+/// Returns [`NcError::Unstable`] when the long-term arrival rate exceeds the
+/// long-term service rate (the deviation would be unbounded).
+pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+        return Err(NcError::Unstable {
+            context: "horizontal deviation".into(),
+            demand_bps: alpha.long_term_rate().ceil() as u64,
+            capacity_bps: beta.long_term_rate().floor() as u64,
+        });
+    }
+    // Candidate abscissas: α's breakpoints, plus the abscissas where α
+    // reaches the ordinate of one of β's breakpoints (the pseudo-inverse of
+    // a breakpoint ordinate).  In between candidates both α(t) and
+    // β⁻¹(α(t)) are affine in t, so the deviation is affine and its maximum
+    // over each interval is attained at an endpoint.
+    let mut candidates: Vec<f64> = alpha.points().iter().map(|&(x, _)| x).collect();
+    for &(_, by) in beta.points() {
+        if let Some(t) = alpha.inverse(by) {
+            candidates.push(t);
+        }
+    }
+    // Also include the abscissa of β's last breakpoint itself: beyond the
+    // last breakpoints of both curves the deviation is non-increasing
+    // (stability was checked above), so no further candidates are needed.
+    if let Some(&(bx, _)) = beta.points().last() {
+        candidates.push(bx);
+    }
+    let mut worst: f64 = 0.0;
+    for &t in &candidates {
+        let a = alpha.eval(t);
+        // Use the *upper* pseudo-inverse of β: a bit arriving when the
+        // arrival curve reads `a` may wait until the end of any plateau of β
+        // at level `a` (e.g. the full dead time of a rate-latency curve even
+        // when `a = 0`).  This makes the computed value the true supremum
+        // for the concave-arrival / convex-service pairs used here, and a
+        // safe over-approximation otherwise.
+        let d = match beta.inverse_upper(a) {
+            Some(x) => (x - t).max(0.0),
+            None => {
+                // β never reaches α(t): only possible if β is eventually flat
+                // while α keeps a value above the plateau — unbounded delay.
+                return Err(NcError::Unstable {
+                    context: "service curve plateaus below arrival curve".into(),
+                    demand_bps: alpha.long_term_rate().ceil() as u64,
+                    capacity_bps: beta.long_term_rate().floor() as u64,
+                });
+            }
+        };
+        if d > worst {
+            worst = d;
+        }
+    }
+    Ok(worst)
+}
+
+/// The vertical deviation `v(α, β) = sup_{t ≥ 0} (α(t) − β(t))` in bits —
+/// the worst-case backlog of a flow with arrival curve `α` served with
+/// service curve `β`.
+pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+        return Err(NcError::Unstable {
+            context: "vertical deviation".into(),
+            demand_bps: alpha.long_term_rate().ceil() as u64,
+            capacity_bps: beta.long_term_rate().floor() as u64,
+        });
+    }
+    let mut candidates: Vec<f64> = alpha
+        .points()
+        .iter()
+        .chain(beta.points().iter())
+        .map(|&(x, _)| x)
+        .collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let worst = candidates
+        .iter()
+        .map(|&t| alpha.eval(t) - beta.eval(t))
+        .fold(0.0_f64, f64::max);
+    Ok(worst)
+}
+
+/// Min-plus convolution of two **convex** service curves restricted to the
+/// rate-latency family: `β_{R1,T1} ⊗ β_{R2,T2} = β_{min(R1,R2), T1+T2}`.
+///
+/// The general convolution of convex piecewise-linear curves concatenates
+/// their segments sorted by slope; for the rate-latency family used here the
+/// closed form above is exact and is what this function computes, after
+/// extracting `(R, T)` from each operand.  Returns an error if either curve
+/// is not of rate-latency shape (more than one non-flat segment).
+pub fn convolve_rate_latency(a: &Curve, b: &Curve) -> Result<Curve, NcError> {
+    let (ra, ta) = as_rate_latency(a)?;
+    let (rb, tb) = as_rate_latency(b)?;
+    Curve::rate_latency(ra.min(rb), ta + tb)
+}
+
+/// Min-plus deconvolution `α ⊘ β` restricted to a token-bucket `α` and a
+/// rate-latency `β`: the output arrival curve of a `(b, r)` flow served by
+/// `β_{R,T}` (with `r ≤ R`) is the token bucket `(b + r·T, r)`.
+///
+/// Returns the output burst (in bits); the rate is unchanged.
+pub fn output_burst_token_bucket(
+    burst_bits: f64,
+    rate_bps: f64,
+    service_rate_bps: f64,
+    service_latency_s: f64,
+) -> Result<f64, NcError> {
+    if rate_bps > service_rate_bps + EPS {
+        return Err(NcError::Unstable {
+            context: "output burst".into(),
+            demand_bps: rate_bps.ceil() as u64,
+            capacity_bps: service_rate_bps.floor() as u64,
+        });
+    }
+    Ok(burst_bits + rate_bps * service_latency_s)
+}
+
+/// Interprets a curve as a rate-latency curve, returning `(rate, latency)`.
+fn as_rate_latency(c: &Curve) -> Result<(f64, f64), NcError> {
+    let pts = c.points();
+    // Acceptable shapes: [(0,0)] with slope R (latency 0), or
+    // [(0,0), (T,0)] with slope R.
+    match pts {
+        [(x0, y0)] if *x0 == 0.0 && y0.abs() < EPS => Ok((c.final_slope(), 0.0)),
+        [(x0, y0), (x1, y1)] if *x0 == 0.0 && y0.abs() < EPS && y1.abs() < EPS => {
+            Ok((c.final_slope(), *x1))
+        }
+        _ => Err(NcError::InvalidCurve(
+            "curve is not of rate-latency shape".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_deviation_token_bucket_vs_rate_latency() {
+        // b = 10_000 bits, r = 1 Mbps, served by R = 10 Mbps, T = 16 us.
+        // Closed form: T + b/R = 16 us + 1 ms = 1.016 ms.
+        let alpha = Curve::affine(10_000.0, 1_000_000.0).unwrap();
+        let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+        let h = horizontal_deviation(&alpha, &beta).unwrap();
+        assert!((h - 0.001_016).abs() < 1e-12, "h = {h}");
+    }
+
+    #[test]
+    fn horizontal_deviation_detects_instability() {
+        let alpha = Curve::affine(100.0, 2_000_000.0).unwrap();
+        let beta = Curve::rate_latency(1_000_000.0, 0.0).unwrap();
+        assert!(matches!(
+            horizontal_deviation(&alpha, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn horizontal_deviation_flat_service_below_arrival() {
+        // Service plateaus at 50 bits; arrival burst is 100 bits with zero
+        // rate: same long-term rate (0) but the plateau never covers the
+        // burst, so the delay is unbounded.
+        let alpha = Curve::affine(100.0, 0.0).unwrap();
+        let beta = Curve::new(vec![(0.0, 0.0), (1.0, 50.0)], 0.0).unwrap();
+        assert!(matches!(
+            horizontal_deviation(&alpha, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn horizontal_deviation_zero_when_service_dominates() {
+        let alpha = Curve::affine(0.0, 1_000.0).unwrap();
+        let beta = Curve::rate_latency(1_000_000.0, 0.0).unwrap();
+        let h = horizontal_deviation(&alpha, &beta).unwrap();
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn vertical_deviation_token_bucket_vs_rate_latency() {
+        // Backlog bound: b + r·T = 10_000 + 1e6 * 16e-6 = 10_016 bits.
+        let alpha = Curve::affine(10_000.0, 1_000_000.0).unwrap();
+        let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+        let v = vertical_deviation(&alpha, &beta).unwrap();
+        assert!((v - 10_016.0).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn vertical_deviation_detects_instability() {
+        let alpha = Curve::affine(0.0, 2.0).unwrap();
+        let beta = Curve::affine(0.0, 1.0).unwrap();
+        assert!(vertical_deviation(&alpha, &beta).is_err());
+    }
+
+    #[test]
+    fn convolution_of_rate_latency_curves() {
+        let a = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let b = Curve::rate_latency(100e6, 5e-6).unwrap();
+        let c = convolve_rate_latency(&a, &b).unwrap();
+        let expect = Curve::rate_latency(10e6, 21e-6).unwrap();
+        assert!(c.approx_eq(&expect));
+        // Non rate-latency operand is rejected.
+        let tb = Curve::affine(10.0, 1.0).unwrap();
+        assert!(convolve_rate_latency(&a, &tb).is_err());
+    }
+
+    #[test]
+    fn output_burst_closed_form() {
+        let b = output_burst_token_bucket(10_000.0, 1e6, 10e6, 16e-6).unwrap();
+        assert!((b - 10_016.0).abs() < 1e-9);
+        assert!(output_burst_token_bucket(1.0, 2e6, 1e6, 0.0).is_err());
+    }
+
+    #[test]
+    fn deviations_with_staircase_arrival() {
+        // A periodic flow's staircase envelope gives a delay no larger than
+        // its token-bucket envelope.
+        let tb = Curve::affine(512.0, 25_600.0).unwrap();
+        let st = Curve::staircase(512.0, 0.02, 16).unwrap().min(&tb);
+        let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+        let h_tb = horizontal_deviation(&tb, &beta).unwrap();
+        let h_st = horizontal_deviation(&st, &beta).unwrap();
+        assert!(h_st <= h_tb + 1e-12);
+    }
+}

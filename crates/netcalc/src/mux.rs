@@ -1,0 +1,611 @@
+//! Multiplexer analysis: the paper's FCFS and strict-priority delay bounds.
+//!
+//! A station (or a switch output port) multiplexes the shaped flows it
+//! carries onto one physical link of capacity `C` preceded by a bounded
+//! technological latency `t_techno`.  The paper analyses two policies:
+//!
+//! * **FCFS** — a single queue; the bound is the same for every flow:
+//!   `D = Σ_{i ∈ S} b_i / C + t_techno`.
+//! * **Strict priority (802.1p)** — one queue per priority, always serving
+//!   the highest non-empty priority, without preemption of the frame in
+//!   transmission.  For priority `p` (0 = highest):
+//!   `D_p = (Σ_{i ∈ ∪_{q≤p} S_q} b_i + max_{j ∈ ∪_{q>p} S_q} b_j) /
+//!          (C − Σ_{i ∈ ∪_{q<p} S_q} r_i) + t_techno`.
+//!
+//! Both formulas are also derivable from the general curve machinery
+//! (aggregate token bucket against a residual rate-latency service curve);
+//! the unit tests cross-check the two derivations.
+
+use crate::arrival::TokenBucket;
+use crate::bounds;
+use crate::service::RateLatency;
+use crate::NcError;
+use serde::{Deserialize, Serialize};
+use units::{DataRate, DataSize, Duration};
+
+/// Analysis of a FCFS multiplexer fed by token-bucket shaped flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcfsMux {
+    capacity: DataRate,
+    ttechno: Duration,
+    flows: Vec<TokenBucket>,
+}
+
+impl FcfsMux {
+    /// Creates an empty FCFS multiplexer in front of a link of capacity
+    /// `capacity` with relaying-delay bound `ttechno`.
+    pub fn new(capacity: DataRate, ttechno: Duration) -> Self {
+        FcfsMux {
+            capacity,
+            ttechno,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Adds a shaped flow to the multiplexer.
+    pub fn add_flow(&mut self, flow: TokenBucket) {
+        self.flows.push(flow);
+    }
+
+    /// Adds every flow from an iterator.
+    pub fn add_flows<I: IntoIterator<Item = TokenBucket>>(&mut self, flows: I) {
+        self.flows.extend(flows);
+    }
+
+    /// The flows currently multiplexed.
+    pub fn flows(&self) -> &[TokenBucket] {
+        &self.flows
+    }
+
+    /// The link capacity `C`.
+    pub fn capacity(&self) -> DataRate {
+        self.capacity
+    }
+
+    /// The technological latency bound `t_techno`.
+    pub fn ttechno(&self) -> Duration {
+        self.ttechno
+    }
+
+    /// The aggregate sustained rate `Σ r_i`.
+    pub fn aggregate_rate(&self) -> DataRate {
+        self.flows.iter().map(|f| f.rate()).sum()
+    }
+
+    /// The aggregate burst `Σ b_i`.
+    pub fn aggregate_burst(&self) -> DataSize {
+        self.flows.iter().map(|f| f.burst()).sum()
+    }
+
+    /// Link utilization `Σ r_i / C`.
+    pub fn utilization(&self) -> f64 {
+        self.aggregate_rate().utilization_of(self.capacity)
+    }
+
+    /// Checks long-term stability (`Σ r_i ≤ C`), returning the offending
+    /// rates otherwise.
+    pub fn check_stability(&self) -> Result<(), NcError> {
+        let demand = self.aggregate_rate();
+        if demand > self.capacity {
+            Err(NcError::Unstable {
+                context: "FCFS multiplexer".into(),
+                demand_bps: demand.bps(),
+                capacity_bps: self.capacity.bps(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The paper's FCFS latency bound `D = Σ b_i / C + t_techno`, identical
+    /// for every flow through the multiplexer.
+    pub fn delay_bound(&self) -> Result<Duration, NcError> {
+        self.check_stability()?;
+        let queueing = self.capacity.transmission_time(self.aggregate_burst());
+        Ok(queueing + self.ttechno)
+    }
+
+    /// The same bound obtained through the general curve machinery
+    /// (aggregate token bucket vs. rate-latency `β_{C, t_techno}`), used to
+    /// cross-validate [`FcfsMux::delay_bound`].
+    pub fn delay_bound_via_curves(&self) -> Result<Duration, NcError> {
+        self.check_stability()?;
+        let aggregate = TokenBucket::aggregate_all(self.flows.iter());
+        bounds::delay_bound(&aggregate, &self.service_curve())
+    }
+
+    /// The worst-case backlog in the multiplexer queue.
+    pub fn backlog_bound(&self) -> Result<DataSize, NcError> {
+        self.check_stability()?;
+        let aggregate = TokenBucket::aggregate_all(self.flows.iter());
+        bounds::backlog_bound(&aggregate, &self.service_curve())
+    }
+
+    /// The rate-latency service curve offered by the outgoing link.
+    pub fn service_curve(&self) -> RateLatency {
+        RateLatency::new(self.capacity, self.ttechno)
+    }
+
+    /// The output envelope of one of the multiplexed flows after traversing
+    /// this element (burst inflated by the element's delay bound).
+    ///
+    /// The FCFS element delays any bit of flow `i` by at most
+    /// [`FcfsMux::delay_bound`], so the output is bounded by the input curve
+    /// shifted left by that delay: a token bucket `(b_i + r_i·D, r_i)`.
+    pub fn output_envelope(&self, flow: &TokenBucket) -> Result<TokenBucket, NcError> {
+        let d = self.delay_bound()?;
+        let extra = flow.rate().bits_in(d);
+        Ok(TokenBucket::new(flow.burst() + extra, flow.rate()))
+    }
+}
+
+/// Per-priority results of a strict-priority multiplexer analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityLevelReport {
+    /// Priority level (0 = highest).
+    pub priority: usize,
+    /// Number of flows at this level.
+    pub flow_count: usize,
+    /// The paper's delay bound `D_p` for this level.
+    pub delay_bound: Duration,
+    /// Worst-case backlog of the queues at priority ≤ p.
+    pub backlog_bound: DataSize,
+    /// Residual service rate `C − Σ_{q<p} r_i` seen by this level.
+    pub residual_rate: DataRate,
+    /// Aggregate burst of levels ≤ p (the numerator's first term).
+    pub aggregate_burst: DataSize,
+    /// Worst lower-priority frame that can block this level.
+    pub blocking_burst: DataSize,
+}
+
+/// Analysis of a strict-priority (802.1p) multiplexer with `n` levels,
+/// level 0 being the most urgent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticPriorityMux {
+    capacity: DataRate,
+    ttechno: Duration,
+    levels: Vec<Vec<TokenBucket>>,
+}
+
+impl StaticPriorityMux {
+    /// Creates a strict-priority multiplexer with `levels` empty priority
+    /// queues (the paper uses 4).
+    pub fn new(levels: usize, capacity: DataRate, ttechno: Duration) -> Self {
+        StaticPriorityMux {
+            capacity,
+            ttechno,
+            levels: vec![Vec::new(); levels.max(1)],
+        }
+    }
+
+    /// Number of priority levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The link capacity `C`.
+    pub fn capacity(&self) -> DataRate {
+        self.capacity
+    }
+
+    /// The technological latency bound `t_techno`.
+    pub fn ttechno(&self) -> Duration {
+        self.ttechno
+    }
+
+    /// Adds a shaped flow at priority `priority` (0 = highest).
+    pub fn add_flow(&mut self, priority: usize, flow: TokenBucket) -> Result<(), NcError> {
+        self.levels
+            .get_mut(priority)
+            .ok_or(NcError::UnknownPriority(priority))?
+            .push(flow);
+        Ok(())
+    }
+
+    /// The flows registered at a given priority.
+    pub fn flows_at(&self, priority: usize) -> Result<&[TokenBucket], NcError> {
+        self.levels
+            .get(priority)
+            .map(|v| v.as_slice())
+            .ok_or(NcError::UnknownPriority(priority))
+    }
+
+    /// Total number of flows across all levels.
+    pub fn flow_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Aggregate sustained rate over all levels.
+    pub fn aggregate_rate(&self) -> DataRate {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|f| f.rate())
+            .sum()
+    }
+
+    /// Link utilization over all levels.
+    pub fn utilization(&self) -> f64 {
+        self.aggregate_rate().utilization_of(self.capacity)
+    }
+
+    /// Sum of sustained rates of priorities strictly higher than `priority`
+    /// (i.e. levels `q < p`).
+    fn higher_rate(&self, priority: usize) -> DataRate {
+        self.levels[..priority]
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|f| f.rate())
+            .sum()
+    }
+
+    /// Sum of bursts of priorities `q ≤ p`.
+    fn cumulative_burst(&self, priority: usize) -> DataSize {
+        self.levels[..=priority]
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|f| f.burst())
+            .sum()
+    }
+
+    /// Largest burst among strictly lower priorities (`q > p`), i.e. the
+    /// non-preemptable frame that can block level `p`; zero for the lowest
+    /// level.
+    fn lower_blocking_burst(&self, priority: usize) -> DataSize {
+        self.levels[priority + 1..]
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|f| f.burst())
+            .fold(DataSize::ZERO, DataSize::max)
+    }
+
+    /// The residual service rate `C − Σ_{q<p} r_i` available to level `p`,
+    /// or an error if higher priorities already saturate the link.
+    pub fn residual_rate(&self, priority: usize) -> Result<DataRate, NcError> {
+        if priority >= self.levels.len() {
+            return Err(NcError::UnknownPriority(priority));
+        }
+        let hp = self.higher_rate(priority);
+        if hp >= self.capacity {
+            return Err(NcError::Unstable {
+                context: format!("priority {priority} residual rate"),
+                demand_bps: hp.bps(),
+                capacity_bps: self.capacity.bps(),
+            });
+        }
+        Ok(self.capacity - hp)
+    }
+
+    /// The residual rate-latency service curve seen by priority `p`:
+    /// rate `C − Σ_{q<p} r_i` and latency
+    /// `t_techno + max_{q>p} b_j / (C − Σ_{q<p} r_i)`.
+    ///
+    /// The horizontal deviation of the aggregate `(Σ_{q≤p} b, Σ_{q≤p} r)`
+    /// token bucket against this curve is exactly the paper's `D_p`.
+    pub fn residual_service(&self, priority: usize) -> Result<RateLatency, NcError> {
+        let rate = self.residual_rate(priority)?;
+        let blocking = rate.transmission_time(self.lower_blocking_burst(priority));
+        Ok(RateLatency::new(rate, self.ttechno + blocking))
+    }
+
+    /// Checks long-term stability of every level: the residual rate of each
+    /// level must exceed the aggregate sustained rate of levels `q ≤ p`.
+    pub fn check_stability(&self) -> Result<(), NcError> {
+        for p in 0..self.levels.len() {
+            let residual = self.residual_rate(p)?;
+            let demand: DataRate = self.levels[..=p]
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(|f| f.rate())
+                .sum();
+            if demand > residual + self.higher_rate(p) {
+                // Equivalent to Σ_{q≤p} r > C.
+                return Err(NcError::Unstable {
+                    context: format!("priority {p} cumulative load"),
+                    demand_bps: demand.bps(),
+                    capacity_bps: self.capacity.bps(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's strict-priority delay bound for level `priority`:
+    ///
+    /// `D_p = (Σ_{i∈∪_{q≤p} S_q} b_i + max_{j∈∪_{q>p} S_q} b_j) /
+    ///        (C − Σ_{i∈∪_{q<p} S_q} r_i) + t_techno`.
+    pub fn delay_bound(&self, priority: usize) -> Result<Duration, NcError> {
+        let residual = self.residual_rate(priority)?;
+        let numerator = self.cumulative_burst(priority) + self.lower_blocking_burst(priority);
+        Ok(residual.transmission_time(numerator) + self.ttechno)
+    }
+
+    /// The same bound via the general curve machinery (aggregate of levels
+    /// ≤ p against [`StaticPriorityMux::residual_service`]); used to
+    /// cross-validate [`StaticPriorityMux::delay_bound`].
+    pub fn delay_bound_via_curves(&self, priority: usize) -> Result<Duration, NcError> {
+        let aggregate = TokenBucket::aggregate_all(
+            self.levels[..=priority].iter().flat_map(|l| l.iter()),
+        );
+        let service = self.residual_service(priority)?;
+        if aggregate.rate() > service.rate() {
+            return Err(NcError::Unstable {
+                context: format!("priority {priority} cumulative load"),
+                demand_bps: aggregate.rate().bps(),
+                capacity_bps: service.rate().bps(),
+            });
+        }
+        bounds::delay_bound(&aggregate, &service)
+    }
+
+    /// The worst-case backlog of the queues holding priorities ≤ p.
+    pub fn backlog_bound(&self, priority: usize) -> Result<DataSize, NcError> {
+        let aggregate = TokenBucket::aggregate_all(
+            self.levels[..=priority].iter().flat_map(|l| l.iter()),
+        );
+        let service = self.residual_service(priority)?;
+        if aggregate.rate() > service.rate() {
+            return Err(NcError::Unstable {
+                context: format!("priority {priority} cumulative load"),
+                demand_bps: aggregate.rate().bps(),
+                capacity_bps: service.rate().bps(),
+            });
+        }
+        bounds::backlog_bound(&aggregate, &service)
+    }
+
+    /// Full per-level report (one entry per priority level, ordered from the
+    /// highest priority to the lowest).
+    pub fn analyze(&self) -> Result<Vec<PriorityLevelReport>, NcError> {
+        self.check_stability()?;
+        (0..self.levels.len())
+            .map(|p| {
+                Ok(PriorityLevelReport {
+                    priority: p,
+                    flow_count: self.levels[p].len(),
+                    delay_bound: self.delay_bound(p)?,
+                    backlog_bound: self.backlog_bound(p)?,
+                    residual_rate: self.residual_rate(p)?,
+                    aggregate_burst: self.cumulative_burst(p),
+                    blocking_burst: self.lower_blocking_burst(p),
+                })
+            })
+            .collect()
+    }
+
+    /// The output envelope of one flow of priority `priority` after
+    /// traversing this element (burst inflated by the level's delay bound).
+    pub fn output_envelope(
+        &self,
+        priority: usize,
+        flow: &TokenBucket,
+    ) -> Result<TokenBucket, NcError> {
+        let d = self.delay_bound(priority)?;
+        let extra = flow.rate().bits_in(d);
+        Ok(TokenBucket::new(flow.burst() + extra, flow.rate()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb(bytes: u64, period_ms: u64) -> TokenBucket {
+        TokenBucket::for_message(DataSize::from_bytes(bytes), Duration::from_millis(period_ms))
+    }
+
+    fn c10() -> DataRate {
+        DataRate::from_mbps(10)
+    }
+
+    fn t16() -> Duration {
+        Duration::from_micros(16)
+    }
+
+    // ---------------- FCFS ----------------
+
+    #[test]
+    fn fcfs_bound_matches_hand_calculation() {
+        // Three flows of 100, 200, 300 bytes: Σ b = 600 B = 4800 bits.
+        // D = 4800 / 10^7 + 16 us = 480 us + 16 us = 496 us.
+        let mut mux = FcfsMux::new(c10(), t16());
+        mux.add_flows([tb(100, 20), tb(200, 40), tb(300, 160)]);
+        assert_eq!(mux.delay_bound().unwrap(), Duration::from_micros(496));
+        assert_eq!(mux.flows().len(), 3);
+        assert_eq!(mux.aggregate_burst(), DataSize::from_bytes(600));
+    }
+
+    #[test]
+    fn fcfs_bound_agrees_with_curve_machinery() {
+        let mut mux = FcfsMux::new(c10(), t16());
+        mux.add_flows([tb(64, 20), tb(1518, 160), tb(256, 40), tb(512, 80)]);
+        let a = mux.delay_bound().unwrap();
+        let b = mux.delay_bound_via_curves().unwrap();
+        assert!(a.as_nanos().abs_diff(b.as_nanos()) <= 1, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fcfs_empty_mux_has_pure_latency_bound() {
+        let mux = FcfsMux::new(c10(), t16());
+        assert_eq!(mux.delay_bound().unwrap(), t16());
+        assert_eq!(mux.backlog_bound().unwrap(), DataSize::ZERO);
+        assert_eq!(mux.utilization(), 0.0);
+    }
+
+    #[test]
+    fn fcfs_detects_overload() {
+        let mut mux = FcfsMux::new(DataRate::from_kbps(10), Duration::ZERO);
+        // 1518 bytes every 1 ms is ~12 Mbps >> 10 kbps.
+        mux.add_flow(tb(1518, 1));
+        assert!(mux.check_stability().is_err());
+        assert!(mux.delay_bound().is_err());
+        assert!(mux.backlog_bound().is_err());
+    }
+
+    #[test]
+    fn fcfs_backlog_bound() {
+        let mut mux = FcfsMux::new(c10(), t16());
+        mux.add_flow(tb(1000, 20));
+        // Backlog = b + r·T = 8000 bits + 400_000 b/s * 16e-6 s = 8000 + 6.4 -> 8007 (ceil).
+        let q = mux.backlog_bound().unwrap();
+        assert!(q >= DataSize::from_bits(8_006) && q <= DataSize::from_bits(8_008), "{q}");
+    }
+
+    #[test]
+    fn fcfs_output_envelope_inflates_burst() {
+        let mut mux = FcfsMux::new(c10(), t16());
+        let f = tb(1000, 20);
+        mux.add_flow(f);
+        mux.add_flow(tb(500, 20));
+        let out = mux.output_envelope(&f).unwrap();
+        assert!(out.burst() > f.burst());
+        assert_eq!(out.rate(), f.rate());
+    }
+
+    // ---------------- Strict priority ----------------
+
+    /// Hand-computed example used across the workspace:
+    ///
+    /// * P0: one 64-byte urgent flow, T = 20 ms  -> b = 512 bits, r = 25.6 kbps
+    /// * P1: one 1000-byte periodic flow, T = 40 ms -> b = 8_000 bits, r = 200 kbps
+    /// * P2: one 1518-byte sporadic flow, T = 160 ms -> b = 12_144 bits, r = 75.9 kbps
+    fn example_mux() -> StaticPriorityMux {
+        let mut mux = StaticPriorityMux::new(3, c10(), t16());
+        mux.add_flow(0, tb(64, 20)).unwrap();
+        mux.add_flow(1, tb(1000, 40)).unwrap();
+        mux.add_flow(2, tb(1518, 160)).unwrap();
+        mux
+    }
+
+    #[test]
+    fn priority_bound_matches_hand_calculation() {
+        let mux = example_mux();
+        // P0: (512 + max(8000, 12144)) / 10^7 + 16 us
+        //   = 12656 / 10^7 s + 16 us = 1265.6 us + 16 us = 1281.6 -> 1282 us (ceil at ns precision: 1281.6 us).
+        let d0 = mux.delay_bound(0).unwrap();
+        assert_eq!(d0, Duration::from_nanos(1_265_600 + 16_000));
+        // P1: (512 + 8000 + 12144) / (10^7 − 25600) + 16 us.
+        let d1 = mux.delay_bound(1).unwrap();
+        let expect_ns = (20_656.0_f64 / (10_000_000.0 - 25_600.0) * 1e9).ceil() as u64 + 16_000;
+        assert_eq!(d1.as_nanos(), expect_ns);
+        // P2: (512 + 8000 + 12144 + 0) / (10^7 − 25600 − 200000) + 16 us.
+        let d2 = mux.delay_bound(2).unwrap();
+        let expect_ns = (20_656.0_f64 / (10_000_000.0 - 225_600.0) * 1e9).ceil() as u64 + 16_000;
+        assert_eq!(d2.as_nanos(), expect_ns);
+    }
+
+    #[test]
+    fn priority_bound_agrees_with_curve_machinery() {
+        let mux = example_mux();
+        for p in 0..3 {
+            let direct = mux.delay_bound(p).unwrap();
+            let via_curves = mux.delay_bound_via_curves(p).unwrap();
+            assert!(
+                direct.as_nanos().abs_diff(via_curves.as_nanos()) <= 2,
+                "p{p}: {direct} vs {via_curves}"
+            );
+        }
+    }
+
+    #[test]
+    fn highest_priority_beats_fcfs_for_same_traffic() {
+        // The point of the paper: the urgent class gets a much smaller bound
+        // under strict priority than under FCFS with the same flow set.
+        let mux = example_mux();
+        let mut fcfs = FcfsMux::new(c10(), t16());
+        fcfs.add_flows([tb(64, 20), tb(1000, 40), tb(1518, 160)]);
+        let d_fcfs = fcfs.delay_bound().unwrap();
+        let d_p0 = mux.delay_bound(0).unwrap();
+        assert!(d_p0 < d_fcfs, "priority 0 bound {d_p0} not below FCFS bound {d_fcfs}");
+    }
+
+    #[test]
+    fn lowest_priority_has_no_blocking_term() {
+        let mux = example_mux();
+        let report = mux.analyze().unwrap();
+        assert_eq!(report[2].blocking_burst, DataSize::ZERO);
+        assert!(report[0].blocking_burst > DataSize::ZERO);
+    }
+
+    #[test]
+    fn report_is_ordered_and_complete() {
+        let mux = example_mux();
+        let report = mux.analyze().unwrap();
+        assert_eq!(report.len(), 3);
+        for (p, lvl) in report.iter().enumerate() {
+            assert_eq!(lvl.priority, p);
+            assert_eq!(lvl.flow_count, 1);
+            assert!(lvl.residual_rate <= c10());
+            assert!(lvl.delay_bound > Duration::ZERO);
+        }
+        // Residual rate decreases with priority index.
+        assert!(report[0].residual_rate >= report[1].residual_rate);
+        assert!(report[1].residual_rate >= report[2].residual_rate);
+    }
+
+    #[test]
+    fn unknown_priority_is_rejected() {
+        let mut mux = StaticPriorityMux::new(2, c10(), t16());
+        assert!(matches!(
+            mux.add_flow(5, tb(64, 20)),
+            Err(NcError::UnknownPriority(5))
+        ));
+        assert!(mux.flows_at(7).is_err());
+        assert!(mux.delay_bound(3).is_err());
+    }
+
+    #[test]
+    fn saturated_higher_priorities_make_lower_levels_unstable() {
+        let mut mux = StaticPriorityMux::new(2, DataRate::from_kbps(100), Duration::ZERO);
+        // 1518 bytes every 20 ms ≈ 607 kbps > 100 kbps.
+        mux.add_flow(0, tb(1518, 20)).unwrap();
+        mux.add_flow(1, tb(64, 20)).unwrap();
+        assert!(mux.residual_rate(1).is_err());
+        assert!(mux.delay_bound(1).is_err());
+        assert!(mux.check_stability().is_err());
+        assert!(mux.analyze().is_err());
+    }
+
+    #[test]
+    fn cumulative_overload_detected_at_own_level() {
+        // Higher priorities fit, but adding this level's own rate overloads C.
+        let mut mux = StaticPriorityMux::new(2, DataRate::from_kbps(700), Duration::ZERO);
+        mux.add_flow(0, tb(1518, 20)).unwrap(); // ~607 kbps
+        mux.add_flow(1, tb(1518, 20)).unwrap(); // another ~607 kbps
+        assert!(mux.residual_rate(1).is_ok());
+        assert!(mux.check_stability().is_err());
+    }
+
+    #[test]
+    fn empty_levels_are_allowed() {
+        let mut mux = StaticPriorityMux::new(4, c10(), t16());
+        mux.add_flow(1, tb(1000, 40)).unwrap();
+        let report = mux.analyze().unwrap();
+        assert_eq!(report[0].flow_count, 0);
+        // An empty highest level still suffers blocking from lower levels.
+        assert!(report[0].delay_bound > t16());
+        assert_eq!(report.len(), 4);
+    }
+
+    #[test]
+    fn output_envelope_inflates_burst_by_level_delay() {
+        let mux = example_mux();
+        let f = tb(64, 20);
+        let out = mux.output_envelope(0, &f).unwrap();
+        assert!(out.burst() >= f.burst());
+        assert_eq!(out.rate(), f.rate());
+    }
+
+    #[test]
+    fn single_level_priority_equals_fcfs() {
+        // With a single priority level and no lower-priority blocking, the
+        // strict-priority formula degenerates to the FCFS formula.
+        let mut sp = StaticPriorityMux::new(1, c10(), t16());
+        let mut fcfs = FcfsMux::new(c10(), t16());
+        for f in [tb(64, 20), tb(1000, 40), tb(1518, 160)] {
+            sp.add_flow(0, f).unwrap();
+            fcfs.add_flow(f);
+        }
+        assert_eq!(sp.delay_bound(0).unwrap(), fcfs.delay_bound().unwrap());
+    }
+}

@@ -1,0 +1,155 @@
+//! Service curves: rate-latency and constant-rate servers.
+
+use crate::curve::Curve;
+use serde::{Deserialize, Serialize};
+use units::{DataRate, DataSize, Duration};
+
+/// Anything that lower-bounds the service offered by a network element.
+pub trait ServiceBound {
+    /// The convex piecewise-linear service curve, in (seconds, bits).
+    fn curve(&self) -> Curve;
+    /// The long-term service rate, in bits per second.
+    fn rate(&self) -> DataRate;
+    /// The worst-case dead time before service starts, in seconds.
+    fn latency(&self) -> Duration;
+}
+
+/// A rate-latency service curve `β_{R,T}(t) = R·(t − T)⁺`.
+///
+/// The paper models the output link of a station or of a switch port as a
+/// constant-rate server of capacity `C` preceded by a bounded technological
+/// latency `t_techno`; that is exactly `β_{C, t_techno}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateLatency {
+    rate: DataRate,
+    latency: Duration,
+}
+
+impl RateLatency {
+    /// Creates a rate-latency server.
+    pub fn new(rate: DataRate, latency: Duration) -> Self {
+        RateLatency { rate, latency }
+    }
+
+    /// A pure constant-rate server (zero latency).
+    pub fn constant_rate(rate: DataRate) -> Self {
+        RateLatency {
+            rate,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// The guaranteed service rate.
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// The worst-case initial latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// The concatenation of two rate-latency servers traversed in sequence:
+    /// the min-plus convolution of two rate-latency curves is again a
+    /// rate-latency curve with the minimum of the rates and the sum of the
+    /// latencies.
+    pub fn concatenate(&self, next: &RateLatency) -> RateLatency {
+        RateLatency {
+            rate: self.rate.min(next.rate),
+            latency: self.latency + next.latency,
+        }
+    }
+
+    /// The residual (left-over) rate-latency service seen by traffic that
+    /// shares this server with higher-priority interference of sustained
+    /// rate `hp_rate`, and that can additionally be blocked for
+    /// `blocking` seconds by a lower-priority frame already in transmission.
+    ///
+    /// Returns `None` when the interference saturates the server
+    /// (`hp_rate ≥ rate`), i.e. no finite residual service exists.
+    pub fn residual(&self, hp_rate: DataRate, blocking: Duration) -> Option<RateLatency> {
+        if hp_rate >= self.rate {
+            return None;
+        }
+        Some(RateLatency {
+            rate: self.rate - hp_rate,
+            latency: self.latency + blocking,
+        })
+    }
+
+    /// The time this server needs to fully transmit `size` bits in the worst
+    /// case (latency plus transmission at the guaranteed rate).
+    pub fn completion_time(&self, size: DataSize) -> Duration {
+        self.latency + self.rate.transmission_time(size)
+    }
+}
+
+impl ServiceBound for RateLatency {
+    fn curve(&self) -> Curve {
+        Curve::rate_latency(self.rate.as_f64_bps(), self.latency.as_secs_f64())
+            .expect("rate-latency parameters are always a valid curve")
+    }
+
+    fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    fn latency(&self) -> Duration {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_curve() {
+        let s = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+        assert_eq!(s.rate(), DataRate::from_mbps(10));
+        assert_eq!(s.latency(), Duration::from_micros(16));
+        let c = s.curve();
+        assert_eq!(c.eval(0.000_016), 0.0);
+        assert!((c.eval(0.001_016) - 10_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_rate_has_zero_latency() {
+        let s = RateLatency::constant_rate(DataRate::from_mbps(100));
+        assert_eq!(s.latency(), Duration::ZERO);
+        assert!((s.curve().eval(0.001) - 100_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concatenation_adds_latencies_and_takes_min_rate() {
+        let a = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+        let b = RateLatency::new(DataRate::from_mbps(100), Duration::from_micros(5));
+        let c = a.concatenate(&b);
+        assert_eq!(c.rate(), DataRate::from_mbps(10));
+        assert_eq!(c.latency(), Duration::from_micros(21));
+    }
+
+    #[test]
+    fn residual_service() {
+        let s = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+        let res = s
+            .residual(DataRate::from_mbps(4), Duration::from_micros(100))
+            .unwrap();
+        assert_eq!(res.rate(), DataRate::from_mbps(6));
+        assert_eq!(res.latency(), Duration::from_micros(116));
+        // Saturated by interference.
+        assert!(s.residual(DataRate::from_mbps(10), Duration::ZERO).is_none());
+        assert!(s.residual(DataRate::from_mbps(11), Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn completion_time() {
+        let s = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+        // 100 bytes = 800 bits -> 80 us, plus 16 us latency.
+        assert_eq!(
+            s.completion_time(DataSize::from_bytes(100)),
+            Duration::from_micros(96)
+        );
+        assert_eq!(s.completion_time(DataSize::ZERO), Duration::from_micros(16));
+    }
+}

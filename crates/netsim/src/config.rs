@@ -1,0 +1,209 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use units::{DataRate, DataSize, Duration};
+
+/// Output-port multiplexing policy used by every station and by the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MuxPolicy {
+    /// One FIFO per output port (the paper's first approach).
+    Fcfs,
+    /// Strict priority with the given number of levels (the paper's second
+    /// approach uses 4).
+    StrictPriority {
+        /// Number of priority levels.
+        levels: usize,
+    },
+}
+
+impl MuxPolicy {
+    /// The paper's 4-level strict-priority configuration.
+    pub fn paper_priority() -> Self {
+        MuxPolicy::StrictPriority { levels: 4 }
+    }
+
+    /// Number of queues per output port.
+    pub fn levels(&self) -> usize {
+        match self {
+            MuxPolicy::Fcfs => 1,
+            MuxPolicy::StrictPriority { levels } => (*levels).max(1),
+        }
+    }
+}
+
+/// How sporadic messages generate instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SporadicModel {
+    /// Every sporadic stream emits at its minimal inter-arrival time —
+    /// the heaviest load its contract allows (used for the validation run,
+    /// which wants to approach the worst case).
+    Saturating,
+    /// Inter-arrival times are the minimal gap plus a uniformly-distributed
+    /// extra of up to the given percentage of the gap (a calmer, more
+    /// realistic activation pattern).
+    RandomSlack {
+        /// Maximum extra gap, as a percentage of the minimal inter-arrival
+        /// time (e.g. 100 doubles the average spacing).
+        max_extra_percent: u32,
+    },
+}
+
+/// Relative phasing of the message streams at the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phasing {
+    /// Every stream releases its first message at `t = 0` — the adversarial
+    /// synchronized burst the worst-case analysis must cover.
+    Synchronized,
+    /// Each stream starts at an independent uniformly-random offset within
+    /// its period.
+    Random,
+}
+
+/// Complete configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Multiplexing policy of every output port.
+    pub policy: MuxPolicy,
+    /// Link rate `C` of every full-duplex link.
+    pub link_rate: DataRate,
+    /// Switch relaying latency bound `t_techno`.
+    pub ttechno: Duration,
+    /// One-way propagation delay of every link.
+    pub propagation: Duration,
+    /// Simulated horizon.
+    pub horizon: Duration,
+    /// RNG seed (phasing and sporadic gaps).
+    pub seed: u64,
+    /// Sporadic activation model.
+    pub sporadic: SporadicModel,
+    /// Stream phasing.
+    pub phasing: Phasing,
+    /// `true` to run the paper's token-bucket shapers in every end system,
+    /// `false` to inject frames directly into the output queue (the shaping
+    /// ablation).
+    pub shaping: bool,
+    /// Optional per-queue buffer limit at switch output ports (`None` =
+    /// unbounded); lets the ablation exercise frame loss.
+    pub switch_buffer: Option<DataSize>,
+    /// Number of frames each background-class (P3) stream dumps back-to-back
+    /// at every activation.  `1` models a well-behaved application; larger
+    /// values model an unregulated bulk transfer and are what the shaping
+    /// ablation (E6) uses: with shaping enabled the source regulator spreads
+    /// the burst out, without shaping the burst hits the switch directly.
+    pub background_burst_factor: u32,
+}
+
+impl SimConfig {
+    /// The paper's nominal configuration: 10 Mbps links, 16 µs relaying
+    /// latency, 4-level strict priority, shaping on, adversarial
+    /// synchronized phasing, saturating sporadic sources, one major frame
+    /// (160 ms) of simulated time per seed.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            policy: MuxPolicy::paper_priority(),
+            link_rate: DataRate::from_mbps(10),
+            ttechno: Duration::from_micros(16),
+            propagation: Duration::ZERO,
+            horizon: Duration::from_millis(1_600),
+            seed: 1,
+            sporadic: SporadicModel::Saturating,
+            phasing: Phasing::Synchronized,
+            shaping: true,
+            switch_buffer: None,
+            background_burst_factor: 1,
+        }
+    }
+
+    /// Switches the configuration to the FCFS policy.
+    pub fn with_fcfs(mut self) -> Self {
+        self.policy = MuxPolicy::Fcfs;
+        self
+    }
+
+    /// Overrides the link rate.
+    pub fn with_link_rate(mut self, rate: DataRate) -> Self {
+        self.link_rate = rate;
+        self
+    }
+
+    /// Overrides the horizon.
+    pub fn with_horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the source shapers (ablation E6).
+    pub fn without_shaping(mut self) -> Self {
+        self.shaping = false;
+        self
+    }
+
+    /// Makes every background-class stream dump `factor` frames back-to-back
+    /// at each activation (ablation E6).
+    pub fn with_background_burst(mut self, factor: u32) -> Self {
+        self.background_burst_factor = factor.max(1);
+        self
+    }
+
+    /// Bounds every switch output queue to `capacity` (ablation E6).
+    pub fn with_switch_buffer(mut self, capacity: DataSize) -> Self {
+        self.switch_buffer = Some(capacity);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper_parameters() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.link_rate, DataRate::from_mbps(10));
+        assert_eq!(cfg.ttechno, Duration::from_micros(16));
+        assert_eq!(cfg.policy.levels(), 4);
+        assert!(cfg.shaping);
+        assert_eq!(cfg.switch_buffer, None);
+        assert_eq!(cfg.background_burst_factor, 1);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let cfg = SimConfig::paper_default()
+            .with_background_burst(0)
+            .with_switch_buffer(DataSize::from_kib(8));
+        assert_eq!(cfg.background_burst_factor, 1);
+        assert_eq!(cfg.switch_buffer, Some(DataSize::from_kib(8)));
+        let cfg = cfg.with_background_burst(16);
+        assert_eq!(cfg.background_burst_factor, 16);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = SimConfig::paper_default()
+            .with_fcfs()
+            .with_link_rate(DataRate::from_mbps(100))
+            .with_horizon(Duration::from_millis(320))
+            .with_seed(7)
+            .without_shaping();
+        assert_eq!(cfg.policy, MuxPolicy::Fcfs);
+        assert_eq!(cfg.policy.levels(), 1);
+        assert_eq!(cfg.link_rate, DataRate::from_mbps(100));
+        assert_eq!(cfg.horizon, Duration::from_millis(320));
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.shaping);
+    }
+
+    #[test]
+    fn mux_policy_levels() {
+        assert_eq!(MuxPolicy::Fcfs.levels(), 1);
+        assert_eq!(MuxPolicy::StrictPriority { levels: 0 }.levels(), 1);
+        assert_eq!(MuxPolicy::paper_priority().levels(), 4);
+    }
+}

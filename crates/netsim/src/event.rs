@@ -1,0 +1,182 @@
+//! The simulation event queue.
+
+use crate::packet::Packet;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use units::Instant;
+use workload::{MessageId, StationId};
+
+/// A reference to one of the simulated output ports.
+///
+/// Every full-duplex link contributes one directed port per direction; the
+/// simulator only models the two directions that carry traffic in the
+/// paper's architecture: station uplinks (station → switch) and switch
+/// output ports (switch → station).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortRef {
+    /// The uplink of a station towards the switch.
+    StationUplink(StationId),
+    /// The switch output port towards a station.
+    SwitchOutput(StationId),
+}
+
+impl core::fmt::Display for PortRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PortRef::StationUplink(s) => write!(f, "uplink[{s}]"),
+            PortRef::SwitchOutput(s) => write!(f, "switch-out[{s}]"),
+        }
+    }
+}
+
+/// The kinds of events the engine processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message stream produces its next instance.
+    Generate {
+        /// The producing message stream.
+        message: MessageId,
+    },
+    /// A station's shaper may now have a conforming head frame to release.
+    ShaperCheck {
+        /// The shaped message stream to re-examine.
+        message: MessageId,
+    },
+    /// An output port finished serializing a frame.
+    TxComplete {
+        /// The transmitting port.
+        port: PortRef,
+        /// The frame that finished transmission.
+        packet: Packet,
+    },
+    /// A frame fully received by the switch becomes eligible for output
+    /// queueing after the relaying latency.
+    SwitchEnqueue {
+        /// The relayed frame.
+        packet: Packet,
+    },
+}
+
+/// An event scheduled at an instant; the sequence number makes the ordering
+/// total and deterministic for simultaneous events (FIFO in scheduling
+/// order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Instant,
+    /// Tie-breaker: scheduling order.
+    pub sequence: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn schedule(&mut self, time: Instant, kind: EventKind) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Event {
+            time,
+            sequence,
+            kind,
+        });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::Duration;
+
+    fn at(ns: u64) -> Instant {
+        Instant::EPOCH + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(300), EventKind::Generate { message: MessageId(3) });
+        q.schedule(at(100), EventKind::Generate { message: MessageId(1) });
+        q.schedule(at(200), EventKind::Generate { message: MessageId(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(order, vec![100, 200, 300]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(at(50), EventKind::Generate { message: MessageId(i) });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Generate { message } => message.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_tracks_pending_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(at(1), EventKind::Generate { message: MessageId(0) });
+        q.schedule(at(2), EventKind::ShaperCheck { message: MessageId(0) });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn port_ref_display() {
+        assert_eq!(PortRef::StationUplink(StationId(2)).to_string(), "uplink[s2]");
+        assert_eq!(PortRef::SwitchOutput(StationId(0)).to_string(), "switch-out[s0]");
+    }
+}

@@ -1,0 +1,185 @@
+//! Mapping between the paper's traffic classes, 802.1p PCPs and queue
+//! indices.
+
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// The paper's four traffic classes, in decreasing urgency:
+///
+/// * priority 0 — urgent sporadic messages (3 ms maximal response time),
+/// * priority 1 — periodic messages,
+/// * priority 2 — sporadic messages with deadlines between 20 ms and 160 ms,
+/// * priority 3 — sporadic messages with deadlines beyond 160 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Urgent sporadic (3 ms deadline).
+    UrgentSporadic,
+    /// Periodic state data.
+    Periodic,
+    /// Sporadic with a 20–160 ms deadline.
+    Sporadic,
+    /// Sporadic with a deadline beyond 160 ms (background).
+    Background,
+}
+
+impl TrafficClass {
+    /// All classes in priority order (highest first).
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::UrgentSporadic,
+        TrafficClass::Periodic,
+        TrafficClass::Sporadic,
+        TrafficClass::Background,
+    ];
+
+    /// The paper's priority index of the class (0 = highest).
+    pub const fn priority(self) -> usize {
+        match self {
+            TrafficClass::UrgentSporadic => 0,
+            TrafficClass::Periodic => 1,
+            TrafficClass::Sporadic => 2,
+            TrafficClass::Background => 3,
+        }
+    }
+
+    /// The class for a given paper priority index (values above 3 map to
+    /// [`TrafficClass::Background`]).
+    pub const fn from_priority(priority: usize) -> Self {
+        match priority {
+            0 => TrafficClass::UrgentSporadic,
+            1 => TrafficClass::Periodic,
+            2 => TrafficClass::Sporadic,
+            _ => TrafficClass::Background,
+        }
+    }
+
+    /// The class the paper assigns to a *sporadic* message with the given
+    /// maximal response time: ≤ 3 ms is urgent, ≤ 160 ms is sporadic,
+    /// anything longer is background.
+    pub fn for_sporadic_deadline(deadline: Duration) -> Self {
+        if deadline <= Duration::from_millis(3) {
+            TrafficClass::UrgentSporadic
+        } else if deadline <= Duration::from_millis(160) {
+            TrafficClass::Sporadic
+        } else {
+            TrafficClass::Background
+        }
+    }
+}
+
+impl core::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrafficClass::UrgentSporadic => write!(f, "P0/urgent"),
+            TrafficClass::Periodic => write!(f, "P1/periodic"),
+            TrafficClass::Sporadic => write!(f, "P2/sporadic"),
+            TrafficClass::Background => write!(f, "P3/background"),
+        }
+    }
+}
+
+/// Maps traffic classes to the queue index of a multiplexer with a given
+/// number of levels.
+///
+/// With 4 levels (the paper's configuration) the mapping is the identity;
+/// with fewer levels the lower classes collapse into the last queue (and
+/// with a single level everything collapses into it — which is exactly the
+/// FCFS configuration, making the classifier the single switch point between
+/// the two approaches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classifier {
+    levels: usize,
+}
+
+impl Classifier {
+    /// A classifier for a multiplexer with `levels` queues.
+    pub fn new(levels: usize) -> Self {
+        Classifier {
+            levels: levels.max(1),
+        }
+    }
+
+    /// The paper's 4-level classifier.
+    pub fn paper_default() -> Self {
+        Classifier { levels: 4 }
+    }
+
+    /// A degenerate single-queue classifier (the FCFS approach).
+    pub fn fcfs() -> Self {
+        Classifier { levels: 1 }
+    }
+
+    /// Number of queue levels the classifier targets.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The queue index for a traffic class.
+    pub fn queue_for(&self, class: TrafficClass) -> usize {
+        class.priority().min(self.levels - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_priority_roundtrip() {
+        for class in TrafficClass::ALL {
+            assert_eq!(TrafficClass::from_priority(class.priority()), class);
+        }
+        assert_eq!(TrafficClass::from_priority(17), TrafficClass::Background);
+    }
+
+    #[test]
+    fn sporadic_deadline_classification() {
+        assert_eq!(
+            TrafficClass::for_sporadic_deadline(Duration::from_millis(3)),
+            TrafficClass::UrgentSporadic
+        );
+        assert_eq!(
+            TrafficClass::for_sporadic_deadline(Duration::from_millis(20)),
+            TrafficClass::Sporadic
+        );
+        assert_eq!(
+            TrafficClass::for_sporadic_deadline(Duration::from_millis(160)),
+            TrafficClass::Sporadic
+        );
+        assert_eq!(
+            TrafficClass::for_sporadic_deadline(Duration::from_millis(161)),
+            TrafficClass::Background
+        );
+    }
+
+    #[test]
+    fn four_level_classifier_is_identity() {
+        let c = Classifier::paper_default();
+        assert_eq!(c.levels(), 4);
+        for class in TrafficClass::ALL {
+            assert_eq!(c.queue_for(class), class.priority());
+        }
+    }
+
+    #[test]
+    fn fcfs_classifier_collapses_everything() {
+        let c = Classifier::fcfs();
+        for class in TrafficClass::ALL {
+            assert_eq!(c.queue_for(class), 0);
+        }
+    }
+
+    #[test]
+    fn two_level_classifier_splits_urgent_from_the_rest() {
+        let c = Classifier::new(2);
+        assert_eq!(c.queue_for(TrafficClass::UrgentSporadic), 0);
+        assert_eq!(c.queue_for(TrafficClass::Periodic), 1);
+        assert_eq!(c.queue_for(TrafficClass::Background), 1);
+        assert_eq!(Classifier::new(0).levels(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TrafficClass::UrgentSporadic.to_string(), "P0/urgent");
+        assert_eq!(TrafficClass::Background.to_string(), "P3/background");
+    }
+}

@@ -1,0 +1,149 @@
+//! The single-queue FCFS multiplexer.
+
+use crate::Sized64;
+use std::collections::VecDeque;
+use units::DataSize;
+
+/// A first-come-first-served output queue with byte accounting and an
+/// optional capacity limit.
+///
+/// This is the multiplexer of the paper's first approach: every shaped flow
+/// of a station feeds the same FIFO in front of the 10 Mbps link.
+#[derive(Debug, Clone)]
+pub struct FcfsQueue<T> {
+    queue: VecDeque<T>,
+    queued_bits: u64,
+    capacity: Option<DataSize>,
+    dropped: u64,
+}
+
+impl<T: Sized64> FcfsQueue<T> {
+    /// An unbounded FCFS queue.
+    pub fn new() -> Self {
+        FcfsQueue {
+            queue: VecDeque::new(),
+            queued_bits: 0,
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// A FCFS queue that drops arrivals which would push the backlog above
+    /// `capacity`.
+    pub fn bounded(capacity: DataSize) -> Self {
+        FcfsQueue {
+            queue: VecDeque::new(),
+            queued_bits: 0,
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues an item; returns `false` (and counts a drop) if the bounded
+    /// queue has no room.
+    pub fn enqueue(&mut self, item: T) -> bool {
+        let bits = item.size_bits();
+        if let Some(cap) = self.capacity {
+            if self.queued_bits + bits > cap.bits() {
+                self.dropped += 1;
+                return false;
+            }
+        }
+        self.queued_bits += bits;
+        self.queue.push_back(item);
+        true
+    }
+
+    /// Removes and returns the head item.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let item = self.queue.pop_front()?;
+        self.queued_bits -= item.size_bits();
+        Some(item)
+    }
+
+    /// The head item, without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The queued backlog.
+    pub fn backlog(&self) -> DataSize {
+        DataSize::from_bits(self.queued_bits)
+    }
+
+    /// The number of arrivals dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<T: Sized64> Default for FcfsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pkt(u64);
+    impl Sized64 for Pkt {
+        fn size_bits(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_backlog_accounting() {
+        let mut q = FcfsQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(Pkt(100));
+        q.enqueue(Pkt(200));
+        q.enqueue(Pkt(300));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.backlog(), DataSize::from_bits(600));
+        assert_eq!(q.peek(), Some(&Pkt(100)));
+        assert_eq!(q.dequeue(), Some(Pkt(100)));
+        assert_eq!(q.backlog(), DataSize::from_bits(500));
+        assert_eq!(q.dequeue(), Some(Pkt(200)));
+        assert_eq!(q.dequeue(), Some(Pkt(300)));
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.backlog(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn bounded_queue_drops_overflow() {
+        let mut q = FcfsQueue::bounded(DataSize::from_bits(250));
+        assert!(q.enqueue(Pkt(100)));
+        assert!(q.enqueue(Pkt(100)));
+        assert!(!q.enqueue(Pkt(100)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        // Draining makes room again.
+        q.dequeue();
+        assert!(q.enqueue(Pkt(100)));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let mut q = FcfsQueue::new();
+        for i in 0..1000 {
+            assert!(q.enqueue(Pkt(1500 * 8 + i)));
+        }
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.len(), 1000);
+    }
+}

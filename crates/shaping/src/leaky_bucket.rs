@@ -1,0 +1,100 @@
+//! A leaky-bucket (pure rate) pacer.
+
+use serde::{Deserialize, Serialize};
+use units::{DataRate, DataSize, Duration, Instant};
+
+/// A leaky bucket paces packets so the output never exceeds the configured
+/// rate, with no burst allowance beyond a single packet.
+///
+/// Compared to the token bucket, the leaky bucket removes the initial-burst
+/// term from the arrival curve (`b` becomes one maximum packet) at the price
+/// of adding shaping delay at the source; the shaping ablation experiment
+/// (E6) uses it to show the trade-off.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakyBucket {
+    rate: DataRate,
+    /// The instant the bucket finishes draining everything admitted so far.
+    drain_complete: Instant,
+}
+
+impl LeakyBucket {
+    /// Creates a pacer with the given drain rate.
+    pub fn new(rate: DataRate) -> Self {
+        LeakyBucket {
+            rate,
+            drain_complete: Instant::EPOCH,
+        }
+    }
+
+    /// The configured drain rate.
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// The earliest instant at or after `now` at which a packet of `size`
+    /// bits may be emitted, without admitting it.
+    pub fn next_emission(&self, now: Instant) -> Instant {
+        now.max(self.drain_complete)
+    }
+
+    /// Admits a packet of `size` bits at `now` and returns the instant it is
+    /// emitted (when the bucket has drained everything in front of it).
+    ///
+    /// # Panics
+    /// Panics if the rate is zero and `size` is non-zero.
+    pub fn admit(&mut self, now: Instant, size: DataSize) -> Instant {
+        let start = self.next_emission(now);
+        let drain = self.rate.transmission_time(size);
+        self.drain_complete = start + drain;
+        start
+    }
+
+    /// The backlog drain time remaining at `now`.
+    pub fn backlog(&self, now: Instant) -> Duration {
+        self.drain_complete.saturating_since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_us(us: u64) -> Instant {
+        Instant::EPOCH + Duration::from_micros(us)
+    }
+
+    #[test]
+    fn first_packet_goes_immediately() {
+        let mut lb = LeakyBucket::new(DataRate::from_mbps(1));
+        let emitted = lb.admit(Instant::EPOCH, DataSize::from_bits(1000));
+        assert_eq!(emitted, Instant::EPOCH);
+        // 1000 bits at 1 Mbps = 1 ms of drain.
+        assert_eq!(lb.backlog(Instant::EPOCH), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn back_to_back_packets_are_spaced_by_drain_time() {
+        let mut lb = LeakyBucket::new(DataRate::from_mbps(1));
+        let a = lb.admit(Instant::EPOCH, DataSize::from_bits(500));
+        let b = lb.admit(Instant::EPOCH, DataSize::from_bits(500));
+        assert_eq!(a, Instant::EPOCH);
+        assert_eq!(b, at_us(500));
+        // After the backlog drains, a later packet is not delayed.
+        let c = lb.admit(at_us(5_000), DataSize::from_bits(100));
+        assert_eq!(c, at_us(5_000));
+    }
+
+    #[test]
+    fn backlog_decreases_over_time() {
+        let mut lb = LeakyBucket::new(DataRate::from_mbps(10));
+        lb.admit(Instant::EPOCH, DataSize::from_bytes(1250)); // 10_000 bits -> 1 ms
+        assert_eq!(lb.backlog(Instant::EPOCH), Duration::from_millis(1));
+        assert_eq!(lb.backlog(at_us(400)), Duration::from_micros(600));
+        assert_eq!(lb.backlog(at_us(2_000)), Duration::ZERO);
+    }
+
+    #[test]
+    fn rate_accessor() {
+        assert_eq!(LeakyBucket::new(DataRate::from_kbps(64)).rate(), DataRate::from_kbps(64));
+    }
+}

@@ -1,0 +1,184 @@
+//! A greedy per-flow shaper queue built on the token bucket.
+
+use crate::token_bucket::TokenBucketShaper;
+use crate::Sized64;
+use std::collections::VecDeque;
+use units::{DataSize, Instant};
+
+/// The outcome of asking the regulator what to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseDecision {
+    /// Nothing is queued.
+    Empty,
+    /// The head packet may be released now.
+    ReleaseNow,
+    /// The head packet conforms no earlier than the contained instant.
+    WaitUntil(Instant),
+    /// The head packet can never conform (it exceeds the bucket depth);
+    /// the caller should drop or reject it.
+    NeverConforms,
+}
+
+/// A greedy shaper: packets are queued in arrival order and each is released
+/// at its earliest conforming time under the flow's token-bucket contract.
+///
+/// "Greedy" means the shaper never holds a packet longer than the contract
+/// requires, which is the shaper the Network-Calculus results assume (a
+/// greedy shaper does not add to the end-to-end delay bound beyond the
+/// shaping delay itself).
+#[derive(Debug, Clone)]
+pub struct Regulator<T> {
+    bucket: TokenBucketShaper,
+    queue: VecDeque<T>,
+}
+
+impl<T: Sized64> Regulator<T> {
+    /// Creates a regulator enforcing the given token-bucket contract.
+    pub fn new(bucket: TokenBucketShaper) -> Self {
+        Regulator {
+            bucket,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The number of packets currently held.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no packet is held.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The token-bucket contract being enforced.
+    pub fn bucket(&self) -> &TokenBucketShaper {
+        &self.bucket
+    }
+
+    /// Enqueues a packet (arrival order is preserved).
+    pub fn enqueue(&mut self, packet: T) {
+        self.queue.push_back(packet);
+    }
+
+    /// What should happen to the head packet at `now`.
+    pub fn head_decision(&self, now: Instant) -> ReleaseDecision {
+        match self.queue.front() {
+            None => ReleaseDecision::Empty,
+            Some(head) => {
+                let size = DataSize::from_bits(head.size_bits());
+                match self.bucket.earliest_conforming(now, size) {
+                    None => ReleaseDecision::NeverConforms,
+                    Some(t) if t <= now => ReleaseDecision::ReleaseNow,
+                    Some(t) => ReleaseDecision::WaitUntil(t),
+                }
+            }
+        }
+    }
+
+    /// Releases the head packet at `now`, consuming its tokens.
+    ///
+    /// Returns `None` if the queue is empty or the head does not conform at
+    /// `now` (callers should first consult [`Regulator::head_decision`]).
+    pub fn release(&mut self, now: Instant) -> Option<T> {
+        let head = self.queue.front()?;
+        let size = DataSize::from_bits(head.size_bits());
+        if !self.bucket.conforms(now, size) {
+            return None;
+        }
+        self.bucket.consume(now, size);
+        self.queue.pop_front()
+    }
+
+    /// Drops the head packet without consuming tokens (used for packets that
+    /// can never conform).
+    pub fn drop_head(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::{DataRate, Duration};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pkt(u64);
+
+    impl Sized64 for Pkt {
+        fn size_bits(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn regulator() -> Regulator<Pkt> {
+        // 512-bit bucket refilled at 25.6 kbps (one 64-byte message per 20 ms).
+        Regulator::new(TokenBucketShaper::for_message(
+            DataSize::from_bits(512),
+            Duration::from_millis(20),
+        ))
+    }
+
+    #[test]
+    fn empty_regulator() {
+        let reg = regulator();
+        assert!(reg.is_empty());
+        assert_eq!(reg.head_decision(Instant::EPOCH), ReleaseDecision::Empty);
+    }
+
+    #[test]
+    fn first_packet_released_immediately_then_paced() {
+        let mut reg = regulator();
+        reg.enqueue(Pkt(512));
+        reg.enqueue(Pkt(512));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.head_decision(Instant::EPOCH), ReleaseDecision::ReleaseNow);
+        assert_eq!(reg.release(Instant::EPOCH), Some(Pkt(512)));
+        // Second packet must wait for the bucket to refill.
+        match reg.head_decision(Instant::EPOCH) {
+            ReleaseDecision::WaitUntil(t) => assert_eq!(t, at_ms(20)),
+            other => panic!("unexpected decision {other:?}"),
+        }
+        // Premature release attempts return None and keep the packet.
+        assert_eq!(reg.release(at_ms(5)), None);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.release(at_ms(20)), Some(Pkt(512)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn oversized_packet_never_conforms() {
+        let mut reg = regulator();
+        reg.enqueue(Pkt(10_000));
+        assert_eq!(
+            reg.head_decision(Instant::EPOCH),
+            ReleaseDecision::NeverConforms
+        );
+        assert_eq!(reg.drop_head(), Some(Pkt(10_000)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut reg = Regulator::new(TokenBucketShaper::new(
+            DataSize::from_bits(10_000),
+            DataRate::from_mbps(1),
+        ));
+        reg.enqueue(Pkt(1));
+        reg.enqueue(Pkt(2));
+        reg.enqueue(Pkt(3));
+        assert_eq!(reg.release(Instant::EPOCH), Some(Pkt(1)));
+        assert_eq!(reg.release(Instant::EPOCH), Some(Pkt(2)));
+        assert_eq!(reg.release(Instant::EPOCH), Some(Pkt(3)));
+    }
+
+    #[test]
+    fn bucket_accessor_reflects_contract() {
+        let reg = regulator();
+        assert_eq!(reg.bucket().capacity(), DataSize::from_bits(512));
+    }
+}

@@ -1,0 +1,198 @@
+//! The operational token-bucket regulator.
+
+use serde::{Deserialize, Serialize};
+use units::{DataRate, DataSize, Duration, Instant};
+
+/// A stateful token bucket of depth `b` bits replenished at `r` bits per
+/// second.
+///
+/// Tokens are accounted exactly: the bucket stores the level it had at an
+/// *anchor* instant and recomputes the current level lazily from the elapsed
+/// time, moving the anchor only when tokens are spent.  This avoids the
+/// cumulative rounding drift an "update every tick" implementation would
+/// accumulate and keeps the shaper's output exactly inside the `(b, r)`
+/// envelope the analysis assumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBucketShaper {
+    capacity: DataSize,
+    rate: DataRate,
+    /// Token level at `anchor`.
+    level: DataSize,
+    /// Instant at which `level` was valid.
+    anchor: Instant,
+}
+
+impl TokenBucketShaper {
+    /// Creates a bucket that starts **full** at `t = 0` (the conventional
+    /// worst case: a source may emit its whole burst immediately).
+    pub fn new(capacity: DataSize, rate: DataRate) -> Self {
+        TokenBucketShaper {
+            capacity,
+            rate,
+            level: capacity,
+            anchor: Instant::EPOCH,
+        }
+    }
+
+    /// The paper's per-message shaper: depth `b_i` and rate `r_i = b_i/T_i`.
+    pub fn for_message(length: DataSize, period: Duration) -> Self {
+        let rate = DataRate::per(length, period)
+            .expect("message period must be non-zero to derive a shaper rate");
+        Self::new(length, rate)
+    }
+
+    /// The bucket depth.
+    pub fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    /// The replenishment rate.
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// The number of tokens available at `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` is before the last instant tokens were spent
+    /// (time must not run backwards).
+    pub fn available(&self, now: Instant) -> DataSize {
+        let elapsed = now.since(self.anchor);
+        self.level
+            .saturating_add(self.rate.bits_in(elapsed))
+            .min(self.capacity)
+    }
+
+    /// `true` if a packet of `size` bits conforms at `now`.
+    pub fn conforms(&self, now: Instant, size: DataSize) -> bool {
+        self.available(now) >= size
+    }
+
+    /// The earliest instant at or after `now` at which a packet of `size`
+    /// bits conforms, or `None` if it can never conform (`size` larger than
+    /// the bucket and the refill rate is zero, or larger than the bucket
+    /// depth — an oversized packet never fits a token-bucket contract).
+    pub fn earliest_conforming(&self, now: Instant, size: DataSize) -> Option<Instant> {
+        if size > self.capacity {
+            return None;
+        }
+        let available = self.available(now);
+        if available >= size {
+            return Some(now);
+        }
+        if self.rate.is_zero() {
+            return None;
+        }
+        let deficit = size - available;
+        // Wait exactly long enough to accrue the deficit, rounding up.
+        let wait = self.rate.transmission_time(deficit);
+        now.checked_add(wait)
+    }
+
+    /// Spends `size` bits of tokens at `now`.
+    ///
+    /// # Panics
+    /// Panics if the packet does not conform at `now`; callers must gate on
+    /// [`TokenBucketShaper::conforms`] or wait until
+    /// [`TokenBucketShaper::earliest_conforming`].
+    pub fn consume(&mut self, now: Instant, size: DataSize) {
+        let available = self.available(now);
+        assert!(
+            available >= size,
+            "token bucket violation: {} bits requested, {} available",
+            size.bits(),
+            available.bits()
+        );
+        self.level = available - size;
+        self.anchor = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::EPOCH + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn bucket_starts_full() {
+        let tb = TokenBucketShaper::new(DataSize::from_bits(1000), DataRate::from_kbps(10));
+        assert_eq!(tb.available(Instant::EPOCH), DataSize::from_bits(1000));
+        assert!(tb.conforms(Instant::EPOCH, DataSize::from_bits(1000)));
+        assert!(!tb.conforms(Instant::EPOCH, DataSize::from_bits(1001)));
+    }
+
+    #[test]
+    fn tokens_accrue_and_cap_at_capacity() {
+        let mut tb = TokenBucketShaper::new(DataSize::from_bits(1000), DataRate::from_kbps(10));
+        tb.consume(Instant::EPOCH, DataSize::from_bits(1000));
+        assert_eq!(tb.available(Instant::EPOCH), DataSize::ZERO);
+        // 10 kbps = 10 bits per ms.
+        assert_eq!(tb.available(at_ms(1)), DataSize::from_bits(10));
+        assert_eq!(tb.available(at_ms(50)), DataSize::from_bits(500));
+        // Far in the future the level saturates at the capacity.
+        assert_eq!(tb.available(at_ms(1_000_000)), DataSize::from_bits(1000));
+    }
+
+    #[test]
+    fn earliest_conforming_time() {
+        let mut tb = TokenBucketShaper::new(DataSize::from_bits(1000), DataRate::from_kbps(10));
+        tb.consume(Instant::EPOCH, DataSize::from_bits(1000));
+        // Needs 600 bits -> 60 ms at 10 bits/ms.
+        assert_eq!(
+            tb.earliest_conforming(Instant::EPOCH, DataSize::from_bits(600)),
+            Some(at_ms(60))
+        );
+        // Already conforming packets go immediately.
+        assert_eq!(
+            tb.earliest_conforming(at_ms(200), DataSize::from_bits(600)),
+            Some(at_ms(200))
+        );
+        // Larger than the bucket: never.
+        assert_eq!(
+            tb.earliest_conforming(Instant::EPOCH, DataSize::from_bits(1001)),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let mut tb = TokenBucketShaper::new(DataSize::from_bits(100), DataRate::ZERO);
+        tb.consume(Instant::EPOCH, DataSize::from_bits(100));
+        assert_eq!(
+            tb.earliest_conforming(at_ms(1), DataSize::from_bits(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn consume_sequence_respects_envelope() {
+        // A (512 bits, 25.6 kbps) shaper: after the initial burst, one
+        // 512-bit message conforms every 20 ms and not earlier.
+        let mut tb =
+            TokenBucketShaper::for_message(DataSize::from_bits(512), Duration::from_millis(20));
+        let msg = DataSize::from_bits(512);
+        tb.consume(Instant::EPOCH, msg);
+        let next = tb.earliest_conforming(Instant::EPOCH, msg).unwrap();
+        assert_eq!(next, at_ms(20));
+        assert!(!tb.conforms(at_ms(19), msg));
+        tb.consume(next, msg);
+        assert_eq!(tb.earliest_conforming(next, msg).unwrap(), at_ms(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "token bucket violation")]
+    fn non_conforming_consume_panics() {
+        let mut tb = TokenBucketShaper::new(DataSize::from_bits(10), DataRate::from_bps(1));
+        tb.consume(Instant::EPOCH, DataSize::from_bits(11));
+    }
+
+    #[test]
+    fn accessors() {
+        let tb = TokenBucketShaper::for_message(DataSize::from_bytes(64), Duration::from_millis(20));
+        assert_eq!(tb.capacity(), DataSize::from_bytes(64));
+        assert_eq!(tb.rate(), DataRate::from_bps(25_600));
+    }
+}

@@ -1,0 +1,75 @@
+//! Exact integer quantities shared by every crate in the workspace.
+//!
+//! The analysis and simulation of a hard real-time network must be
+//! deterministic and free of floating-point drift: the discrete-event
+//! simulator compares timestamps for equality, the Network-Calculus engine
+//! accumulates many per-flow terms, and the MIL-STD-1553B scheduler packs
+//! slots that must tile a major frame exactly.  All quantities are therefore
+//! carried as integers in their natural base unit:
+//!
+//! * [`Duration`] / [`Instant`] — nanoseconds (`u64`),
+//! * [`DataSize`] — bits (`u64`),
+//! * [`DataRate`] — bits per second (`u64`).
+//!
+//! Floating-point conversions exist only at the reporting boundary
+//! (e.g. [`Duration::as_secs_f64`]) and for the closed-form Network-Calculus
+//! expressions that intrinsically divide rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rate;
+mod size;
+mod time;
+
+pub use rate::DataRate;
+pub use size::DataSize;
+pub use time::{Duration, Instant};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Transmission time followed by "how many bits fit in that time"
+        /// never exceeds the original size by more than one bit-time of
+        /// rounding.
+        #[test]
+        fn transmission_roundtrip(bits in 1u64..10_000_000, bps in 1_000u64..10_000_000_000) {
+            let size = DataSize::from_bits(bits);
+            let rate = DataRate::from_bps(bps);
+            let t = rate.transmission_time(size);
+            // The computed time must be enough to send the payload.
+            let sent = rate.bits_in(t);
+            prop_assert!(sent.bits() >= bits);
+            // ... and not overshoot by more than one extra nanosecond's worth of bits.
+            let overshoot = sent.bits() - bits;
+            prop_assert!(overshoot <= bps / 1_000_000_000 + 1);
+        }
+
+        #[test]
+        fn duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+            let da = Duration::from_nanos(a);
+            let db = Duration::from_nanos(b);
+            prop_assert_eq!((da + db) - db, da);
+        }
+
+        #[test]
+        fn instant_ordering_consistent(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let ia = Instant::from_nanos(a);
+            let ib = Instant::from_nanos(b);
+            prop_assert_eq!(ia < ib, a < b);
+            if a >= b {
+                prop_assert_eq!(ia.saturating_since(ib), Duration::from_nanos(a - b));
+            }
+        }
+
+        #[test]
+        fn size_display_parse_consistent(bits in 0u64..1_000_000_000) {
+            let s = DataSize::from_bits(bits);
+            prop_assert_eq!(s.bits(), bits);
+            prop_assert_eq!(DataSize::from_bytes(s.bits() / 8).bits() + s.bits() % 8, bits);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Data rates in bits per second.
+
+use crate::{DataSize, Duration};
+use core::fmt;
+use core::ops::{Add, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A data rate, in bits per second.
+///
+/// Link capacities (`C` in the paper), token-bucket rates (`r_i = b_i / T_i`)
+/// and residual service rates are all `DataRate`s.  The two key operations
+/// are [`DataRate::transmission_time`] (how long a frame occupies the wire,
+/// rounded *up* so worst-case delays are never optimistic) and
+/// [`DataRate::bits_in`] (how much traffic a greedy source can emit in a
+/// window, rounded *down* so admission tests are never optimistic either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataRate(u64);
+
+impl DataRate {
+    /// Zero bits per second.
+    pub const ZERO: DataRate = DataRate(0);
+
+    /// Creates a rate from bits per second.
+    #[inline]
+    pub const fn from_bps(bps: u64) -> Self {
+        DataRate(bps)
+    }
+
+    /// Creates a rate from kilobits per second (10^3 b/s).
+    #[inline]
+    pub const fn from_kbps(kbps: u64) -> Self {
+        DataRate(kbps * 1_000)
+    }
+
+    /// Creates a rate from megabits per second (10^6 b/s).
+    ///
+    /// `DataRate::from_mbps(10)` is the paper's switched-Ethernet link rate,
+    /// `DataRate::from_mbps(1)` is the MIL-STD-1553B bus rate.
+    #[inline]
+    pub const fn from_mbps(mbps: u64) -> Self {
+        DataRate(mbps * 1_000_000)
+    }
+
+    /// Creates a rate from gigabits per second (10^9 b/s).
+    #[inline]
+    pub const fn from_gbps(gbps: u64) -> Self {
+        DataRate(gbps * 1_000_000_000)
+    }
+
+    /// Creates a rate `size / period`, rounding **up**: the returned rate is
+    /// the smallest integer rate that can sustain one `size` every `period`.
+    ///
+    /// Returns `None` when `period` is zero.
+    pub fn per(size: DataSize, period: Duration) -> Option<DataRate> {
+        if period.is_zero() {
+            return None;
+        }
+        // rate = bits * 1e9 / period_ns, rounded up, using u128 to avoid overflow.
+        let num = (size.bits() as u128) * 1_000_000_000u128;
+        let den = period.as_nanos() as u128;
+        let bps = num.div_ceil(den);
+        Some(DataRate(u64::try_from(bps).unwrap_or(u64::MAX)))
+    }
+
+    /// The rate in bits per second.
+    #[inline]
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// The rate as floating-point bits per second.
+    #[inline]
+    pub fn as_f64_bps(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `true` if the rate is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Time needed to transmit `size` at this rate, rounded **up** to the
+    /// next nanosecond.
+    ///
+    /// # Panics
+    /// Panics if the rate is zero and `size` is non-zero — a zero-rate link
+    /// can never transmit, and silently returning a huge number would hide a
+    /// configuration error.
+    pub fn transmission_time(self, size: DataSize) -> Duration {
+        if size.is_zero() {
+            return Duration::ZERO;
+        }
+        assert!(
+            self.0 > 0,
+            "transmission_time on a zero-rate link for a non-empty frame"
+        );
+        let num = (size.bits() as u128) * 1_000_000_000u128;
+        let den = self.0 as u128;
+        let ns = num.div_ceil(den);
+        Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// How many bits can be sent at this rate within `window` (rounded down).
+    pub fn bits_in(self, window: Duration) -> DataSize {
+        let num = (self.0 as u128) * (window.as_nanos() as u128);
+        let bits = num / 1_000_000_000u128;
+        DataSize::from_bits(u64::try_from(bits).unwrap_or(u64::MAX))
+    }
+
+    /// Checked subtraction, for computing residual capacity `C - Σ r_i`.
+    #[inline]
+    pub fn checked_sub(self, rhs: DataRate) -> Option<DataRate> {
+        self.0.checked_sub(rhs.0).map(DataRate)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: DataRate) -> DataRate {
+        DataRate(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: DataRate) -> DataRate {
+        DataRate(self.0.saturating_add(rhs.0))
+    }
+
+    /// Utilization of this rate against a capacity, as a fraction in `[0, ∞)`.
+    pub fn utilization_of(self, capacity: DataRate) -> f64 {
+        if capacity.is_zero() {
+            if self.is_zero() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / capacity.0 as f64
+        }
+    }
+
+    /// The larger of two rates.
+    #[inline]
+    pub fn max(self, other: DataRate) -> DataRate {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two rates.
+    #[inline]
+    pub fn min(self, other: DataRate) -> DataRate {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for DataRate {
+    type Output = DataRate;
+    #[inline]
+    fn add(self, rhs: DataRate) -> DataRate {
+        DataRate(self.0.checked_add(rhs.0).expect("DataRate overflow in add"))
+    }
+}
+
+impl Sub for DataRate {
+    type Output = DataRate;
+    #[inline]
+    fn sub(self, rhs: DataRate) -> DataRate {
+        DataRate(self.0.checked_sub(rhs.0).expect("DataRate underflow in sub"))
+    }
+}
+
+impl core::iter::Sum for DataRate {
+    fn sum<I: Iterator<Item = DataRate>>(iter: I) -> DataRate {
+        iter.fold(DataRate::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}kbps", self.0 / 1_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DataRate::from_kbps(1).bps(), 1_000);
+        assert_eq!(DataRate::from_mbps(10).bps(), 10_000_000);
+        assert_eq!(DataRate::from_gbps(1).bps(), 1_000_000_000);
+    }
+
+    #[test]
+    fn per_computes_sustained_rate() {
+        // 64 bytes every 20 ms -> 512 bits / 0.02 s = 25_600 bps.
+        let r = DataRate::per(DataSize::from_bytes(64), Duration::from_millis(20)).unwrap();
+        assert_eq!(r.bps(), 25_600);
+        assert_eq!(DataRate::per(DataSize::from_bytes(1), Duration::ZERO), None);
+        // Rounding is up: 1 bit every 3 ns -> 333_333_333.33.. -> 333_333_334.
+        let r = DataRate::per(DataSize::from_bits(1), Duration::from_nanos(3)).unwrap();
+        assert_eq!(r.bps(), 333_333_334);
+    }
+
+    #[test]
+    fn transmission_time_matches_hand_calculation() {
+        // A 100-byte frame at 10 Mbps: 800 bits / 10^7 bps = 80 us.
+        let t = DataRate::from_mbps(10).transmission_time(DataSize::from_bytes(100));
+        assert_eq!(t, Duration::from_micros(80));
+        // 1518-byte maximum Ethernet frame at 10 Mbps = 1214.4 us -> rounded up.
+        let t = DataRate::from_mbps(10).transmission_time(DataSize::from_bytes(1518));
+        assert_eq!(t, Duration::from_nanos(1_214_400));
+        // Zero-size payloads take no time even on a zero-rate link.
+        assert_eq!(
+            DataRate::ZERO.transmission_time(DataSize::ZERO),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn transmission_time_rounds_up() {
+        // 1 bit at 3 bps = 0.333... s -> must round up.
+        let t = DataRate::from_bps(3).transmission_time(DataSize::from_bits(1));
+        assert_eq!(t, Duration::from_nanos(333_333_334));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate link")]
+    fn transmission_time_zero_rate_panics() {
+        let _ = DataRate::ZERO.transmission_time(DataSize::from_bits(1));
+    }
+
+    #[test]
+    fn bits_in_window() {
+        assert_eq!(
+            DataRate::from_mbps(10).bits_in(Duration::from_millis(1)),
+            DataSize::from_bits(10_000)
+        );
+        assert_eq!(DataRate::from_mbps(10).bits_in(Duration::ZERO), DataSize::ZERO);
+    }
+
+    #[test]
+    fn residual_capacity() {
+        let c = DataRate::from_mbps(10);
+        let used = DataRate::from_mbps(3);
+        assert_eq!(c - used, DataRate::from_mbps(7));
+        assert_eq!(used.checked_sub(c), None);
+        assert_eq!(used.saturating_sub(c), DataRate::ZERO);
+        assert!((used.utilization_of(c) - 0.3).abs() < 1e-12);
+        assert_eq!(DataRate::ZERO.utilization_of(DataRate::ZERO), 0.0);
+        assert!(used.utilization_of(DataRate::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: DataRate = (1..=3u64).map(DataRate::from_mbps).sum();
+        assert_eq!(total, DataRate::from_mbps(6));
+        assert_eq!(
+            DataRate::from_mbps(1).max(DataRate::from_mbps(2)),
+            DataRate::from_mbps(2)
+        );
+        assert_eq!(
+            DataRate::from_mbps(1).min(DataRate::from_mbps(2)),
+            DataRate::from_mbps(1)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataRate::from_mbps(10).to_string(), "10Mbps");
+        assert_eq!(DataRate::from_gbps(1).to_string(), "1Gbps");
+        assert_eq!(DataRate::from_kbps(25).to_string(), "25kbps");
+        assert_eq!(DataRate::from_bps(7).to_string(), "7bps");
+    }
+}

@@ -1,0 +1,210 @@
+//! Data sizes in bits.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An amount of data, in bits.
+///
+/// Frame lengths, bucket depths and backlog bounds are all carried as exact
+/// bit counts; the Ethernet and MIL-STD-1553B crates construct them from
+/// bytes and words respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// Zero bits.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Creates a size from bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        DataSize(bits)
+    }
+
+    /// Creates a size from bytes (octets).
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DataSize(bytes * 8)
+    }
+
+    /// Creates a size from kibibytes.
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        DataSize(kib * 8 * 1024)
+    }
+
+    /// The number of bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The number of whole bytes (truncating).
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0 / 8
+    }
+
+    /// The number of bytes, rounded up to cover all bits.
+    #[inline]
+    pub const fn bytes_ceil(self) -> u64 {
+        self.0.div_ceil(8)
+    }
+
+    /// The size as a floating-point number of bits (for closed-form
+    /// Network-Calculus expressions).
+    #[inline]
+    pub fn as_f64_bits(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `true` if this is zero bits.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: DataSize) -> Option<DataSize> {
+        self.0.checked_sub(rhs.0).map(DataSize)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.saturating_add(rhs.0))
+    }
+
+    /// The larger of two sizes.
+    #[inline]
+    pub fn max(self, other: DataSize) -> DataSize {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sizes.
+    #[inline]
+    pub fn min(self, other: DataSize) -> DataSize {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    #[inline]
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_add(rhs.0).expect("DataSize overflow in add"))
+    }
+}
+
+impl AddAssign for DataSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: DataSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    #[inline]
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0.checked_sub(rhs.0).expect("DataSize underflow in sub"))
+    }
+}
+
+impl SubAssign for DataSize {
+    #[inline]
+    fn sub_assign(&mut self, rhs: DataSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for DataSize {
+    type Output = DataSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> DataSize {
+        DataSize(self.0.checked_mul(rhs).expect("DataSize overflow in mul"))
+    }
+}
+
+impl core::iter::Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, |acc, s| acc + s)
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 8 == 0 {
+            write!(f, "{}B", self.0 / 8)
+        } else {
+            write!(f, "{}b", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DataSize::from_bytes(64).bits(), 512);
+        assert_eq!(DataSize::from_kib(1).bits(), 8192);
+        assert_eq!(DataSize::from_bits(12).bytes(), 1);
+        assert_eq!(DataSize::from_bits(12).bytes_ceil(), 2);
+        assert_eq!(DataSize::from_bits(16).bytes_ceil(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DataSize::from_bytes(100);
+        let b = DataSize::from_bytes(60);
+        assert_eq!(a + b, DataSize::from_bytes(160));
+        assert_eq!(a - b, DataSize::from_bytes(40));
+        assert_eq!(b.saturating_sub(a), DataSize::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a * 3, DataSize::from_bytes(300));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!(DataSize::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sum_and_saturation() {
+        let total: DataSize = (1..=4u64).map(DataSize::from_bytes).sum();
+        assert_eq!(total, DataSize::from_bytes(10));
+        assert_eq!(
+            DataSize::from_bits(u64::MAX).saturating_add(DataSize::from_bits(1)),
+            DataSize::from_bits(u64::MAX)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = DataSize::from_bits(1) - DataSize::from_bits(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataSize::from_bytes(84).to_string(), "84B");
+        assert_eq!(DataSize::from_bits(20).to_string(), "20b");
+    }
+}

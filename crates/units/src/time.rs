@@ -1,0 +1,481 @@
+//! Simulation time: [`Duration`] and [`Instant`] in integer nanoseconds.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in nanoseconds.
+///
+/// `Duration` is a thin wrapper over `u64` nanoseconds.  Arithmetic panics on
+/// overflow in debug builds and saturates in the explicit `saturating_*`
+/// helpers; the simulator and schedulers use the checked constructors so a
+/// mis-configured workload fails loudly instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration (~584 years).
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// One microsecond.
+    pub const MICROSECOND: Duration = Duration(1_000);
+    /// One millisecond.
+    pub const MILLISECOND: Duration = Duration(1_000_000);
+    /// One second.
+    pub const SECOND: Duration = Duration(1_000_000_000);
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding up to the next
+    /// nanosecond (worst-case analyses must never round a delay down).
+    ///
+    /// Negative or non-finite inputs yield [`Duration::ZERO`].
+    pub fn from_secs_f64_ceil(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        let ns = (secs * 1e9).ceil();
+        if ns >= u64::MAX as f64 {
+            Duration::MAX
+        } else {
+            Duration(ns as u64)
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds (useful for reporting in the paper's unit).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        self.0.checked_add(rhs.0).map(Duration)
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        self.0.checked_sub(rhs.0).map(Duration)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by an integer factor, saturating.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Integer division of two durations: how many times `rhs` fits into
+    /// `self` (truncating).  Returns `None` when `rhs` is zero.
+    #[inline]
+    pub fn div_duration(self, rhs: Duration) -> Option<u64> {
+        if rhs.0 == 0 {
+            None
+        } else {
+            Some(self.0 / rhs.0)
+        }
+    }
+
+    /// Ceiling division of two durations.  Returns `None` when `rhs` is zero.
+    #[inline]
+    pub fn div_duration_ceil(self, rhs: Duration) -> Option<u64> {
+        if rhs.0 == 0 {
+            None
+        } else {
+            Some(self.0.div_ceil(rhs.0))
+        }
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("Duration overflow in add"))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("Duration underflow in sub"))
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("Duration overflow in mul"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl core::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0s")
+        } else if ns % 1_000_000_000 == 0 {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns % 1_000_000 == 0 {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns % 1_000 == 0 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+/// A point in simulated time, measured in nanoseconds since the start of the
+/// simulation (or of the analysis horizon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// The simulation epoch, `t = 0`.
+    pub const EPOCH: Instant = Instant(0);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("Instant::since: earlier instant is in the future"),
+        )
+    }
+
+    /// The duration elapsed since `earlier`, clamped at zero if `earlier` is
+    /// actually later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked advancement by a duration.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d.as_nanos()).map(Instant)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("Instant overflow in add"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_sub(rhs.as_nanos())
+                .expect("Instant underflow in sub"),
+        )
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1_000));
+        assert_eq!(Duration::from_millis(1), Duration::from_nanos(1_000_000));
+        assert_eq!(Duration::from_secs(1), Duration::from_nanos(1_000_000_000));
+        assert_eq!(Duration::MILLISECOND * 20, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn from_secs_f64_ceil_rounds_up() {
+        assert_eq!(Duration::from_secs_f64_ceil(1e-9), Duration::from_nanos(1));
+        assert_eq!(
+            Duration::from_secs_f64_ceil(0.0000000015),
+            Duration::from_nanos(2)
+        );
+        assert_eq!(Duration::from_secs_f64_ceil(-4.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64_ceil(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64_ceil(f64::INFINITY), Duration::ZERO);
+    }
+
+    #[test]
+    fn as_conversions() {
+        let d = Duration::from_millis(3);
+        assert_eq!(d.as_micros(), 3_000);
+        assert_eq!(d.as_millis(), 3);
+        assert!((d.as_secs_f64() - 0.003).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_and_saturating_arithmetic() {
+        let a = Duration::from_nanos(10);
+        let b = Duration::from_nanos(4);
+        assert_eq!(a.checked_sub(b), Some(Duration::from_nanos(6)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+        assert_eq!(Duration::MAX.saturating_add(a), Duration::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(a.checked_add(b), Some(Duration::from_nanos(14)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Duration::from_nanos(1) - Duration::from_nanos(2);
+    }
+
+    #[test]
+    fn div_duration_counts_periods() {
+        let horizon = Duration::from_millis(160);
+        let minor = Duration::from_millis(20);
+        assert_eq!(horizon.div_duration(minor), Some(8));
+        assert_eq!(horizon.div_duration_ceil(Duration::from_millis(21)), Some(8));
+        assert_eq!(horizon.div_duration(Duration::ZERO), None);
+        assert_eq!(horizon.div_duration_ceil(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Duration::from_millis(3);
+        let b = Duration::from_millis(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1u64, 2, 3, 4]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .sum();
+        assert_eq!(total, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+        assert_eq!(Duration::from_secs(2).to_string(), "2s");
+        assert_eq!(Duration::from_millis(20).to_string(), "20ms");
+        assert_eq!(Duration::from_micros(16).to_string(), "16us");
+        assert_eq!(Duration::from_nanos(7).to_string(), "7ns");
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::EPOCH;
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(t1.since(t0), Duration::from_millis(20));
+        assert_eq!(t1 - t0, Duration::from_millis(20));
+        assert_eq!(t1 - Duration::from_millis(5), t0 + Duration::from_millis(15));
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn instant_since_panics_on_reversed_order() {
+        let t0 = Instant::EPOCH;
+        let t1 = t0 + Duration::from_nanos(1);
+        let _ = t0.since(t1);
+    }
+
+    #[test]
+    fn instant_display() {
+        assert_eq!(
+            (Instant::EPOCH + Duration::from_millis(3)).to_string(),
+            "t+3ms"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The synthetic military-avionics case-study message set.
+//!
+//! The paper's real traffic table is proprietary; this module rebuilds a
+//! message set with the *published* structure (see `DESIGN.md` §2 for the
+//! substitution argument):
+//!
+//! * periods are harmonic and lie between 20 ms and 160 ms — exactly the
+//!   minor/major frame durations of the 1553B baseline;
+//! * message payloads stay within the range a 1553B transfer can carry
+//!   (≤ 32 data words = 64 bytes) for the periodic state data, with larger
+//!   sporadic file-transfer style messages that the 1553B would have to
+//!   fragment;
+//! * every subsystem has one urgent sporadic message with a 3 ms maximal
+//!   response time (threat warnings, weapon-release interlocks), sporadic
+//!   event messages with 20–160 ms deadlines and a background class beyond
+//!   160 ms;
+//! * all operational traffic converges on a central mission computer — the
+//!   switch output port towards it is the bottleneck the analysis stresses.
+
+use crate::message::{Arrival, StationId, Workload};
+use serde::{Deserialize, Serialize};
+use units::{DataSize, Duration};
+
+/// Tunables of the case-study generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseStudyConfig {
+    /// Number of subsystem stations (excluding the mission computer).
+    /// The paper's 1553B heritage caps this at 30 remote terminals.
+    pub subsystems: usize,
+    /// Whether the mission computer sends periodic command messages back to
+    /// every subsystem.
+    pub with_command_traffic: bool,
+}
+
+impl Default for CaseStudyConfig {
+    fn default() -> Self {
+        CaseStudyConfig {
+            subsystems: 15,
+            with_command_traffic: true,
+        }
+    }
+}
+
+/// Index of the mission computer in the generated workload.
+pub const MISSION_COMPUTER: StationId = StationId(0);
+
+/// Builds the case-study workload with the default configuration
+/// (15 subsystems plus the mission computer).
+pub fn case_study() -> Workload {
+    case_study_with(CaseStudyConfig::default())
+}
+
+/// Builds the case-study workload with an explicit configuration.
+pub fn case_study_with(config: CaseStudyConfig) -> Workload {
+    let mut w = Workload::new();
+    let mc = w.add_station("mission-computer");
+    debug_assert_eq!(mc, MISSION_COMPUTER);
+
+    let subsystem_names = [
+        "inertial-nav",
+        "air-data",
+        "radar",
+        "radar-warning",
+        "ew-suite",
+        "stores-mgmt",
+        "engine-1",
+        "engine-2",
+        "fuel",
+        "hydraulics",
+        "electrical",
+        "comms",
+        "iff",
+        "targeting-pod",
+        "flight-controls",
+        "displays",
+        "countermeasures",
+        "datalink",
+        "gps",
+        "terrain-following",
+        "oxygen",
+        "landing-gear",
+        "lighting",
+        "recorder",
+        "maintenance",
+        "weapons-1",
+        "weapons-2",
+        "optics",
+        "laser",
+        "backup-nav",
+    ];
+
+    let subsystems = config.subsystems.min(30);
+    for i in 0..subsystems {
+        let name = subsystem_names
+            .get(i)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("subsystem-{i}"));
+        let station = w.add_station(name.clone());
+
+        // Priority 0 — urgent sporadic, 3 ms deadline, small payload,
+        // regulated at one message per minor frame (20 ms), as the paper
+        // assumes ("at most one sporadic message of each type once every
+        // minor frame").
+        w.add_message(
+            format!("{name}/urgent"),
+            station,
+            mc,
+            DataSize::from_bytes(32),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(20),
+            },
+            Duration::from_millis(3),
+        );
+
+        // Priority 1 — periodic state data.  Periods rotate through the
+        // harmonic set {20, 40, 80, 160} ms; payloads stay within one 1553B
+        // transfer (≤ 64 bytes).  The deadline of a periodic message is its
+        // period (fresh data must arrive before the next sample).
+        let period_ms = [20u64, 40, 80, 160][i % 4];
+        w.add_message(
+            format!("{name}/state"),
+            station,
+            mc,
+            DataSize::from_bytes(64),
+            Arrival::Periodic {
+                period: Duration::from_millis(period_ms),
+            },
+            Duration::from_millis(period_ms),
+        );
+        // A second, slower periodic stream for the richer subsystems.
+        if i % 2 == 0 {
+            let period_ms = [80u64, 160][i % 2];
+            w.add_message(
+                format!("{name}/status"),
+                station,
+                mc,
+                DataSize::from_bytes(32),
+                Arrival::Periodic {
+                    period: Duration::from_millis(period_ms),
+                },
+                Duration::from_millis(period_ms),
+            );
+        }
+
+        // Priority 2 — sporadic events with deadlines in the 20–160 ms
+        // range (deadline rotates; payloads larger than a 1553B transfer to
+        // exercise the Ethernet advantage).
+        let deadline_ms = [40u64, 80, 160][i % 3];
+        w.add_message(
+            format!("{name}/event"),
+            station,
+            mc,
+            DataSize::from_bytes(256),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(40),
+            },
+            Duration::from_millis(deadline_ms),
+        );
+
+        // Priority 3 — background sporadic (maintenance records, bulk
+        // health data), deadline beyond 160 ms.
+        w.add_message(
+            format!("{name}/maintenance"),
+            station,
+            mc,
+            DataSize::from_bytes(1024),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(160),
+            },
+            Duration::from_millis(500),
+        );
+
+        // Optional periodic command traffic from the mission computer back
+        // to the subsystem (leaves on a different switch output port, so it
+        // does not load the bottleneck port).
+        if config.with_command_traffic {
+            w.add_message(
+                format!("mc-to-{name}/command"),
+                mc,
+                station,
+                DataSize::from_bytes(64),
+                Arrival::Periodic {
+                    period: Duration::from_millis(40),
+                },
+                Duration::from_millis(40),
+            );
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shaping::TrafficClass;
+    use units::DataRate;
+
+    #[test]
+    fn default_case_study_shape() {
+        let w = case_study();
+        // 1 mission computer + 15 subsystems.
+        assert_eq!(w.stations.len(), 16);
+        // Each subsystem: urgent + state + event + maintenance + command
+        // back (= 5), plus a status stream on even-indexed subsystems.
+        assert_eq!(
+            w.messages.len(),
+            15 * 5 + 8 /* even-indexed status streams */
+        );
+        assert!(!w.messages_of_class(TrafficClass::UrgentSporadic).is_empty());
+        assert!(!w.messages_of_class(TrafficClass::Periodic).is_empty());
+        assert!(!w.messages_of_class(TrafficClass::Sporadic).is_empty());
+        assert!(!w.messages_of_class(TrafficClass::Background).is_empty());
+    }
+
+    #[test]
+    fn urgent_messages_have_three_ms_deadline() {
+        let w = case_study();
+        for m in w.messages_of_class(TrafficClass::UrgentSporadic) {
+            assert_eq!(m.deadline, Duration::from_millis(3));
+            assert_eq!(m.destination, MISSION_COMPUTER);
+        }
+        assert_eq!(w.tightest_deadline(), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn periods_match_1553_frame_structure() {
+        let w = case_study();
+        for m in w.messages_of_class(TrafficClass::Periodic) {
+            let period_ms = m.interval().as_millis();
+            assert!(
+                [20, 40, 80, 160].contains(&period_ms),
+                "unexpected period {period_ms} ms"
+            );
+            // Periodic payloads stay within one 1553B transfer.
+            if m.source != MISSION_COMPUTER {
+                assert!(m.payload.bytes() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_port_is_loaded_but_stable_at_10_mbps() {
+        let w = case_study();
+        let util = w.utilization_towards(MISSION_COMPUTER, DataRate::from_mbps(10));
+        // The case study is sized to stress a 10 Mbps port without
+        // saturating it: roughly 10–40 % sustained utilization.
+        assert!(util > 0.10, "utilization {util} too low to be interesting");
+        assert!(util < 0.60, "utilization {util} would make the port unstable");
+    }
+
+    #[test]
+    fn aggregate_burst_towards_mc_violates_3ms_under_fcfs_at_10mbps() {
+        // The structural property Figure 1 relies on: the sum of the frame
+        // sizes converging on the mission computer takes longer than 3 ms to
+        // serialize at 10 Mbps (so the FCFS bound violates the urgent
+        // deadline), while the urgent class alone plus one blocking frame
+        // fits well within 3 ms (so the priority bound can meet it).
+        let w = case_study();
+        let total_burst: u64 = w
+            .messages_to(MISSION_COMPUTER)
+            .iter()
+            .map(|m| m.frame_size().bits())
+            .sum();
+        let urgent_burst: u64 = w
+            .messages_to(MISSION_COMPUTER)
+            .iter()
+            .filter(|m| m.traffic_class() == TrafficClass::UrgentSporadic)
+            .map(|m| m.frame_size().bits())
+            .sum();
+        let c = 10_000_000.0;
+        assert!(total_burst as f64 / c > 0.003, "FCFS burst too small");
+        assert!(
+            (urgent_burst as f64 + 1522.0 * 8.0) / c < 0.003,
+            "urgent class too heavy for the priority bound to win"
+        );
+    }
+
+    #[test]
+    fn custom_configuration_scales() {
+        let small = case_study_with(CaseStudyConfig {
+            subsystems: 4,
+            with_command_traffic: false,
+        });
+        assert_eq!(small.stations.len(), 5);
+        assert!(small
+            .messages
+            .iter()
+            .all(|m| m.destination == MISSION_COMPUTER));
+        let large = case_study_with(CaseStudyConfig {
+            subsystems: 64,
+            with_command_traffic: true,
+        });
+        // Clamped to the 30-RT heritage limit.
+        assert_eq!(large.stations.len(), 31);
+    }
+
+    #[test]
+    fn station_names_are_unique() {
+        let w = case_study();
+        let mut names: Vec<_> = w.stations.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), w.stations.len());
+    }
+}

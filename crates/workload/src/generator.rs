@@ -1,0 +1,204 @@
+//! Seeded random workload generation for scaling and sensitivity studies.
+
+use crate::message::{Arrival, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use units::{DataSize, Duration};
+
+/// Parameters of the random workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of subsystem stations (plus one mission computer).
+    pub subsystems: usize,
+    /// Messages produced per subsystem.
+    pub messages_per_subsystem: usize,
+    /// Smallest payload, bytes.
+    pub min_payload_bytes: u64,
+    /// Largest payload, bytes (clamped to the Ethernet MTU).
+    pub max_payload_bytes: u64,
+    /// Fraction of messages that are sporadic rather than periodic, in
+    /// percent (0–100).
+    pub sporadic_percent: u8,
+    /// Fraction of *sporadic* messages that are urgent (3 ms deadline), in
+    /// percent (0–100).
+    pub urgent_percent: u8,
+    /// RNG seed — identical seeds generate identical workloads.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            subsystems: 15,
+            messages_per_subsystem: 5,
+            min_payload_bytes: 8,
+            max_payload_bytes: 1024,
+            sporadic_percent: 50,
+            urgent_percent: 20,
+            seed: 1,
+        }
+    }
+}
+
+/// A deterministic random workload generator.
+///
+/// Periods and inter-arrival times are drawn from the harmonic set
+/// {20, 40, 80, 160} ms the 1553B frame structure imposes; deadlines equal
+/// the period for periodic messages and are drawn per class for sporadic
+/// ones.  All operational traffic converges on the mission computer
+/// (station 0), mirroring the case study's bottleneck structure.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: GeneratorConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator.
+    pub fn new(config: GeneratorConfig) -> Self {
+        WorkloadGenerator { config }
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> Workload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let harmonic_ms = [20u64, 40, 80, 160];
+
+        let min_payload = cfg.min_payload_bytes.max(1);
+        let max_payload = cfg
+            .max_payload_bytes
+            .max(min_payload)
+            .min(ethernet::frame::MAX_PAYLOAD);
+
+        for s in 0..cfg.subsystems {
+            let station = w.add_station(format!("subsystem-{s}"));
+            for m in 0..cfg.messages_per_subsystem {
+                let payload = DataSize::from_bytes(rng.gen_range(min_payload..=max_payload));
+                let interval = Duration::from_millis(
+                    harmonic_ms[rng.gen_range(0..harmonic_ms.len())],
+                );
+                let sporadic = rng.gen_range(0..100) < cfg.sporadic_percent as u32;
+                let (arrival, deadline) = if sporadic {
+                    let urgent = rng.gen_range(0..100) < cfg.urgent_percent as u32;
+                    let deadline = if urgent {
+                        Duration::from_millis(3)
+                    } else if rng.gen_bool(0.7) {
+                        // Sporadic class: deadline in [20, 160] ms.
+                        Duration::from_millis(harmonic_ms[rng.gen_range(0..harmonic_ms.len())])
+                    } else {
+                        // Background class.
+                        Duration::from_millis(rng.gen_range(200..=1000))
+                    };
+                    (
+                        Arrival::Sporadic {
+                            min_interarrival: interval,
+                        },
+                        deadline,
+                    )
+                } else {
+                    (Arrival::Periodic { period: interval }, interval)
+                };
+                w.add_message(
+                    format!("subsystem-{s}/msg-{m}"),
+                    station,
+                    mc,
+                    payload,
+                    arrival,
+                    deadline,
+                );
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StationId;
+    use shaping::TrafficClass;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = WorkloadGenerator::new(GeneratorConfig::default()).generate();
+        let b = WorkloadGenerator::new(GeneratorConfig::default()).generate();
+        let c = WorkloadGenerator::new(GeneratorConfig {
+            seed: 2,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_configured_counts() {
+        let cfg = GeneratorConfig {
+            subsystems: 7,
+            messages_per_subsystem: 3,
+            ..GeneratorConfig::default()
+        };
+        let w = WorkloadGenerator::new(cfg).generate();
+        assert_eq!(w.stations.len(), 8);
+        assert_eq!(w.messages.len(), 21);
+        for m in &w.messages {
+            assert_eq!(m.destination, StationId(0));
+            assert!(m.payload.bytes() >= cfg.min_payload_bytes);
+            assert!(m.payload.bytes() <= cfg.max_payload_bytes);
+        }
+    }
+
+    #[test]
+    fn all_sporadic_and_all_urgent() {
+        let cfg = GeneratorConfig {
+            sporadic_percent: 100,
+            urgent_percent: 100,
+            ..GeneratorConfig::default()
+        };
+        let w = WorkloadGenerator::new(cfg).generate();
+        assert!(w
+            .messages
+            .iter()
+            .all(|m| m.traffic_class() == TrafficClass::UrgentSporadic));
+    }
+
+    #[test]
+    fn all_periodic() {
+        let cfg = GeneratorConfig {
+            sporadic_percent: 0,
+            ..GeneratorConfig::default()
+        };
+        let w = WorkloadGenerator::new(cfg).generate();
+        assert!(w
+            .messages
+            .iter()
+            .all(|m| m.traffic_class() == TrafficClass::Periodic));
+        // Periodic deadlines equal the period.
+        assert!(w.messages.iter().all(|m| m.deadline == m.interval()));
+    }
+
+    #[test]
+    fn payload_bounds_are_clamped_to_mtu() {
+        let cfg = GeneratorConfig {
+            min_payload_bytes: 0,
+            max_payload_bytes: 1_000_000,
+            ..GeneratorConfig::default()
+        };
+        let w = WorkloadGenerator::new(cfg).generate();
+        assert!(w
+            .messages
+            .iter()
+            .all(|m| m.payload.bytes() >= 1 && m.payload.bytes() <= 1500));
+    }
+
+    #[test]
+    fn intervals_come_from_the_harmonic_set() {
+        let w = WorkloadGenerator::new(GeneratorConfig::default()).generate();
+        for m in &w.messages {
+            assert!([20, 40, 80, 160].contains(&m.interval().as_millis()));
+        }
+    }
+}

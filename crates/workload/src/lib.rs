@@ -1,0 +1,29 @@
+//! Military avionics workload model.
+//!
+//! The paper's case study is a real (proprietary) military avionics traffic
+//! table; what it publishes about that table is its *structure*: message
+//! periods between 20 ms and 160 ms (matching the 1553B minor/major frames),
+//! sporadic messages with an urgent class whose maximal response time is
+//! 3 ms, sporadic classes with 20–160 ms and > 160 ms deadlines, and a
+//! station population typical of a 1553B bus (up to 31 remote terminals).
+//!
+//! This crate provides:
+//!
+//! * the message and station model ([`message`]),
+//! * the synthetic case-study message set built from the published structure
+//!   ([`case_study`] — see `DESIGN.md` for the substitution argument),
+//! * a seeded random workload generator for scaling studies ([`generator`]),
+//! * the projection of a workload onto a MIL-STD-1553B transaction table
+//!   ([`map1553`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod generator;
+pub mod map1553;
+pub mod message;
+
+pub use case_study::{case_study, CaseStudyConfig};
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use message::{Arrival, MessageId, MessageSpec, Station, StationId, Workload};

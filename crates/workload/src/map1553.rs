@@ -1,0 +1,269 @@
+//! Projection of an avionics workload onto a MIL-STD-1553B transaction
+//! table.
+//!
+//! The baseline experiment (E2) runs the same message set over the 1 Mbps
+//! polled bus.  Each station becomes a remote terminal, every periodic
+//! message becomes one (or, when the payload exceeds 32 data words, several
+//! chained) RT→BC transfer(s) at the message period, and every sporadic
+//! message becomes a polled transfer issued once per minor frame — the way a
+//! 1553B bus controller learns about asynchronous events.
+
+use crate::message::{MessageSpec, StationId, Workload};
+use milstd1553::schedule::PeriodicRequirement;
+use milstd1553::terminal::RtAddress;
+use milstd1553::transaction::Transaction;
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// How a workload is projected onto the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Polling period used for sporadic messages (the minor frame, 20 ms,
+    /// in the paper's case study).
+    pub sporadic_poll_period: Duration,
+    /// Minor frame duration used to clamp very long periods (periods longer
+    /// than the major frame cannot be expressed in a single-table schedule
+    /// and are issued once per major frame instead).
+    pub major_frame: Duration,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig {
+            sporadic_poll_period: Duration::from_millis(20),
+            major_frame: Duration::from_millis(160),
+        }
+    }
+}
+
+/// Errors raised when a workload cannot be mapped onto the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The workload needs more remote terminals than the bus supports (30).
+    TooManyStations(usize),
+}
+
+impl core::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MappingError::TooManyStations(n) => {
+                write!(f, "{n} stations exceed the 30 remote terminals a 1553B bus supports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Maps the workload to the list of periodic requirements a bus controller
+/// schedule is built from.
+///
+/// Station 0 of the workload is treated as the bus controller (the mission
+/// computer historically hosts the BC), so messages towards it are RT→BC
+/// transfers and messages from it are BC→RT transfers.  Every other pair is
+/// an RT→RT transfer.
+pub fn map_workload(
+    workload: &Workload,
+    config: MappingConfig,
+) -> Result<Vec<PeriodicRequirement>, MappingError> {
+    let bc = StationId(0);
+    if workload.stations.len() > 31 {
+        return Err(MappingError::TooManyStations(workload.stations.len() - 1));
+    }
+    let mut requirements = Vec::new();
+    for message in &workload.messages {
+        let period = effective_period(message, &config);
+        for (chunk_index, data_words) in chunk_words(message).into_iter().enumerate() {
+            let label = if chunk_index == 0 {
+                message.name.clone()
+            } else {
+                format!("{}#{}", message.name, chunk_index)
+            };
+            let transaction = if message.source == bc {
+                Transaction::bc_to_rt(label, rt_of(message.destination), 1, data_words)
+            } else if message.destination == bc {
+                Transaction::rt_to_bc(label, rt_of(message.source), 1, data_words)
+            } else {
+                Transaction::rt_to_rt(
+                    label,
+                    rt_of(message.source),
+                    rt_of(message.destination),
+                    1,
+                    data_words,
+                )
+            };
+            requirements.push(PeriodicRequirement::new(transaction, period));
+        }
+    }
+    Ok(requirements)
+}
+
+/// The issue period of a message on the polled bus.
+///
+/// Periodic messages are issued at their own period.  Sporadic messages are
+/// polled: the bus controller asks for them at the fastest harmonic rate
+/// (`minor × 2^k`) that still leaves slack to the message deadline — we use
+/// the largest harmonic period not exceeding half the deadline, clamped to
+/// the `[minor frame, major frame]` range.  Messages whose deadline is below
+/// the minor frame (the urgent 3 ms class) are polled every minor frame,
+/// which is the best a 1553B bus controller can do — and precisely why the
+/// baseline cannot honour that class.
+fn effective_period(message: &MessageSpec, config: &MappingConfig) -> Duration {
+    if message.arrival.is_periodic() {
+        return message
+            .interval()
+            .min(config.major_frame)
+            .max(config.sporadic_poll_period);
+    }
+    let minor = config.sporadic_poll_period;
+    let mut period = minor;
+    let mut next = minor * 2;
+    while next <= config.major_frame && next * 2 <= message.deadline {
+        period = next;
+        next = next * 2;
+    }
+    period
+}
+
+/// Splits the payload into 1553B transfers of at most 32 data words
+/// (64 bytes) each.
+fn chunk_words(message: &MessageSpec) -> Vec<u8> {
+    let bytes = message.payload.bytes().max(2);
+    let full_chunks = bytes / 64;
+    let remainder = bytes % 64;
+    let mut chunks = vec![32u8; full_chunks as usize];
+    if remainder > 0 {
+        chunks.push(remainder.div_ceil(2) as u8);
+    }
+    chunks
+}
+
+fn rt_of(station: StationId) -> RtAddress {
+    // Station 0 is the BC; stations 1..=30 map to RT addresses 0..=29.
+    RtAddress::new((station.0 as u8).saturating_sub(1))
+        .expect("station count validated against the RT address space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::case_study;
+    use crate::message::Arrival;
+    use milstd1553::message::TransferType;
+    use milstd1553::schedule::Scheduler;
+    use units::DataSize;
+
+    #[test]
+    fn case_study_maps_and_schedules() {
+        let w = case_study();
+        let reqs = map_workload(&w, MappingConfig::default()).unwrap();
+        // At least one requirement per message (large payloads expand).
+        assert!(reqs.len() >= w.messages.len());
+        // The result must actually be schedulable... or not: the point of
+        // the experiment is to *try*.  Here we only check the mapping shape;
+        // the schedulability outcome is examined by the E2 experiment.
+        let schedule = Scheduler::paper_default().schedule(reqs);
+        // Either outcome is acceptable for the mapping test, but the call
+        // must not panic.
+        let _ = schedule;
+    }
+
+    #[test]
+    fn direction_of_transfers_follows_the_bc() {
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("sensor");
+        let b = w.add_station("display");
+        w.add_message(
+            "to-bc",
+            a,
+            mc,
+            DataSize::from_bytes(16),
+            Arrival::Periodic {
+                period: Duration::from_millis(20),
+            },
+            Duration::from_millis(20),
+        );
+        w.add_message(
+            "from-bc",
+            mc,
+            a,
+            DataSize::from_bytes(16),
+            Arrival::Periodic {
+                period: Duration::from_millis(20),
+            },
+            Duration::from_millis(20),
+        );
+        w.add_message(
+            "cross",
+            a,
+            b,
+            DataSize::from_bytes(16),
+            Arrival::Periodic {
+                period: Duration::from_millis(20),
+            },
+            Duration::from_millis(20),
+        );
+        let reqs = map_workload(&w, MappingConfig::default()).unwrap();
+        assert_eq!(reqs[0].transaction.transfer, TransferType::RtToBc);
+        assert_eq!(reqs[1].transaction.transfer, TransferType::BcToRt);
+        assert_eq!(reqs[2].transaction.transfer, TransferType::RtToRt);
+    }
+
+    #[test]
+    fn large_payloads_are_chunked() {
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("recorder");
+        w.add_message(
+            "bulk",
+            a,
+            mc,
+            DataSize::from_bytes(200),
+            Arrival::Periodic {
+                period: Duration::from_millis(160),
+            },
+            Duration::from_millis(160),
+        );
+        let reqs = map_workload(&w, MappingConfig::default()).unwrap();
+        // 200 bytes = 3 full 64-byte transfers + one 8-byte (4 words) tail.
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].transaction.data_words, 32);
+        assert_eq!(reqs[3].transaction.data_words, 4);
+        assert!(reqs[3].transaction.label.contains('#'));
+    }
+
+    #[test]
+    fn sporadic_messages_are_polled_every_minor_frame() {
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("rwr");
+        w.add_message(
+            "threat",
+            a,
+            mc,
+            DataSize::from_bytes(32),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(20),
+            },
+            Duration::from_millis(3),
+        );
+        let reqs = map_workload(&w, MappingConfig::default()).unwrap();
+        // A 3 ms deadline cannot be polled faster than the 20 ms minor
+        // frame: the mapping clamps to 20 ms, which is precisely why the
+        // 1553B baseline cannot honour the urgent class.
+        assert_eq!(reqs[0].period, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn too_many_stations_is_rejected() {
+        let mut w = Workload::new();
+        for i in 0..32 {
+            w.add_station(format!("s{i}"));
+        }
+        assert_eq!(
+            map_workload(&w, MappingConfig::default()),
+            Err(MappingError::TooManyStations(31))
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! A deeper tour of the case study: build a custom avionics workload with
+//! the public API, inspect per-message bounds and their slack, and find the
+//! admissible load limit of the urgent class.
+//!
+//! Run with: `cargo run --example avionics_case_study`
+
+use rt_ethernet::core::MessageBound;
+use rt_ethernet::units::{DataSize, Duration};
+use rt_ethernet::workload::{Arrival, Workload};
+use rt_ethernet::{analyze, Approach, NetworkConfig};
+
+fn build_workload(subsystems: usize) -> Workload {
+    let mut w = Workload::new();
+    let mission_computer = w.add_station("mission-computer");
+    for i in 0..subsystems {
+        let station = w.add_station(format!("subsystem-{i}"));
+        // One urgent threat-warning per subsystem: 32 bytes, at most one
+        // every 20 ms, 3 ms maximal response time.
+        w.add_message(
+            format!("threat-{i}"),
+            station,
+            mission_computer,
+            DataSize::from_bytes(32),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(20),
+            },
+            Duration::from_millis(3),
+        );
+        // Periodic navigation state: 64 bytes every 40 ms.
+        w.add_message(
+            format!("nav-{i}"),
+            station,
+            mission_computer,
+            DataSize::from_bytes(64),
+            Arrival::Periodic {
+                period: Duration::from_millis(40),
+            },
+            Duration::from_millis(40),
+        );
+        // A bulk maintenance record: 1 KiB at most every 160 ms.
+        w.add_message(
+            format!("maintenance-{i}"),
+            station,
+            mission_computer,
+            DataSize::from_bytes(1024),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(160),
+            },
+            Duration::from_millis(500),
+        );
+    }
+    w
+}
+
+fn print_bound(bound: &MessageBound) {
+    println!(
+        "  {:<18} {:<14} bound {:>8.3} ms  deadline {:>8.3} ms  slack {:>8.3} ms  {}",
+        bound.name,
+        bound.class.to_string(),
+        bound.total_bound.as_millis_f64(),
+        bound.deadline.as_millis_f64(),
+        bound.slack().as_millis_f64(),
+        if bound.meets_deadline { "OK" } else { "VIOLATED" }
+    );
+}
+
+fn main() {
+    let config = NetworkConfig::paper_default();
+
+    println!("== 8-subsystem custom workload, strict priority ==");
+    let workload = build_workload(8);
+    let report = analyze(&workload, &config, Approach::StrictPriority).expect("stable");
+    for bound in report.messages.iter().take(6) {
+        print_bound(bound);
+    }
+    println!("  ... ({} messages total)", report.messages.len());
+
+    // How far can the architecture scale before the urgent class misses its
+    // 3 ms deadline?  Grow the subsystem count until the first violation.
+    println!("\n== urgent-class admissibility at 10 Mbps ==");
+    for subsystems in (5..=60).step_by(5) {
+        let w = build_workload(subsystems);
+        match analyze(&w, &config, Approach::StrictPriority) {
+            Ok(report) => {
+                let urgent_ok = report
+                    .messages
+                    .iter()
+                    .filter(|m| m.deadline == Duration::from_millis(3))
+                    .all(|m| m.meets_deadline);
+                println!(
+                    "  {subsystems:>3} subsystems: urgent class {}",
+                    if urgent_ok { "OK" } else { "VIOLATED" }
+                );
+                if !urgent_ok {
+                    break;
+                }
+            }
+            Err(err) => {
+                println!("  {subsystems:>3} subsystems: not analysable ({err})");
+                break;
+            }
+        }
+    }
+}

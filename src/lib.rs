@@ -1,0 +1,38 @@
+//! Facade crate: re-exports the whole real-time switched Ethernet workspace
+//! under one roof so applications (and the bundled examples) can depend on a
+//! single crate.
+//!
+//! The layering, bottom-up:
+//!
+//! * [`units`] — exact integer time / size / rate quantities;
+//! * [`netcalc`] — Network Calculus (arrival/service curves, delay bounds,
+//!   FCFS and strict-priority multiplexer formulas);
+//! * [`ethernet`] — frames, 802.1Q/p tags, PHY timing, links, switches,
+//!   topologies;
+//! * [`milstd1553`] — the MIL-STD-1553B baseline (scheduling, analysis,
+//!   simulation);
+//! * [`shaping`] — operational token buckets, regulators and multiplexers;
+//! * [`workload`] — the avionics message model and the case-study set;
+//! * [`netsim`] — the discrete-event simulator of the switched network;
+//! * [`core`] (crate `rtswitch-core`) — the paper's end-to-end analysis,
+//!   verdicts, 1553B comparison and simulation validation.
+//!
+//! See the repository `README.md` for a quick start and `EXPERIMENTS.md` for
+//! the reproduction of every figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ethernet;
+pub use milstd1553;
+pub use netcalc;
+pub use netsim;
+pub use shaping;
+pub use units;
+pub use workload;
+
+/// The paper's analysis crate (`rtswitch-core`), re-exported as `core`.
+pub use rtswitch_core as core;
+
+pub use rtswitch_core::{analyze, Approach, NetworkConfig};
+pub use workload::case_study::case_study;

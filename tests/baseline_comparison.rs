@@ -1,0 +1,49 @@
+//! Integration test of the MIL-STD-1553B baseline path: workload → bus
+//! mapping → major-frame schedule → response analysis → comparison with the
+//! prioritized switched-Ethernet bounds.
+
+use rt_ethernet::core::compare_with_1553;
+use rt_ethernet::milstd1553::schedule::Scheduler;
+use rt_ethernet::shaping::TrafficClass;
+use rt_ethernet::units::Duration;
+use rt_ethernet::workload::case_study::{case_study, case_study_with, CaseStudyConfig};
+use rt_ethernet::workload::map1553::{map_workload, MappingConfig};
+use rt_ethernet::{analyze, Approach, NetworkConfig};
+
+#[test]
+fn bus_cannot_honour_the_urgent_class_but_ethernet_can() {
+    let workload = case_study_with(CaseStudyConfig {
+        subsystems: 3,
+        with_command_traffic: false,
+    });
+    let ethernet = analyze(
+        &workload,
+        &NetworkConfig::paper_default(),
+        Approach::StrictPriority,
+    )
+    .unwrap();
+    let comparison = compare_with_1553(&workload, &ethernet).unwrap();
+
+    for entry in &comparison.entries {
+        let class = workload.message(entry.message).traffic_class();
+        if class == TrafficClass::UrgentSporadic {
+            // Polling granularity (20 ms minor frames) can never meet 3 ms.
+            assert!(entry.bus_worst_case >= Duration::from_millis(20));
+            assert!(!entry.bus_meets_deadline);
+            assert!(entry.ethernet_meets_deadline);
+        }
+        // Ethernet bounds are far below the polling-based ones everywhere.
+        assert!(entry.ethernet_bound < entry.bus_worst_case);
+    }
+    assert!(comparison.ethernet_only_wins > 0);
+    assert_eq!(comparison.bus_only_wins, 0);
+}
+
+#[test]
+fn full_case_study_overloads_the_shared_bus() {
+    // The motivation of the migration: the full mission system no longer
+    // fits the 1 Mbps command/response bus.
+    let workload = case_study();
+    let requirements = map_workload(&workload, MappingConfig::default()).unwrap();
+    assert!(Scheduler::paper_default().schedule(requirements).is_err());
+}

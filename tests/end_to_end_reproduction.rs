@@ -1,0 +1,82 @@
+//! Integration tests spanning the whole workspace: the paper's headline
+//! claims must hold when the crates are wired together through the public
+//! facade.
+
+use rt_ethernet::core::report::{render_class_table, to_json};
+use rt_ethernet::shaping::TrafficClass;
+use rt_ethernet::units::{DataRate, Duration};
+use rt_ethernet::{analyze, case_study, Approach, NetworkConfig};
+
+#[test]
+fn figure1_headline_claim_holds() {
+    let workload = case_study();
+    let config = NetworkConfig::paper_default();
+
+    let fcfs = analyze(&workload, &config, Approach::Fcfs).unwrap();
+    let priority = analyze(&workload, &config, Approach::StrictPriority).unwrap();
+
+    // FCFS at 10 Mbps violates the urgent (3 ms) constraint...
+    assert!(!fcfs.all_deadlines_met());
+    let urgent_fcfs = fcfs
+        .worst_bound_of_class(TrafficClass::UrgentSporadic)
+        .unwrap();
+    assert!(urgent_fcfs > Duration::from_millis(3));
+
+    // ...while the prioritized approach meets every deadline, the urgent
+    // bound dropping below 3 ms.
+    assert!(priority.all_deadlines_met());
+    let urgent_priority = priority
+        .worst_bound_of_class(TrafficClass::UrgentSporadic)
+        .unwrap();
+    assert!(urgent_priority < Duration::from_millis(3));
+
+    // The periodic class improves too (the paper's second observation).
+    let periodic_fcfs = fcfs.worst_bound_of_class(TrafficClass::Periodic).unwrap();
+    let periodic_priority = priority
+        .worst_bound_of_class(TrafficClass::Periodic)
+        .unwrap();
+    assert!(periodic_priority < periodic_fcfs);
+}
+
+#[test]
+fn ten_times_the_rate_is_not_enough_without_priorities() {
+    // The 1553B bus runs at 1 Mbps; switched Ethernet at 10 Mbps is ten
+    // times faster, yet under FCFS the urgent constraint is still violated —
+    // the paper's "a higher rate is not sufficient" argument.
+    let workload = case_study();
+    let config = NetworkConfig::paper_default(); // 10 Mbps
+    let fcfs = analyze(&workload, &config, Approach::Fcfs).unwrap();
+    assert!(fcfs
+        .violations()
+        .iter()
+        .any(|m| m.class == TrafficClass::UrgentSporadic));
+
+    // Only a much larger rate rescues FCFS…
+    let fast = analyze(
+        &workload,
+        &config.with_link_rate(DataRate::from_mbps(100)),
+        Approach::Fcfs,
+    )
+    .unwrap();
+    assert!(fast.all_deadlines_met());
+
+    // …while priorities already fix it at 10 Mbps.
+    let priority = analyze(&workload, &config, Approach::StrictPriority).unwrap();
+    assert!(priority.all_deadlines_met());
+}
+
+#[test]
+fn class_table_renders_through_the_facade() {
+    let workload = case_study();
+    let report = analyze(
+        &workload,
+        &NetworkConfig::paper_default(),
+        Approach::StrictPriority,
+    )
+    .unwrap();
+    let table = render_class_table(&report);
+    assert!(table.contains("P0/urgent"));
+    assert!(table.contains("OK"));
+    let json = to_json(&report).unwrap();
+    assert!(json.contains("total_bound"));
+}

@@ -1,0 +1,58 @@
+//! Integration test of the methodology: the Network-Calculus bounds must
+//! dominate what the discrete-event simulator observes, for both approaches
+//! and several seeds, on a workload that stresses the bottleneck port.
+
+use rt_ethernet::core::validate_against_simulation;
+use rt_ethernet::units::Duration;
+use rt_ethernet::workload::case_study::{case_study_with, CaseStudyConfig};
+use rt_ethernet::{analyze, Approach, NetworkConfig};
+
+#[test]
+fn bounds_dominate_simulation_for_both_approaches() {
+    let workload = case_study_with(CaseStudyConfig {
+        subsystems: 6,
+        with_command_traffic: true,
+    });
+    let config = NetworkConfig::paper_default();
+    for approach in [Approach::Fcfs, Approach::StrictPriority] {
+        let report = analyze(&workload, &config, approach).unwrap();
+        for seed in [11, 23] {
+            let validation = validate_against_simulation(
+                &workload,
+                &report,
+                Duration::from_millis(640),
+                seed,
+            );
+            assert!(
+                validation.all_sound(),
+                "{approach} seed {seed}: {:?}",
+                validation
+                    .violations()
+                    .iter()
+                    .map(|v| (&v.name, v.observed_worst, v.bound))
+                    .collect::<Vec<_>>()
+            );
+            // The simulation must actually exercise the network.
+            assert!(validation.simulation.total_delivered > 100);
+            assert!(validation.mean_tightness() > 0.05);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_reproducible_through_the_facade() {
+    let workload = case_study_with(CaseStudyConfig {
+        subsystems: 4,
+        with_command_traffic: false,
+    });
+    let report = analyze(
+        &workload,
+        &NetworkConfig::paper_default(),
+        Approach::StrictPriority,
+    )
+    .unwrap();
+    let a = validate_against_simulation(&workload, &report, Duration::from_millis(320), 5);
+    let b = validate_against_simulation(&workload, &report, Duration::from_millis(320), 5);
+    assert_eq!(a.simulation, b.simulation);
+    assert_eq!(a.entries, b.entries);
+}
