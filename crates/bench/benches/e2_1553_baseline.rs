@@ -13,8 +13,8 @@ fn bench_baseline(c: &mut Criterion) {
     let workload = bus_sized_case_study();
     c.bench_function("e2/map_schedule_analyze", |b| {
         b.iter(|| {
-            let reqs = map_workload(std::hint::black_box(&workload), MappingConfig::default())
-                .unwrap();
+            let reqs =
+                map_workload(std::hint::black_box(&workload), MappingConfig::default()).unwrap();
             let schedule = Scheduler::paper_default().schedule(reqs).unwrap();
             BusAnalysis::analyze(&schedule)
         })

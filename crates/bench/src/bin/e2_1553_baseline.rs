@@ -15,7 +15,11 @@ fn main() {
     print!("{}", render_baseline_table(&result.comparison));
     println!(
         "full case study (15 subsystems) schedulable on the 1 Mbps bus: {}",
-        if result.full_case_study_schedulable { "yes" } else { "no" }
+        if result.full_case_study_schedulable {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {

@@ -1,0 +1,39 @@
+//! E8 — scenario-sweep campaign: mass validation of the analytic delay
+//! bounds across hundreds of randomized scenarios.
+//!
+//! Usage: `cargo run --release -p bench --bin e8_campaign [--scenarios N] [--seed S] [--json <path>]`
+//!
+//! This is the experiment-harness wrapper; the standalone `campaign` binary
+//! (`cargo run --release -p campaign`) offers the full CLI.
+
+use bench::{campaign_sweep, render_campaign};
+use rtswitch_core::report::to_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let scenarios = value_after("--scenarios")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let seed = value_after("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    let report = campaign_sweep(scenarios, seed, 0);
+    print!("{}", render_campaign(&report));
+
+    if let Some(path) = value_after("--json") {
+        std::fs::write(path, to_json(&report.outcome).expect("serializes")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+
+    assert!(
+        report.outcome.summary.all_sound(),
+        "bound violations: {:?}",
+        report.outcome.summary.violations
+    );
+}

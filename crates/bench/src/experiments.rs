@@ -261,9 +261,7 @@ pub fn sim_validation(
     let report = analyze(workload, config, approach).expect("workload is stable");
     let runs = seeds
         .iter()
-        .map(|&seed| {
-            rtswitch_core::validate_against_simulation(workload, &report, horizon, seed)
-        })
+        .map(|&seed| rtswitch_core::validate_against_simulation(workload, &report, horizon, seed))
         .collect();
     SimValidation { approach, runs }
 }
@@ -292,7 +290,9 @@ pub fn jitter(horizon: Duration, seed: u64) -> Vec<JitterRow> {
 
     let priority_report = Simulator::new(
         workload.clone(),
-        SimConfig::paper_default().with_horizon(horizon).with_seed(seed),
+        SimConfig::paper_default()
+            .with_horizon(horizon)
+            .with_seed(seed),
     )
     .run();
     let fcfs_report = Simulator::new(
@@ -339,9 +339,7 @@ pub fn jitter(horizon: Duration, seed: u64) -> Vec<JitterRow> {
             JitterRow {
                 class,
                 fcfs_jitter_ms: fcfs_report.worst_jitter_of_class(class).as_millis_f64(),
-                priority_jitter_ms: priority_report
-                    .worst_jitter_of_class(class)
-                    .as_millis_f64(),
+                priority_jitter_ms: priority_report.worst_jitter_of_class(class).as_millis_f64(),
                 bus_jitter_ms: if class_names.is_empty() {
                     f64::NAN
                 } else {
@@ -401,8 +399,12 @@ impl ShapingAblation {
              {:<28} {:>12} {:>12}\n\
              {:<28} {:>12} {:>12}\n\
              {:<28} {:>9.3} ms {:>9.3} ms\n",
-            "metric", "shaped", "unshaped",
-            "frames dropped", self.shaped.total_dropped, self.unshaped.total_dropped,
+            "metric",
+            "shaped",
+            "unshaped",
+            "frames dropped",
+            self.shaped.total_dropped,
+            self.unshaped.total_dropped,
             "peak switch backlog (bytes)",
             self.shaped.peak_switch_backlog().bytes(),
             self.unshaped.peak_switch_backlog().bytes(),
@@ -507,9 +509,78 @@ pub fn render_level_ablation(rows: &[LevelAblationRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E8
+
+/// E8: a scenario-sweep campaign — mass validation of the bounds across
+/// hundreds of randomized scenarios (see the [`campaign`] crate).  Returns
+/// the full campaign report; the bin renders its summary.
+pub fn campaign_sweep(
+    scenarios: usize,
+    master_seed: u64,
+    threads: usize,
+) -> campaign::CampaignReport {
+    campaign::run_campaign(campaign::CampaignConfig {
+        scenarios,
+        master_seed,
+        threads,
+    })
+}
+
+/// Renders a campaign summary as a text table.
+pub fn render_campaign(report: &campaign::CampaignReport) -> String {
+    let summary = &report.outcome.summary;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E8 — scenario-sweep campaign (master seed {}, {} scenarios)\n",
+        report.outcome.master_seed, summary.scenarios
+    ));
+    out.push_str(&format!(
+        "validated {:>5}   infeasible {:>4}   sound {:>5}   soundness {:>6.1}%\n",
+        summary.validated,
+        summary.infeasible,
+        summary.sound_scenarios,
+        summary.soundness_rate * 100.0,
+    ));
+    out.push_str(&format!(
+        "tightness ({} samples): min {:.4}  mean {:.4}  p50 {:.4}  p99 {:.4}  max {:.4}\n",
+        summary.tightness.count,
+        summary.tightness.min,
+        summary.tightness.mean,
+        summary.tightness.p50,
+        summary.tightness.p99,
+        summary.tightness.max,
+    ));
+    out.push_str(&format!(
+        "throughput: {:.1} scenarios/sec on {} threads\n",
+        report.runtime.scenarios_per_sec, report.runtime.threads
+    ));
+    for arm in &summary.by_approach {
+        out.push_str(&format!(
+            "{:<18} validated {:>4}  sound {:>4}  deadline-miss scenarios {:>4}  mean tightness {:.4}\n",
+            arm.approach.to_string(),
+            arm.validated,
+            arm.sound,
+            arm.deadline_miss_scenarios,
+            arm.mean_tightness,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_sweep_is_sound_and_renders() {
+        let report = campaign_sweep(12, 42, 2);
+        assert_eq!(report.outcome.results.len(), 12);
+        assert!(report.outcome.summary.all_sound());
+        let text = render_campaign(&report);
+        assert!(text.contains("E8"));
+        assert!(text.contains("soundness"));
+        assert!(text.contains("strict priority"));
+    }
 
     #[test]
     fn level_ablation_shows_two_levels_suffice_for_urgent_but_four_help_periodic() {
@@ -538,7 +609,10 @@ mod tests {
         assert_eq!(rows.len(), 4);
         let urgent = &rows[0];
         assert_eq!(urgent.class, TrafficClass::UrgentSporadic);
-        assert!(!urgent.fcfs_ok, "FCFS must violate the 3 ms urgent deadline");
+        assert!(
+            !urgent.fcfs_ok,
+            "FCFS must violate the 3 ms urgent deadline"
+        );
         assert!(urgent.priority_ok, "priority must meet the 3 ms deadline");
         assert!(urgent.priority_bound_ms < urgent.fcfs_bound_ms);
         // Periodic: priority bound below the FCFS bound (the paper's second

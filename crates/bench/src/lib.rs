@@ -14,6 +14,8 @@
 //! | E4 | methodology — bounds vs simulation | [`experiments::sim_validation`] |
 //! | E5 | §3 — jitter outlook | [`experiments::jitter`] |
 //! | E6 | ablation — effect of source shaping | [`experiments::shaping_ablation`] |
+//! | E7 | ablation — priority-level count | [`experiments::level_ablation`] |
+//! | E8 | scenario-sweep campaign (mass validation) | [`experiments::campaign_sweep`] |
 
 pub mod experiments;
 

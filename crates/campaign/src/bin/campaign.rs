@@ -1,0 +1,211 @@
+//! Campaign CLI: sweep hundreds of scenarios in parallel and validate the
+//! analytic delay bounds against simulation in every one of them.
+//!
+//! ```text
+//! cargo run --release -p campaign -- --scenarios 200 --seed 42 --json out.json
+//! ```
+//!
+//! The JSON written by `--json` contains only the deterministic campaign
+//! outcome (scenario results + summary): re-running with the same seed and
+//! scenario count produces a byte-identical file regardless of `--threads`.
+//! Wall-clock statistics are printed to stdout only.
+
+use campaign::{run_campaign, CampaignConfig, ScenarioOutcome};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Prints a line to stdout, ignoring write errors: the campaign must not
+/// panic when its output is piped into `head` and the pipe closes early.
+macro_rules! say {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+const USAGE: &str = "\
+campaign — parallel scenario-sweep validation of delay bounds
+
+USAGE:
+    campaign [OPTIONS]
+
+OPTIONS:
+    --scenarios <N>   number of scenarios to run        [default: 200]
+    --seed <S>        master seed of the scenario space [default: 42]
+    --threads <T>     worker threads (0 = all cores)    [default: 0]
+    --json <PATH>     write the deterministic campaign outcome as JSON
+    --quiet           suppress the per-policy table
+    --help            print this help
+";
+
+struct Args {
+    scenarios: usize,
+    seed: u64,
+    threads: usize,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenarios: 200,
+        seed: 42,
+        threads: 0,
+        json: None,
+        quiet: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value_of =
+            |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--scenarios" => {
+                args.scenarios = value_of("--scenarios")?
+                    .parse()
+                    .map_err(|e| format!("--scenarios: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--json" => args.json = Some(value_of("--json")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                say!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = CampaignConfig {
+        scenarios: args.scenarios,
+        master_seed: args.seed,
+        threads: args.threads,
+    };
+    say!(
+        "campaign: {} scenarios, master seed {}, {} worker threads",
+        config.scenarios,
+        config.master_seed,
+        config.effective_threads()
+    );
+
+    let report = run_campaign(config);
+    let summary = &report.outcome.summary;
+    let runtime = &report.runtime;
+
+    say!(
+        "executed {} scenarios in {:.2}s ({:.1} scenarios/sec) on {} busy threads {:?}",
+        summary.scenarios,
+        runtime.elapsed_secs,
+        runtime.scenarios_per_sec,
+        runtime.busy_threads(),
+        runtime.per_thread,
+    );
+    say!(
+        "validated {} | infeasible {} | sound {} | soundness rate {:.1}% | {} messages checked | {} frames simulated",
+        summary.validated,
+        summary.infeasible,
+        summary.sound_scenarios,
+        summary.soundness_rate * 100.0,
+        summary.messages_checked,
+        summary.frames_simulated,
+    );
+    say!(
+        "tightness over {} samples: min {:.4} | mean {:.4} | p50 {:.4} | p99 {:.4} | max {:.4}",
+        summary.tightness.count,
+        summary.tightness.min,
+        summary.tightness.mean,
+        summary.tightness.p50,
+        summary.tightness.p99,
+        summary.tightness.max,
+    );
+
+    if !args.quiet {
+        say!();
+        say!(
+            "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15}",
+            "approach",
+            "validated",
+            "infeasible",
+            "sound",
+            "deadline-misses",
+            "mean tightness"
+        );
+        for arm in &summary.by_approach {
+            say!(
+                "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15.4}",
+                arm.approach.to_string(),
+                arm.validated,
+                arm.infeasible,
+                arm.sound,
+                arm.deadline_miss_scenarios,
+                arm.mean_tightness,
+            );
+        }
+        let infeasible: Vec<usize> = report
+            .outcome
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, ScenarioOutcome::AnalysisInfeasible { .. }))
+            .map(|r| r.scenario.id)
+            .collect();
+        if !infeasible.is_empty() {
+            say!("analytically infeasible scenario ids: {infeasible:?}");
+        }
+    }
+
+    if !summary.violations.is_empty() {
+        eprintln!("BOUND VIOLATIONS DETECTED:");
+        for violation in &summary.violations {
+            eprintln!(
+                "  scenario {} (seed {}): message {} observed {} > bound {}",
+                violation.scenario_id,
+                violation.seed,
+                violation.violation.message,
+                violation.violation.observed,
+                violation.violation.bound,
+            );
+        }
+    }
+
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(&report.outcome) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                say!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("error: serializing outcome: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if summary.all_sound() {
+        say!("RESULT: 100% soundness — every simulated delay within its analytic bound");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("RESULT: soundness violated");
+        ExitCode::from(1)
+    }
+}

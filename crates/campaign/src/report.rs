@@ -1,0 +1,395 @@
+//! Per-scenario results and campaign-level aggregation.
+
+use crate::space::Scenario;
+use rtswitch_core::{Approach, ValidationReport};
+use serde::{Deserialize, Serialize};
+use units::Duration;
+
+/// Worst-case tightness statistics over one set of messages
+/// (`observed worst delay / analytic bound`, per message).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TightnessStats {
+    /// Number of messages with at least one delivered instance.
+    pub count: usize,
+    /// Smallest ratio.
+    pub min: f64,
+    /// Mean ratio.
+    pub mean: f64,
+    /// Largest ratio.
+    pub max: f64,
+}
+
+impl TightnessStats {
+    /// Computes the statistics from raw ratios (empty input yields zeros).
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return TightnessStats {
+                count: 0,
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        TightnessStats {
+            count: values.len(),
+            min,
+            mean: sum / values.len() as f64,
+            max,
+        }
+    }
+}
+
+/// One observed bound violation — must never happen if both the analysis
+/// and the simulator are correct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// Message name.
+    pub message: String,
+    /// The violated analytic bound.
+    pub bound: Duration,
+    /// The observed worst delay that exceeded it.
+    pub observed: Duration,
+}
+
+/// The measured outcome of one scenario whose analysis produced bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioValidation {
+    /// Number of message streams analysed and simulated.
+    pub messages: usize,
+    /// `true` when every observed delay respected its bound.
+    pub sound: bool,
+    /// The violations (empty when sound).
+    pub violations: Vec<ViolationReport>,
+    /// Number of messages whose *analytic bound* misses the application
+    /// deadline — an expected outcome for FCFS at low rates (the paper's
+    /// Figure 1), distinct from a soundness violation.
+    pub deadline_misses: usize,
+    /// Tightness distribution over the scenario's messages.
+    pub tightness: TightnessStats,
+    /// The raw per-message tightness ratios behind the stats (messages
+    /// with no delivered instance or a degenerate bound are excluded);
+    /// the campaign-level percentiles are computed from these.
+    pub tightness_values: Vec<f64>,
+    /// Frames generated within the horizon.
+    pub generated: u64,
+    /// Frames delivered within the horizon.
+    pub delivered: u64,
+    /// Frames dropped.
+    pub dropped: u64,
+}
+
+/// What executing one scenario produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioOutcome {
+    /// Analysis produced bounds and the simulation was checked against
+    /// them.
+    Validated(ScenarioValidation),
+    /// The analytic pipeline found the scenario infeasible (a multiplexer
+    /// stage is unstable — offered load exceeds capacity), so there are no
+    /// bounds to validate.  A legitimate outcome for the heaviest random
+    /// tables on the slowest links.
+    AnalysisInfeasible {
+        /// The stage that failed, as reported by the analysis.
+        stage: String,
+    },
+}
+
+/// The full record of one executed scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario specification (sufficient to reproduce the run).
+    pub scenario: Scenario,
+    /// What happened.
+    pub outcome: ScenarioOutcome,
+}
+
+impl ScenarioResult {
+    /// Builds the record for a validated scenario from the core
+    /// validation report.
+    pub fn from_validation(
+        scenario: Scenario,
+        deadline_misses: usize,
+        validation: &ValidationReport,
+    ) -> Self {
+        let violations = validation
+            .violations()
+            .into_iter()
+            .map(|entry| ViolationReport {
+                message: entry.name.clone(),
+                bound: entry.bound,
+                observed: entry.observed_worst,
+            })
+            .collect::<Vec<_>>();
+        let tightness_values = validation.tightness_values();
+        ScenarioResult {
+            scenario,
+            outcome: ScenarioOutcome::Validated(ScenarioValidation {
+                messages: validation.entries.len(),
+                sound: violations.is_empty(),
+                violations,
+                deadline_misses,
+                tightness: TightnessStats::from_values(&tightness_values),
+                tightness_values,
+                generated: validation.simulation.total_generated,
+                delivered: validation.simulation.total_delivered,
+                dropped: validation.simulation.total_dropped,
+            }),
+        }
+    }
+}
+
+/// Aggregate of one policy arm of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApproachBreakdown {
+    /// The multiplexing approach.
+    pub approach: Approach,
+    /// Scenarios of this arm that produced bounds.
+    pub validated: usize,
+    /// Scenarios of this arm found analytically infeasible.
+    pub infeasible: usize,
+    /// Validated scenarios with zero violations.
+    pub sound: usize,
+    /// Validated scenarios where at least one analytic bound missed its
+    /// deadline.
+    pub deadline_miss_scenarios: usize,
+    /// Mean of the per-scenario mean tightness.
+    pub mean_tightness: f64,
+}
+
+/// Tightness distribution across every message of every validated
+/// scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TightnessDistribution {
+    /// Number of (scenario, message) samples.
+    pub count: usize,
+    /// Smallest ratio.
+    pub min: f64,
+    /// Mean ratio.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest ratio.
+    pub max: f64,
+}
+
+impl TightnessDistribution {
+    /// Computes the distribution (empty input yields zeros).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        if values.is_empty() {
+            return TightnessDistribution {
+                count: 0,
+                min: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("tightness values are finite"));
+        let count = values.len();
+        let sum: f64 = values.iter().sum();
+        TightnessDistribution {
+            count,
+            min: values[0],
+            mean: sum / count as f64,
+            p50: values[nearest_rank(count, 50)],
+            p99: values[nearest_rank(count, 99)],
+            max: values[count - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile index for `count` sorted samples.
+fn nearest_rank(count: usize, percentile: usize) -> usize {
+    ((count * percentile).div_ceil(100)).clamp(1, count) - 1
+}
+
+/// A violation annotated with the scenario it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignViolation {
+    /// The offending scenario's id.
+    pub scenario_id: usize,
+    /// The offending scenario's seed (for reproduction).
+    pub seed: u64,
+    /// The violation.
+    pub violation: ViolationReport,
+}
+
+/// Campaign-level statistics computed from every scenario result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Scenarios that produced bounds and were validated.
+    pub validated: usize,
+    /// Scenarios found analytically infeasible.
+    pub infeasible: usize,
+    /// Validated scenarios with zero violations.
+    pub sound_scenarios: usize,
+    /// `sound_scenarios / validated` (1.0 when nothing was validated —
+    /// an empty claim is vacuously sound).
+    pub soundness_rate: f64,
+    /// Total (scenario, message) pairs checked against a bound.
+    pub messages_checked: usize,
+    /// Every violation across the campaign (must be empty).
+    pub violations: Vec<CampaignViolation>,
+    /// Tightness distribution across all validated messages.
+    pub tightness: TightnessDistribution,
+    /// Per-policy breakdown.
+    pub by_approach: Vec<ApproachBreakdown>,
+    /// Total frames simulated across all scenarios.
+    pub frames_simulated: u64,
+}
+
+impl CampaignSummary {
+    /// Aggregates the results (which the runner supplies sorted by
+    /// scenario id, making every float accumulation order-deterministic).
+    pub fn from_results(results: &[ScenarioResult]) -> Self {
+        let mut validated = 0usize;
+        let mut infeasible = 0usize;
+        let mut sound_scenarios = 0usize;
+        let mut messages_checked = 0usize;
+        let mut frames_simulated = 0u64;
+        let mut violations = Vec::new();
+        let mut tightness_values = Vec::new();
+        let mut arms: Vec<(Approach, Vec<&ScenarioResult>)> = vec![
+            (Approach::Fcfs, Vec::new()),
+            (Approach::StrictPriority, Vec::new()),
+        ];
+
+        for result in results {
+            for (approach, bucket) in &mut arms {
+                if result.scenario.approach == *approach {
+                    bucket.push(result);
+                }
+            }
+            match &result.outcome {
+                ScenarioOutcome::Validated(v) => {
+                    validated += 1;
+                    messages_checked += v.messages;
+                    frames_simulated += v.generated;
+                    if v.sound {
+                        sound_scenarios += 1;
+                    }
+                    for violation in &v.violations {
+                        violations.push(CampaignViolation {
+                            scenario_id: result.scenario.id,
+                            seed: result.scenario.seed,
+                            violation: violation.clone(),
+                        });
+                    }
+                    tightness_values.extend_from_slice(&v.tightness_values);
+                }
+                ScenarioOutcome::AnalysisInfeasible { .. } => infeasible += 1,
+            }
+        }
+
+        let by_approach = arms
+            .into_iter()
+            .map(|(approach, bucket)| {
+                let mut arm_validated = 0usize;
+                let mut arm_infeasible = 0usize;
+                let mut arm_sound = 0usize;
+                let mut arm_deadline_miss = 0usize;
+                let mut mean_sum = 0.0;
+                for result in &bucket {
+                    match &result.outcome {
+                        ScenarioOutcome::Validated(v) => {
+                            arm_validated += 1;
+                            if v.sound {
+                                arm_sound += 1;
+                            }
+                            if v.deadline_misses > 0 {
+                                arm_deadline_miss += 1;
+                            }
+                            mean_sum += v.tightness.mean;
+                        }
+                        ScenarioOutcome::AnalysisInfeasible { .. } => arm_infeasible += 1,
+                    }
+                }
+                ApproachBreakdown {
+                    approach,
+                    validated: arm_validated,
+                    infeasible: arm_infeasible,
+                    sound: arm_sound,
+                    deadline_miss_scenarios: arm_deadline_miss,
+                    mean_tightness: if arm_validated > 0 {
+                        mean_sum / arm_validated as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        CampaignSummary {
+            scenarios: results.len(),
+            validated,
+            infeasible,
+            sound_scenarios,
+            soundness_rate: if validated > 0 {
+                sound_scenarios as f64 / validated as f64
+            } else {
+                1.0
+            },
+            messages_checked,
+            violations,
+            tightness: TightnessDistribution::from_values(tightness_values),
+            by_approach,
+            frames_simulated,
+        }
+    }
+
+    /// `true` when every validated scenario was sound.
+    pub fn all_sound(&self) -> bool {
+        self.violations.is_empty() && self.sound_scenarios == self.validated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tightness_stats_from_values() {
+        let stats = TightnessStats::from_values(&[0.5, 0.1, 0.9]);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.min, 0.1);
+        assert_eq!(stats.max, 0.9);
+        assert!((stats.mean - 0.5).abs() < 1e-12);
+        assert_eq!(TightnessStats::from_values(&[]).count, 0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(nearest_rank(1, 99), 0);
+        assert_eq!(nearest_rank(100, 99), 98);
+        assert_eq!(nearest_rank(100, 50), 49);
+        assert_eq!(nearest_rank(3, 50), 1);
+        assert_eq!(nearest_rank(200, 99), 197);
+        let d = TightnessDistribution::from_values((1..=100).map(|i| i as f64 / 100.0).collect());
+        assert_eq!(d.count, 100);
+        assert_eq!(d.min, 0.01);
+        assert_eq!(d.max, 1.0);
+        assert_eq!(d.p50, 0.5);
+        assert_eq!(d.p99, 0.99);
+    }
+
+    #[test]
+    fn empty_summary_is_vacuously_sound() {
+        let summary = CampaignSummary::from_results(&[]);
+        assert_eq!(summary.scenarios, 0);
+        assert_eq!(summary.soundness_rate, 1.0);
+        assert!(summary.all_sound());
+    }
+}

@@ -1,0 +1,284 @@
+//! The parallel campaign executor.
+//!
+//! One deterministic engine, parallelism across *runs*: a pool of worker
+//! threads pulls scenario indices from a shared atomic counter, executes
+//! each scenario's full analytic-plus-simulation pipeline independently,
+//! and streams the results back over a channel.  Because every scenario is
+//! a pure function of `(master seed, scenario id)` and results are sorted
+//! by id before aggregation, the campaign outcome is byte-identical across
+//! runs regardless of thread count or scheduling order — only the runtime
+//! statistics (wall time, throughput, per-thread load) vary.
+
+use crate::report::{CampaignSummary, ScenarioOutcome, ScenarioResult};
+use crate::space::{Scenario, ScenarioSpace};
+use netsim::Simulator;
+use rtswitch_core::{analyze, validation_from_simulation, AnalysisError};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of a campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of scenarios to generate and execute.
+    pub scenarios: usize,
+    /// Master seed of the scenario space.
+    pub master_seed: u64,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scenarios: 200,
+            master_seed: 42,
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The worker count this configuration resolves to on this machine.
+    ///
+    /// `threads == 0` uses the machine's available parallelism, floored at
+    /// two workers: scenario execution alternates CPU-bound simulation
+    /// with aggregation hand-off, so even a single-core host overlaps
+    /// usefully — and the campaign's determinism contract makes the
+    /// worker count observable only in [`RuntimeStats`].
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        }
+    }
+}
+
+/// The deterministic part of a campaign's output: scenario results (sorted
+/// by id) plus the aggregate statistics computed from them.  Serializing
+/// this is byte-identical across runs with the same configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The configuration that produced this outcome (threads excluded from
+    /// determinism: any thread count produces the same outcome).
+    pub master_seed: u64,
+    /// Per-scenario results, ordered by scenario id.
+    pub results: Vec<ScenarioResult>,
+    /// Campaign-level aggregation.
+    pub summary: CampaignSummary,
+}
+
+/// Wall-clock statistics of one campaign execution — everything here is
+/// machine- and run-dependent, which is why it lives outside
+/// [`CampaignOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scenarios executed by each worker (index = worker).
+    pub per_thread: Vec<usize>,
+    /// Wall-clock seconds the execution took.
+    pub elapsed_secs: f64,
+    /// Scenarios per wall-clock second.
+    pub scenarios_per_sec: f64,
+}
+
+impl RuntimeStats {
+    /// How many workers executed at least one scenario.
+    pub fn busy_threads(&self) -> usize {
+        self.per_thread.iter().filter(|&&n| n > 0).count()
+    }
+}
+
+/// A complete campaign run: the reproducible outcome plus this execution's
+/// runtime statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The deterministic outcome.
+    pub outcome: CampaignOutcome,
+    /// This run's wall-clock statistics.
+    pub runtime: RuntimeStats,
+}
+
+/// Executes one scenario's full pipeline: build the workload, run the
+/// analytic bounds, execute the matching simulation, and compare.
+pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
+    let workload = scenario.build_workload();
+    debug_assert_eq!(
+        scenario.build_topology(&workload).end_systems().len(),
+        workload.stations.len()
+    );
+    let config = scenario.network_config();
+    match analyze(&workload, &config, scenario.approach) {
+        Err(AnalysisError::Stage { stage, .. }) => ScenarioResult {
+            scenario,
+            outcome: ScenarioOutcome::AnalysisInfeasible { stage },
+        },
+        Ok(analysis) => {
+            let deadline_misses = analysis.violations().len();
+            // sim_config() already carries the scenario's seed; run() is
+            // the single seed path (Simulator::run_with_seed exists for
+            // callers sharing one Simulator across differently-seeded
+            // runs, which a fresh per-scenario Simulator does not need).
+            let simulator = Simulator::new(workload.clone(), scenario.sim_config(&analysis));
+            let simulation = simulator.run();
+            let validation = validation_from_simulation(&workload, &analysis, simulation);
+            ScenarioResult::from_validation(scenario, deadline_misses, &validation)
+        }
+    }
+}
+
+/// Runs a campaign: generates `config.scenarios` scenarios from the master
+/// seed and executes them on `config.effective_threads()` workers.
+pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
+    let space = ScenarioSpace::new(config.master_seed);
+    let scenarios = space.scenarios(config.scenarios);
+    let threads = config
+        .effective_threads()
+        .max(1)
+        .min(scenarios.len().max(1));
+
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, ScenarioResult)>();
+    let mut per_thread = vec![0usize; threads];
+
+    thread::scope(|scope| {
+        for worker in 0..threads {
+            let sender = sender.clone();
+            let next = &next;
+            let scenarios = &scenarios;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = scenarios.get(index).copied() else {
+                    break;
+                };
+                let result = execute_scenario(scenario);
+                if sender.send((worker, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(sender);
+        // Drain on the coordinating thread while workers run.
+        let mut collected: Vec<ScenarioResult> = Vec::with_capacity(scenarios.len());
+        for (worker, result) in receiver {
+            per_thread[worker] += 1;
+            collected.push(result);
+        }
+        collected.sort_by_key(|r| r.scenario.id);
+        let elapsed = started.elapsed().as_secs_f64();
+        let summary = CampaignSummary::from_results(&collected);
+        CampaignReport {
+            outcome: CampaignOutcome {
+                master_seed: config.master_seed,
+                results: collected,
+                summary,
+            },
+            runtime: RuntimeStats {
+                threads,
+                per_thread: per_thread.clone(),
+                elapsed_secs: elapsed,
+                scenarios_per_sec: if elapsed > 0.0 {
+                    scenarios.len() as f64 / elapsed
+                } else {
+                    0.0
+                },
+            },
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            scenarios: 24,
+            master_seed: 42,
+            threads,
+        }
+    }
+
+    #[test]
+    fn outcome_is_byte_identical_across_runs_and_thread_counts() {
+        let a = run_campaign(small_config(4));
+        let b = run_campaign(small_config(2));
+        assert_eq!(a.outcome, b.outcome);
+        let json_a = serde_json::to_string_pretty(&a.outcome).unwrap();
+        let json_b = serde_json::to_string_pretty(&b.outcome).unwrap();
+        assert_eq!(json_a, json_b);
+        // A different master seed explores different scenarios.
+        let c = run_campaign(CampaignConfig {
+            master_seed: 7,
+            ..small_config(4)
+        });
+        assert_ne!(a.outcome.results, c.outcome.results);
+    }
+
+    #[test]
+    fn every_validated_scenario_is_sound() {
+        let report = run_campaign(small_config(4));
+        let summary = &report.outcome.summary;
+        assert_eq!(summary.scenarios, 24);
+        assert!(summary.validated > 0, "campaign validated nothing");
+        assert!(
+            summary.all_sound(),
+            "bound violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.soundness_rate, 1.0);
+        assert!(summary.tightness.count > 0);
+        assert!(summary.tightness.max <= 1.0 + 1e-12);
+        assert!(summary.tightness.min >= 0.0);
+    }
+
+    #[test]
+    fn work_is_spread_across_workers() {
+        let report = run_campaign(small_config(4));
+        assert_eq!(report.runtime.threads, 4);
+        assert_eq!(report.runtime.per_thread.iter().sum::<usize>(), 24);
+        assert!(report.runtime.busy_threads() >= 1);
+        // Whether a *second* worker gets scheduled before the first drains
+        // the whole (fast) queue is up to the OS; only require it where
+        // the host actually has parallel cores to schedule onto.
+        if thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            >= 2
+        {
+            assert!(
+                report.runtime.busy_threads() >= 2,
+                "per-thread load: {:?}",
+                report.runtime.per_thread
+            );
+        }
+        assert!(report.runtime.scenarios_per_sec > 0.0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_scenarios() {
+        let report = run_campaign(CampaignConfig {
+            scenarios: 2,
+            master_seed: 1,
+            threads: 16,
+        });
+        assert_eq!(report.runtime.threads, 2);
+        assert_eq!(report.outcome.results.len(), 2);
+    }
+
+    #[test]
+    fn outcome_json_roundtrips() {
+        let report = run_campaign(small_config(2));
+        let json = serde_json::to_string_pretty(&report.outcome).unwrap();
+        let parsed: CampaignOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report.outcome);
+    }
+}

@@ -1,0 +1,307 @@
+//! The scenario space: a seeded builder turning one master seed into any
+//! number of randomized-but-deterministic scenarios.
+//!
+//! Every scenario is an independent point in the sweep space — a workload
+//! (case-study variant or randomized generator configuration, including
+//! peer-traffic topology variants), a network parameterization (link rate,
+//! relaying latency), a multiplexing-policy ablation (FCFS vs strict
+//! priority), and a simulation activation model (sporadic slack, phasing,
+//! horizon).  Scenario `i` of master seed `s` is always the same scenario,
+//! no matter how many workers execute the campaign or in which order.
+
+use ethernet::link::Link;
+use ethernet::phy::Phy;
+use ethernet::switch::{SchedulingPolicy, SwitchModel};
+use ethernet::topology::Topology;
+use netsim::{Phasing, SimConfig, SporadicModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtswitch_core::{AnalysisReport, Approach, NetworkConfig};
+use serde::{Deserialize, Serialize};
+use units::{DataRate, Duration};
+use workload::case_study::{case_study_with, CaseStudyConfig};
+use workload::{GeneratorConfig, Workload, WorkloadGenerator};
+
+/// Where a scenario's workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSource {
+    /// A variant of the hand-built case study (subsystem count and command
+    /// traffic mutated).
+    CaseStudy {
+        /// Number of subsystem stations.
+        subsystems: usize,
+        /// Whether the mission computer sends command traffic back.
+        command_traffic: bool,
+    },
+    /// A fully randomized workload from the seeded generator.
+    Generated(GeneratorConfig),
+}
+
+/// One fully-specified scenario of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Index within the campaign (0-based).
+    pub id: usize,
+    /// The per-scenario seed every random draw of this scenario uses
+    /// (workload generation and simulation), derived from the master seed.
+    pub seed: u64,
+    /// Workload source.
+    pub source: WorkloadSource,
+    /// Link rate of every full-duplex link.
+    pub link_rate: DataRate,
+    /// Switch relaying latency bound.
+    pub ttechno: Duration,
+    /// Multiplexing-policy ablation arm.
+    pub approach: Approach,
+    /// Sporadic activation model of the simulation run.
+    pub sporadic: SporadicModel,
+    /// Stream phasing of the simulation run.
+    pub phasing: Phasing,
+    /// Simulated horizon.
+    pub horizon: Duration,
+}
+
+impl Scenario {
+    /// Builds the scenario's workload (deterministic per scenario).
+    pub fn build_workload(&self) -> Workload {
+        match self.source {
+            WorkloadSource::CaseStudy {
+                subsystems,
+                command_traffic,
+            } => case_study_with(CaseStudyConfig {
+                subsystems,
+                with_command_traffic: command_traffic,
+            }),
+            WorkloadSource::Generated(config) => WorkloadGenerator::new(config).generate(),
+        }
+    }
+
+    /// The analytic network configuration of this scenario.
+    pub fn network_config(&self) -> NetworkConfig {
+        NetworkConfig::paper_default()
+            .with_link_rate(self.link_rate)
+            .with_ttechno(self.ttechno)
+    }
+
+    /// Builds the concrete star [`Topology`] this scenario's analysis and
+    /// simulation assume: one switch running the scenario's policy, one
+    /// full-duplex link per workload station at the scenario's rate.
+    pub fn build_topology(&self, workload: &Workload) -> Topology {
+        let policy = match self.approach {
+            Approach::Fcfs => SchedulingPolicy::Fcfs,
+            Approach::StrictPriority => SchedulingPolicy::StrictPriority { levels: 4 },
+        };
+        let switch = SwitchModel::new("campaign-switch", workload.stations.len(), policy)
+            .with_relaying_latency(self.ttechno);
+        let phy = match self.link_rate.bps() {
+            10_000_000 => Phy::TenMbps,
+            100_000_000 => Phy::FastEthernet,
+            1_000_000_000 => Phy::GigabitEthernet,
+            _ => Phy::Custom(self.link_rate),
+        };
+        let (topology, _, _) =
+            Topology::single_switch(workload.stations.len(), switch, Link::new(phy));
+        topology
+    }
+
+    /// The simulation configuration of this scenario, mirroring the given
+    /// analysis (same policy, rate, latency) but with the scenario's own
+    /// activation model, phasing, horizon and seed.
+    pub fn sim_config(&self, report: &AnalysisReport) -> SimConfig {
+        let base = rtswitch_core::matching_sim_config(report, self.horizon, self.seed);
+        SimConfig {
+            sporadic: self.sporadic,
+            phasing: self.phasing,
+            ..base
+        }
+    }
+}
+
+/// The generator of the scenario space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioSpace {
+    /// Master seed; scenario `i` derives its own seed from `(master, i)`.
+    pub master_seed: u64,
+}
+
+impl ScenarioSpace {
+    /// Creates the space for a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        ScenarioSpace { master_seed }
+    }
+
+    /// The `i`-th scenario of this space — a pure function of
+    /// `(master_seed, i)`.
+    pub fn scenario(&self, id: usize) -> Scenario {
+        let seed = mix(self.master_seed, id as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Network dimension first: the feasible workload size depends on
+        // the link rate (a 10 Mbps link saturates quickly under the
+        // generator's heavier tables).
+        let link_rate = match rng.gen_range(0..3u32) {
+            0 => DataRate::from_mbps(10),
+            1 => DataRate::from_mbps(100),
+            _ => DataRate::from_mbps(1000),
+        };
+        let max_subsystems = if link_rate == DataRate::from_mbps(10) {
+            12
+        } else {
+            30
+        };
+        let ttechno = Duration::from_micros([8u64, 16, 32][rng.gen_range(0..3usize)]);
+        let approach = if rng.gen_bool(0.5) {
+            Approach::Fcfs
+        } else {
+            Approach::StrictPriority
+        };
+
+        // Workload dimension: 40% case-study variants, 60% generated
+        // tables with randomized shape (including peer-to-peer traffic
+        // that loads switch ports the convergecast pattern never touches).
+        let source = if rng.gen_bool(0.4) {
+            WorkloadSource::CaseStudy {
+                subsystems: rng.gen_range(3..=max_subsystems),
+                command_traffic: rng.gen_bool(0.5),
+            }
+        } else {
+            let min_payload = rng.gen_range(8u64..=64);
+            let max_payload = rng.gen_range(min_payload..=1024);
+            WorkloadSource::Generated(GeneratorConfig {
+                subsystems: rng.gen_range(3..=max_subsystems),
+                messages_per_subsystem: rng.gen_range(2usize..=6),
+                min_payload_bytes: min_payload,
+                max_payload_bytes: max_payload,
+                sporadic_percent: rng.gen_range(30u8..=70),
+                urgent_percent: rng.gen_range(10u8..=30),
+                peer_percent: [0u8, 20, 40][rng.gen_range(0..3usize)],
+                seed,
+            })
+        };
+
+        // Activation dimension of the simulation run.
+        let sporadic = if rng.gen_bool(0.5) {
+            SporadicModel::Saturating
+        } else {
+            SporadicModel::RandomSlack {
+                max_extra_percent: [50u32, 100][rng.gen_range(0..2usize)],
+            }
+        };
+        let phasing = if rng.gen_bool(0.5) {
+            Phasing::Synchronized
+        } else {
+            Phasing::Random
+        };
+        let horizon = Duration::from_millis([160u64, 320][rng.gen_range(0..2usize)]);
+
+        Scenario {
+            id,
+            seed,
+            source,
+            link_rate,
+            ttechno,
+            approach,
+            sporadic,
+            phasing,
+            horizon,
+        }
+    }
+
+    /// The first `count` scenarios of this space.
+    pub fn scenarios(&self, count: usize) -> Vec<Scenario> {
+        (0..count).map(|id| self.scenario(id)).collect()
+    }
+}
+
+/// SplitMix64-style mixer deriving the per-scenario seed from
+/// `(master_seed, scenario id)`.
+fn mix(master: u64, id: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_per_master_seed() {
+        let a = ScenarioSpace::new(42).scenarios(32);
+        let b = ScenarioSpace::new(42).scenarios(32);
+        let c = ScenarioSpace::new(43).scenarios(32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Ids and seeds are position-stable: a longer sweep is a superset.
+        let longer = ScenarioSpace::new(42).scenarios(64);
+        assert_eq!(&longer[..32], &a[..]);
+    }
+
+    #[test]
+    fn scenario_seeds_are_distinct() {
+        let scenarios = ScenarioSpace::new(7).scenarios(100);
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn space_covers_both_policies_and_multiple_rates() {
+        let scenarios = ScenarioSpace::new(42).scenarios(64);
+        assert!(scenarios.iter().any(|s| s.approach == Approach::Fcfs));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.approach == Approach::StrictPriority));
+        let rates: std::collections::BTreeSet<u64> =
+            scenarios.iter().map(|s| s.link_rate.bps()).collect();
+        assert!(rates.len() >= 2, "rates covered: {rates:?}");
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.source, WorkloadSource::CaseStudy { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.source, WorkloadSource::Generated(_))));
+    }
+
+    #[test]
+    fn workloads_build_and_respect_the_source() {
+        for scenario in ScenarioSpace::new(3).scenarios(16) {
+            let w = scenario.build_workload();
+            assert!(!w.messages.is_empty());
+            let topo = scenario.build_topology(&w);
+            assert_eq!(topo.end_systems().len(), w.stations.len());
+            assert_eq!(topo.switches().len(), 1);
+            // Every message has a route through the single switch.
+            let sw = topo.switches()[0];
+            for m in &w.messages {
+                let route = topo
+                    .route(
+                        topo.end_systems()[m.source.0],
+                        topo.end_systems()[m.destination.0],
+                    )
+                    .expect("star is connected");
+                assert_eq!(route.nodes()[1], sw);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_config_mirrors_scenario_dimensions() {
+        let scenario = ScenarioSpace::new(42).scenario(0);
+        let w = scenario.build_workload();
+        let report = rtswitch_core::analyze(&w, &scenario.network_config(), scenario.approach);
+        if let Ok(report) = report {
+            let cfg = scenario.sim_config(&report);
+            assert_eq!(cfg.link_rate, scenario.link_rate);
+            assert_eq!(cfg.ttechno, scenario.ttechno);
+            assert_eq!(cfg.seed, scenario.seed);
+            assert_eq!(cfg.sporadic, scenario.sporadic);
+            assert_eq!(cfg.phasing, scenario.phasing);
+            assert_eq!(cfg.horizon, scenario.horizon);
+        }
+    }
+}

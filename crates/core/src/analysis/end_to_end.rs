@@ -194,8 +194,7 @@ pub fn analyze(
         .map(|spec| {
             let (source_bound, _) = stage1[&spec.id];
             let switch_bound = stage2[&spec.id];
-            let total_bound =
-                source_bound + switch_bound + config.propagation + config.propagation;
+            let total_bound = source_bound + switch_bound + config.propagation + config.propagation;
             MessageBound {
                 message: spec.id,
                 name: spec.name.clone(),
@@ -276,7 +275,8 @@ mod tests {
                 bound.source_bound + bound.switch_bound + Duration::from_nanos(1000)
             );
             assert!(bound.source_bound > Duration::ZERO);
-            assert!(bound.switch_bound > bound.source_bound - bound.source_bound); // > 0
+            assert!(bound.switch_bound > bound.source_bound - bound.source_bound);
+            // > 0
         }
     }
 
@@ -286,8 +286,12 @@ mod tests {
         let cfg = NetworkConfig::paper_default();
         let fcfs = analyze(&w, &cfg, Approach::Fcfs).unwrap();
         let prio = analyze(&w, &cfg, Approach::StrictPriority).unwrap();
-        let urgent_fcfs = fcfs.worst_bound_of_class(TrafficClass::UrgentSporadic).unwrap();
-        let urgent_prio = prio.worst_bound_of_class(TrafficClass::UrgentSporadic).unwrap();
+        let urgent_fcfs = fcfs
+            .worst_bound_of_class(TrafficClass::UrgentSporadic)
+            .unwrap();
+        let urgent_prio = prio
+            .worst_bound_of_class(TrafficClass::UrgentSporadic)
+            .unwrap();
         assert!(urgent_prio < urgent_fcfs);
         // The periodic class also improves (the paper's second observation).
         let periodic_fcfs = fcfs.worst_bound_of_class(TrafficClass::Periodic).unwrap();
@@ -332,11 +336,18 @@ mod tests {
             .iter()
             .any(|m| m.class == TrafficClass::UrgentSporadic));
         // Strict priority meets every deadline.
-        assert!(prio.all_deadlines_met(), "violations: {:?}",
-            prio.violations().iter().map(|m| (&m.name, m.total_bound, m.deadline)).collect::<Vec<_>>());
+        assert!(
+            prio.all_deadlines_met(),
+            "violations: {:?}",
+            prio.violations()
+                .iter()
+                .map(|m| (&m.name, m.total_bound, m.deadline))
+                .collect::<Vec<_>>()
+        );
         // And the urgent bound is below 3 ms by construction.
         assert!(
-            prio.worst_bound_of_class(TrafficClass::UrgentSporadic).unwrap()
+            prio.worst_bound_of_class(TrafficClass::UrgentSporadic)
+                .unwrap()
                 < Duration::from_millis(3)
         );
     }
@@ -366,8 +377,12 @@ mod tests {
     #[test]
     fn slack_and_lookup_helpers() {
         let w = tiny_workload();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let urgent = report.bound_for(MessageId(0)).unwrap();
         assert!(urgent.meets_deadline);
         assert!(urgent.slack() > Duration::ZERO);

@@ -121,8 +121,7 @@ mod tests {
         let cfg = NetworkConfig::paper_default();
         let report = analyze(&w, &cfg, Approach::StrictPriority).unwrap();
         let bounds = jitter_bounds(&w, &report);
-        let validation =
-            validate_against_simulation(&w, &report, Duration::from_millis(640), 17);
+        let validation = validate_against_simulation(&w, &report, Duration::from_millis(640), 17);
         for flow in &validation.simulation.flows {
             if flow.delivered == 0 {
                 continue;

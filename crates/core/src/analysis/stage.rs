@@ -100,9 +100,13 @@ mod tests {
 
     #[test]
     fn fcfs_stage_gives_every_flow_the_same_bound() {
-        let flows = [flow(0, 68, 20, 0), flow(1, 86, 40, 1), flow(2, 1046, 160, 3)];
-        let result = analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4)
-            .unwrap();
+        let flows = [
+            flow(0, 68, 20, 0),
+            flow(1, 86, 40, 1),
+            flow(2, 1046, 160, 3),
+        ];
+        let result =
+            analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4).unwrap();
         assert_eq!(result.len(), 3);
         let d0 = result[0].1.delay;
         assert!(result.iter().all(|(_, b)| b.delay == d0));
@@ -117,7 +121,11 @@ mod tests {
 
     #[test]
     fn priority_stage_orders_bounds_by_priority() {
-        let flows = [flow(0, 68, 20, 0), flow(1, 86, 40, 1), flow(2, 1046, 160, 3)];
+        let flows = [
+            flow(0, 68, 20, 0),
+            flow(1, 86, 40, 1),
+            flow(2, 1046, 160, 3),
+        ];
         let result = analyze_stage(
             &flows,
             Approach::StrictPriority,
@@ -137,14 +145,8 @@ mod tests {
     #[test]
     fn priority_indices_above_the_level_count_are_clamped() {
         let flows = [flow(0, 68, 20, 9)];
-        let result = analyze_stage(
-            &flows,
-            Approach::StrictPriority,
-            c10(),
-            Duration::ZERO,
-            4,
-        )
-        .unwrap();
+        let result =
+            analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).unwrap();
         assert_eq!(result.len(), 1);
         assert!(result[0].1.delay > Duration::ZERO);
     }
@@ -166,8 +168,6 @@ mod tests {
         // 1518 bytes every 1 ms ≈ 12 Mbps > 10 Mbps.
         let flows = [flow(0, 1518, 1, 0)];
         assert!(analyze_stage(&flows, Approach::Fcfs, c10(), Duration::ZERO, 4).is_err());
-        assert!(
-            analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).is_err()
-        );
+        assert!(analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).is_err());
     }
 }

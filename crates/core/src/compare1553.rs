@@ -122,8 +122,8 @@ pub fn compare_with_1553(
 mod tests {
     use super::*;
     use crate::analysis::Approach;
-    use crate::config::NetworkConfig;
     use crate::analyze;
+    use crate::config::NetworkConfig;
     use shaping::TrafficClass;
     use workload::case_study::{case_study_with, CaseStudyConfig};
 
@@ -141,8 +141,12 @@ mod tests {
     #[test]
     fn full_case_study_does_not_fit_on_the_bus() {
         let w = workload::case_study::case_study();
-        let ethernet = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let ethernet = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         // The full workload is either unschedulable on the 1 Mbps bus or
         // (depending on chunk placement) schedulable only past its capacity;
         // the mapping itself must succeed, the schedule must not.
@@ -153,8 +157,12 @@ mod tests {
     #[test]
     fn urgent_messages_are_ethernet_only_wins() {
         let w = small_case_study();
-        let ethernet = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let ethernet = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let cmp = compare_with_1553(&w, &ethernet).unwrap();
         assert_eq!(cmp.entries.len(), w.messages.len());
         // The 20 ms polling granularity of the bus can never honour a 3 ms
@@ -175,8 +183,12 @@ mod tests {
     #[test]
     fn periodic_messages_are_met_by_both_architectures() {
         let w = small_case_study();
-        let ethernet = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let ethernet = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let cmp = compare_with_1553(&w, &ethernet).unwrap();
         for entry in cmp
             .entries
@@ -196,8 +208,12 @@ mod tests {
     fn bus_figures_are_in_the_polling_regime() {
         // Every bus response bound includes at least one polling period.
         let w = small_case_study();
-        let ethernet = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let ethernet = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let cmp = compare_with_1553(&w, &ethernet).unwrap();
         for entry in &cmp.entries {
             assert!(

@@ -57,5 +57,8 @@ pub use analysis::jitter::{jitter_bounds, JitterBound};
 pub use analysis::Approach;
 pub use compare1553::{compare_with_1553, BaselineComparison};
 pub use config::NetworkConfig;
-pub use validation::{validate_against_simulation, ValidationEntry, ValidationReport};
+pub use validation::{
+    matching_sim_config, validate_against_simulation, validation_from_simulation, ValidationEntry,
+    ValidationReport,
+};
 pub use verdict::ClassSummary;

@@ -32,7 +32,11 @@ pub fn render_class_table(report: &AnalysisReport) -> String {
             summary.message_count,
             summary.worst_bound.as_millis_f64(),
             deadline,
-            if summary.satisfied() { "OK" } else { "VIOLATED" }
+            if summary.satisfied() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     out
@@ -55,7 +59,11 @@ pub fn render_message_table(report: &AnalysisReport) -> String {
             bound.class.to_string(),
             bound.total_bound.as_millis_f64(),
             bound.deadline.as_millis_f64(),
-            if bound.meets_deadline { "OK" } else { "VIOLATED" }
+            if bound.meets_deadline {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     out
@@ -77,8 +85,16 @@ pub fn render_baseline_table(comparison: &BaselineComparison) -> String {
             entry.deadline.as_millis_f64(),
             entry.bus_worst_case.as_millis_f64(),
             entry.ethernet_bound.as_millis_f64(),
-            if entry.bus_meets_deadline { "OK" } else { "MISS" },
-            if entry.ethernet_meets_deadline { "OK" } else { "MISS" },
+            if entry.bus_meets_deadline {
+                "OK"
+            } else {
+                "MISS"
+            },
+            if entry.ethernet_meets_deadline {
+                "OK"
+            } else {
+                "MISS"
+            },
         );
     }
     let _ = writeln!(
@@ -122,10 +138,10 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> serde_json::Result<String> {
 mod tests {
     use super::*;
     use crate::analysis::Approach;
+    use crate::analyze;
     use crate::compare1553::compare_with_1553;
     use crate::config::NetworkConfig;
     use crate::validation::validate_against_simulation;
-    use crate::analyze;
     use units::Duration;
     use workload::case_study::{case_study_with, CaseStudyConfig};
 
@@ -139,8 +155,12 @@ mod tests {
     #[test]
     fn class_table_contains_all_classes_and_verdicts() {
         let w = workload();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let table = render_class_table(&report);
         assert!(table.contains("P0/urgent"));
         assert!(table.contains("P3/background"));
@@ -161,8 +181,12 @@ mod tests {
     #[test]
     fn baseline_table_renders() {
         let w = workload();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let cmp = compare_with_1553(&w, &report).unwrap();
         let table = render_baseline_table(&cmp);
         assert!(table.contains("1553B worst"));
@@ -172,8 +196,12 @@ mod tests {
     #[test]
     fn validation_table_renders() {
         let w = workload();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let validation = validate_against_simulation(&w, &report, Duration::from_millis(320), 1);
         let table = render_validation_table(&validation);
         assert!(table.contains("observed max"));
@@ -184,8 +212,12 @@ mod tests {
     #[test]
     fn json_serialization_roundtrips() {
         let w = workload();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let json = to_json(&report).unwrap();
         assert!(json.contains("\"approach\""));
         let parsed: crate::AnalysisReport = serde_json::from_str(&json).unwrap();

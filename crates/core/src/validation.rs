@@ -29,11 +29,30 @@ pub struct ValidationEntry {
 impl ValidationEntry {
     /// How much of the analytic bound the simulation actually used
     /// (`observed / bound`, in `[0, 1]` when sound).
+    ///
+    /// Returns `f64::NAN` for the degenerate zero-bound/nonzero-observation
+    /// case (see [`ValidationEntry::is_degenerate`]): such an entry has no
+    /// meaningful ratio, and a NaN sentinel — unlike the infinity this used
+    /// to return — cannot silently poison aggregates that feed it into
+    /// comparisons or percentile math.  Callers aggregating tightness must
+    /// filter with [`f64::is_nan`] or skip degenerate entries.
     pub fn tightness(&self) -> f64 {
         if self.bound.is_zero() {
-            return if self.observed_worst.is_zero() { 1.0 } else { f64::INFINITY };
+            return if self.observed_worst.is_zero() {
+                1.0
+            } else {
+                f64::NAN
+            };
         }
         self.observed_worst.as_secs_f64() / self.bound.as_secs_f64()
+    }
+
+    /// `true` when the entry has a zero analytic bound but a nonzero
+    /// observation — a configuration error (the analysis covered no path
+    /// for a message the simulator delivered), for which
+    /// [`ValidationEntry::tightness`] returns its NaN sentinel.
+    pub fn is_degenerate(&self) -> bool {
+        self.bound.is_zero() && !self.observed_worst.is_zero()
     }
 }
 
@@ -59,13 +78,25 @@ impl ValidationReport {
 
     /// The mean tightness over all messages that delivered at least one
     /// instance (how close the simulation came to the bounds on average).
+    /// Degenerate entries (NaN tightness) are excluded from the mean.
     pub fn mean_tightness(&self) -> f64 {
-        let with_samples: Vec<&ValidationEntry> =
-            self.entries.iter().filter(|e| e.samples > 0).collect();
-        if with_samples.is_empty() {
+        let values = self.tightness_values();
+        if values.is_empty() {
             return 0.0;
         }
-        with_samples.iter().map(|e| e.tightness()).sum::<f64>() / with_samples.len() as f64
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// The finite per-message tightness ratios of every entry that
+    /// delivered at least one instance, in workload message order —
+    /// degenerate entries are skipped.  This is the raw material campaign
+    /// aggregation builds its distributions from.
+    pub fn tightness_values(&self) -> Vec<f64> {
+        self.entries
+            .iter()
+            .filter(|e| e.samples > 0 && !e.is_degenerate())
+            .map(|e| e.tightness())
+            .collect()
     }
 }
 
@@ -89,16 +120,18 @@ pub fn matching_sim_config(report: &AnalysisReport, horizon: Duration, seed: u64
     }
 }
 
-/// Runs the simulator with a configuration matching `report` and checks that
-/// every observed worst-case delay stays below its analytic bound.
-pub fn validate_against_simulation(
+/// Compares an already-executed simulation against the analytic bounds of
+/// `report`, message by message.
+///
+/// This is the reusable core of E4: callers that need a non-default
+/// simulation configuration (the campaign runner varies sporadic models,
+/// phasing and seeds per scenario) run the simulator themselves and hand
+/// the result here.
+pub fn validation_from_simulation(
     workload: &Workload,
     report: &AnalysisReport,
-    horizon: Duration,
-    seed: u64,
+    simulation: SimReport,
 ) -> ValidationReport {
-    let config = matching_sim_config(report, horizon, seed);
-    let simulation = Simulator::new(workload.clone(), config).run();
     let entries = workload
         .messages
         .iter()
@@ -126,6 +159,19 @@ pub fn validate_against_simulation(
     }
 }
 
+/// Runs the simulator with a configuration matching `report` and checks that
+/// every observed worst-case delay stays below its analytic bound.
+pub fn validate_against_simulation(
+    workload: &Workload,
+    report: &AnalysisReport,
+    horizon: Duration,
+    seed: u64,
+) -> ValidationReport {
+    let config = matching_sim_config(report, horizon, seed);
+    let simulation = Simulator::new(workload.clone(), config).run();
+    validation_from_simulation(workload, report, simulation)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,10 +189,13 @@ mod tests {
     #[test]
     fn priority_bounds_hold_in_simulation() {
         let w = reduced_case_study();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
-        let validation =
-            validate_against_simulation(&w, &report, Duration::from_millis(640), 42);
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
+        let validation = validate_against_simulation(&w, &report, Duration::from_millis(640), 42);
         assert!(
             validation.all_sound(),
             "violations: {:?}",
@@ -165,16 +214,58 @@ mod tests {
     fn fcfs_bounds_hold_in_simulation() {
         let w = reduced_case_study();
         let report = analyze(&w, &NetworkConfig::paper_default(), Approach::Fcfs).unwrap();
-        let validation =
-            validate_against_simulation(&w, &report, Duration::from_millis(640), 7);
+        let validation = validate_against_simulation(&w, &report, Duration::from_millis(640), 7);
         assert!(validation.all_sound());
+    }
+
+    #[test]
+    fn bounds_hold_across_seeds_and_activation_models() {
+        // Different seeds produce different runs, but every observed delay
+        // must stay under its analytic bound — on the adversarial
+        // saturating/synchronized model and on the randomized one.
+        let w = reduced_case_study();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
+        let horizon = Duration::from_millis(320);
+        let mut reports = Vec::new();
+        for seed in [1u64, 2, 3, 99] {
+            let config = netsim::SimConfig {
+                sporadic: netsim::SporadicModel::RandomSlack {
+                    max_extra_percent: 100,
+                },
+                phasing: netsim::Phasing::Random,
+                ..matching_sim_config(&report, horizon, seed)
+            };
+            let simulation = Simulator::new(w.clone(), config).run();
+            let validation = validation_from_simulation(&w, &report, simulation);
+            assert!(
+                validation.all_sound(),
+                "seed {seed} violations: {:?}",
+                validation
+                    .violations()
+                    .iter()
+                    .map(|v| (&v.name, v.observed_worst, v.bound))
+                    .collect::<Vec<_>>()
+            );
+            reports.push(validation.simulation);
+        }
+        // The seeds genuinely explored different executions.
+        assert!(reports.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]
     fn matching_config_mirrors_the_analysis_parameters() {
         let w = reduced_case_study();
-        let report = analyze(&w, &NetworkConfig::paper_default(), Approach::StrictPriority)
-            .unwrap();
+        let report = analyze(
+            &w,
+            &NetworkConfig::paper_default(),
+            Approach::StrictPriority,
+        )
+        .unwrap();
         let cfg = matching_sim_config(&report, Duration::from_millis(100), 3);
         assert_eq!(cfg.link_rate, report.config.link_rate);
         assert_eq!(cfg.ttechno, report.config.ttechno);
@@ -199,10 +290,46 @@ mod tests {
             sound: true,
         };
         assert_eq!(entry.tightness(), 1.0);
+        assert!(!entry.is_degenerate());
         let entry = ValidationEntry {
             observed_worst: Duration::from_millis(1),
             ..entry
         };
-        assert!(entry.tightness().is_infinite());
+        assert!(entry.is_degenerate());
+        assert!(entry.tightness().is_nan());
+    }
+
+    #[test]
+    fn degenerate_entries_do_not_poison_aggregates() {
+        let sound = ValidationEntry {
+            message: MessageId(0),
+            name: "ok".into(),
+            bound: Duration::from_millis(2),
+            observed_worst: Duration::from_millis(1),
+            samples: 5,
+            sound: true,
+        };
+        let degenerate = ValidationEntry {
+            message: MessageId(1),
+            name: "broken".into(),
+            bound: Duration::ZERO,
+            observed_worst: Duration::from_millis(1),
+            samples: 5,
+            sound: false,
+        };
+        let report = ValidationReport {
+            entries: vec![sound, degenerate],
+            simulation: netsim::SimReport {
+                flows: vec![],
+                ports: vec![],
+                total_generated: 10,
+                total_delivered: 10,
+                total_dropped: 0,
+                horizon: Duration::from_millis(100),
+            },
+        };
+        assert_eq!(report.tightness_values(), vec![0.5]);
+        assert_eq!(report.mean_tightness(), 0.5);
+        assert!(report.mean_tightness().is_finite());
     }
 }

@@ -118,13 +118,25 @@ impl EthernetFrame {
     /// would have been.
     pub fn wire_size_bytes(payload_bytes: u64, tagged: bool) -> u64 {
         let untagged = (HEADER_SIZE + payload_bytes + FCS_SIZE).max(MIN_FRAME_SIZE);
-        untagged + if tagged { VlanTag::WIRE_OVERHEAD_BYTES } else { 0 }
+        untagged
+            + if tagged {
+                VlanTag::WIRE_OVERHEAD_BYTES
+            } else {
+                0
+            }
     }
 
     /// The wire size of the largest standard frame (tagged or not) — the
     /// blocking term a non-preemptable low-priority frame can impose.
     pub fn max_wire_size(tagged: bool) -> DataSize {
-        DataSize::from_bytes(MAX_FRAME_SIZE + if tagged { VlanTag::WIRE_OVERHEAD_BYTES } else { 0 })
+        DataSize::from_bytes(
+            MAX_FRAME_SIZE
+                + if tagged {
+                    VlanTag::WIRE_OVERHEAD_BYTES
+                } else {
+                    0
+                },
+        )
     }
 
     /// The 802.1p priority carried by the frame, if tagged.

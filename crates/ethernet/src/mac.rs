@@ -73,12 +73,15 @@ impl FromStr for MacAddress {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let parts: Vec<&str> = s.split([':', '-']).collect();
         if parts.len() != 6 {
-            return Err(ParseMacError(format!("expected 6 octets, got {}", parts.len())));
+            return Err(ParseMacError(format!(
+                "expected 6 octets, got {}",
+                parts.len()
+            )));
         }
         let mut octets = [0u8; 6];
         for (i, p) in parts.iter().enumerate() {
-            octets[i] = u8::from_str_radix(p, 16)
-                .map_err(|_| ParseMacError(format!("bad octet `{p}`")))?;
+            octets[i] =
+                u8::from_str_radix(p, 16).map_err(|_| ParseMacError(format!("bad octet `{p}`")))?;
         }
         Ok(MacAddress(octets))
     }

@@ -94,8 +94,14 @@ mod tests {
     #[test]
     fn queue_counts() {
         assert_eq!(SchedulingPolicy::Fcfs.queue_count(), 1);
-        assert_eq!(SchedulingPolicy::StrictPriority { levels: 4 }.queue_count(), 4);
-        assert_eq!(SchedulingPolicy::StrictPriority { levels: 0 }.queue_count(), 1);
+        assert_eq!(
+            SchedulingPolicy::StrictPriority { levels: 4 }.queue_count(),
+            4
+        );
+        assert_eq!(
+            SchedulingPolicy::StrictPriority { levels: 0 }.queue_count(),
+            1
+        );
     }
 
     #[test]

@@ -288,6 +288,33 @@ impl Topology {
         (topo, switch_id, station_ids)
     }
 
+    /// Adds an end system and connects it to `switch` in one step,
+    /// returning the new node's id — the campaign builder's way of growing
+    /// a star topology one station at a time.
+    pub fn attach_end_system(
+        &mut self,
+        name: impl Into<String>,
+        switch: NodeId,
+        link: Link,
+    ) -> Result<NodeId, TopologyError> {
+        self.check_node(switch)?;
+        let id = self.add_end_system(name);
+        self.connect(id, switch, link)?;
+        Ok(id)
+    }
+
+    /// Replaces every link in the topology with `link`, keeping the
+    /// connectivity — the programmatic mutation behind campaign rate
+    /// sweeps (upgrade the whole network from 10 Mbps to Fast Ethernet
+    /// without rebuilding it).
+    pub fn relink_all(&mut self, link: Link) {
+        for adjacency in &mut self.adjacency {
+            for (_, l) in adjacency.iter_mut() {
+                *l = link;
+            }
+        }
+    }
+
     fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
         if id.0 < self.nodes.len() {
             Ok(())
@@ -340,8 +367,14 @@ mod tests {
         assert_eq!(
             route.ports,
             vec![
-                PortId { from: stations[0], to: sw },
-                PortId { from: sw, to: stations[2] }
+                PortId {
+                    from: stations[0],
+                    to: sw
+                },
+                PortId {
+                    from: sw,
+                    to: stations[2]
+                }
             ]
         );
     }
@@ -405,6 +438,27 @@ mod tests {
         assert!(topo.node(NodeId(42)).is_err());
         assert!(topo.neighbours(NodeId(42)).is_err());
         assert!(topo.route(NodeId(42), a).is_err());
+    }
+
+    #[test]
+    fn attach_and_relink_mutate_in_place() {
+        let (mut topo, sw, stations) =
+            Topology::single_switch(3, switch("sw0"), Link::new(Phy::TenMbps));
+        let extra = topo
+            .attach_end_system("late-joiner", sw, Link::new(Phy::TenMbps))
+            .unwrap();
+        assert_eq!(topo.end_systems().len(), 4);
+        assert_eq!(topo.route(extra, stations[0]).unwrap().switch_count(), 1);
+        assert!(topo
+            .attach_end_system("bad", NodeId(99), Link::new(Phy::TenMbps))
+            .is_err());
+
+        let fast = Link::new(Phy::FastEthernet);
+        topo.relink_all(fast);
+        for s in topo.end_systems() {
+            assert_eq!(topo.link_between(s, sw), Some(fast));
+            assert_eq!(topo.link_between(sw, s), Some(fast));
+        }
     }
 
     #[test]

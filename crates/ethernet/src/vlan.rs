@@ -90,7 +90,13 @@ impl VlanTag {
 
 impl fmt::Display for VlanTag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vlan {} {}{}", self.vid, self.pcp, if self.dei { " DEI" } else { "" })
+        write!(
+            f,
+            "vlan {} {}{}",
+            self.vid,
+            self.pcp,
+            if self.dei { " DEI" } else { "" }
+        )
     }
 }
 

@@ -130,7 +130,13 @@ mod tests {
 
     #[test]
     fn encode_length_matches_wire_size() {
-        for (tagged, len) in [(false, 0), (false, 46), (false, 1500), (true, 10), (true, 1500)] {
+        for (tagged, len) in [
+            (false, 0),
+            (false, 46),
+            (false, 1500),
+            (true, 10),
+            (true, 1500),
+        ] {
             let frame = sample_frame(tagged, len);
             let bytes = encode(&frame);
             assert_eq!(

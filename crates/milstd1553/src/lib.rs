@@ -35,6 +35,6 @@ pub use analysis::{BusAnalysis, MessageResponseBound};
 pub use message::{MessageTiming, TransferType};
 pub use schedule::{MajorFrameSchedule, MinorFrame, ScheduleError, Scheduler};
 pub use sim::{BusSimulation, ObservedMessageStats};
-pub use terminal::{RtAddress, RemoteTerminal};
+pub use terminal::{RemoteTerminal, RtAddress};
 pub use transaction::Transaction;
 pub use word::{Word, WordKind, BUS_RATE, WORD_BITS, WORD_TIME};

@@ -75,9 +75,7 @@ impl MessageTiming {
     /// trailing intermessage gap.
     pub fn duration(&self) -> Duration {
         let words = self.command_words() + self.status_words() + self.data_words as u64;
-        WORD_TIME * words
-            + MAX_RESPONSE_TIME * self.response_gaps()
-            + INTERMESSAGE_GAP
+        WORD_TIME * words + MAX_RESPONSE_TIME * self.response_gaps() + INTERMESSAGE_GAP
     }
 
     /// Protocol overhead of the transaction: everything except the data

@@ -61,13 +61,23 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::MajorNotMultipleOfMinor { major, minor } => {
-                write!(f, "major frame {major} is not a multiple of minor frame {minor}")
+                write!(
+                    f,
+                    "major frame {major} is not a multiple of minor frame {minor}"
+                )
             }
             ScheduleError::InvalidPeriod { label, period } => {
                 write!(f, "message `{label}`: period {period} is not schedulable")
             }
-            ScheduleError::Overloaded { frame, load, capacity } => {
-                write!(f, "minor frame {frame} overloaded: {load} of work in a {capacity} frame")
+            ScheduleError::Overloaded {
+                frame,
+                load,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "minor frame {frame} overloaded: {load} of work in a {capacity} frame"
+                )
             }
         }
     }
@@ -216,10 +226,7 @@ impl Scheduler {
         // Greedy load balancing: longest transactions first.
         let mut order: Vec<usize> = (0..requirements.len()).collect();
         order.sort_by_key(|&i| {
-            core::cmp::Reverse((
-                requirements[i].transaction.duration(),
-                cadences[i],
-            ))
+            core::cmp::Reverse((requirements[i].transaction.duration(), cadences[i]))
         });
 
         let mut frames: Vec<Vec<usize>> = vec![Vec::new(); frame_count];
@@ -304,7 +311,11 @@ mod tests {
     #[test]
     fn harmonic_periods_repeat_at_cadence() {
         let sched = Scheduler::paper_default()
-            .schedule(vec![req("fast", 1, 2, 20), req("mid", 2, 2, 40), req("slow", 3, 2, 80)])
+            .schedule(vec![
+                req("fast", 1, 2, 20),
+                req("mid", 2, 2, 40),
+                req("slow", 3, 2, 80),
+            ])
             .unwrap();
         assert_eq!(sched.frames_of(0).len(), 8);
         assert_eq!(sched.frames_of(1).len(), 4);

@@ -76,8 +76,9 @@ impl BusSimulation {
             issues.sort_by_key(|&(start, _)| start);
 
             // Replay production instants.
-            let phase_ns = splitmix(self.seed ^ (req_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                % req.period.as_nanos().max(1);
+            let phase_ns =
+                splitmix(self.seed ^ (req_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    % req.period.as_nanos().max(1);
             let mut production = Instant::EPOCH + Duration::from_nanos(phase_ns);
             let mut min = Duration::MAX;
             let mut max = Duration::ZERO;
@@ -86,9 +87,8 @@ impl BusSimulation {
             while production + req.period <= Instant::EPOCH + horizon {
                 // The data is delivered by the first issue whose start is at
                 // or after the production instant.
-                if let Some(&(_, completion)) = issues
-                    .iter()
-                    .find(|&&(start, _)| start >= production)
+                if let Some(&(_, completion)) =
+                    issues.iter().find(|&&(start, _)| start >= production)
                 {
                     if completion <= Instant::EPOCH + horizon {
                         let latency = completion.since(production);

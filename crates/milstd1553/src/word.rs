@@ -53,7 +53,7 @@ impl Word {
         let rt = (rt_address & 0x1F) as u16;
         let tr = transmit as u16;
         let sa = (subaddress & 0x1F) as u16;
-        let wc = (word_count % MAX_DATA_WORDS as u8 as u8) as u16 & 0x1F;
+        let wc = (word_count % MAX_DATA_WORDS) as u16 & 0x1F;
         Word {
             kind: WordKind::Command,
             value: (rt << 11) | (tr << 10) | (sa << 5) | wc,
@@ -105,7 +105,7 @@ impl Word {
     /// The odd-parity bit the word carries on the wire.
     pub fn parity_bit(&self) -> bool {
         // Odd parity over the 16 data bits.
-        self.value.count_ones() % 2 == 0
+        self.value.count_ones().is_multiple_of(2)
     }
 }
 
@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Word::command(2, false, 3, 4).to_string(), "CMD rt=2 RX sa=3 wc=4");
+        assert_eq!(
+            Word::command(2, false, 3, 4).to_string(),
+            "CMD rt=2 RX sa=3 wc=4"
+        );
         assert_eq!(Word::status(2).to_string(), "STATUS rt=2");
         assert_eq!(Word::data(0xAB).to_string(), "DATA 0x00ab");
     }

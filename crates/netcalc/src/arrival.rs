@@ -75,11 +75,10 @@ impl TokenBucket {
     /// Aggregates an iterator of token buckets (identity: zero burst, zero
     /// rate).
     pub fn aggregate_all<'a, I: IntoIterator<Item = &'a TokenBucket>>(flows: I) -> TokenBucket {
-        flows
-            .into_iter()
-            .fold(TokenBucket::new(DataSize::ZERO, DataRate::ZERO), |acc, f| {
-                acc.aggregate(f)
-            })
+        flows.into_iter().fold(
+            TokenBucket::new(DataSize::ZERO, DataRate::ZERO),
+            |acc, f| acc.aggregate(f),
+        )
     }
 }
 

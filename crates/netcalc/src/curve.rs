@@ -41,7 +41,9 @@ impl Curve {
     /// invariants listed on [`Curve`].
     pub fn new(points: Vec<(f64, f64)>, final_slope: f64) -> Result<Self, NcError> {
         if points.is_empty() {
-            return Err(NcError::InvalidCurve("curve needs at least one breakpoint".into()));
+            return Err(NcError::InvalidCurve(
+                "curve needs at least one breakpoint".into(),
+            ));
         }
         if !final_slope.is_finite() || final_slope < 0.0 {
             return Err(NcError::InvalidCurve(format!(
@@ -75,7 +77,10 @@ impl Curve {
         if !(x0.is_finite() && y0.is_finite()) || y0 < 0.0 {
             return Err(NcError::InvalidCurve("invalid first breakpoint".into()));
         }
-        Ok(Curve { points, final_slope })
+        Ok(Curve {
+            points,
+            final_slope,
+        })
     }
 
     /// The constant-zero curve.
@@ -97,7 +102,9 @@ impl Curve {
     /// A rate-latency curve `β_{R,T}(t) = R·(t − T)⁺`.
     pub fn rate_latency(rate_bps: f64, latency_s: f64) -> Result<Self, NcError> {
         if latency_s < 0.0 || !latency_s.is_finite() {
-            return Err(NcError::InvalidCurve(format!("invalid latency {latency_s}")));
+            return Err(NcError::InvalidCurve(format!(
+                "invalid latency {latency_s}"
+            )));
         }
         if latency_s == 0.0 {
             Curve::new(vec![(0.0, 0.0)], rate_bps)
@@ -298,7 +305,11 @@ impl Curve {
         }
         for &(x, y) in &self.points {
             let nx = x + delta;
-            if points.last().map(|&(px, _)| nx > px + 1e-15).unwrap_or(true) {
+            if points
+                .last()
+                .map(|&(px, _)| nx > px + 1e-15)
+                .unwrap_or(true)
+            {
                 points.push((nx, y));
             } else if let Some(last) = points.last_mut() {
                 last.1 = y;

@@ -324,9 +324,8 @@ impl StaticPriorityMux {
     /// ≤ p against [`StaticPriorityMux::residual_service`]); used to
     /// cross-validate [`StaticPriorityMux::delay_bound`].
     pub fn delay_bound_via_curves(&self, priority: usize) -> Result<Duration, NcError> {
-        let aggregate = TokenBucket::aggregate_all(
-            self.levels[..=priority].iter().flat_map(|l| l.iter()),
-        );
+        let aggregate =
+            TokenBucket::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
         let service = self.residual_service(priority)?;
         if aggregate.rate() > service.rate() {
             return Err(NcError::Unstable {
@@ -340,9 +339,8 @@ impl StaticPriorityMux {
 
     /// The worst-case backlog of the queues holding priorities ≤ p.
     pub fn backlog_bound(&self, priority: usize) -> Result<DataSize, NcError> {
-        let aggregate = TokenBucket::aggregate_all(
-            self.levels[..=priority].iter().flat_map(|l| l.iter()),
-        );
+        let aggregate =
+            TokenBucket::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
         let service = self.residual_service(priority)?;
         if aggregate.rate() > service.rate() {
             return Err(NcError::Unstable {
@@ -391,7 +389,10 @@ mod tests {
     use super::*;
 
     fn tb(bytes: u64, period_ms: u64) -> TokenBucket {
-        TokenBucket::for_message(DataSize::from_bytes(bytes), Duration::from_millis(period_ms))
+        TokenBucket::for_message(
+            DataSize::from_bytes(bytes),
+            Duration::from_millis(period_ms),
+        )
     }
 
     fn c10() -> DataRate {
@@ -448,7 +449,10 @@ mod tests {
         mux.add_flow(tb(1000, 20));
         // Backlog = b + r·T = 8000 bits + 400_000 b/s * 16e-6 s = 8000 + 6.4 -> 8007 (ceil).
         let q = mux.backlog_bound().unwrap();
-        assert!(q >= DataSize::from_bits(8_006) && q <= DataSize::from_bits(8_008), "{q}");
+        assert!(
+            q >= DataSize::from_bits(8_006) && q <= DataSize::from_bits(8_008),
+            "{q}"
+        );
     }
 
     #[test]
@@ -516,7 +520,10 @@ mod tests {
         fcfs.add_flows([tb(64, 20), tb(1000, 40), tb(1518, 160)]);
         let d_fcfs = fcfs.delay_bound().unwrap();
         let d_p0 = mux.delay_bound(0).unwrap();
-        assert!(d_p0 < d_fcfs, "priority 0 bound {d_p0} not below FCFS bound {d_fcfs}");
+        assert!(
+            d_p0 < d_fcfs,
+            "priority 0 bound {d_p0} not below FCFS bound {d_fcfs}"
+        );
     }
 
     #[test]

@@ -138,8 +138,12 @@ mod tests {
         assert_eq!(res.rate(), DataRate::from_mbps(6));
         assert_eq!(res.latency(), Duration::from_micros(116));
         // Saturated by interference.
-        assert!(s.residual(DataRate::from_mbps(10), Duration::ZERO).is_none());
-        assert!(s.residual(DataRate::from_mbps(11), Duration::ZERO).is_none());
+        assert!(s
+            .residual(DataRate::from_mbps(10), Duration::ZERO)
+            .is_none());
+        assert!(s
+            .residual(DataRate::from_mbps(11), Duration::ZERO)
+            .is_none());
     }
 
     #[test]

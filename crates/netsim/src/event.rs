@@ -138,9 +138,24 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(at(300), EventKind::Generate { message: MessageId(3) });
-        q.schedule(at(100), EventKind::Generate { message: MessageId(1) });
-        q.schedule(at(200), EventKind::Generate { message: MessageId(2) });
+        q.schedule(
+            at(300),
+            EventKind::Generate {
+                message: MessageId(3),
+            },
+        );
+        q.schedule(
+            at(100),
+            EventKind::Generate {
+                message: MessageId(1),
+            },
+        );
+        q.schedule(
+            at(200),
+            EventKind::Generate {
+                message: MessageId(2),
+            },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.time.as_nanos())
             .collect();
@@ -152,7 +167,12 @@ mod tests {
     fn simultaneous_events_preserve_scheduling_order() {
         let mut q = EventQueue::new();
         for i in 0..5 {
-            q.schedule(at(50), EventKind::Generate { message: MessageId(i) });
+            q.schedule(
+                at(50),
+                EventKind::Generate {
+                    message: MessageId(i),
+                },
+            );
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -167,8 +187,18 @@ mod tests {
     fn len_tracks_pending_events() {
         let mut q = EventQueue::new();
         assert_eq!(q.len(), 0);
-        q.schedule(at(1), EventKind::Generate { message: MessageId(0) });
-        q.schedule(at(2), EventKind::ShaperCheck { message: MessageId(0) });
+        q.schedule(
+            at(1),
+            EventKind::Generate {
+                message: MessageId(0),
+            },
+        );
+        q.schedule(
+            at(2),
+            EventKind::ShaperCheck {
+                message: MessageId(0),
+            },
+        );
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
@@ -176,7 +206,13 @@ mod tests {
 
     #[test]
     fn port_ref_display() {
-        assert_eq!(PortRef::StationUplink(StationId(2)).to_string(), "uplink[s2]");
-        assert_eq!(PortRef::SwitchOutput(StationId(0)).to_string(), "switch-out[s0]");
+        assert_eq!(
+            PortRef::StationUplink(StationId(2)).to_string(),
+            "uplink[s2]"
+        );
+        assert_eq!(
+            PortRef::SwitchOutput(StationId(0)).to_string(),
+            "switch-out[s0]"
+        );
     }
 }

@@ -95,6 +95,9 @@ mod tests {
 
     #[test]
     fn rate_accessor() {
-        assert_eq!(LeakyBucket::new(DataRate::from_kbps(64)).rate(), DataRate::from_kbps(64));
+        assert_eq!(
+            LeakyBucket::new(DataRate::from_kbps(64)).rate(),
+            DataRate::from_kbps(64)
+        );
     }
 }

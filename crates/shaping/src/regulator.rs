@@ -136,7 +136,10 @@ mod tests {
         reg.enqueue(Pkt(512));
         reg.enqueue(Pkt(512));
         assert_eq!(reg.len(), 2);
-        assert_eq!(reg.head_decision(Instant::EPOCH), ReleaseDecision::ReleaseNow);
+        assert_eq!(
+            reg.head_decision(Instant::EPOCH),
+            ReleaseDecision::ReleaseNow
+        );
         assert_eq!(reg.release(Instant::EPOCH), Some(Pkt(512)));
         // Second packet must wait for the bucket to refill.
         match reg.head_decision(Instant::EPOCH) {

@@ -191,7 +191,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let tb = TokenBucketShaper::for_message(DataSize::from_bytes(64), Duration::from_millis(20));
+        let tb =
+            TokenBucketShaper::for_message(DataSize::from_bytes(64), Duration::from_millis(20));
         assert_eq!(tb.capacity(), DataSize::from_bytes(64));
         assert_eq!(tb.rate(), DataRate::from_bps(25_600));
     }

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 /// rounded *up* so worst-case delays are never optimistic) and
 /// [`DataRate::bits_in`] (how much traffic a greedy source can emit in a
 /// window, rounded *down* so admission tests are never optimistic either).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct DataRate(u64);
 
@@ -173,7 +175,11 @@ impl Sub for DataRate {
     type Output = DataRate;
     #[inline]
     fn sub(self, rhs: DataRate) -> DataRate {
-        DataRate(self.0.checked_sub(rhs.0).expect("DataRate underflow in sub"))
+        DataRate(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("DataRate underflow in sub"),
+        )
     }
 }
 
@@ -185,11 +191,11 @@ impl core::iter::Sum for DataRate {
 
 impl fmt::Display for DataRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", self.0 / 1_000_000_000)
-        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        } else if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.0 / 1_000_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}kbps", self.0 / 1_000)
         } else {
             write!(f, "{}bps", self.0)
@@ -253,7 +259,10 @@ mod tests {
             DataRate::from_mbps(10).bits_in(Duration::from_millis(1)),
             DataSize::from_bits(10_000)
         );
-        assert_eq!(DataRate::from_mbps(10).bits_in(Duration::ZERO), DataSize::ZERO);
+        assert_eq!(
+            DataRate::from_mbps(10).bits_in(Duration::ZERO),
+            DataSize::ZERO
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 /// Frame lengths, bucket depths and backlog bounds are all carried as exact
 /// bit counts; the Ethernet and MIL-STD-1553B crates construct them from
 /// bytes and words respectively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct DataSize(u64);
 
@@ -124,7 +126,11 @@ impl Sub for DataSize {
     type Output = DataSize;
     #[inline]
     fn sub(self, rhs: DataSize) -> DataSize {
-        DataSize(self.0.checked_sub(rhs.0).expect("DataSize underflow in sub"))
+        DataSize(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("DataSize underflow in sub"),
+        )
     }
 }
 
@@ -151,7 +157,7 @@ impl core::iter::Sum for DataSize {
 
 impl fmt::Display for DataSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 8 == 0 {
+        if self.0.is_multiple_of(8) {
             write!(f, "{}B", self.0 / 8)
         } else {
             write!(f, "{}b", self.0)

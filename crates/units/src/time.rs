@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 /// overflow in debug builds and saturates in the explicit `saturating_*`
 /// helpers; the simulator and schedulers use the checked constructors so a
 /// mis-configured workload fails loudly instead of wrapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Duration(u64);
 
@@ -137,11 +139,7 @@ impl Duration {
     /// `self` (truncating).  Returns `None` when `rhs` is zero.
     #[inline]
     pub fn div_duration(self, rhs: Duration) -> Option<u64> {
-        if rhs.0 == 0 {
-            None
-        } else {
-            Some(self.0 / rhs.0)
-        }
+        self.0.checked_div(rhs.0)
     }
 
     /// Ceiling division of two durations.  Returns `None` when `rhs` is zero.
@@ -194,7 +192,11 @@ impl Sub for Duration {
     type Output = Duration;
     #[inline]
     fn sub(self, rhs: Duration) -> Duration {
-        Duration(self.0.checked_sub(rhs.0).expect("Duration underflow in sub"))
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration underflow in sub"),
+        )
     }
 }
 
@@ -232,11 +234,11 @@ impl fmt::Display for Duration {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0s")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{}ns", ns)
@@ -246,7 +248,9 @@ impl fmt::Display for Duration {
 
 /// A point in simulated time, measured in nanoseconds since the start of the
 /// simulation (or of the analysis horizon).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Instant(u64);
 
@@ -420,7 +424,10 @@ mod tests {
         let horizon = Duration::from_millis(160);
         let minor = Duration::from_millis(20);
         assert_eq!(horizon.div_duration(minor), Some(8));
-        assert_eq!(horizon.div_duration_ceil(Duration::from_millis(21)), Some(8));
+        assert_eq!(
+            horizon.div_duration_ceil(Duration::from_millis(21)),
+            Some(8)
+        );
         assert_eq!(horizon.div_duration(Duration::ZERO), None);
         assert_eq!(horizon.div_duration_ceil(Duration::ZERO), None);
     }
@@ -457,7 +464,10 @@ mod tests {
         let t1 = t0 + Duration::from_millis(20);
         assert_eq!(t1.since(t0), Duration::from_millis(20));
         assert_eq!(t1 - t0, Duration::from_millis(20));
-        assert_eq!(t1 - Duration::from_millis(5), t0 + Duration::from_millis(15));
+        assert_eq!(
+            t1 - Duration::from_millis(5),
+            t0 + Duration::from_millis(15)
+        );
         assert_eq!(t0.saturating_since(t1), Duration::ZERO);
         assert_eq!(t0.max(t1), t1);
         assert_eq!(t0.min(t1), t0);

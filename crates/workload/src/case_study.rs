@@ -245,7 +245,10 @@ mod tests {
         // The case study is sized to stress a 10 Mbps port without
         // saturating it: roughly 10–40 % sustained utilization.
         assert!(util > 0.10, "utilization {util} too low to be interesting");
-        assert!(util < 0.60, "utilization {util} would make the port unstable");
+        assert!(
+            util < 0.60,
+            "utilization {util} would make the port unstable"
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct GeneratorConfig {
     /// Fraction of *sporadic* messages that are urgent (3 ms deadline), in
     /// percent (0–100).
     pub urgent_percent: u8,
+    /// Fraction of messages addressed to a random *peer* subsystem instead
+    /// of the mission computer, in percent (0–100).  Zero reproduces the
+    /// case study's pure convergecast pattern; larger values spread load
+    /// over the other switch output ports (campaign topology variants).
+    pub peer_percent: u8,
     /// RNG seed — identical seeds generate identical workloads.
     pub seed: u64,
 }
@@ -36,8 +41,29 @@ impl Default for GeneratorConfig {
             max_payload_bytes: 1024,
             sporadic_percent: 50,
             urgent_percent: 20,
+            peer_percent: 0,
             seed: 1,
         }
+    }
+}
+
+impl GeneratorConfig {
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of subsystems.
+    pub fn with_subsystems(mut self, subsystems: usize) -> Self {
+        self.subsystems = subsystems;
+        self
+    }
+
+    /// Overrides the fraction of peer-to-peer messages.
+    pub fn with_peer_percent(mut self, percent: u8) -> Self {
+        self.peer_percent = percent.min(100);
+        self
     }
 }
 
@@ -73,16 +99,31 @@ impl WorkloadGenerator {
             .max(min_payload)
             .min(ethernet::frame::MAX_PAYLOAD);
 
-        for s in 0..cfg.subsystems {
-            let station = w.add_station(format!("subsystem-{s}"));
+        let stations: Vec<_> = (0..cfg.subsystems)
+            .map(|s| w.add_station(format!("subsystem-{s}")))
+            .collect();
+
+        for (s, &station) in stations.iter().enumerate() {
             for m in 0..cfg.messages_per_subsystem {
                 let payload = DataSize::from_bytes(rng.gen_range(min_payload..=max_payload));
-                let interval = Duration::from_millis(
-                    harmonic_ms[rng.gen_range(0..harmonic_ms.len())],
-                );
-                let sporadic = rng.gen_range(0..100) < cfg.sporadic_percent as u32;
+                // Destination: the mission computer (convergecast, the case
+                // study's pattern) or, for the configured fraction, a random
+                // peer subsystem.  When `peer_percent` is zero no RNG draw
+                // happens, so existing seeds reproduce their old workloads.
+                let destination = if cfg.peer_percent > 0
+                    && cfg.subsystems > 1
+                    && rng.gen_range(0..100u32) < cfg.peer_percent as u32
+                {
+                    let peer = rng.gen_range(0..cfg.subsystems - 1);
+                    stations[if peer >= s { peer + 1 } else { peer }]
+                } else {
+                    mc
+                };
+                let interval =
+                    Duration::from_millis(harmonic_ms[rng.gen_range(0..harmonic_ms.len())]);
+                let sporadic = rng.gen_range(0..100u32) < cfg.sporadic_percent as u32;
                 let (arrival, deadline) = if sporadic {
-                    let urgent = rng.gen_range(0..100) < cfg.urgent_percent as u32;
+                    let urgent = rng.gen_range(0..100u32) < cfg.urgent_percent as u32;
                     let deadline = if urgent {
                         Duration::from_millis(3)
                     } else if rng.gen_bool(0.7) {
@@ -104,7 +145,7 @@ impl WorkloadGenerator {
                 w.add_message(
                     format!("subsystem-{s}/msg-{m}"),
                     station,
-                    mc,
+                    destination,
                     payload,
                     arrival,
                     deadline,
@@ -192,6 +233,25 @@ mod tests {
             .messages
             .iter()
             .all(|m| m.payload.bytes() >= 1 && m.payload.bytes() <= 1500));
+    }
+
+    #[test]
+    fn peer_traffic_spreads_destinations() {
+        let cfg = GeneratorConfig::default()
+            .with_peer_percent(100)
+            .with_subsystems(8);
+        let w = WorkloadGenerator::new(cfg).generate();
+        assert!(w
+            .messages
+            .iter()
+            .all(|m| m.destination != StationId(0) && m.destination != m.source));
+        assert_eq!(w, WorkloadGenerator::new(cfg).generate());
+        // Zero keeps the pure convergecast pattern (and the old RNG stream).
+        let converge = WorkloadGenerator::new(cfg.with_peer_percent(0)).generate();
+        assert!(converge
+            .messages
+            .iter()
+            .all(|m| m.destination == StationId(0)));
     }
 
     #[test]

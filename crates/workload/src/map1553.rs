@@ -47,7 +47,10 @@ impl core::fmt::Display for MappingError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             MappingError::TooManyStations(n) => {
-                write!(f, "{n} stations exceed the 30 remote terminals a 1553B bus supports")
+                write!(
+                    f,
+                    "{n} stations exceed the 30 remote terminals a 1553B bus supports"
+                )
             }
         }
     }

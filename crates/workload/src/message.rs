@@ -342,10 +342,16 @@ mod tests {
             },
             Duration::from_millis(500),
         );
-        assert_eq!(w.message(urgent).traffic_class(), TrafficClass::UrgentSporadic);
+        assert_eq!(
+            w.message(urgent).traffic_class(),
+            TrafficClass::UrgentSporadic
+        );
         assert_eq!(w.message(periodic).traffic_class(), TrafficClass::Periodic);
         assert_eq!(w.message(sporadic).traffic_class(), TrafficClass::Sporadic);
-        assert_eq!(w.message(background).traffic_class(), TrafficClass::Background);
+        assert_eq!(
+            w.message(background).traffic_class(),
+            TrafficClass::Background
+        );
         assert_eq!(w.message(urgent).priority(), 0);
         assert_eq!(w.message(background).priority(), 3);
         assert_eq!(w.messages_of_class(TrafficClass::Periodic).len(), 1);

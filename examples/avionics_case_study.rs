@@ -60,7 +60,11 @@ fn print_bound(bound: &MessageBound) {
         bound.total_bound.as_millis_f64(),
         bound.deadline.as_millis_f64(),
         bound.slack().as_millis_f64(),
-        if bound.meets_deadline { "OK" } else { "VIOLATED" }
+        if bound.meets_deadline {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
 }
 

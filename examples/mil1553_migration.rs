@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example mil1553_migration`
 
-use rt_ethernet::core::report::render_baseline_table;
 use rt_ethernet::core::compare_with_1553;
+use rt_ethernet::core::report::render_baseline_table;
 use rt_ethernet::milstd1553::analysis::BusAnalysis;
 use rt_ethernet::milstd1553::schedule::Scheduler;
 use rt_ethernet::workload::case_study::{case_study, case_study_with, CaseStudyConfig};
@@ -59,6 +59,10 @@ fn main() {
         .is_some();
     println!(
         "\nfull 15-subsystem case study schedulable on MIL-STD-1553B: {}",
-        if feasible { "yes" } else { "no — the bus is past its capacity" }
+        if feasible {
+            "yes"
+        } else {
+            "no — the bus is past its capacity"
+        }
     );
 }

@@ -17,12 +17,8 @@ fn bounds_dominate_simulation_for_both_approaches() {
     for approach in [Approach::Fcfs, Approach::StrictPriority] {
         let report = analyze(&workload, &config, approach).unwrap();
         for seed in [11, 23] {
-            let validation = validate_against_simulation(
-                &workload,
-                &report,
-                Duration::from_millis(640),
-                seed,
-            );
+            let validation =
+                validate_against_simulation(&workload, &report, Duration::from_millis(640), seed);
             assert!(
                 validation.all_sound(),
                 "{approach} seed {seed}: {:?}",
