@@ -1,0 +1,35 @@
+//! E9 — multi-switch topology sweep: cascade the paper's single switch into
+//! lines and stars-of-stars, bound every flow end to end (per-hop sum and
+//! pay-bursts-only-once), and check the cascaded simulation against the
+//! bounds.
+//!
+//! Usage: `cargo run --release -p bench --bin e9_multi_switch [--seed S] [--json <path>]`
+
+use bench::{multi_switch_sweep, render_multi_switch};
+use rtswitch_core::report::to_json;
+use units::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let seed = value_after("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    let rows = multi_switch_sweep(Duration::from_millis(640), seed);
+    print!("{}", render_multi_switch(&rows));
+
+    if let Some(path) = value_after("--json") {
+        std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+
+    assert!(
+        rows.iter().all(|r| r.sound),
+        "a cascaded simulation exceeded its analytic bound"
+    );
+}

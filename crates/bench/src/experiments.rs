@@ -567,9 +567,173 @@ pub fn render_campaign(report: &campaign::CampaignReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E9
+
+/// One row of the multi-switch topology sweep: a fabric, its multi-hop
+/// bounds for the urgent class, the pay-bursts-only-once gain, and the
+/// simulated check.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiSwitchRow {
+    /// Human-readable fabric label ("single switch", "line of 3", …).
+    pub label: String,
+    /// Number of switches in the fabric.
+    pub switches: usize,
+    /// The longest path any flow takes, in links.
+    pub max_links: usize,
+    /// Worst urgent-class per-hop-summed bound, milliseconds.
+    pub urgent_hop_sum_ms: f64,
+    /// Worst urgent-class pay-bursts-only-once bound, milliseconds.
+    pub urgent_convolved_ms: f64,
+    /// Worst urgent-class reported bound (min of stage sum and convolved),
+    /// milliseconds.
+    pub urgent_total_ms: f64,
+    /// The largest `per-hop sum − convolved` gap across all messages,
+    /// milliseconds.
+    pub max_pboo_gain_ms: f64,
+    /// Worst simulated urgent-class delay, milliseconds.
+    pub simulated_urgent_ms: f64,
+    /// `true` when every simulated delay respected its analytic bound.
+    pub sound: bool,
+    /// `true` when every message meets its deadline on this fabric.
+    pub all_ok: bool,
+}
+
+/// E9: sweep the switch fabric — single switch, cascaded lines, a
+/// star-of-stars — over the reduced case study and report how the
+/// multi-hop bounds grow with depth, how much pay-bursts-only-once
+/// tightens them, and that the cascaded simulation stays within every
+/// bound.
+pub fn multi_switch_sweep(horizon: Duration, seed: u64) -> Vec<MultiSwitchRow> {
+    use ethernet::Fabric;
+    let workload = case_study_with(CaseStudyConfig {
+        subsystems: 6,
+        with_command_traffic: true,
+    });
+    let config = NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(100));
+    let stations = workload.stations.len();
+    let fabrics: Vec<(String, Fabric)> = vec![
+        ("single switch".into(), Fabric::single_switch(stations)),
+        ("line of 2".into(), Fabric::line(2, stations)),
+        ("line of 3".into(), Fabric::line(3, stations)),
+        (
+            "star of 2 leaves".into(),
+            Fabric::star_of_stars(2, stations),
+        ),
+        (
+            "star of 3 leaves".into(),
+            Fabric::star_of_stars(3, stations),
+        ),
+    ];
+    fabrics
+        .into_iter()
+        .map(|(label, fabric)| {
+            let analysis = rtswitch_core::analyze_multi_hop(
+                &workload,
+                &config,
+                Approach::StrictPriority,
+                &fabric,
+            )
+            .expect("the reduced case study is stable at 100 Mbps on every fabric");
+            let simulation = Simulator::with_fabric(
+                workload.clone(),
+                rtswitch_core::sim_config_for(Approach::StrictPriority, &config, horizon, seed),
+                fabric.clone(),
+            )
+            .run();
+            let validation = rtswitch_core::validation_from_bound_lookup(
+                &workload,
+                |id| analysis.bound_for(id).map(|b| b.total_bound),
+                simulation,
+            );
+            let urgent = |f: fn(&rtswitch_core::MultiHopMessageBound) -> Duration| {
+                analysis
+                    .messages
+                    .iter()
+                    .filter(|m| m.class == TrafficClass::UrgentSporadic)
+                    .map(f)
+                    .fold(Duration::ZERO, Duration::max)
+            };
+            MultiSwitchRow {
+                label,
+                switches: fabric.switch_count(),
+                max_links: fabric.diameter_links(),
+                urgent_hop_sum_ms: urgent(|m| m.hop_sum_bound).as_millis_f64(),
+                urgent_convolved_ms: urgent(|m| m.convolved_bound).as_millis_f64(),
+                urgent_total_ms: urgent(|m| m.total_bound).as_millis_f64(),
+                max_pboo_gain_ms: analysis.max_pboo_gain().as_millis_f64(),
+                simulated_urgent_ms: validation
+                    .simulation
+                    .worst_delay_of_class(TrafficClass::UrgentSporadic)
+                    .as_millis_f64(),
+                sound: validation.all_sound(),
+                all_ok: analysis.all_deadlines_met(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the multi-switch sweep rows as a text table.
+pub fn render_multi_switch(rows: &[MultiSwitchRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E9 — multi-switch topology sweep (strict priority, C = 100 Mbps, urgent class)\n\
+         {:<18} {:>8} {:>9} {:>12} {:>12} {:>11} {:>11} {:>11} {:>6} {:>8}\n",
+        "fabric",
+        "switches",
+        "max links",
+        "hop-sum",
+        "convolved",
+        "reported",
+        "PBOO gain",
+        "simulated",
+        "sound",
+        "all met?"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>9} {:>9.3} ms {:>9.3} ms {:>8.3} ms {:>8.3} ms {:>8.3} ms {:>6} {:>8}\n",
+            row.label,
+            row.switches,
+            row.max_links,
+            row.urgent_hop_sum_ms,
+            row.urgent_convolved_ms,
+            row.urgent_total_ms,
+            row.max_pboo_gain_ms,
+            row.simulated_urgent_ms,
+            if row.sound { "yes" } else { "NO" },
+            if row.all_ok { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multi_switch_sweep_is_sound_and_pboo_tightens_cascades() {
+        let rows = multi_switch_sweep(Duration::from_millis(320), 7);
+        assert_eq!(rows.len(), 5);
+        // Every fabric: simulation within bounds, deadlines met at 100 Mbps.
+        for row in &rows {
+            assert!(row.sound, "{} produced a bound violation", row.label);
+            assert!(row.all_ok, "{} missed a deadline", row.label);
+            assert!(row.urgent_convolved_ms <= row.urgent_hop_sum_ms + 1e-9);
+            assert!(row.urgent_total_ms <= row.urgent_convolved_ms + 1e-9);
+            assert!(row.simulated_urgent_ms <= row.urgent_total_ms + 1e-9);
+        }
+        // The single switch is the baseline; deeper fabrics cost more.
+        assert_eq!(rows[0].switches, 1);
+        assert!(rows[2].urgent_total_ms > rows[0].urgent_total_ms);
+        // Pay-bursts-only-once bites harder the more hops there are to
+        // amortize the burst over.
+        assert!(rows[2].max_pboo_gain_ms > 0.0);
+        assert!(rows[2].max_pboo_gain_ms > rows[0].max_pboo_gain_ms);
+        let text = render_multi_switch(&rows);
+        assert!(text.contains("E9"));
+        assert!(text.contains("line of 3"));
+    }
 
     #[test]
     fn campaign_sweep_is_sound_and_renders() {

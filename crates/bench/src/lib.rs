@@ -16,6 +16,7 @@
 //! | E6 | ablation — effect of source shaping | [`experiments::shaping_ablation`] |
 //! | E7 | ablation — priority-level count | [`experiments::level_ablation`] |
 //! | E8 | scenario-sweep campaign (mass validation) | [`experiments::campaign_sweep`] |
+//! | E9 | extension — multi-switch cascades, pay-bursts-only-once | [`experiments::multi_switch_sweep`] |
 
 pub mod experiments;
 

@@ -136,6 +136,16 @@ fn main() -> ExitCode {
         summary.tightness.p99,
         summary.tightness.max,
     );
+    say!(
+        "multi-switch: {} cascaded scenarios validated | pay-bursts-only-once consistent in {} | max PBOO gain {}",
+        summary.cascaded_validated,
+        if summary.pboo_consistent() {
+            "all".to_string()
+        } else {
+            format!("{} VIOLATIONS", summary.pboo_violations)
+        },
+        summary.max_pboo_gain,
+    );
 
     if !args.quiet {
         say!();

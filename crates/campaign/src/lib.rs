@@ -10,16 +10,20 @@
 //! 1. **[`ScenarioSpace`]** expands one master seed into any number of
 //!    randomized-but-deterministic scenarios sweeping workload shape
 //!    (case-study variants and generated tables, convergecast and
-//!    peer-to-peer topologies), link rate (10/100/1000 Mbps), switch
-//!    relaying latency, multiplexing policy (FCFS vs 4-level strict
-//!    priority), sporadic activation models, phasing and horizon.
+//!    peer-to-peer patterns), switch fabric (single switch, cascaded
+//!    lines, star-of-stars — [`FabricSpec`]), link rate (10/100/1000
+//!    Mbps), switch relaying latency, multiplexing policy (FCFS vs 4-level
+//!    strict priority), sporadic activation models, phasing and horizon.
 //! 2. **[`run_campaign`]** executes every scenario's full pipeline —
-//!    analytic bounds ([`rtswitch_core::analyze`]) plus a matching
-//!    simulation ([`netsim::Simulator`]) — on a pool of worker threads,
-//!    one deterministic engine per run, parallelism across runs.
+//!    multi-hop analytic bounds ([`rtswitch_core::analyze_multi_hop`],
+//!    which also yields the pay-bursts-only-once convolved bound) plus a
+//!    matching cascaded simulation ([`netsim::Simulator::with_fabric`]) —
+//!    on a pool of worker threads, one deterministic engine per run,
+//!    parallelism across runs.
 //! 3. **[`CampaignSummary`]** aggregates the stream of results into
 //!    campaign-level statistics: soundness rate, per-message tightness
-//!    distribution (min/mean/p50/p99/max), bound-violation reports and
+//!    distribution (min/mean/p50/p99/max), bound-violation reports,
+//!    pay-bursts-only-once consistency over the cascaded scenarios and
 //!    per-policy breakdowns.
 //!
 //! Determinism contract: the [`CampaignOutcome`] (results + summary) is a
@@ -56,10 +60,10 @@ pub mod runner;
 pub mod space;
 
 pub use report::{
-    ApproachBreakdown, CampaignSummary, CampaignViolation, ScenarioOutcome, ScenarioResult,
-    ScenarioValidation, TightnessDistribution, TightnessStats, ViolationReport,
+    ApproachBreakdown, CampaignSummary, CampaignViolation, PbooCheck, ScenarioOutcome,
+    ScenarioResult, ScenarioValidation, TightnessDistribution, TightnessStats, ViolationReport,
 };
 pub use runner::{
     execute_scenario, run_campaign, CampaignConfig, CampaignOutcome, CampaignReport, RuntimeStats,
 };
-pub use space::{Scenario, ScenarioSpace, WorkloadSource};
+pub use space::{FabricSpec, Scenario, ScenarioSpace, WorkloadSource};

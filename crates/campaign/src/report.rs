@@ -59,6 +59,20 @@ pub struct ViolationReport {
     pub observed: Duration,
 }
 
+/// The multi-hop tightness facts of one validated scenario: whether the
+/// pay-bursts-only-once convolution stayed below the per-hop sum, and by
+/// how much at most.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbooCheck {
+    /// `true` when the scenario ran over a multi-switch fabric.
+    pub cascaded: bool,
+    /// `true` when `convolved ≤ per-hop sum` held for every message (it
+    /// must — the convolution theorem guarantees it).
+    pub consistent: bool,
+    /// The largest `per-hop sum − convolved` gap across messages.
+    pub max_gain: Duration,
+}
+
 /// The measured outcome of one scenario whose analysis produced bounds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioValidation {
@@ -68,6 +82,8 @@ pub struct ScenarioValidation {
     pub sound: bool,
     /// The violations (empty when sound).
     pub violations: Vec<ViolationReport>,
+    /// The pay-bursts-only-once consistency facts of the analysis.
+    pub pboo: PbooCheck,
     /// Number of messages whose *analytic bound* misses the application
     /// deadline — an expected outcome for FCFS at low rates (the paper's
     /// Figure 1), distinct from a soundness violation.
@@ -117,6 +133,7 @@ impl ScenarioResult {
     pub fn from_validation(
         scenario: Scenario,
         deadline_misses: usize,
+        pboo: PbooCheck,
         validation: &ValidationReport,
     ) -> Self {
         let violations = validation
@@ -135,6 +152,7 @@ impl ScenarioResult {
                 messages: validation.entries.len(),
                 sound: violations.is_empty(),
                 violations,
+                pboo,
                 deadline_misses,
                 tightness: TightnessStats::from_values(&tightness_values),
                 tightness_values,
@@ -241,6 +259,15 @@ pub struct CampaignSummary {
     pub soundness_rate: f64,
     /// Total (scenario, message) pairs checked against a bound.
     pub messages_checked: usize,
+    /// Validated scenarios that ran over a multi-switch (cascaded) fabric.
+    pub cascaded_validated: usize,
+    /// Validated cascaded scenarios where the pay-bursts-only-once bound
+    /// exceeded the per-hop sum (must be zero — the convolution theorem
+    /// guarantees consistency).
+    pub pboo_violations: usize,
+    /// The largest pay-bursts-only-once gain (`per-hop sum − convolved`)
+    /// observed across all validated scenarios.
+    pub max_pboo_gain: Duration,
     /// Every violation across the campaign (must be empty).
     pub violations: Vec<CampaignViolation>,
     /// Tightness distribution across all validated messages.
@@ -260,6 +287,9 @@ impl CampaignSummary {
         let mut sound_scenarios = 0usize;
         let mut messages_checked = 0usize;
         let mut frames_simulated = 0u64;
+        let mut cascaded_validated = 0usize;
+        let mut pboo_violations = 0usize;
+        let mut max_pboo_gain = Duration::ZERO;
         let mut violations = Vec::new();
         let mut tightness_values = Vec::new();
         let mut arms: Vec<(Approach, Vec<&ScenarioResult>)> = vec![
@@ -278,6 +308,13 @@ impl CampaignSummary {
                     validated += 1;
                     messages_checked += v.messages;
                     frames_simulated += v.generated;
+                    if v.pboo.cascaded {
+                        cascaded_validated += 1;
+                    }
+                    if !v.pboo.consistent {
+                        pboo_violations += 1;
+                    }
+                    max_pboo_gain = max_pboo_gain.max(v.pboo.max_gain);
                     if v.sound {
                         sound_scenarios += 1;
                     }
@@ -343,6 +380,9 @@ impl CampaignSummary {
                 1.0
             },
             messages_checked,
+            cascaded_validated,
+            pboo_violations,
+            max_pboo_gain,
             violations,
             tightness: TightnessDistribution::from_values(tightness_values),
             by_approach,
@@ -353,6 +393,12 @@ impl CampaignSummary {
     /// `true` when every validated scenario was sound.
     pub fn all_sound(&self) -> bool {
         self.violations.is_empty() && self.sound_scenarios == self.validated
+    }
+
+    /// `true` when the pay-bursts-only-once bound stayed below the per-hop
+    /// sum in every validated scenario.
+    pub fn pboo_consistent(&self) -> bool {
+        self.pboo_violations == 0
     }
 }
 

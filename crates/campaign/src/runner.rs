@@ -9,10 +9,10 @@
 //! runs regardless of thread count or scheduling order — only the runtime
 //! statistics (wall time, throughput, per-thread load) vary.
 
-use crate::report::{CampaignSummary, ScenarioOutcome, ScenarioResult};
+use crate::report::{CampaignSummary, PbooCheck, ScenarioOutcome, ScenarioResult};
 use crate::space::{Scenario, ScenarioSpace};
 use netsim::Simulator;
-use rtswitch_core::{analyze, validation_from_simulation, AnalysisError};
+use rtswitch_core::{analyze_multi_hop, validation_from_bound_lookup, AnalysisError};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -106,30 +106,41 @@ pub struct CampaignReport {
     pub runtime: RuntimeStats,
 }
 
-/// Executes one scenario's full pipeline: build the workload, run the
-/// analytic bounds, execute the matching simulation, and compare.
+/// Executes one scenario's full pipeline: build the workload and fabric,
+/// run the multi-hop analytic bounds (per-hop sum and pay-bursts-only-once
+/// alike), execute the matching cascaded simulation, and compare.
 pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
     let workload = scenario.build_workload();
+    let fabric = scenario.build_fabric(&workload);
     debug_assert_eq!(
         scenario.build_topology(&workload).end_systems().len(),
         workload.stations.len()
     );
     let config = scenario.network_config();
-    match analyze(&workload, &config, scenario.approach) {
+    match analyze_multi_hop(&workload, &config, scenario.approach, &fabric) {
         Err(AnalysisError::Stage { stage, .. }) => ScenarioResult {
             scenario,
             outcome: ScenarioOutcome::AnalysisInfeasible { stage },
         },
         Ok(analysis) => {
             let deadline_misses = analysis.violations().len();
+            let pboo = PbooCheck {
+                cascaded: fabric.switch_count() > 1,
+                consistent: analysis.pboo_consistent(),
+                max_gain: analysis.max_pboo_gain(),
+            };
             // sim_config() already carries the scenario's seed; run() is
             // the single seed path (Simulator::run_with_seed exists for
             // callers sharing one Simulator across differently-seeded
             // runs, which a fresh per-scenario Simulator does not need).
-            let simulator = Simulator::new(workload.clone(), scenario.sim_config(&analysis));
+            let simulator = Simulator::with_fabric(workload.clone(), scenario.sim_config(), fabric);
             let simulation = simulator.run();
-            let validation = validation_from_simulation(&workload, &analysis, simulation);
-            ScenarioResult::from_validation(scenario, deadline_misses, &validation)
+            let validation = validation_from_bound_lookup(
+                &workload,
+                |id| analysis.bound_for(id).map(|b| b.total_bound),
+                simulation,
+            );
+            ScenarioResult::from_validation(scenario, deadline_misses, pboo, &validation)
         }
     }
 }
@@ -235,9 +246,47 @@ mod tests {
             summary.violations
         );
         assert_eq!(summary.soundness_rate, 1.0);
+        assert!(summary.pboo_consistent());
         assert!(summary.tightness.count > 0);
         assert!(summary.tightness.max <= 1.0 + 1e-12);
         assert!(summary.tightness.min >= 0.0);
+    }
+
+    #[test]
+    fn cascaded_scenarios_are_sound_and_pboo_consistent() {
+        // A dedicated sweep over cascaded topologies only: walk the
+        // scenario space, keep the multi-switch draws, and require every
+        // validated one to be sound (analytic bound ≥ simulated worst) with
+        // the convolved bound at or below the per-hop sum.
+        let space = ScenarioSpace::new(42);
+        let cascaded: Vec<_> = (0..96)
+            .map(|id| space.scenario(id))
+            .filter(|s| s.fabric.is_cascaded())
+            .take(16)
+            .collect();
+        assert!(cascaded.len() >= 8, "too few cascaded draws");
+        let mut validated = 0;
+        let mut saw_gain = false;
+        for scenario in cascaded {
+            let result = execute_scenario(scenario);
+            if let crate::report::ScenarioOutcome::Validated(v) = &result.outcome {
+                validated += 1;
+                assert!(
+                    v.sound,
+                    "scenario {} (seed {}) violated soundness: {:?}",
+                    scenario.id, scenario.seed, v.violations
+                );
+                assert!(
+                    v.pboo.consistent,
+                    "scenario {} violated convolved ≤ per-hop sum",
+                    scenario.id
+                );
+                assert!(v.pboo.cascaded);
+                saw_gain |= v.pboo.max_gain > units::Duration::ZERO;
+            }
+        }
+        assert!(validated > 0, "no cascaded scenario was validated");
+        assert!(saw_gain, "PBOO never tightened a cascaded bound");
     }
 
     #[test]

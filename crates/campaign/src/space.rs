@@ -9,6 +9,7 @@
 //! horizon).  Scenario `i` of master seed `s` is always the same scenario,
 //! no matter how many workers execute the campaign or in which order.
 
+use ethernet::fabric::Fabric;
 use ethernet::link::Link;
 use ethernet::phy::Phy;
 use ethernet::switch::{SchedulingPolicy, SwitchModel};
@@ -16,11 +17,55 @@ use ethernet::topology::Topology;
 use netsim::{Phasing, SimConfig, SporadicModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtswitch_core::{AnalysisReport, Approach, NetworkConfig};
+use rtswitch_core::{Approach, NetworkConfig};
 use serde::{Deserialize, Serialize};
 use units::{DataRate, Duration};
 use workload::case_study::{case_study_with, CaseStudyConfig};
 use workload::{GeneratorConfig, Workload, WorkloadGenerator};
+
+/// The topology dimension of the sweep: which switch fabric the scenario's
+/// stations are cabled into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricSpec {
+    /// The paper's single switch.
+    SingleSwitch,
+    /// A daisy-chained line of switches, stations attached round-robin.
+    Line {
+        /// Number of cascaded switches (≥ 2 to be a real cascade).
+        switches: usize,
+    },
+    /// One core switch trunked to leaf switches, stations round-robin on
+    /// the leaves.
+    StarOfStars {
+        /// Number of leaf switches.
+        leaves: usize,
+    },
+}
+
+impl FabricSpec {
+    /// Builds the concrete fabric for a station count.
+    pub fn build(&self, stations: usize) -> Fabric {
+        match *self {
+            FabricSpec::SingleSwitch => Fabric::single_switch(stations),
+            FabricSpec::Line { switches } => Fabric::line(switches, stations),
+            FabricSpec::StarOfStars { leaves } => Fabric::star_of_stars(leaves, stations),
+        }
+    }
+
+    /// `true` when frames can traverse more than one switch.
+    pub fn is_cascaded(&self) -> bool {
+        self.switch_count() > 1
+    }
+
+    /// Number of switches the spec expands to.
+    pub fn switch_count(&self) -> usize {
+        match *self {
+            FabricSpec::SingleSwitch => 1,
+            FabricSpec::Line { switches } => switches.max(1),
+            FabricSpec::StarOfStars { leaves } => leaves + 1,
+        }
+    }
+}
 
 /// Where a scenario's workload comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +98,8 @@ pub struct Scenario {
     pub ttechno: Duration,
     /// Multiplexing-policy ablation arm.
     pub approach: Approach,
+    /// The switch fabric the stations are cabled into.
+    pub fabric: FabricSpec,
     /// Sporadic activation model of the simulation run.
     pub sporadic: SporadicModel,
     /// Stream phasing of the simulation run.
@@ -83,9 +130,16 @@ impl Scenario {
             .with_ttechno(self.ttechno)
     }
 
-    /// Builds the concrete star [`Topology`] this scenario's analysis and
-    /// simulation assume: one switch running the scenario's policy, one
-    /// full-duplex link per workload station at the scenario's rate.
+    /// Builds the concrete switch [`Fabric`] this scenario's analysis and
+    /// simulation route over.
+    pub fn build_fabric(&self, workload: &Workload) -> Fabric {
+        self.fabric.build(workload.stations.len())
+    }
+
+    /// Builds the concrete [`Topology`] this scenario's fabric expands to:
+    /// the scenario's switches running its policy, trunk links between
+    /// them, one full-duplex link per workload station, everything at the
+    /// scenario's rate.
     pub fn build_topology(&self, workload: &Workload) -> Topology {
         let policy = match self.approach {
             Approach::Fcfs => SchedulingPolicy::Fcfs,
@@ -99,16 +153,22 @@ impl Scenario {
             1_000_000_000 => Phy::GigabitEthernet,
             _ => Phy::Custom(self.link_rate),
         };
-        let (topology, _, _) =
-            Topology::single_switch(workload.stations.len(), switch, Link::new(phy));
+        let (topology, _, _) = self
+            .build_fabric(workload)
+            .to_topology(&switch, Link::new(phy));
         topology
     }
 
-    /// The simulation configuration of this scenario, mirroring the given
-    /// analysis (same policy, rate, latency) but with the scenario's own
-    /// activation model, phasing, horizon and seed.
-    pub fn sim_config(&self, report: &AnalysisReport) -> SimConfig {
-        let base = rtswitch_core::matching_sim_config(report, self.horizon, self.seed);
+    /// The simulation configuration of this scenario: the analysed policy,
+    /// rate and latency plus the scenario's own activation model, phasing,
+    /// horizon and seed.
+    pub fn sim_config(&self) -> SimConfig {
+        let base = rtswitch_core::sim_config_for(
+            self.approach,
+            &self.network_config(),
+            self.horizon,
+            self.seed,
+        );
         SimConfig {
             sporadic: self.sporadic,
             phasing: self.phasing,
@@ -144,10 +204,26 @@ impl ScenarioSpace {
             1 => DataRate::from_mbps(100),
             _ => DataRate::from_mbps(1000),
         };
-        let max_subsystems = if link_rate == DataRate::from_mbps(10) {
-            12
-        } else {
-            30
+        // Topology dimension: half the scenarios keep the paper's single
+        // switch, the rest cascade it into a line or a star-of-stars so
+        // every other axis is also exercised multi-hop.
+        let fabric = match rng.gen_range(0..6u32) {
+            0..=2 => FabricSpec::SingleSwitch,
+            3 | 4 => FabricSpec::Line {
+                switches: rng.gen_range(2..=3usize),
+            },
+            _ => FabricSpec::StarOfStars {
+                leaves: rng.gen_range(2..=3usize),
+            },
+        };
+        // Cascades concentrate cross-switch traffic on trunks and the
+        // multi-hop bounds are more conservative, so the heaviest tables
+        // are reserved for single-switch scenarios.
+        let max_subsystems = match (link_rate == DataRate::from_mbps(10), fabric.is_cascaded()) {
+            (true, false) => 12,
+            (true, true) => 8,
+            (false, false) => 30,
+            (false, true) => 20,
         };
         let ttechno = Duration::from_micros([8u64, 16, 32][rng.gen_range(0..3usize)]);
         let approach = if rng.gen_bool(0.5) {
@@ -201,6 +277,7 @@ impl ScenarioSpace {
             link_rate,
             ttechno,
             approach,
+            fabric,
             sporadic,
             phasing,
             horizon,
@@ -268,23 +345,50 @@ mod tests {
     }
 
     #[test]
+    fn space_covers_single_switch_and_cascaded_fabrics() {
+        let scenarios = ScenarioSpace::new(42).scenarios(64);
+        assert!(scenarios
+            .iter()
+            .any(|s| s.fabric == FabricSpec::SingleSwitch));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.fabric, FabricSpec::Line { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.fabric, FabricSpec::StarOfStars { .. })));
+        // Cascades cross every other axis: both policies appear cascaded.
+        for approach in [Approach::Fcfs, Approach::StrictPriority] {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.fabric.is_cascaded() && s.approach == approach),
+                "no cascaded {approach} scenario in 64 draws"
+            );
+        }
+    }
+
+    #[test]
     fn workloads_build_and_respect_the_source() {
         for scenario in ScenarioSpace::new(3).scenarios(16) {
             let w = scenario.build_workload();
             assert!(!w.messages.is_empty());
+            let fabric = scenario.build_fabric(&w);
+            assert_eq!(fabric.switch_count(), scenario.fabric.switch_count());
             let topo = scenario.build_topology(&w);
             assert_eq!(topo.end_systems().len(), w.stations.len());
-            assert_eq!(topo.switches().len(), 1);
-            // Every message has a route through the single switch.
-            let sw = topo.switches()[0];
+            assert_eq!(topo.switches().len(), fabric.switch_count());
+            // Every message's topology route matches the fabric's.
             for m in &w.messages {
                 let route = topo
                     .route(
                         topo.end_systems()[m.source.0],
                         topo.end_systems()[m.destination.0],
                     )
-                    .expect("star is connected");
-                assert_eq!(route.nodes()[1], sw);
+                    .expect("fabric topologies are connected");
+                assert_eq!(
+                    route.hop_count(),
+                    fabric.link_count(m.source.0, m.destination.0)
+                );
             }
         }
     }
@@ -292,16 +396,24 @@ mod tests {
     #[test]
     fn sim_config_mirrors_scenario_dimensions() {
         let scenario = ScenarioSpace::new(42).scenario(0);
-        let w = scenario.build_workload();
-        let report = rtswitch_core::analyze(&w, &scenario.network_config(), scenario.approach);
-        if let Ok(report) = report {
-            let cfg = scenario.sim_config(&report);
-            assert_eq!(cfg.link_rate, scenario.link_rate);
-            assert_eq!(cfg.ttechno, scenario.ttechno);
-            assert_eq!(cfg.seed, scenario.seed);
-            assert_eq!(cfg.sporadic, scenario.sporadic);
-            assert_eq!(cfg.phasing, scenario.phasing);
-            assert_eq!(cfg.horizon, scenario.horizon);
-        }
+        let cfg = scenario.sim_config();
+        assert_eq!(cfg.link_rate, scenario.link_rate);
+        assert_eq!(cfg.ttechno, scenario.ttechno);
+        assert_eq!(cfg.seed, scenario.seed);
+        assert_eq!(cfg.sporadic, scenario.sporadic);
+        assert_eq!(cfg.phasing, scenario.phasing);
+        assert_eq!(cfg.horizon, scenario.horizon);
+    }
+
+    #[test]
+    fn fabric_spec_expansion() {
+        assert_eq!(FabricSpec::SingleSwitch.switch_count(), 1);
+        assert!(!FabricSpec::SingleSwitch.is_cascaded());
+        assert_eq!(FabricSpec::Line { switches: 3 }.switch_count(), 3);
+        assert!(FabricSpec::Line { switches: 3 }.is_cascaded());
+        assert_eq!(FabricSpec::StarOfStars { leaves: 2 }.switch_count(), 3);
+        let f = FabricSpec::Line { switches: 2 }.build(5);
+        assert_eq!(f.switch_count(), 2);
+        assert_eq!(f.station_count(), 5);
     }
 }

@@ -2,6 +2,7 @@
 
 pub mod end_to_end;
 pub mod jitter;
+pub mod multi_hop;
 pub mod stage;
 
 use serde::{Deserialize, Serialize};

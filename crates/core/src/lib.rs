@@ -54,11 +54,14 @@ pub mod verdict;
 
 pub use analysis::end_to_end::{analyze, AnalysisError, AnalysisReport, MessageBound};
 pub use analysis::jitter::{jitter_bounds, JitterBound};
+pub use analysis::multi_hop::{
+    analyze_multi_hop, FabricPort, HopBound, MultiHopMessageBound, MultiHopReport,
+};
 pub use analysis::Approach;
 pub use compare1553::{compare_with_1553, BaselineComparison};
 pub use config::NetworkConfig;
 pub use validation::{
-    matching_sim_config, validate_against_simulation, validation_from_simulation, ValidationEntry,
-    ValidationReport,
+    matching_sim_config, sim_config_for, validate_against_simulation, validation_from_bound_lookup,
+    validation_from_simulation, ValidationEntry, ValidationReport,
 };
 pub use verdict::ClassSummary;

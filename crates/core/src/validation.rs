@@ -100,24 +100,38 @@ impl ValidationReport {
     }
 }
 
-/// Builds the simulation configuration matching an analysis report so the
-/// two describe the same system.
-pub fn matching_sim_config(report: &AnalysisReport, horizon: Duration, seed: u64) -> SimConfig {
-    let policy = match report.approach {
+/// Builds the simulation configuration matching an analysed approach and
+/// network parameterization so the analysis and the simulation describe the
+/// same system.  This is the approach-and-config core of
+/// [`matching_sim_config`], usable by callers holding a multi-hop report
+/// (which carries the same two fields).
+pub fn sim_config_for(
+    approach: Approach,
+    config: &crate::config::NetworkConfig,
+    horizon: Duration,
+    seed: u64,
+) -> SimConfig {
+    let policy = match approach {
         Approach::Fcfs => MuxPolicy::Fcfs,
         Approach::StrictPriority => MuxPolicy::StrictPriority {
-            levels: report.config.priority_levels,
+            levels: config.priority_levels,
         },
     };
     SimConfig {
         policy,
-        link_rate: report.config.link_rate,
-        ttechno: report.config.ttechno,
-        propagation: report.config.propagation,
+        link_rate: config.link_rate,
+        ttechno: config.ttechno,
+        propagation: config.propagation,
         horizon,
         seed,
         ..SimConfig::paper_default()
     }
+}
+
+/// Builds the simulation configuration matching an analysis report so the
+/// two describe the same system.
+pub fn matching_sim_config(report: &AnalysisReport, horizon: Duration, seed: u64) -> SimConfig {
+    sim_config_for(report.approach, &report.config, horizon, seed)
 }
 
 /// Compares an already-executed simulation against the analytic bounds of
@@ -132,14 +146,27 @@ pub fn validation_from_simulation(
     report: &AnalysisReport,
     simulation: SimReport,
 ) -> ValidationReport {
+    validation_from_bound_lookup(
+        workload,
+        |id| report.bound_for(id).map(|b| b.total_bound),
+        simulation,
+    )
+}
+
+/// Compares an already-executed simulation against any per-message bound
+/// source — the shared core behind [`validation_from_simulation`] (single
+/// switch) and the multi-hop campaign path, which passes
+/// [`crate::MultiHopReport`] bounds instead.
+pub fn validation_from_bound_lookup(
+    workload: &Workload,
+    bound_of: impl Fn(MessageId) -> Option<Duration>,
+    simulation: SimReport,
+) -> ValidationReport {
     let entries = workload
         .messages
         .iter()
         .map(|spec| {
-            let bound = report
-                .bound_for(spec.id)
-                .map(|b| b.total_bound)
-                .unwrap_or(Duration::ZERO);
+            let bound = bound_of(spec.id).unwrap_or(Duration::ZERO);
             let stats = simulation.flow(spec.id);
             let observed_worst = stats.map(|s| s.max_delay).unwrap_or(Duration::ZERO);
             let samples = stats.map(|s| s.delivered).unwrap_or(0);

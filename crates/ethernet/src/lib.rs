@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ethertype;
+pub mod fabric;
 pub mod frame;
 pub mod link;
 pub mod mac;
@@ -30,6 +31,7 @@ pub mod vlan;
 pub mod wire;
 
 pub use ethertype::EtherType;
+pub use fabric::{Fabric, FabricError};
 pub use frame::{EthernetFrame, FrameError, MAX_PAYLOAD, MIN_FRAME_SIZE};
 pub use link::Link;
 pub use mac::MacAddress;

@@ -28,6 +28,25 @@ pub const EPS: f64 = 1e-6;
 /// breakpoint `(0, b)` and final slope `r` (i.e. the value *just after* the
 /// origin; the conventional `γ(0) = 0` is irrelevant for the deviation-based
 /// bounds and this representation yields exactly Cruz's closed forms).
+///
+/// ```
+/// use netcalc::Curve;
+///
+/// // A token bucket: 512 bits of burst, 25.6 kbps sustained.
+/// let alpha = Curve::affine(512.0, 25_600.0).unwrap();
+/// assert_eq!(alpha.eval(0.0), 512.0);
+/// assert_eq!(alpha.eval(1.0), 512.0 + 25_600.0);
+///
+/// // A rate-latency service curve: 10 Mbps after 16 µs of dead time.
+/// let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+/// assert_eq!(beta.eval(16e-6), 0.0);
+/// assert!((beta.eval(1.0) - 10_000_000.0 * (1.0 - 16e-6)).abs() < 1e-6);
+///
+/// // Envelopes of the same flow combine by pointwise minimum.
+/// let staircase = Curve::staircase(512.0, 0.02, 8).unwrap();
+/// let tight = alpha.min(&staircase);
+/// assert!(tight.eval(0.05) <= alpha.eval(0.05));
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Curve {
     /// Breakpoints `(x seconds, y bits)`, sorted by `x`, starting at `x = 0`.

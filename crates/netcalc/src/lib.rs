@@ -130,6 +130,51 @@ mod proptests {
             }
         }
 
+        /// Pay bursts only once: for a token-bucket flow crossing a sequence
+        /// of rate-latency servers, the end-to-end delay bound obtained from
+        /// the *convolved* network service curve never exceeds the sum of
+        /// the per-hop bounds (with the burst re-inflated at every hop).
+        #[test]
+        fn convolved_bound_never_exceeds_per_hop_sum(
+            burst in 64u64..50_000,
+            period_ms in 1u64..500,
+            hops in proptest::collection::vec((1u64..1_000, 0u64..5_000), 1..5),
+        ) {
+            let mut alpha = TokenBucket::for_message(
+                DataSize::from_bytes(burst),
+                Duration::from_millis(period_ms),
+            );
+            let servers: Vec<RateLatency> = hops
+                .iter()
+                .map(|&(rate_mbps, latency_us)| RateLatency::new(
+                    DataRate::from_mbps(rate_mbps),
+                    Duration::from_micros(latency_us),
+                ))
+                .collect();
+            prop_assume!(servers.iter().all(|s| alpha.rate().bps() < s.rate().bps()));
+
+            // Per-hop composition: pay the (growing) burst at every hop.
+            let source = alpha;
+            let mut hop_sum = Duration::ZERO;
+            for server in &servers {
+                hop_sum += bounds::delay_bound(&alpha, server).unwrap();
+                alpha = bounds::output_burst(&alpha, server).unwrap();
+            }
+
+            // Convolution: one rate-latency curve for the whole path.
+            let network = servers[1..]
+                .iter()
+                .fold(servers[0], |acc, s| acc.concatenate(s));
+            let convolved = bounds::delay_bound(&source, &network).unwrap();
+
+            // ≤ up to one nanosecond of ceil rounding per hop.
+            let slack = Duration::from_nanos(servers.len() as u64);
+            prop_assert!(
+                convolved <= hop_sum + slack,
+                "convolved {convolved} > per-hop sum {hop_sum}"
+            );
+        }
+
         /// In a strict-priority multiplexer the bound of a higher priority
         /// (smaller index) never exceeds the bound the same flow set would
         /// get at a lower priority... stated the other way round: bounds are

@@ -17,6 +17,22 @@ use crate::NcError;
 ///
 /// Returns [`NcError::Unstable`] when the long-term arrival rate exceeds the
 /// long-term service rate (the deviation would be unbounded).
+///
+/// ```
+/// use netcalc::curve::Curve;
+/// use netcalc::minplus::horizontal_deviation;
+///
+/// // Token bucket (10 kbit burst, 1 Mbps) through a 10 Mbps / 16 µs server:
+/// // Cruz's closed form is T + b/R = 16 µs + 1 ms.
+/// let alpha = Curve::affine(10_000.0, 1_000_000.0).unwrap();
+/// let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+/// let h = horizontal_deviation(&alpha, &beta).unwrap();
+/// assert!((h - 0.001_016).abs() < 1e-12);
+///
+/// // An overloaded server has no finite bound.
+/// let flood = Curve::affine(0.0, 20_000_000.0).unwrap();
+/// assert!(horizontal_deviation(&flood, &beta).is_err());
+/// ```
 pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
     if alpha.long_term_rate() > beta.long_term_rate() + EPS {
         return Err(NcError::Unstable {

@@ -1,5 +1,6 @@
 //! Service curves: rate-latency and constant-rate servers.
 
+use crate::arrival::TokenBucket;
 use crate::curve::Curve;
 use serde::{Deserialize, Serialize};
 use units::{DataRate, DataSize, Duration};
@@ -82,6 +83,55 @@ impl RateLatency {
     pub fn completion_time(&self, size: DataSize) -> Duration {
         self.latency + self.rate.transmission_time(size)
     }
+
+    /// The blind-multiplexing **left-over service curve** seen by one flow
+    /// that shares this server with token-bucket cross traffic `cross`:
+    ///
+    /// `β_i(t) = [β(t) − α_cross(t)]⁺ = (R − ρ)·(t − T*)⁺` with
+    /// `T* = (R·T + σ) / (R − ρ)`,
+    ///
+    /// where `(σ, ρ)` are the cross traffic's burst and rate.  This is the
+    /// standard arbitrary-multiplexing residual (Le Boudec & Thiran,
+    /// Thm 6.2.1): it is a valid service curve for the flow under *any*
+    /// work-conserving arbitration among the multiplexed flows — FIFO and
+    /// non-preemptive strict priority included — which is what makes it the
+    /// per-flow building block of the pay-bursts-only-once end-to-end
+    /// analysis.  The latency is rounded **up** to the next nanosecond so
+    /// the curve stays pessimistic.
+    ///
+    /// Returns `None` when the cross traffic saturates the server
+    /// (`ρ ≥ R`): no finite left-over service exists.
+    ///
+    /// ```
+    /// use netcalc::{RateLatency, TokenBucket};
+    /// use units::{DataRate, DataSize, Duration};
+    ///
+    /// // A 10 Mbps link with 16 µs latency, shared with 4 Mbps / 8 kbit
+    /// // cross traffic.
+    /// let server = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+    /// let cross = TokenBucket::new(DataSize::from_bits(8_000), DataRate::from_mbps(4));
+    /// let left = server.leftover(&cross).unwrap();
+    /// assert_eq!(left.rate(), DataRate::from_mbps(6));
+    /// // T* = (10^7·16e-6 + 8000) / (6·10^6) s = 8160/6e6 s = 1360 µs.
+    /// assert_eq!(left.latency(), Duration::from_micros(1_360));
+    /// // Saturating cross traffic leaves nothing over.
+    /// assert!(server
+    ///     .leftover(&TokenBucket::new(DataSize::ZERO, DataRate::from_mbps(10)))
+    ///     .is_none());
+    /// ```
+    pub fn leftover(&self, cross: &TokenBucket) -> Option<RateLatency> {
+        if cross.rate() >= self.rate {
+            return None;
+        }
+        let residual = self.rate - cross.rate();
+        let latency_s = (self.rate.as_f64_bps() * self.latency.as_secs_f64()
+            + cross.burst().as_f64_bits())
+            / residual.as_f64_bps();
+        Some(RateLatency {
+            rate: residual,
+            latency: Duration::from_secs_f64_ceil(latency_s),
+        })
+    }
 }
 
 impl ServiceBound for RateLatency {
@@ -144,6 +194,37 @@ mod tests {
         assert!(s
             .residual(DataRate::from_mbps(11), Duration::ZERO)
             .is_none());
+    }
+
+    #[test]
+    fn leftover_reduces_rate_and_inflates_latency() {
+        let s = RateLatency::new(DataRate::from_mbps(10), Duration::from_micros(16));
+        let cross = TokenBucket::new(DataSize::from_bits(8_000), DataRate::from_mbps(4));
+        let left = s.leftover(&cross).unwrap();
+        assert_eq!(left.rate(), DataRate::from_mbps(6));
+        assert_eq!(left.latency(), Duration::from_micros(1_360));
+        // With no cross traffic the server is returned unchanged.
+        let idle = s
+            .leftover(&TokenBucket::new(DataSize::ZERO, DataRate::ZERO))
+            .unwrap();
+        assert_eq!(idle.rate(), s.rate());
+        assert_eq!(idle.latency(), s.latency());
+        // Saturation (ρ ≥ R) has no finite left-over.
+        assert!(s
+            .leftover(&TokenBucket::new(DataSize::ZERO, DataRate::from_mbps(10)))
+            .is_none());
+        assert!(s
+            .leftover(&TokenBucket::new(DataSize::ZERO, DataRate::from_mbps(12)))
+            .is_none());
+    }
+
+    #[test]
+    fn leftover_latency_dominates_the_original() {
+        let s = RateLatency::new(DataRate::from_mbps(100), Duration::from_micros(5));
+        let cross = TokenBucket::new(DataSize::from_bytes(1518), DataRate::from_mbps(30));
+        let left = s.leftover(&cross).unwrap();
+        assert!(left.latency() >= s.latency());
+        assert!(left.rate() < s.rate());
     }
 
     #[test]

@@ -4,19 +4,21 @@ use crate::config::{Phasing, SimConfig, SporadicModel};
 use crate::event::{EventKind, EventQueue, PortRef};
 use crate::metrics::{DelayAccumulator, FlowStats, PortStats, SimReport};
 use crate::packet::Packet;
+use ethernet::Fabric;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shaping::{Classifier, PriorityQueues, Regulator, ReleaseDecision, TokenBucketShaper};
 use units::{DataSize, Duration, Instant};
 use workload::{MessageId, StationId, Workload};
 
-/// The simulator: a workload plus a configuration, executable any number of
-/// times (each [`Simulator::run`] is independent and deterministic for the
-/// configured seed).
+/// The simulator: a workload, a configuration and a switch fabric,
+/// executable any number of times (each [`Simulator::run`] is independent
+/// and deterministic for the configured seed).
 #[derive(Debug, Clone)]
 pub struct Simulator {
     workload: Workload,
     config: SimConfig,
+    fabric: Fabric,
 }
 
 impl Simulator {
@@ -24,7 +26,33 @@ impl Simulator {
     /// workload station gets a full-duplex link to one store-and-forward
     /// switch.
     pub fn new(workload: Workload, config: SimConfig) -> Self {
-        Simulator { workload, config }
+        let fabric = Fabric::single_switch(workload.stations.len());
+        Simulator {
+            workload,
+            config,
+            fabric,
+        }
+    }
+
+    /// Creates a simulator over a cascaded multi-switch [`Fabric`]: frames
+    /// are forwarded switch to switch along the fabric's minimum-hop routes,
+    /// paying the relaying latency at every switch, one serialization per
+    /// traversed link and one propagation delay per link — exactly the
+    /// architecture the multi-hop analysis bounds.
+    ///
+    /// # Panics
+    /// Panics if the fabric's station count differs from the workload's.
+    pub fn with_fabric(workload: Workload, config: SimConfig, fabric: Fabric) -> Self {
+        assert_eq!(
+            fabric.station_count(),
+            workload.stations.len(),
+            "fabric and workload disagree on the station count"
+        );
+        Simulator {
+            workload,
+            config,
+            fabric,
+        }
     }
 
     /// The configuration the simulator will run with.
@@ -37,9 +65,14 @@ impl Simulator {
         &self.workload
     }
 
+    /// The switch fabric frames are forwarded over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
     /// Executes the simulation and returns the measured statistics.
     pub fn run(&self) -> SimReport {
-        Run::new(&self.workload, &self.config).execute()
+        Run::new(&self.workload, &self.config, &self.fabric).execute()
     }
 
     /// Executes the simulation with the configured parameters but a
@@ -51,7 +84,7 @@ impl Simulator {
     /// below — and each run only overrides the seed.
     pub fn run_with_seed(&self, seed: u64) -> SimReport {
         let config = self.config.with_seed(seed);
-        Run::new(&self.workload, &config).execute()
+        Run::new(&self.workload, &config, &self.fabric).execute()
     }
 }
 
@@ -110,18 +143,25 @@ impl Port {
 /// The mutable state of one execution.
 struct Run<'a> {
     config: &'a SimConfig,
+    fabric: &'a Fabric,
     flows: Vec<FlowState>,
     /// Station uplinks, indexed by station index.
     uplinks: Vec<Port>,
-    /// Switch output ports, indexed by destination station index.
+    /// Switch output ports, indexed by destination station index (owned by
+    /// the station's attached switch).
     downlinks: Vec<Port>,
+    /// Directed trunk ports, aligned with `directed_trunks`.
+    trunk_ports: Vec<Port>,
+    /// The directed trunks of the fabric: two per undirected trunk link, in
+    /// fabric trunk order.
+    directed_trunks: Vec<(usize, usize)>,
     events: EventQueue,
     rng: StdRng,
     next_sequence: u64,
 }
 
 impl<'a> Run<'a> {
-    fn new(workload: &'a Workload, config: &'a SimConfig) -> Self {
+    fn new(workload: &'a Workload, config: &'a SimConfig, fabric: &'a Fabric) -> Self {
         let classifier = Classifier::new(config.policy.levels());
         let flows = workload
             .messages
@@ -173,11 +213,23 @@ impl<'a> Run<'a> {
                 )
             })
             .collect();
+        let directed_trunks: Vec<(usize, usize)> = fabric
+            .trunks()
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let trunk_ports = directed_trunks
+            .iter()
+            .map(|&(a, b)| Port::new(format!("trunk[sw{a}->sw{b}]"), levels, config.switch_buffer))
+            .collect();
         Run {
             config,
+            fabric,
             flows,
             uplinks,
             downlinks,
+            trunk_ports,
+            directed_trunks,
             events: EventQueue::new(),
             rng: StdRng::seed_from_u64(config.seed),
             next_sequence: 0,
@@ -214,7 +266,9 @@ impl<'a> Run<'a> {
                 EventKind::Generate { message } => self.on_generate(message, now),
                 EventKind::ShaperCheck { message } => self.on_shaper_check(message, now),
                 EventKind::TxComplete { port, packet } => self.on_tx_complete(port, packet, now),
-                EventKind::SwitchEnqueue { packet } => self.on_switch_enqueue(packet, now),
+                EventKind::SwitchEnqueue { switch, packet } => {
+                    self.on_switch_enqueue(switch, packet, now)
+                }
             }
         }
         self.into_report()
@@ -255,12 +309,21 @@ impl<'a> Run<'a> {
             port.busy = false;
         }
         match port_ref {
-            PortRef::StationUplink(_) => {
-                // Fully received by the switch after the propagation delay,
-                // eligible for output queueing after the relaying latency.
+            PortRef::StationUplink(source) => {
+                // Fully received by the station's switch after the
+                // propagation delay, eligible for output queueing after the
+                // relaying latency.
+                let eligible = now + self.config.propagation + self.config.ttechno;
+                let switch = self.fabric.switch_of(source.0);
+                self.events
+                    .schedule(eligible, EventKind::SwitchEnqueue { switch, packet });
+            }
+            PortRef::Trunk { to, .. } => {
+                // Fully received by the downstream switch after the
+                // propagation delay, eligible after its relaying latency.
                 let eligible = now + self.config.propagation + self.config.ttechno;
                 self.events
-                    .schedule(eligible, EventKind::SwitchEnqueue { packet });
+                    .schedule(eligible, EventKind::SwitchEnqueue { switch: to, packet });
             }
             PortRef::SwitchOutput(_) => {
                 // Delivered to the destination after the propagation delay.
@@ -272,8 +335,20 @@ impl<'a> Run<'a> {
         self.try_start_tx(port_ref, now);
     }
 
-    fn on_switch_enqueue(&mut self, packet: Packet, now: Instant) {
-        self.enqueue_port(PortRef::SwitchOutput(packet.destination), packet, now);
+    fn on_switch_enqueue(&mut self, switch: usize, packet: Packet, now: Instant) {
+        // Forward towards the destination: deliver locally when the
+        // destination hangs off this switch, otherwise queue on the trunk
+        // towards the next switch of the minimum-hop route.
+        let dest_switch = self.fabric.switch_of(packet.destination.0);
+        let port = if dest_switch == switch {
+            PortRef::SwitchOutput(packet.destination)
+        } else {
+            PortRef::Trunk {
+                from: switch,
+                to: self.fabric.next_hop(switch, dest_switch),
+            }
+        };
+        self.enqueue_port(port, packet, now);
     }
 
     // ---------------- helpers ----------------
@@ -377,6 +452,14 @@ impl<'a> Run<'a> {
         match port_ref {
             PortRef::StationUplink(s) => &mut self.uplinks[s.0],
             PortRef::SwitchOutput(s) => &mut self.downlinks[s.0],
+            PortRef::Trunk { from, to } => {
+                let index = self
+                    .directed_trunks
+                    .iter()
+                    .position(|&t| t == (from, to))
+                    .expect("routing only uses trunks of the fabric");
+                &mut self.trunk_ports[index]
+            }
         }
     }
 
@@ -410,6 +493,7 @@ impl<'a> Run<'a> {
             .uplinks
             .iter()
             .chain(self.downlinks.iter())
+            .chain(self.trunk_ports.iter())
             .map(|port| PortStats {
                 name: port.name.clone(),
                 max_backlog: port.max_backlog,
@@ -425,6 +509,7 @@ impl<'a> Run<'a> {
             .uplinks
             .iter()
             .chain(self.downlinks.iter())
+            .chain(self.trunk_ports.iter())
             .map(|p| p.queues.dropped())
             .sum();
         debug_assert!(total_dropped >= port_drops);
@@ -678,6 +763,82 @@ mod tests {
             .unwrap();
         assert!(mc_down.utilization > 0.0);
         assert!(mc_down.transmitted >= report.total_delivered);
+    }
+
+    #[test]
+    fn cascaded_fabric_delivers_everything_deterministically() {
+        let w = small_workload();
+        let fabric = Fabric::line(2, w.stations.len());
+        let sim = Simulator::with_fabric(w.clone(), quick_config(), fabric.clone());
+        let a = sim.run();
+        let b = Simulator::with_fabric(w, quick_config(), fabric).run();
+        assert_eq!(a, b);
+        assert!(a.total_delivered > 0);
+        assert_eq!(a.total_dropped, 0);
+        // The trunk ports exist in the report and carried traffic in at
+        // least one direction (stations are spread across both switches).
+        let trunks: Vec<_> = a
+            .ports
+            .iter()
+            .filter(|p| p.name.starts_with("trunk"))
+            .collect();
+        assert_eq!(trunks.len(), 2);
+        assert!(trunks.iter().any(|p| p.transmitted > 0));
+    }
+
+    #[test]
+    fn single_switch_fabric_reproduces_the_default_simulator() {
+        let w = small_workload();
+        let via_new = Simulator::new(w.clone(), quick_config()).run();
+        let via_fabric = Simulator::with_fabric(
+            w.clone(),
+            quick_config(),
+            Fabric::single_switch(w.stations.len()),
+        )
+        .run();
+        assert_eq!(via_new, via_fabric);
+    }
+
+    #[test]
+    fn cascaded_delay_floor_pays_every_link_and_switch() {
+        // In a 2-switch line with "sensor" (s1) on sw1 and the mission
+        // computer (s0) on sw0, the urgent frame crosses three links and
+        // two switches: three serializations plus two relaying latencies.
+        let w = small_workload();
+        let fabric = Fabric::line(2, w.stations.len());
+        assert_eq!(fabric.switch_of(0), 0);
+        assert_eq!(fabric.switch_of(1), 1);
+        let report = Simulator::with_fabric(w, quick_config(), fabric).run();
+        let urgent = report.flow(MessageId(0)).unwrap();
+        let frame = DataSize::from_bytes(68);
+        let floor =
+            DataRate::from_mbps(10).transmission_time(frame) * 3 + Duration::from_micros(32);
+        assert!(
+            urgent.min_delay >= floor,
+            "min {} below cascaded floor {}",
+            urgent.min_delay,
+            floor
+        );
+        // And strictly above the single-switch floor of the same flow.
+        let single = Simulator::new(small_workload(), quick_config()).run();
+        assert!(urgent.min_delay > single.flow(MessageId(0)).unwrap().min_delay);
+    }
+
+    #[test]
+    fn star_of_stars_routes_through_the_core_switch() {
+        let w = small_workload();
+        // Core + 2 leaves; all three stations sit on leaves, so every
+        // inter-leaf frame crosses the core (4 links, 3 switches).
+        let fabric = Fabric::star_of_stars(2, w.stations.len());
+        let report = Simulator::with_fabric(w, quick_config(), fabric).run();
+        assert!(report.total_delivered > 0);
+        assert_eq!(report.total_dropped, 0);
+        let core_trunks: Vec<_> = report
+            .ports
+            .iter()
+            .filter(|p| p.name.starts_with("trunk") && p.transmitted > 0)
+            .collect();
+        assert!(!core_trunks.is_empty());
     }
 
     #[test]

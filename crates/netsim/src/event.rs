@@ -9,13 +9,21 @@ use workload::{MessageId, StationId};
 /// A reference to one of the simulated output ports.
 ///
 /// Every full-duplex link contributes one directed port per direction; the
-/// simulator only models the two directions that carry traffic in the
-/// paper's architecture: station uplinks (station → switch) and switch
-/// output ports (switch → station).
+/// simulator models the directions that carry traffic: station uplinks
+/// (station → its switch), switch-to-switch trunk ports (one per direction
+/// of every trunk link of the fabric), and switch output ports
+/// (a station's switch → that station).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortRef {
-    /// The uplink of a station towards the switch.
+    /// The uplink of a station towards its switch.
     StationUplink(StationId),
+    /// A directed switch-to-switch trunk port.
+    Trunk {
+        /// The transmitting switch index.
+        from: usize,
+        /// The receiving switch index.
+        to: usize,
+    },
     /// The switch output port towards a station.
     SwitchOutput(StationId),
 }
@@ -24,6 +32,7 @@ impl core::fmt::Display for PortRef {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PortRef::StationUplink(s) => write!(f, "uplink[{s}]"),
+            PortRef::Trunk { from, to } => write!(f, "trunk[sw{from}->sw{to}]"),
             PortRef::SwitchOutput(s) => write!(f, "switch-out[{s}]"),
         }
     }
@@ -49,9 +58,11 @@ pub enum EventKind {
         /// The frame that finished transmission.
         packet: Packet,
     },
-    /// A frame fully received by the switch becomes eligible for output
+    /// A frame fully received by a switch becomes eligible for output
     /// queueing after the relaying latency.
     SwitchEnqueue {
+        /// The switch that received the frame.
+        switch: usize,
         /// The relayed frame.
         packet: Packet,
     },
@@ -213,6 +224,10 @@ mod tests {
         assert_eq!(
             PortRef::SwitchOutput(StationId(0)).to_string(),
             "switch-out[s0]"
+        );
+        assert_eq!(
+            PortRef::Trunk { from: 0, to: 1 }.to_string(),
+            "trunk[sw0->sw1]"
         );
     }
 }

@@ -17,9 +17,15 @@
 //! (sporadic inter-arrival times, phasing) is drawn from a seeded
 //! [`rand::rngs::StdRng`], and time is exact integer nanoseconds.
 //!
-//! Scope: the paper's reference architecture is a single switch with one
-//! full-duplex link per station; that is what [`Simulator`] models (the
-//! route of every frame is source station → switch → destination station).
+//! Scope: [`Simulator::new`] models the paper's reference architecture — a
+//! single switch with one full-duplex link per station (every frame routes
+//! source station → switch → destination station).
+//! [`Simulator::with_fabric`] generalizes it to cascaded multi-switch
+//! fabrics ([`ethernet::Fabric`]): frames are forwarded switch to switch
+//! along the fabric's minimum-hop routes, paying one serialization per
+//! link, the relaying latency at every traversed switch and one
+//! propagation delay per link — the same model the multi-hop analysis in
+//! `rtswitch-core` bounds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,5 +38,6 @@ pub mod packet;
 
 pub use config::{MuxPolicy, Phasing, SimConfig, SporadicModel};
 pub use engine::Simulator;
+pub use ethernet::Fabric;
 pub use metrics::{FlowStats, PortStats, SimReport};
 pub use packet::Packet;

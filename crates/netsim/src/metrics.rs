@@ -101,11 +101,12 @@ impl SimReport {
         self.total_dropped == 0
     }
 
-    /// The largest backlog observed at any switch output port.
+    /// The largest backlog observed at any switch output port (station
+    /// delivery ports and switch-to-switch trunk ports alike).
     pub fn peak_switch_backlog(&self) -> DataSize {
         self.ports
             .iter()
-            .filter(|p| p.name.starts_with("switch-out"))
+            .filter(|p| p.name.starts_with("switch-out") || p.name.starts_with("trunk"))
             .map(|p| p.max_backlog)
             .fold(DataSize::ZERO, DataSize::max)
     }

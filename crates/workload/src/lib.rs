@@ -11,7 +11,7 @@
 //!
 //! * the message and station model ([`message`]),
 //! * the synthetic case-study message set built from the published structure
-//!   ([`case_study`] — see `DESIGN.md` for the substitution argument),
+//!   ([`mod@case_study`] — see `DESIGN.md` for the substitution argument),
 //! * a seeded random workload generator for scaling studies ([`generator`]),
 //! * the projection of a workload onto a MIL-STD-1553B transaction table
 //!   ([`map1553`]).

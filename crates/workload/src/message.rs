@@ -114,7 +114,7 @@ impl MessageSpec {
     ///
     /// Payloads above the 1500-byte MTU would need fragmentation; the
     /// avionics messages modelled here are far below it, and the constructor
-    /// helpers in [`case_study`](crate::case_study) and
+    /// helpers in [`case_study`](mod@crate::case_study) and
     /// [`generator`](crate::generator) never exceed it.
     pub fn frame_size(&self) -> DataSize {
         DataSize::from_bytes(EthernetFrame::wire_size_bytes(self.payload.bytes(), true))

@@ -34,5 +34,10 @@ pub use workload;
 /// The paper's analysis crate (`rtswitch-core`), re-exported as `core`.
 pub use rtswitch_core as core;
 
-pub use rtswitch_core::{analyze, Approach, NetworkConfig};
+pub use ethernet::Fabric;
+pub use netsim::Simulator;
+pub use rtswitch_core::{
+    analyze, analyze_multi_hop, sim_config_for, validation_from_bound_lookup, Approach,
+    MultiHopReport, NetworkConfig,
+};
 pub use workload::case_study::case_study;
