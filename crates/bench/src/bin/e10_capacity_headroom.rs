@@ -1,0 +1,39 @@
+//! E10 — capacity-headroom sweep: scale the case-study workload one
+//! subsystem at a time and chart where the 1 Mbps MIL-STD-1553B bus runs
+//! out of capacity while the switched-Ethernet pay-bursts-only-once
+//! bounds (two cascaded switches at 100 Mbps) still meet every deadline.
+//!
+//! Usage: `cargo run --release -p bench --bin e10_capacity_headroom
+//! [--subsystems N] [--json <path>]`
+
+use bench::{capacity_headroom, headroom_crossover, render_capacity_headroom};
+use rtswitch_core::report::to_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let subsystems = match value_after("--subsystems") {
+        None => 15,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: --subsystems {v}: {e}");
+            std::process::exit(2);
+        }),
+    };
+
+    let rows = capacity_headroom(subsystems);
+    print!("{}", render_capacity_headroom(&rows));
+
+    if let Some(path) = value_after("--json") {
+        std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+
+    assert!(
+        headroom_crossover(&rows).is_some(),
+        "no intensity found where 1553B is infeasible while Ethernet meets every bound"
+    );
+}

@@ -523,6 +523,7 @@ pub fn campaign_sweep(
         scenarios,
         master_seed,
         threads,
+        with_1553: false,
     })
 }
 
@@ -707,9 +708,186 @@ pub fn render_multi_switch(rows: &[MultiSwitchRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E10
+
+/// One row of the capacity-headroom sweep: a workload intensity, the 1553B
+/// feasibility verdict at that intensity, and the switched-Ethernet
+/// pay-bursts-only-once picture on the same workload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CapacityHeadroomRow {
+    /// Number of subsystem stations of the case-study variant.
+    pub subsystems: usize,
+    /// Message streams in the workload.
+    pub messages: usize,
+    /// Bus utilization the workload demands of the 1 Mbps bus.
+    pub offered_utilization: f64,
+    /// `true` when the 1553B bus carries the workload.
+    pub bus_feasible: bool,
+    /// Worst 1553B response bound, milliseconds (`NaN` when infeasible).
+    pub bus_worst_ms: f64,
+    /// Worst Ethernet per-hop-sum bound across messages, milliseconds.
+    pub ethernet_hop_sum_ms: f64,
+    /// Worst Ethernet pay-bursts-only-once (convolved) bound, milliseconds.
+    pub ethernet_pboo_ms: f64,
+    /// `true` when every Ethernet PBOO bound is consistent
+    /// (`convolved ≤ per-hop sum`) and every message meets its deadline.
+    pub ethernet_all_ok: bool,
+}
+
+/// E10: the capacity-headroom sweep — scale the case-study workload up one
+/// subsystem at a time and chart where the 1 Mbps polled bus runs out of
+/// capacity while the switched-Ethernet pay-bursts-only-once bounds (on a
+/// cascaded two-switch fabric at 100 Mbps) still meet every deadline.
+///
+/// This is the paper's replacement argument as a single table: the bus
+/// hits a hard intensity wall; Ethernet crosses it with bounded delays.
+pub fn capacity_headroom(max_subsystems: usize) -> Vec<CapacityHeadroomRow> {
+    use ethernet::Fabric;
+    let config = NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(100));
+    (1..=max_subsystems)
+        .map(|subsystems| {
+            let workload = case_study_with(CaseStudyConfig {
+                subsystems,
+                with_command_traffic: false,
+            });
+            let fabric = Fabric::line(2, workload.stations.len());
+            let ethernet = rtswitch_core::analyze_multi_hop(
+                &workload,
+                &config,
+                Approach::StrictPriority,
+                &fabric,
+            );
+            let (hop_sum, convolved, all_ok) = match &ethernet {
+                Ok(report) => {
+                    let worst = |f: fn(&rtswitch_core::MultiHopMessageBound) -> Duration| {
+                        report
+                            .messages
+                            .iter()
+                            .map(f)
+                            .fold(Duration::ZERO, Duration::max)
+                    };
+                    let consistent = report
+                        .messages
+                        .iter()
+                        .all(|m| m.convolved_bound <= m.hop_sum_bound);
+                    (
+                        worst(|m| m.hop_sum_bound).as_millis_f64(),
+                        worst(|m| m.convolved_bound).as_millis_f64(),
+                        consistent && report.all_deadlines_met(),
+                    )
+                }
+                Err(_) => (f64::NAN, f64::NAN, false),
+            };
+            match rtswitch_core::analyze_1553(&workload) {
+                Ok(study) => CapacityHeadroomRow {
+                    subsystems,
+                    messages: workload.messages.len(),
+                    offered_utilization: study.offered_utilization,
+                    bus_feasible: true,
+                    bus_worst_ms: study.analysis.worst_overall().as_millis_f64(),
+                    ethernet_hop_sum_ms: hop_sum,
+                    ethernet_pboo_ms: convolved,
+                    ethernet_all_ok: all_ok,
+                },
+                Err(verdict) => CapacityHeadroomRow {
+                    subsystems,
+                    messages: workload.messages.len(),
+                    offered_utilization: verdict.offered_utilization,
+                    bus_feasible: false,
+                    bus_worst_ms: f64::NAN,
+                    ethernet_hop_sum_ms: hop_sum,
+                    ethernet_pboo_ms: convolved,
+                    ethernet_all_ok: all_ok,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The crossover intensity of a headroom sweep: the smallest subsystem
+/// count at which the 1553B bus is infeasible while every Ethernet
+/// pay-bursts-only-once bound still meets its deadline.
+pub fn headroom_crossover(rows: &[CapacityHeadroomRow]) -> Option<usize> {
+    rows.iter()
+        .find(|r| !r.bus_feasible && r.ethernet_all_ok)
+        .map(|r| r.subsystems)
+}
+
+/// Renders the capacity-headroom rows as a text table.
+pub fn render_capacity_headroom(rows: &[CapacityHeadroomRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E10 — capacity headroom: 1 Mbps 1553B bus vs 100 Mbps switched Ethernet (line of 2, PBOO)\n\
+         {:<11} {:>9} {:>10} {:>9} {:>12} {:>12} {:>12} {:>9}\n",
+        "subsystems",
+        "messages",
+        "bus util",
+        "bus ok?",
+        "bus worst",
+        "eth hop-sum",
+        "eth PBOO",
+        "eth ok?"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<11} {:>9} {:>10.3} {:>9} {:>9.2} ms {:>9.3} ms {:>9.3} ms {:>9}\n",
+            row.subsystems,
+            row.messages,
+            row.offered_utilization,
+            if row.bus_feasible { "yes" } else { "NO" },
+            row.bus_worst_ms,
+            row.ethernet_hop_sum_ms,
+            row.ethernet_pboo_ms,
+            if row.ethernet_all_ok { "yes" } else { "no" },
+        ));
+    }
+    if let Some(crossover) = headroom_crossover(rows) {
+        out.push_str(&format!(
+            "crossover: at {crossover} subsystems the 1553B bus is infeasible while every \
+             Ethernet PBOO bound meets its deadline\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capacity_headroom_identifies_the_crossover() {
+        let rows = capacity_headroom(15);
+        assert_eq!(rows.len(), 15);
+        // Light workloads fit the bus; the paper-scale ones do not.
+        assert!(rows[0].bus_feasible, "one subsystem must fit the bus");
+        assert!(
+            !rows.last().unwrap().bus_feasible,
+            "fifteen subsystems must exceed the bus"
+        );
+        // Utilization grows monotonically with intensity and crosses 1.
+        for w in rows.windows(2) {
+            assert!(w[1].offered_utilization >= w[0].offered_utilization);
+        }
+        assert!(rows.last().unwrap().offered_utilization > 1.0);
+        // Feasibility is a prefix: once the bus saturates it stays so.
+        let first_infeasible = rows.iter().position(|r| !r.bus_feasible).unwrap();
+        assert!(rows[first_infeasible..].iter().all(|r| !r.bus_feasible));
+        assert!(rows[..first_infeasible].iter().all(|r| r.bus_feasible));
+        // The headline: a crossover exists where the bus is out of
+        // capacity but every Ethernet PBOO bound still meets its deadline.
+        let crossover = headroom_crossover(&rows).expect("crossover must exist");
+        assert_eq!(crossover, rows[first_infeasible].subsystems);
+        assert!(rows.iter().all(|r| r.ethernet_all_ok));
+        // Feasible rows carry real bus figures in the polling regime.
+        for row in &rows[..first_infeasible] {
+            assert!(row.bus_worst_ms >= 20.0);
+            assert!(row.ethernet_pboo_ms <= row.ethernet_hop_sum_ms + 1e-9);
+            assert!(row.ethernet_pboo_ms < row.bus_worst_ms);
+        }
+        let text = render_capacity_headroom(&rows);
+        assert!(text.contains("E10"));
+        assert!(text.contains("crossover"));
+    }
 
     #[test]
     fn multi_switch_sweep_is_sound_and_pboo_tightens_cascades() {

@@ -17,6 +17,7 @@
 //! | E7 | ablation — priority-level count | [`experiments::level_ablation`] |
 //! | E8 | scenario-sweep campaign (mass validation) | [`experiments::campaign_sweep`] |
 //! | E9 | extension — multi-switch cascades, pay-bursts-only-once | [`experiments::multi_switch_sweep`] |
+//! | E10 | capacity headroom — 1553B intensity wall vs Ethernet PBOO | [`experiments::capacity_headroom`] |
 
 pub mod experiments;
 

@@ -10,7 +10,7 @@
 //! scenario count produces a byte-identical file regardless of `--threads`.
 //! Wall-clock statistics are printed to stdout only.
 
-use campaign::{run_campaign, CampaignConfig, ScenarioOutcome};
+use campaign::{run_campaign, CampaignConfig, ComparisonReport, ScenarioOutcome};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -32,6 +32,8 @@ OPTIONS:
     --scenarios <N>   number of scenarios to run        [default: 200]
     --seed <S>        master seed of the scenario space [default: 42]
     --threads <T>     worker threads (0 = all cores)    [default: 0]
+    --with-1553       run the MIL-STD-1553B cross-technology stage in
+                      every scenario and report the comparison section
     --json <PATH>     write the deterministic campaign outcome as JSON
     --quiet           suppress the per-policy table
     --help            print this help
@@ -41,6 +43,7 @@ struct Args {
     scenarios: usize,
     seed: u64,
     threads: usize,
+    with_1553: bool,
     json: Option<String>,
     quiet: bool,
 }
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         scenarios: 200,
         seed: 42,
         threads: 0,
+        with_1553: false,
         json: None,
         quiet: false,
     };
@@ -73,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--with-1553" => args.with_1553 = true,
             "--json" => args.json = Some(value_of("--json")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -98,6 +103,7 @@ fn main() -> ExitCode {
         scenarios: args.scenarios,
         master_seed: args.seed,
         threads: args.threads,
+        with_1553: args.with_1553,
     };
     say!(
         "campaign: {} scenarios, master seed {}, {} worker threads",
@@ -147,6 +153,31 @@ fn main() -> ExitCode {
         summary.max_pboo_gain,
     );
 
+    if let Some(comparison) = &summary.comparison {
+        say!(
+            "1553 baseline: {} feasible | {} infeasible on the 1 Mbps bus | bus soundness {:.1}% \
+             | bus tightness p50 {:.4}",
+            comparison.feasible,
+            comparison.infeasible,
+            comparison.soundness_rate * 100.0,
+            comparison.tightness.p50,
+        );
+        say!(
+            "1553 vs Ethernet: ethernet-only wins {} | bus-only wins {} | both meet {} | neither {} \
+             | bus/Ethernet bound ratio p50 {:.1}x",
+            comparison.ethernet_only_wins,
+            comparison.bus_only_wins,
+            comparison.both_meet,
+            comparison.neither_meets,
+            comparison.bound_ratio.p50,
+        );
+        say!(
+            "1553 capacity frontier: max feasible utilization {:.3} | min infeasible utilization {:.3}",
+            comparison.max_feasible_utilization,
+            comparison.min_infeasible_utilization,
+        );
+    }
+
     if !args.quiet {
         say!();
         say!(
@@ -179,6 +210,18 @@ fn main() -> ExitCode {
         if !infeasible.is_empty() {
             say!("analytically infeasible scenario ids: {infeasible:?}");
         }
+        if summary.comparison.is_some() {
+            let bus_infeasible: Vec<usize> = report
+                .outcome
+                .results
+                .iter()
+                .filter(|r| matches!(r.comparison, Some(ComparisonReport::Infeasible1553(_))))
+                .map(|r| r.scenario.id)
+                .collect();
+            if !bus_infeasible.is_empty() {
+                say!("1553-infeasible scenario ids: {bus_infeasible:?}");
+            }
+        }
     }
 
     if !summary.violations.is_empty() {
@@ -192,6 +235,21 @@ fn main() -> ExitCode {
                 violation.violation.observed,
                 violation.violation.bound,
             );
+        }
+    }
+    if let Some(comparison) = &summary.comparison {
+        if !comparison.violations.is_empty() {
+            eprintln!("1553 BOUND VIOLATIONS DETECTED:");
+            for violation in &comparison.violations {
+                eprintln!(
+                    "  scenario {} (seed {}): message {} observed {} > bound {}",
+                    violation.scenario_id,
+                    violation.seed,
+                    violation.violation.message,
+                    violation.violation.observed,
+                    violation.violation.bound,
+                );
+            }
         }
     }
 
@@ -211,7 +269,12 @@ fn main() -> ExitCode {
         }
     }
 
-    if summary.all_sound() {
+    let bus_sound = summary
+        .comparison
+        .as_ref()
+        .map(|c| c.all_sound())
+        .unwrap_or(true);
+    if summary.all_sound() && bus_sound {
         say!("RESULT: 100% soundness — every simulated delay within its analytic bound");
         ExitCode::SUCCESS
     } else {

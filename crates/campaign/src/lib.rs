@@ -25,6 +25,15 @@
 //!    distribution (min/mean/p50/p99/max), bound-violation reports,
 //!    pay-bursts-only-once consistency over the cascaded scenarios and
 //!    per-policy breakdowns.
+//! 4. With [`CampaignConfig::with_1553`] (the `--with-1553` flag) every
+//!    scenario additionally runs the **cross-technology stage**: the same
+//!    workload is projected onto a MIL-STD-1553B bus (synthesized
+//!    major/minor frames, structured capacity rejection), the bus's
+//!    analytic response bounds are validated against the seeded bus
+//!    replay, and per-message deadline verdicts and bound magnitudes are
+//!    compared against the Ethernet bounds — the paper's replace-the-bus
+//!    thesis as a mass experiment ([`ComparisonReport`],
+//!    [`ComparisonSummary`]).
 //!
 //! Determinism contract: the [`CampaignOutcome`] (results + summary) is a
 //! pure function of `(master seed, scenario count)` — re-running with the
@@ -41,29 +50,36 @@
 //!     scenarios: 8,
 //!     master_seed: 42,
 //!     threads: 2,
+//!     with_1553: true,
 //! });
 //! assert!(report.outcome.summary.all_sound());
 //! assert_eq!(report.outcome.results.len(), 8);
+//! // The cross-technology stage validated the 1553B bounds too.
+//! let comparison = report.outcome.summary.comparison.as_ref().unwrap();
+//! assert!(comparison.all_sound());
 //! ```
 //!
 //! The `campaign` binary wraps this with a CLI:
 //!
 //! ```text
-//! cargo run --release -p campaign -- --scenarios 200 --seed 42 --json out.json
+//! cargo run --release -p campaign -- --scenarios 200 --seed 42 --with-1553 --json out.json
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comparison;
 pub mod report;
 pub mod runner;
 pub mod space;
 
+pub use comparison::{compare_scenario, ComparisonReport, ComparisonSummary, ScenarioComparison};
 pub use report::{
     ApproachBreakdown, CampaignSummary, CampaignViolation, PbooCheck, ScenarioOutcome,
     ScenarioResult, ScenarioValidation, TightnessDistribution, TightnessStats, ViolationReport,
 };
 pub use runner::{
-    execute_scenario, run_campaign, CampaignConfig, CampaignOutcome, CampaignReport, RuntimeStats,
+    execute_scenario, execute_scenario_with, run_campaign, CampaignConfig, CampaignOutcome,
+    CampaignReport, RuntimeStats,
 };
 pub use space::{FabricSpec, Scenario, ScenarioSpace, WorkloadSource};

@@ -1,5 +1,6 @@
 //! Per-scenario results and campaign-level aggregation.
 
+use crate::comparison::{ComparisonReport, ComparisonSummary};
 use crate::space::Scenario;
 use rtswitch_core::{Approach, ValidationReport};
 use serde::{Deserialize, Serialize};
@@ -125,6 +126,9 @@ pub struct ScenarioResult {
     pub scenario: Scenario,
     /// What happened.
     pub outcome: ScenarioOutcome,
+    /// The MIL-STD-1553B cross-technology section (present when the
+    /// campaign ran with the 1553B comparison stage enabled).
+    pub comparison: Option<ComparisonReport>,
 }
 
 impl ScenarioResult {
@@ -160,7 +164,14 @@ impl ScenarioResult {
                 delivered: validation.simulation.total_delivered,
                 dropped: validation.simulation.total_dropped,
             }),
+            comparison: None,
         }
+    }
+
+    /// Attaches (or clears) the 1553B comparison section.
+    pub fn with_comparison(mut self, comparison: Option<ComparisonReport>) -> Self {
+        self.comparison = comparison;
+        self
     }
 }
 
@@ -276,6 +287,9 @@ pub struct CampaignSummary {
     pub by_approach: Vec<ApproachBreakdown>,
     /// Total frames simulated across all scenarios.
     pub frames_simulated: u64,
+    /// Cross-technology (MIL-STD-1553B vs Ethernet) aggregation, present
+    /// when the campaign ran with the 1553B stage enabled.
+    pub comparison: Option<ComparisonSummary>,
 }
 
 impl CampaignSummary {
@@ -387,6 +401,11 @@ impl CampaignSummary {
             tightness: TightnessDistribution::from_values(tightness_values),
             by_approach,
             frames_simulated,
+            comparison: ComparisonSummary::from_sections(results.iter().filter_map(|r| {
+                r.comparison
+                    .as_ref()
+                    .map(|section| (r.scenario.id, r.scenario.seed, section))
+            })),
         }
     }
 

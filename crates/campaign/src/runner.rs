@@ -9,6 +9,7 @@
 //! runs regardless of thread count or scheduling order — only the runtime
 //! statistics (wall time, throughput, per-thread load) vary.
 
+use crate::comparison::compare_scenario;
 use crate::report::{CampaignSummary, PbooCheck, ScenarioOutcome, ScenarioResult};
 use crate::space::{Scenario, ScenarioSpace};
 use netsim::Simulator;
@@ -28,6 +29,11 @@ pub struct CampaignConfig {
     pub master_seed: u64,
     /// Worker threads; `0` uses the machine's available parallelism.
     pub threads: usize,
+    /// Run the MIL-STD-1553B cross-technology stage in every scenario
+    /// (the `--with-1553` CLI flag): synthesize a bus schedule from the
+    /// same workload, validate its analytic bounds against the seeded bus
+    /// replay, and compare per-message against the Ethernet bounds.
+    pub with_1553: bool,
 }
 
 impl Default for CampaignConfig {
@@ -36,6 +42,7 @@ impl Default for CampaignConfig {
             scenarios: 200,
             master_seed: 42,
             threads: 0,
+            with_1553: false,
         }
     }
 }
@@ -106,10 +113,19 @@ pub struct CampaignReport {
     pub runtime: RuntimeStats,
 }
 
+/// Executes one scenario's full pipeline with the default stages (no
+/// 1553B comparison) — see [`execute_scenario_with`].
+pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
+    execute_scenario_with(scenario, false)
+}
+
 /// Executes one scenario's full pipeline: build the workload and fabric,
 /// run the multi-hop analytic bounds (per-hop sum and pay-bursts-only-once
-/// alike), execute the matching cascaded simulation, and compare.
-pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
+/// alike), execute the matching cascaded simulation, and compare.  With
+/// `with_1553` the cross-technology stage additionally runs the MIL-STD-
+/// 1553B pipeline on the same workload ([`compare_scenario`]) and attaches
+/// its [`crate::ComparisonReport`] section.
+pub fn execute_scenario_with(scenario: Scenario, with_1553: bool) -> ScenarioResult {
     let workload = scenario.build_workload();
     let fabric = scenario.build_fabric(&workload);
     debug_assert_eq!(
@@ -118,10 +134,18 @@ pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
     );
     let config = scenario.network_config();
     match analyze_multi_hop(&workload, &config, scenario.approach, &fabric) {
-        Err(AnalysisError::Stage { stage, .. }) => ScenarioResult {
-            scenario,
-            outcome: ScenarioOutcome::AnalysisInfeasible { stage },
-        },
+        Err(AnalysisError::Stage { stage, .. }) => {
+            // The Ethernet analysis is infeasible: the bus side still runs
+            // (with no Ethernet bounds to win against) so the comparison
+            // section covers every scenario.
+            let comparison = with_1553
+                .then(|| compare_scenario(&workload, |_| None, scenario.horizon, scenario.seed));
+            ScenarioResult {
+                scenario,
+                outcome: ScenarioOutcome::AnalysisInfeasible { stage },
+                comparison,
+            }
+        }
         Ok(analysis) => {
             let deadline_misses = analysis.violations().len();
             let pboo = PbooCheck {
@@ -129,6 +153,14 @@ pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
                 consistent: analysis.pboo_consistent(),
                 max_gain: analysis.max_pboo_gain(),
             };
+            let comparison = with_1553.then(|| {
+                compare_scenario(
+                    &workload,
+                    |id| analysis.bound_for(id).map(|b| b.total_bound),
+                    scenario.horizon,
+                    scenario.seed,
+                )
+            });
             // sim_config() already carries the scenario's seed; run() is
             // the single seed path (Simulator::run_with_seed exists for
             // callers sharing one Simulator across differently-seeded
@@ -141,6 +173,7 @@ pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
                 simulation,
             );
             ScenarioResult::from_validation(scenario, deadline_misses, pboo, &validation)
+                .with_comparison(comparison)
         }
     }
 }
@@ -170,7 +203,7 @@ pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
                 let Some(scenario) = scenarios.get(index).copied() else {
                     break;
                 };
-                let result = execute_scenario(scenario);
+                let result = execute_scenario_with(scenario, config.with_1553);
                 if sender.send((worker, result)).is_err() {
                     break;
                 }
@@ -215,6 +248,7 @@ mod tests {
             scenarios: 24,
             master_seed: 42,
             threads,
+            with_1553: false,
         }
     }
 
@@ -313,11 +347,69 @@ mod tests {
     }
 
     #[test]
+    fn the_1553_stage_is_deterministic_and_sound() {
+        // The cross-technology stage: same seed and scenario count must
+        // produce byte-identical JSON regardless of thread count, the bus
+        // analytic bound must be sound in every feasible scenario, and the
+        // sweep must contain both feasible and capacity-rejected draws.
+        let config = CampaignConfig {
+            with_1553: true,
+            ..small_config(4)
+        };
+        let a = run_campaign(config);
+        let b = run_campaign(CampaignConfig {
+            threads: 2,
+            ..config
+        });
+        assert_eq!(a.outcome, b.outcome);
+        let json_a = serde_json::to_string_pretty(&a.outcome).unwrap();
+        let json_b = serde_json::to_string_pretty(&b.outcome).unwrap();
+        assert_eq!(json_a, json_b);
+
+        let comparison = a
+            .outcome
+            .summary
+            .comparison
+            .as_ref()
+            .expect("--with-1553 populates the comparison summary");
+        assert_eq!(comparison.attempted, 24);
+        assert_eq!(comparison.feasible + comparison.infeasible, 24);
+        assert!(comparison.feasible > 0, "no scenario fit the 1 Mbps bus");
+        assert!(
+            comparison.infeasible > 0,
+            "no scenario exceeded the 1 Mbps bus"
+        );
+        assert!(
+            comparison.all_sound(),
+            "1553 bound violations: {:?}",
+            comparison.violations
+        );
+        assert_eq!(comparison.soundness_rate, 1.0);
+        // Ethernet wins messages the polled bus cannot serve; never the
+        // other way around at the campaign's rates.
+        assert!(comparison.ethernet_only_wins > 0);
+        // Every scenario carries its per-scenario section.
+        assert!(a.outcome.results.iter().all(|r| r.comparison.is_some()));
+    }
+
+    #[test]
+    fn without_the_stage_no_comparison_is_recorded() {
+        let report = run_campaign(small_config(2));
+        assert!(report.outcome.summary.comparison.is_none());
+        assert!(report
+            .outcome
+            .results
+            .iter()
+            .all(|r| r.comparison.is_none()));
+    }
+
+    #[test]
     fn thread_count_is_clamped_to_scenarios() {
         let report = run_campaign(CampaignConfig {
             scenarios: 2,
             master_seed: 1,
             threads: 16,
+            with_1553: false,
         });
         assert_eq!(report.runtime.threads, 2);
         assert_eq!(report.outcome.results.len(), 2);

@@ -58,7 +58,10 @@ pub use analysis::multi_hop::{
     analyze_multi_hop, FabricPort, HopBound, MultiHopMessageBound, MultiHopReport,
 };
 pub use analysis::Approach;
-pub use compare1553::{compare_with_1553, BaselineComparison};
+pub use compare1553::{
+    analyze_1553, compare_bounds_1553, compare_with_1553, BaselineComparison, Bus1553Study,
+    Bus1553Validation, Infeasible1553, Infeasible1553Kind,
+};
 pub use config::NetworkConfig;
 pub use validation::{
     matching_sim_config, sim_config_for, validate_against_simulation, validation_from_bound_lookup,

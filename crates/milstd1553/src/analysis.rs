@@ -49,6 +49,30 @@ impl BusAnalysis {
     ///   a frame that issues it — the completion offset of the *least*
     ///   loaded of its frames, `o_min`;
     /// * jitter: `worst − best`.
+    ///
+    /// ```
+    /// use milstd1553::analysis::BusAnalysis;
+    /// use milstd1553::schedule::{PeriodicRequirement, Scheduler};
+    /// use milstd1553::terminal::RtAddress;
+    /// use milstd1553::transaction::Transaction;
+    /// use units::Duration;
+    ///
+    /// let schedule = Scheduler::paper_default()
+    ///     .schedule(vec![PeriodicRequirement::new(
+    ///         Transaction::rt_to_bc("nav", RtAddress::new(1).unwrap(), 1, 4),
+    ///         Duration::from_millis(20),
+    ///     )])
+    ///     .unwrap();
+    /// let analysis = BusAnalysis::analyze(&schedule);
+    /// let nav = analysis.bound_for("nav").unwrap();
+    /// // Worst case: the data just misses its slot and waits one full
+    /// // 20 ms polling period, then the 136 µs transaction completes.
+    /// assert_eq!(
+    ///     nav.worst_case,
+    ///     Duration::from_millis(20) + Duration::from_micros(136)
+    /// );
+    /// assert_eq!(analysis.worst_overall(), nav.worst_case);
+    /// ```
     pub fn analyze(schedule: &MajorFrameSchedule) -> Self {
         let mut messages = Vec::with_capacity(schedule.requirements.len());
         for (req_idx, req) in schedule.requirements.iter().enumerate() {

@@ -15,10 +15,42 @@
 //! * remote terminals and the BC transaction table ([`terminal`],
 //!   [`transaction`]),
 //! * construction of major/minor frame schedules from a periodic message set
-//!   and admission checks ([`schedule`]),
+//!   and admission checks, including frame-structure *synthesis* for
+//!   workloads not designed around the paper's 20 ms / 160 ms hierarchy
+//!   ([`schedule`], [`Scheduler::fit`]),
 //! * worst-case response-time analysis of the polled bus ([`analysis`]),
 //! * a deterministic discrete-event simulation of the schedule used for the
-//!   jitter comparison experiment ([`sim`]).
+//!   jitter comparison and the campaign's cross-technology validation
+//!   ([`sim`], [`BusSimulation::over_horizon`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use milstd1553::analysis::BusAnalysis;
+//! use milstd1553::schedule::{PeriodicRequirement, Scheduler};
+//! use milstd1553::terminal::RtAddress;
+//! use milstd1553::transaction::Transaction;
+//! use units::Duration;
+//!
+//! // Two periodic RT→BC transfers; frames synthesized from their periods.
+//! let periods = [Duration::from_millis(20), Duration::from_millis(80)];
+//! let scheduler = Scheduler::fit(periods);
+//! let schedule = scheduler
+//!     .schedule(vec![
+//!         PeriodicRequirement::new(
+//!             Transaction::rt_to_bc("nav", RtAddress::new(1).unwrap(), 1, 16),
+//!             periods[0],
+//!         ),
+//!         PeriodicRequirement::new(
+//!             Transaction::rt_to_bc("status", RtAddress::new(2).unwrap(), 1, 4),
+//!             periods[1],
+//!         ),
+//!     ])
+//!     .unwrap();
+//! let analysis = BusAnalysis::analyze(&schedule);
+//! // The polled bus can never respond faster than one issue period.
+//! assert!(analysis.bound_for("nav").unwrap().worst_case > periods[0]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -170,6 +170,12 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
+    /// The largest number of minor frames [`Scheduler::fit`] will put in a
+    /// major frame.  Real bus controllers keep their transaction tables
+    /// small; 64 frames allow a 64:1 major-to-minor period ratio even at
+    /// the finest granularity.
+    pub const MAX_FRAMES: u64 = 64;
+
     /// Creates a scheduler with the paper's frame durations (20 ms / 160 ms).
     pub fn paper_default() -> Self {
         Scheduler {
@@ -186,9 +192,116 @@ impl Scheduler {
         }
     }
 
+    /// Derives major/minor frame durations from the issue periods of a
+    /// generic message set — the first step of synthesizing a bus schedule
+    /// for a workload that was *not* designed around the paper's 20 ms /
+    /// 160 ms structure.
+    ///
+    /// The minor frame is the smallest requested period, clamped to the
+    /// `[1 ms, 20 ms]` range a real bus controller interrupt operates in;
+    /// the major frame is the smallest power-of-two multiple of the minor
+    /// frame covering the largest requested period, capped at
+    /// [`Scheduler::MAX_FRAMES`] minor frames.  Periods that do not fall on
+    /// the resulting `minor · 2^k` grid are later rounded *down* by
+    /// [`Scheduler::harmonize`] (issuing a transaction more often than
+    /// requested is always safe; less often never is).
+    ///
+    /// Because of the 1 ms interrupt floor, a period *below* the resulting
+    /// minor frame cannot be honoured — [`Scheduler::harmonize`] would
+    /// round it **up**, issuing *less* often than requested.  Callers
+    /// projecting real workloads must reject such periods instead of
+    /// scheduling them (`workload::map1553::plan_bus` returns a structured
+    /// mapping error for them).
+    ///
+    /// Symmetrically, when the period spread exceeds the
+    /// [`Scheduler::MAX_FRAMES`] cap, periods *beyond* the capped major
+    /// frame are issued once per major frame — more often than requested,
+    /// which is always sound but **conservative**: the schedule (and any
+    /// utilization figure computed from it) reflects the faster issue
+    /// rate, so a capacity rejection of such a workload can overstate the
+    /// true demand.  A single-table bus controller genuinely cannot issue
+    /// less often than its major frame.
+    ///
+    /// An empty period set yields [`Scheduler::paper_default`].
+    ///
+    /// ```
+    /// use milstd1553::schedule::Scheduler;
+    /// use units::Duration;
+    ///
+    /// // The paper's harmonic set reproduces the paper's frames.
+    /// let periods = [20u64, 40, 80, 160].map(Duration::from_millis);
+    /// assert_eq!(Scheduler::fit(periods), Scheduler::paper_default());
+    ///
+    /// // An off-grid set still produces a power-of-two frame hierarchy.
+    /// let sched = Scheduler::fit([5u64, 35, 70].map(Duration::from_millis));
+    /// assert_eq!(sched.minor_frame, Duration::from_millis(5));
+    /// assert_eq!(sched.major_frame, Duration::from_millis(80));
+    /// assert_eq!(sched.harmonize(Duration::from_millis(35)), Duration::from_millis(20));
+    /// ```
+    pub fn fit(periods: impl IntoIterator<Item = Duration>) -> Self {
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for period in periods.into_iter().filter(|p| !p.is_zero()) {
+            min = min.min(period);
+            max = max.max(period);
+        }
+        if max.is_zero() {
+            return Scheduler::paper_default();
+        }
+        let minor = min
+            .min(Duration::from_millis(20))
+            .max(Duration::MILLISECOND);
+        let mut frames = 1u64;
+        while minor * frames < max && frames < Self::MAX_FRAMES {
+            frames *= 2;
+        }
+        Scheduler::new(minor, minor * frames)
+    }
+
+    /// Rounds a requested issue period *down* to the largest schedulable
+    /// harmonic `minor · 2^k` not exceeding it, clamped to the
+    /// `[minor frame, major frame]` range.  The result always divides the
+    /// major frame, so a harmonized period never triggers
+    /// [`ScheduleError::InvalidPeriod`].
+    ///
+    /// ```
+    /// use milstd1553::schedule::Scheduler;
+    /// use units::Duration;
+    ///
+    /// let sched = Scheduler::paper_default(); // 20 ms minor, 160 ms major
+    /// assert_eq!(sched.harmonize(Duration::from_millis(40)), Duration::from_millis(40));
+    /// assert_eq!(sched.harmonize(Duration::from_millis(70)), Duration::from_millis(40));
+    /// assert_eq!(sched.harmonize(Duration::from_millis(3)), Duration::from_millis(20));
+    /// assert_eq!(sched.harmonize(Duration::from_secs(9)), Duration::from_millis(160));
+    /// ```
+    pub fn harmonize(&self, period: Duration) -> Duration {
+        let mut harmonic = self.minor_frame;
+        while harmonic * 2 <= self.major_frame && harmonic * 2 <= period {
+            harmonic = harmonic * 2;
+        }
+        harmonic
+    }
+
     /// Builds the cyclic schedule, balancing minor-frame load by choosing
     /// phases greedily (largest bus occupation first, placed on the phase
     /// whose worst affected frame is currently the least loaded).
+    ///
+    /// ```
+    /// use milstd1553::schedule::{PeriodicRequirement, Scheduler};
+    /// use milstd1553::terminal::RtAddress;
+    /// use milstd1553::transaction::Transaction;
+    /// use units::Duration;
+    ///
+    /// let nav = Transaction::rt_to_bc("nav", RtAddress::new(1).unwrap(), 1, 16);
+    /// let schedule = Scheduler::paper_default()
+    ///     .schedule(vec![PeriodicRequirement::new(nav, Duration::from_millis(40))])
+    ///     .unwrap();
+    /// // 160 ms major frame / 20 ms minor frame = 8 frames; a 40 ms
+    /// // message is issued in every second one.
+    /// assert_eq!(schedule.frames.len(), 8);
+    /// assert_eq!(schedule.frames_of(0).len(), 4);
+    /// assert!(schedule.bus_utilization() > 0.0);
+    /// ```
     pub fn schedule(
         &self,
         requirements: Vec<PeriodicRequirement>,
@@ -386,6 +499,67 @@ mod tests {
         assert_eq!(sched.completion_offset(0, 0), Some(d));
         assert_eq!(sched.completion_offset(0, 1), Some(d * 2));
         assert_eq!(sched.completion_offset(0, 7), None);
+    }
+
+    #[test]
+    fn fit_reproduces_the_paper_frames_for_harmonic_periods() {
+        let sched = Scheduler::fit([20u64, 40, 80, 160].map(Duration::from_millis));
+        assert_eq!(sched, Scheduler::paper_default());
+        // A single period collapses both frames onto it.
+        let sched = Scheduler::fit([Duration::from_millis(20)]);
+        assert_eq!(sched.minor_frame, Duration::from_millis(20));
+        assert_eq!(sched.major_frame, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fit_handles_off_grid_and_extreme_periods() {
+        // Off-grid periods: power-of-two hierarchy over the smallest.
+        let sched = Scheduler::fit([30u64, 45, 100].map(Duration::from_millis));
+        assert_eq!(sched.minor_frame, Duration::from_millis(20));
+        assert_eq!(sched.major_frame, Duration::from_millis(160));
+        // Sub-millisecond periods are clamped to the 1 ms interrupt floor.
+        let sched = Scheduler::fit([Duration::from_micros(100), Duration::from_millis(2)]);
+        assert_eq!(sched.minor_frame, Duration::MILLISECOND);
+        // A huge period spread is capped at MAX_FRAMES minor frames.
+        let sched = Scheduler::fit([Duration::from_millis(1), Duration::from_secs(10)]);
+        assert_eq!(sched.major_frame, Duration::from_millis(64));
+        // Empty and all-zero inputs fall back to the paper's frames.
+        assert_eq!(Scheduler::fit([]), Scheduler::paper_default());
+        assert_eq!(Scheduler::fit([Duration::ZERO]), Scheduler::paper_default());
+    }
+
+    #[test]
+    fn fitted_frames_always_schedule_their_harmonized_periods() {
+        // Whatever the input periods, `fit` + `harmonize` must yield a
+        // period set the scheduler accepts without InvalidPeriod.
+        for periods in [
+            vec![7u64, 13, 100, 900],
+            vec![1, 3],
+            vec![160, 160, 20],
+            vec![25],
+        ] {
+            let durations: Vec<Duration> = periods
+                .iter()
+                .map(|&ms| Duration::from_millis(ms))
+                .collect();
+            let sched = Scheduler::fit(durations.clone());
+            let reqs: Vec<PeriodicRequirement> = durations
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    PeriodicRequirement::new(
+                        Transaction::rt_to_bc(format!("m{i}"), rt(i as u8), 1, 2),
+                        sched.harmonize(p),
+                    )
+                })
+                .collect();
+            let schedule = sched.schedule(reqs.clone()).unwrap();
+            // Harmonization never slows a message down.
+            for (req, &requested) in reqs.iter().zip(periods.iter()) {
+                assert!(req.period <= Duration::from_millis(requested).max(sched.minor_frame));
+            }
+            assert_eq!(schedule.minor_frame, sched.minor_frame);
+        }
     }
 
     #[test]

@@ -45,6 +45,39 @@ impl BusSimulation {
         }
     }
 
+    /// Creates a simulation covering at least `horizon` of bus time —
+    /// the hook the campaign's cross-technology pipeline uses so a bus
+    /// replay and an Ethernet simulation of the same scenario observe the
+    /// same time span and seed.
+    ///
+    /// ```
+    /// use milstd1553::schedule::{PeriodicRequirement, Scheduler};
+    /// use milstd1553::sim::BusSimulation;
+    /// use milstd1553::transaction::Transaction;
+    /// use milstd1553::terminal::RtAddress;
+    /// use units::Duration;
+    ///
+    /// let schedule = Scheduler::paper_default()
+    ///     .schedule(vec![PeriodicRequirement::new(
+    ///         Transaction::rt_to_bc("nav", RtAddress::new(1).unwrap(), 1, 8),
+    ///         Duration::from_millis(20),
+    ///     )])
+    ///     .unwrap();
+    /// // 320 ms of bus time = two 160 ms major frames.
+    /// let stats = BusSimulation::over_horizon(schedule, Duration::from_millis(320), 42).run();
+    /// assert_eq!(stats.len(), 1);
+    /// assert!(stats[0].samples > 0);
+    /// ```
+    pub fn over_horizon(schedule: MajorFrameSchedule, horizon: Duration, seed: u64) -> Self {
+        let major = schedule.major_frame();
+        let major_frames = if major.is_zero() {
+            1
+        } else {
+            horizon.div_duration_ceil(major).unwrap_or(1).max(1)
+        };
+        BusSimulation::new(schedule, major_frames, seed)
+    }
+
     /// Runs the simulation and returns per-message statistics, in
     /// requirement order.
     ///

@@ -9,6 +9,17 @@ use units::Duration;
 
 /// One entry of the bus controller's transaction table: a transfer between
 /// the BC and one or two RTs, carrying a fixed number of data words.
+///
+/// ```
+/// use milstd1553::transaction::Transaction;
+/// use milstd1553::terminal::RtAddress;
+/// use units::Duration;
+///
+/// // A 4-word RT→BC transfer: command + status + 4 data words = 6 words
+/// // of 20 µs, plus the 12 µs RT response and the 4 µs intermessage gap.
+/// let t = Transaction::rt_to_bc("nav", RtAddress::new(1).unwrap(), 1, 4);
+/// assert_eq!(t.duration(), Duration::from_micros(6 * 20 + 12 + 4));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transaction {
     /// A label linking the transaction back to the avionics message that

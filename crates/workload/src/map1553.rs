@@ -9,7 +9,7 @@
 //! 1553B bus controller learns about asynchronous events.
 
 use crate::message::{MessageSpec, StationId, Workload};
-use milstd1553::schedule::PeriodicRequirement;
+use milstd1553::schedule::{PeriodicRequirement, Scheduler};
 use milstd1553::terminal::RtAddress;
 use milstd1553::transaction::Transaction;
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,18 @@ impl Default for MappingConfig {
 pub enum MappingError {
     /// The workload needs more remote terminals than the bus supports (30).
     TooManyStations(usize),
+    /// A message's characteristic interval is shorter than the minor frame
+    /// the bus controller can sustain: the bus would have to issue the
+    /// transaction *less* often than the data is produced, which is never
+    /// sound.  Raised by [`plan_bus`] for sub-millisecond periods.
+    PeriodBelowMinorFrame {
+        /// The offending message name.
+        name: String,
+        /// Its requested interval.
+        period: Duration,
+        /// The smallest minor frame the bus can run.
+        minor_frame: Duration,
+    },
 }
 
 impl core::fmt::Display for MappingError {
@@ -50,6 +62,17 @@ impl core::fmt::Display for MappingError {
                 write!(
                     f,
                     "{n} stations exceed the 30 remote terminals a 1553B bus supports"
+                )
+            }
+            MappingError::PeriodBelowMinorFrame {
+                name,
+                period,
+                minor_frame,
+            } => {
+                write!(
+                    f,
+                    "message `{name}`: interval {period} is below the {minor_frame} minor frame \
+                     the bus controller can sustain"
                 )
             }
         }
@@ -101,31 +124,102 @@ pub fn map_workload(
     Ok(requirements)
 }
 
+/// A complete projection of a workload onto a synthesized bus schedule:
+/// the fitted frame structure plus the transaction table requirements.
+///
+/// This is the generic-workload front end of the 1553B baseline (the
+/// campaign's cross-technology pipeline): where [`map_workload`] assumes
+/// the paper's 20 ms / 160 ms frames, [`plan_bus`] derives the frame
+/// hierarchy from the workload's own periods via
+/// [`Scheduler::fit`](milstd1553::schedule::Scheduler::fit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusPlan {
+    /// The synthesized frame structure.
+    pub scheduler: Scheduler,
+    /// The bus controller's periodic requirements, in workload message
+    /// order (chunked messages expand to consecutive requirements).
+    pub requirements: Vec<PeriodicRequirement>,
+}
+
+impl BusPlan {
+    /// The bus utilization the requirements demand: the sum over all
+    /// transactions of `duration / period`.  A value above 1 means the
+    /// workload exceeds the 1 Mbps bus capacity outright; values close to
+    /// 1 are usually unschedulable too because transactions must fit whole
+    /// minor frames.
+    ///
+    /// The periods here are the *issued* (harmonized) ones.  For a
+    /// workload whose period spread exceeds the synthesized major frame
+    /// (64 minor frames at most), slow messages are issued once per major
+    /// frame — more often than requested — so the figure is an upper
+    /// bound on the true demand, never an underestimate.
+    pub fn offered_utilization(&self) -> f64 {
+        self.requirements
+            .iter()
+            .map(|req| {
+                req.transaction.duration().as_secs_f64()
+                    / req.period.as_secs_f64().max(f64::MIN_POSITIVE)
+            })
+            .sum()
+    }
+}
+
+/// Projects an arbitrary workload onto a MIL-STD-1553B bus: synthesizes
+/// the major/minor frame structure from the workload's periods
+/// ([`Scheduler::fit`](milstd1553::schedule::Scheduler::fit) over the
+/// characteristic intervals) and maps every message onto the transaction
+/// table with [`map_workload`] semantics.
+///
+/// The plan is a pure function of the workload — identical workloads
+/// produce identical plans, which the campaign's byte-identical-JSON
+/// determinism contract relies on.
+pub fn plan_bus(workload: &Workload) -> Result<BusPlan, MappingError> {
+    let scheduler = Scheduler::fit(workload.messages.iter().map(|m| m.interval()));
+    // The fitted minor frame is floored at 1 ms (the bus controller's
+    // interrupt granularity), so an interval below it would be *rounded
+    // up* by harmonization — the bus would issue the transaction less
+    // often than the data is produced.  That is never sound; reject it.
+    for message in &workload.messages {
+        if message.interval() < scheduler.minor_frame {
+            return Err(MappingError::PeriodBelowMinorFrame {
+                name: message.name.clone(),
+                period: message.interval(),
+                minor_frame: scheduler.minor_frame,
+            });
+        }
+    }
+    let requirements = map_workload(
+        workload,
+        MappingConfig {
+            sporadic_poll_period: scheduler.minor_frame,
+            major_frame: scheduler.major_frame,
+        },
+    )?;
+    Ok(BusPlan {
+        scheduler,
+        requirements,
+    })
+}
+
 /// The issue period of a message on the polled bus.
 ///
-/// Periodic messages are issued at their own period.  Sporadic messages are
+/// Periodic messages are issued at their own period, rounded *down* to the
+/// harmonic grid (`minor × 2^k`) the frame structure can express — issuing
+/// more often than requested is always safe.  Sporadic messages are
 /// polled: the bus controller asks for them at the fastest harmonic rate
-/// (`minor × 2^k`) that still leaves slack to the message deadline — we use
-/// the largest harmonic period not exceeding half the deadline, clamped to
-/// the `[minor frame, major frame]` range.  Messages whose deadline is below
+/// that still leaves slack to the message deadline — we use the largest
+/// harmonic period not exceeding half the deadline, clamped to the
+/// `[minor frame, major frame]` range.  Messages whose deadline is below
 /// the minor frame (the urgent 3 ms class) are polled every minor frame,
 /// which is the best a 1553B bus controller can do — and precisely why the
 /// baseline cannot honour that class.
 fn effective_period(message: &MessageSpec, config: &MappingConfig) -> Duration {
+    let frames = Scheduler::new(config.sporadic_poll_period, config.major_frame);
     if message.arrival.is_periodic() {
-        return message
-            .interval()
-            .min(config.major_frame)
-            .max(config.sporadic_poll_period);
+        frames.harmonize(message.interval())
+    } else {
+        frames.harmonize(message.deadline / 2)
     }
-    let minor = config.sporadic_poll_period;
-    let mut period = minor;
-    let mut next = minor * 2;
-    while next <= config.major_frame && next * 2 <= message.deadline {
-        period = next;
-        next = next * 2;
-    }
-    period
 }
 
 /// Splits the payload into 1553B transfers of at most 32 data words
@@ -256,6 +350,86 @@ mod tests {
         // frame: the mapping clamps to 20 ms, which is precisely why the
         // 1553B baseline cannot honour the urgent class.
         assert_eq!(reqs[0].period, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn plan_bus_synthesizes_paper_frames_for_the_case_study() {
+        let w = case_study();
+        let plan = plan_bus(&w).unwrap();
+        // The case study's harmonic periods reproduce the paper's frames.
+        assert_eq!(plan.scheduler, Scheduler::paper_default());
+        assert!(plan.requirements.len() >= w.messages.len());
+        // The full case study exceeds the 1 Mbps bus: that is the paper's
+        // point, and the structured utilization figure exposes it.
+        assert!(plan.offered_utilization() > 1.0);
+        // Planning is deterministic.
+        assert_eq!(plan, plan_bus(&w).unwrap());
+    }
+
+    #[test]
+    fn plan_bus_fits_frames_to_off_grid_periods() {
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("sensor");
+        w.add_message(
+            "fast",
+            a,
+            mc,
+            DataSize::from_bytes(8),
+            Arrival::Periodic {
+                period: Duration::from_millis(10),
+            },
+            Duration::from_millis(10),
+        );
+        w.add_message(
+            "slow",
+            a,
+            mc,
+            DataSize::from_bytes(8),
+            Arrival::Periodic {
+                period: Duration::from_millis(70),
+            },
+            Duration::from_millis(70),
+        );
+        let plan = plan_bus(&w).unwrap();
+        assert_eq!(plan.scheduler.minor_frame, Duration::from_millis(10));
+        assert_eq!(plan.scheduler.major_frame, Duration::from_millis(80));
+        // 70 ms is off-grid: harmonized down to 40 ms.
+        assert_eq!(plan.requirements[1].period, Duration::from_millis(40));
+        // The fitted frames schedule without InvalidPeriod.
+        let schedule = plan.scheduler.schedule(plan.requirements.clone()).unwrap();
+        assert_eq!(schedule.frames.len(), 8);
+        assert!(plan.offered_utilization() < 1.0);
+    }
+
+    #[test]
+    fn plan_bus_rejects_periods_below_the_minor_frame_floor() {
+        // A 500 µs period cannot be honoured: the fitted minor frame is
+        // floored at 1 ms, and polling *slower* than production is never
+        // sound — the plan must be rejected, not silently under-sampled.
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("sensor");
+        w.add_message(
+            "too-fast",
+            a,
+            mc,
+            DataSize::from_bytes(8),
+            Arrival::Periodic {
+                period: Duration::from_micros(500),
+            },
+            Duration::from_millis(5),
+        );
+        let err = plan_bus(&w).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::PeriodBelowMinorFrame {
+                name: "too-fast".into(),
+                period: Duration::from_micros(500),
+                minor_frame: Duration::MILLISECOND,
+            }
+        );
+        assert!(err.to_string().contains("below the 1ms minor frame"));
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! The migration study: take an avionics message set sized for a
-//! MIL-STD-1553B bus, show what the polled bus can and cannot guarantee, and
-//! compare it against prioritized switched Ethernet carrying the same
-//! traffic.
+//! MIL-STD-1553B bus, show what the polled bus can and cannot guarantee
+//! (analytic bounds validated against the seeded bus replay), and compare
+//! it against prioritized switched Ethernet carrying the same traffic.
 //!
 //! Run with: `cargo run --example mil1553_migration`
+//!
+//! The methodology is documented step by step in `docs/COMPARISON.md`.
 
 use rt_ethernet::core::compare_with_1553;
 use rt_ethernet::core::report::render_baseline_table;
-use rt_ethernet::milstd1553::analysis::BusAnalysis;
-use rt_ethernet::milstd1553::schedule::Scheduler;
+use rt_ethernet::units::Duration;
 use rt_ethernet::workload::case_study::{case_study, case_study_with, CaseStudyConfig};
-use rt_ethernet::workload::map1553::{map_workload, MappingConfig};
-use rt_ethernet::{analyze, Approach, NetworkConfig};
+use rt_ethernet::{analyze, analyze_1553, Approach, NetworkConfig};
 
 fn main() {
     // A bus-sized slice of the case study (3 subsystems): small enough to be
@@ -21,26 +21,34 @@ fn main() {
         with_command_traffic: false,
     });
 
-    // 1. What the 1553B bus controller schedule looks like.
-    let requirements =
-        map_workload(&workload, MappingConfig::default()).expect("fits the RT address space");
+    // 1. Synthesize the bus controller schedule from the workload's own
+    // periods and analyse it (the generalized pipeline the campaign's
+    // `--with-1553` stage runs on every scenario).
+    let study = analyze_1553(&workload).expect("bus-sized workload fits the 1 Mbps bus");
     println!(
-        "1553B transaction table: {} transactions (chunked from {} messages)",
-        requirements.len(),
-        workload.messages.len()
+        "1553B schedule: {} transactions (chunked from {} messages), minor frame {}, major frame {}",
+        study.schedule.requirements.len(),
+        workload.messages.len(),
+        study.scheduler.minor_frame,
+        study.scheduler.major_frame,
     );
-    let schedule = Scheduler::paper_default()
-        .schedule(requirements)
-        .expect("bus-sized workload is schedulable");
-    let bus = BusAnalysis::analyze(&schedule);
     println!(
-        "bus utilization {:.1}%, peak minor-frame load {:.3} ms, worst response {:.3} ms\n",
-        bus.bus_utilization * 100.0,
-        schedule.peak_frame_load().as_millis_f64(),
-        bus.worst_overall().as_millis_f64()
+        "bus utilization {:.1}% (offered {:.1}%), peak minor-frame load {:.3} ms, worst response {:.3} ms",
+        study.analysis.bus_utilization * 100.0,
+        study.offered_utilization * 100.0,
+        study.schedule.peak_frame_load().as_millis_f64(),
+        study.analysis.worst_overall().as_millis_f64()
     );
 
-    // 2. Side-by-side comparison against prioritized switched Ethernet.
+    // 2. Validate the analytic bounds against the seeded bus replay.
+    let validation = study.validate(&workload, Duration::from_millis(640), 42);
+    println!(
+        "bus replay over 640 ms (seed 42): {} messages, all within analytic bounds: {}\n",
+        validation.entries.len(),
+        validation.all_sound(),
+    );
+
+    // 3. Side-by-side comparison against prioritized switched Ethernet.
     let ethernet = analyze(
         &workload,
         &NetworkConfig::paper_default(),
@@ -50,19 +58,13 @@ fn main() {
     let comparison = compare_with_1553(&workload, &ethernet).expect("schedulable baseline");
     print!("{}", render_baseline_table(&comparison));
 
-    // 3. And the reason the migration is pressing: the full mission system
-    // no longer fits on the shared 1 Mbps bus at all.
-    let full = case_study();
-    let feasible = map_workload(&full, MappingConfig::default())
-        .ok()
-        .and_then(|reqs| Scheduler::paper_default().schedule(reqs).ok())
-        .is_some();
-    println!(
-        "\nfull 15-subsystem case study schedulable on MIL-STD-1553B: {}",
-        if feasible {
-            "yes"
-        } else {
-            "no — the bus is past its capacity"
+    // 4. And the reason the migration is pressing: the full mission system
+    // no longer fits on the shared 1 Mbps bus at all — a structured
+    // verdict, not just an error string.
+    match analyze_1553(&case_study()) {
+        Ok(_) => println!("\nfull 15-subsystem case study schedulable on MIL-STD-1553B: yes"),
+        Err(verdict) => {
+            println!("\nfull 15-subsystem case study schedulable on MIL-STD-1553B: no — {verdict}")
         }
-    );
+    }
 }

@@ -15,7 +15,9 @@
 //! * [`workload`] — the avionics message model and the case-study set;
 //! * [`netsim`] — the discrete-event simulator of the switched network;
 //! * [`core`] (crate `rtswitch-core`) — the paper's end-to-end analysis,
-//!   verdicts, 1553B comparison and simulation validation.
+//!   verdicts, 1553B comparison and simulation validation;
+//! * [`campaign`] — the parallel scenario-sweep subsystem (mass validation
+//!   of the bounds, including the MIL-STD-1553B cross-technology stage).
 //!
 //! See the repository `README.md` for a quick start and `EXPERIMENTS.md` for
 //! the reproduction of every figure and table.
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use campaign;
 pub use ethernet;
 pub use milstd1553;
 pub use netcalc;
@@ -37,7 +40,7 @@ pub use rtswitch_core as core;
 pub use ethernet::Fabric;
 pub use netsim::Simulator;
 pub use rtswitch_core::{
-    analyze, analyze_multi_hop, sim_config_for, validation_from_bound_lookup, Approach,
-    MultiHopReport, NetworkConfig,
+    analyze, analyze_1553, analyze_multi_hop, sim_config_for, validation_from_bound_lookup,
+    Approach, MultiHopReport, NetworkConfig,
 };
 pub use workload::case_study::case_study;

@@ -47,3 +47,62 @@ fn full_case_study_overloads_the_shared_bus() {
     let requirements = map_workload(&workload, MappingConfig::default()).unwrap();
     assert!(Scheduler::paper_default().schedule(requirements).is_err());
 }
+
+#[test]
+fn generalized_pipeline_synthesizes_validates_and_rejects() {
+    use rt_ethernet::analyze_1553;
+
+    // Feasible side: synthesized frames reproduce the paper's for the
+    // harmonic case-study periods, and the seeded bus replay stays within
+    // every analytic bound.
+    let workload = case_study_with(CaseStudyConfig {
+        subsystems: 3,
+        with_command_traffic: false,
+    });
+    let study = analyze_1553(&workload).expect("bus-sized workload is feasible");
+    assert_eq!(study.scheduler, Scheduler::paper_default());
+    let validation = study.validate(&workload, Duration::from_millis(640), 42);
+    assert!(validation.all_sound());
+    assert!(validation.entries.iter().any(|e| e.samples > 0));
+
+    // Infeasible side: the full case study is rejected with a structured
+    // capacity verdict, not a bare error string.
+    let verdict = analyze_1553(&case_study()).unwrap_err();
+    assert_eq!(
+        verdict.kind,
+        rt_ethernet::core::Infeasible1553Kind::Capacity
+    );
+    assert!(verdict.offered_utilization > 1.0);
+}
+
+#[test]
+fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
+    use rt_ethernet::campaign::{run_campaign, CampaignConfig};
+
+    // The cross-technology acceptance gate: at seed 42 the 1553B analytic
+    // bound is sound in every bus-feasible scenario and the outcome JSON
+    // is byte-identical across thread counts.
+    let config = CampaignConfig {
+        scenarios: 32,
+        master_seed: 42,
+        threads: 4,
+        with_1553: true,
+    };
+    let a = run_campaign(config);
+    let b = run_campaign(CampaignConfig {
+        threads: 1,
+        ..config
+    });
+    assert_eq!(
+        serde_json::to_string_pretty(&a.outcome).unwrap(),
+        serde_json::to_string_pretty(&b.outcome).unwrap()
+    );
+    let comparison = a.outcome.summary.comparison.as_ref().unwrap();
+    assert_eq!(comparison.attempted, 32);
+    assert!(comparison.feasible > 0);
+    assert!(comparison.infeasible > 0);
+    assert!(comparison.all_sound(), "{:?}", comparison.violations);
+    assert_eq!(comparison.soundness_rate, 1.0);
+    assert!(comparison.ethernet_only_wins > 0);
+    assert_eq!(comparison.bus_only_wins, 0);
+}
