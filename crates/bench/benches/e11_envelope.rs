@@ -1,0 +1,51 @@
+//! Criterion bench for E11: the closed-form token-bucket analysis vs the
+//! piecewise-linear curve engine on the same campaign scenario, i.e. the
+//! per-analysis price of the staircase tightness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcalc::EnvelopeModel;
+use rtswitch_core::analyze_multi_hop_with;
+
+fn bench_envelope_models(c: &mut Criterion) {
+    // Scenario 0 of the campaign's default seed: 131 messages over a
+    // single switch under strict priority — the heaviest single-switch
+    // draw of the sweep's head.
+    let scenario = campaign::ScenarioSpace::new(42).scenario(0);
+    let workload = scenario.build_workload();
+    let fabric = scenario.build_fabric(&workload);
+    let config = scenario.network_config();
+
+    let mut group = c.benchmark_group("e11/analyze_multi_hop");
+    group.bench_function("token_bucket_closed_forms", |b| {
+        b.iter(|| {
+            analyze_multi_hop_with(
+                &workload,
+                &config,
+                scenario.approach,
+                &fabric,
+                EnvelopeModel::TokenBucket,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("staircase_curve_engine", |b| {
+        b.iter(|| {
+            analyze_multi_hop_with(
+                &workload,
+                &config,
+                scenario.approach,
+                &fabric,
+                EnvelopeModel::Staircase,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_envelope_models
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E11 — the envelope ablation: run campaign scenarios through both the
+//! closed-form token-bucket pipeline and the piecewise-linear curve engine
+//! (staircase envelopes, general `⊗`/`⊘`/left-over), recording the bound
+//! tightening and the analysis-throughput cost of the general machinery.
+//!
+//! Usage: `cargo run --release -p bench --bin e11_envelope_curves \
+//!         [--scenarios N] [--seed S] [--json <path>]`
+//!
+//! The JSON written by `--json` contains the per-scenario rows *and* the
+//! summary, so the closed-form-vs-curve throughput ratio is recorded
+//! alongside the tightness gains.
+
+use bench::{envelope_curve_ablation, render_envelope_curves};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<bench::EnvelopeCurveRow>,
+    summary: bench::EnvelopeCurveSummary,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let scenarios = value_after("--scenarios")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let seed = value_after("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    let (rows, summary) = envelope_curve_ablation(scenarios, seed);
+    print!("{}", render_envelope_curves(&rows, &summary));
+
+    assert!(
+        rows.iter()
+            .all(|r| r.staircase_worst_ms <= r.token_bucket_worst_ms + 1e-9),
+        "a staircase bound exceeded its token-bucket counterpart"
+    );
+    assert!(
+        summary.median_gain >= 0.0 && summary.max_gain > 0.0,
+        "the curve engine tightened nothing across the sweep"
+    );
+
+    if let Some(path) = value_after("--json") {
+        let output = Output { rows, summary };
+        let json = rtswitch_core::report::to_json(&output).expect("serializes");
+        std::fs::write(path, json + "\n").expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+}

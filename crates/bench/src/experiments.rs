@@ -524,6 +524,7 @@ pub fn campaign_sweep(
         master_seed,
         threads,
         with_1553: false,
+        envelope_override: None,
     })
 }
 
@@ -850,9 +851,215 @@ pub fn render_capacity_headroom(rows: &[CapacityHeadroomRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E11
+
+/// One row of the envelope-ablation sweep: the same scenario analysed by
+/// the closed-form token-bucket pipeline and by the piecewise-linear
+/// curve engine (staircase envelopes, general min-plus operators).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnvelopeCurveRow {
+    /// Campaign scenario id (of the master seed passed to the sweep).
+    pub scenario_id: usize,
+    /// Message streams analysed.
+    pub messages: usize,
+    /// Switches in the scenario's fabric.
+    pub switches: usize,
+    /// Multiplexing policy of the scenario.
+    pub approach: Approach,
+    /// Worst end-to-end bound under the token-bucket model, milliseconds.
+    pub token_bucket_worst_ms: f64,
+    /// Worst end-to-end bound under the staircase model, milliseconds.
+    pub staircase_worst_ms: f64,
+    /// Median per-message relative tightening `(tb − staircase) / tb`.
+    pub median_gain: f64,
+    /// Largest per-message relative tightening.
+    pub max_gain: f64,
+    /// Wall-clock cost of the closed-form analysis, microseconds.
+    pub token_bucket_micros: f64,
+    /// Wall-clock cost of the curve-engine analysis, microseconds.
+    pub staircase_micros: f64,
+}
+
+/// Aggregate of an envelope-ablation sweep: the bound improvement the
+/// staircase envelopes buy and the analysis-throughput cost of computing
+/// them through the general curve engine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnvelopeCurveSummary {
+    /// Scenarios analysed (analytically feasible ones).
+    pub scenarios: usize,
+    /// Median of the per-scenario median gains.
+    pub median_gain: f64,
+    /// Largest per-message gain seen anywhere in the sweep.
+    pub max_gain: f64,
+    /// Closed-form analyses per second.
+    pub closed_form_per_sec: f64,
+    /// Curve-engine analyses per second.
+    pub curve_per_sec: f64,
+    /// `closed_form_per_sec / curve_per_sec` — how many closed-form
+    /// analyses one curve-engine analysis costs.
+    pub throughput_ratio: f64,
+}
+
+/// E11: the envelope ablation — run the first `scenarios` campaign
+/// scenarios of `master_seed` through both arrival-envelope models,
+/// recording the per-scenario bound tightening and the wall-clock cost of
+/// the general curve engine relative to the closed forms.
+pub fn envelope_curve_ablation(
+    scenarios: usize,
+    master_seed: u64,
+) -> (Vec<EnvelopeCurveRow>, EnvelopeCurveSummary) {
+    use netcalc::EnvelopeModel;
+    use std::time::Instant;
+
+    let space = campaign::ScenarioSpace::new(master_seed);
+    let mut rows = Vec::new();
+    let mut tb_total = 0.0_f64;
+    let mut st_total = 0.0_f64;
+    for id in 0..scenarios {
+        let scenario = space.scenario(id);
+        let workload = scenario.build_workload();
+        let fabric = scenario.build_fabric(&workload);
+        let config = scenario.network_config();
+
+        let started = Instant::now();
+        let tb = rtswitch_core::analyze_multi_hop_with(
+            &workload,
+            &config,
+            scenario.approach,
+            &fabric,
+            EnvelopeModel::TokenBucket,
+        );
+        let tb_micros = started.elapsed().as_secs_f64() * 1e6;
+        let started = Instant::now();
+        let st = rtswitch_core::analyze_multi_hop_with(
+            &workload,
+            &config,
+            scenario.approach,
+            &fabric,
+            EnvelopeModel::Staircase,
+        );
+        let st_micros = started.elapsed().as_secs_f64() * 1e6;
+        let (Ok(tb), Ok(st)) = (tb, st) else {
+            continue; // analytically infeasible under both models
+        };
+        tb_total += tb_micros;
+        st_total += st_micros;
+
+        let worst = |report: &rtswitch_core::MultiHopReport| {
+            report
+                .messages
+                .iter()
+                .map(|m| m.total_bound)
+                .fold(Duration::ZERO, Duration::max)
+                .as_millis_f64()
+        };
+        let gain = campaign::EnvelopeGain::from_reports(&tb, &st);
+        rows.push(EnvelopeCurveRow {
+            scenario_id: id,
+            messages: workload.messages.len(),
+            switches: fabric.switch_count(),
+            approach: scenario.approach,
+            token_bucket_worst_ms: worst(&tb),
+            staircase_worst_ms: worst(&st),
+            median_gain: gain.median,
+            max_gain: gain.max,
+            token_bucket_micros: tb_micros,
+            staircase_micros: st_micros,
+        });
+    }
+
+    let mut medians: Vec<f64> = rows.iter().map(|r| r.median_gain).collect();
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite gains"));
+    let summary = EnvelopeCurveSummary {
+        scenarios: rows.len(),
+        median_gain: medians.get(medians.len() / 2).copied().unwrap_or(0.0),
+        max_gain: rows.iter().map(|r| r.max_gain).fold(0.0, f64::max),
+        closed_form_per_sec: if tb_total > 0.0 {
+            rows.len() as f64 / (tb_total / 1e6)
+        } else {
+            0.0
+        },
+        curve_per_sec: if st_total > 0.0 {
+            rows.len() as f64 / (st_total / 1e6)
+        } else {
+            0.0
+        },
+        throughput_ratio: if st_total > 0.0 {
+            st_total / tb_total
+        } else {
+            0.0
+        },
+    };
+    (rows, summary)
+}
+
+/// Renders the envelope-ablation sweep as a text table.
+pub fn render_envelope_curves(rows: &[EnvelopeCurveRow], summary: &EnvelopeCurveSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:>5} {:>3} {:<16} {:>12} {:>12} {:>8} {:>8} {:>9} {:>9}\n",
+        "id",
+        "msgs",
+        "sw",
+        "approach",
+        "tb worst ms",
+        "st worst ms",
+        "med gain",
+        "max gain",
+        "tb µs",
+        "curve µs"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>4} {:>5} {:>3} {:<16} {:>12.4} {:>12.4} {:>8.4} {:>8.4} {:>9.0} {:>9.0}\n",
+            row.scenario_id,
+            row.messages,
+            row.switches,
+            row.approach.to_string(),
+            row.token_bucket_worst_ms,
+            row.staircase_worst_ms,
+            row.median_gain,
+            row.max_gain,
+            row.token_bucket_micros,
+            row.staircase_micros,
+        ));
+    }
+    out.push_str(&format!(
+        "summary: {} scenarios | median gain {:.4} | max gain {:.4} | closed-form {:.0}/s | \
+         curve {:.0}/s | curve/closed-form cost ratio {:.2}x\n",
+        summary.scenarios,
+        summary.median_gain,
+        summary.max_gain,
+        summary.closed_form_per_sec,
+        summary.curve_per_sec,
+        summary.throughput_ratio,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn envelope_ablation_measures_gain_and_cost() {
+        let (rows, summary) = envelope_curve_ablation(8, 42);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert!(
+                row.staircase_worst_ms <= row.token_bucket_worst_ms + 1e-9,
+                "scenario {}: staircase worst bound above token-bucket",
+                row.scenario_id
+            );
+            assert!(row.median_gain >= 0.0 && row.max_gain >= row.median_gain);
+            assert!(row.token_bucket_micros > 0.0 && row.staircase_micros > 0.0);
+        }
+        assert_eq!(summary.scenarios, rows.len());
+        assert!(summary.max_gain > 0.0, "curve engine tightened nothing");
+        assert!(summary.throughput_ratio > 0.0);
+        let rendered = render_envelope_curves(&rows, &summary);
+        assert!(rendered.contains("cost ratio"));
+    }
 
     #[test]
     fn capacity_headroom_identifies_the_crossover() {

@@ -18,6 +18,7 @@
 //! | E8 | scenario-sweep campaign (mass validation) | [`experiments::campaign_sweep`] |
 //! | E9 | extension — multi-switch cascades, pay-bursts-only-once | [`experiments::multi_switch_sweep`] |
 //! | E10 | capacity headroom — 1553B intensity wall vs Ethernet PBOO | [`experiments::capacity_headroom`] |
+//! | E11 | envelope ablation — closed forms vs the piecewise-linear curve engine | [`experiments::envelope_curve_ablation`] |
 
 pub mod experiments;
 

@@ -11,6 +11,7 @@
 //! Wall-clock statistics are printed to stdout only.
 
 use campaign::{run_campaign, CampaignConfig, ComparisonReport, ScenarioOutcome};
+use netcalc::EnvelopeModel;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -34,6 +35,10 @@ OPTIONS:
     --threads <T>     worker threads (0 = all cores)    [default: 0]
     --with-1553       run the MIL-STD-1553B cross-technology stage in
                       every scenario and report the comparison section
+    --envelope <M>    arrival-envelope dimension: sweep (default, each
+                      scenario draws its own arm), token-bucket (closed
+                      forms only, pre-curve behaviour), or staircase
+                      (validate the staircase bounds everywhere)
     --json <PATH>     write the deterministic campaign outcome as JSON
     --quiet           suppress the per-policy table
     --help            print this help
@@ -44,6 +49,7 @@ struct Args {
     seed: u64,
     threads: usize,
     with_1553: bool,
+    envelope: Option<EnvelopeModel>,
     json: Option<String>,
     quiet: bool,
 }
@@ -54,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: 0,
         with_1553: false,
+        envelope: None,
         json: None,
         quiet: false,
     };
@@ -78,6 +85,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--with-1553" => args.with_1553 = true,
+            "--envelope" => {
+                args.envelope = match value_of("--envelope")?.as_str() {
+                    "sweep" => None,
+                    "token-bucket" => Some(EnvelopeModel::TokenBucket),
+                    "staircase" => Some(EnvelopeModel::Staircase),
+                    other => {
+                        return Err(format!(
+                            "--envelope expects sweep, token-bucket or staircase, got `{other}`"
+                        ))
+                    }
+                };
+            }
             "--json" => args.json = Some(value_of("--json")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -104,6 +123,7 @@ fn main() -> ExitCode {
         master_seed: args.seed,
         threads: args.threads,
         with_1553: args.with_1553,
+        envelope_override: args.envelope,
     };
     say!(
         "campaign: {} scenarios, master seed {}, {} worker threads",
@@ -152,6 +172,17 @@ fn main() -> ExitCode {
         },
         summary.max_pboo_gain,
     );
+
+    if summary.envelope_gain.count > 0 {
+        say!(
+            "staircase envelopes: {} scenarios validated on the staircase arm | per-scenario median gain over {} scenarios: p50 {:.4} | max {:.4} | {} with zero gain",
+            summary.staircase_validated,
+            summary.envelope_gain.count,
+            summary.envelope_gain.p50,
+            summary.envelope_gain.max,
+            summary.zero_gain_scenarios,
+        );
+    }
 
     if let Some(comparison) = &summary.comparison {
         say!(

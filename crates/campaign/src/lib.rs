@@ -51,6 +51,7 @@
 //!     master_seed: 42,
 //!     threads: 2,
 //!     with_1553: true,
+//!     envelope_override: None,
 //! });
 //! assert!(report.outcome.summary.all_sound());
 //! assert_eq!(report.outcome.results.len(), 8);
@@ -75,8 +76,9 @@ pub mod space;
 
 pub use comparison::{compare_scenario, ComparisonReport, ComparisonSummary, ScenarioComparison};
 pub use report::{
-    ApproachBreakdown, CampaignSummary, CampaignViolation, PbooCheck, ScenarioOutcome,
-    ScenarioResult, ScenarioValidation, TightnessDistribution, TightnessStats, ViolationReport,
+    ApproachBreakdown, CampaignSummary, CampaignViolation, EnvelopeGain, PbooCheck,
+    ScenarioOutcome, ScenarioResult, ScenarioValidation, TightnessDistribution, TightnessStats,
+    ViolationReport,
 };
 pub use runner::{
     execute_scenario, execute_scenario_with, run_campaign, CampaignConfig, CampaignOutcome,

@@ -2,7 +2,8 @@
 
 use crate::comparison::{ComparisonReport, ComparisonSummary};
 use crate::space::Scenario;
-use rtswitch_core::{Approach, ValidationReport};
+use netcalc::EnvelopeModel;
+use rtswitch_core::{Approach, MultiHopReport, ValidationReport};
 use serde::{Deserialize, Serialize};
 use units::Duration;
 
@@ -60,6 +61,53 @@ pub struct ViolationReport {
     pub observed: Duration,
 }
 
+/// The analytic tightening the staircase envelope dimension bought in one
+/// scenario: per-message relative gain of the staircase total bound over
+/// the token-bucket total bound, `(tb − staircase) / tb`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvelopeGain {
+    /// Messages compared.
+    pub messages: usize,
+    /// Mean relative gain.
+    pub mean: f64,
+    /// Median (nearest-rank) relative gain.
+    pub median: f64,
+    /// Largest relative gain.
+    pub max: f64,
+}
+
+impl EnvelopeGain {
+    /// Compares the two analyses message for message (same workload, same
+    /// fabric, same policy — only the envelope model differs).
+    pub fn from_reports(token_bucket: &MultiHopReport, staircase: &MultiHopReport) -> Self {
+        let mut gains: Vec<f64> = token_bucket
+            .messages
+            .iter()
+            .zip(staircase.messages.iter())
+            .filter(|(tb, _)| tb.total_bound > Duration::ZERO)
+            .map(|(tb, st)| {
+                let tb_ns = tb.total_bound.as_nanos() as f64;
+                (tb_ns - st.total_bound.as_nanos() as f64) / tb_ns
+            })
+            .collect();
+        gains.sort_by(|a, b| a.partial_cmp(b).expect("finite gains"));
+        if gains.is_empty() {
+            return EnvelopeGain {
+                messages: 0,
+                mean: 0.0,
+                median: 0.0,
+                max: 0.0,
+            };
+        }
+        EnvelopeGain {
+            messages: gains.len(),
+            mean: gains.iter().sum::<f64>() / gains.len() as f64,
+            median: gains[gains.len() / 2],
+            max: gains[gains.len() - 1],
+        }
+    }
+}
+
 /// The multi-hop tightness facts of one validated scenario: whether the
 /// pay-bursts-only-once convolution stayed below the per-hop sum, and by
 /// how much at most.
@@ -79,6 +127,13 @@ pub struct PbooCheck {
 pub struct ScenarioValidation {
     /// Number of message streams analysed and simulated.
     pub messages: usize,
+    /// The arrival-envelope model whose bounds were validated against the
+    /// simulation (the scenario's arm, unless overridden campaign-wide).
+    pub envelope: EnvelopeModel,
+    /// The staircase-over-token-bucket tightening of this scenario's
+    /// bounds (present whenever the staircase analysis ran alongside the
+    /// closed-form one).
+    pub envelope_gain: Option<EnvelopeGain>,
     /// `true` when every observed delay respected its bound.
     pub sound: bool,
     /// The violations (empty when sound).
@@ -136,6 +191,8 @@ impl ScenarioResult {
     /// validation report.
     pub fn from_validation(
         scenario: Scenario,
+        envelope: EnvelopeModel,
+        envelope_gain: Option<EnvelopeGain>,
         deadline_misses: usize,
         pboo: PbooCheck,
         validation: &ValidationReport,
@@ -154,6 +211,8 @@ impl ScenarioResult {
             scenario,
             outcome: ScenarioOutcome::Validated(ScenarioValidation {
                 messages: validation.entries.len(),
+                envelope,
+                envelope_gain,
                 sound: violations.is_empty(),
                 violations,
                 pboo,
@@ -279,6 +338,18 @@ pub struct CampaignSummary {
     /// The largest pay-bursts-only-once gain (`per-hop sum − convolved`)
     /// observed across all validated scenarios.
     pub max_pboo_gain: Duration,
+    /// Validated scenarios whose bounds came from the staircase envelope
+    /// arm.
+    pub staircase_validated: usize,
+    /// Scenarios where a staircase analysis ran but tightened nothing
+    /// (zero maximum gain) — expected for workloads whose staircases
+    /// degenerate to token buckets.
+    pub zero_gain_scenarios: usize,
+    /// Distribution of the per-scenario *median* staircase-over-token-
+    /// bucket relative gains, across every scenario that ran both
+    /// analyses (count 0 when the envelope dimension was overridden to
+    /// token-bucket only).
+    pub envelope_gain: TightnessDistribution,
     /// Every violation across the campaign (must be empty).
     pub violations: Vec<CampaignViolation>,
     /// Tightness distribution across all validated messages.
@@ -304,6 +375,9 @@ impl CampaignSummary {
         let mut cascaded_validated = 0usize;
         let mut pboo_violations = 0usize;
         let mut max_pboo_gain = Duration::ZERO;
+        let mut staircase_validated = 0usize;
+        let mut zero_gain_scenarios = 0usize;
+        let mut gain_medians = Vec::new();
         let mut violations = Vec::new();
         let mut tightness_values = Vec::new();
         let mut arms: Vec<(Approach, Vec<&ScenarioResult>)> = vec![
@@ -329,6 +403,15 @@ impl CampaignSummary {
                         pboo_violations += 1;
                     }
                     max_pboo_gain = max_pboo_gain.max(v.pboo.max_gain);
+                    if v.envelope == EnvelopeModel::Staircase {
+                        staircase_validated += 1;
+                    }
+                    if let Some(gain) = &v.envelope_gain {
+                        gain_medians.push(gain.median);
+                        if gain.max <= 0.0 {
+                            zero_gain_scenarios += 1;
+                        }
+                    }
                     if v.sound {
                         sound_scenarios += 1;
                     }
@@ -397,6 +480,9 @@ impl CampaignSummary {
             cascaded_validated,
             pboo_violations,
             max_pboo_gain,
+            staircase_validated,
+            zero_gain_scenarios,
+            envelope_gain: TightnessDistribution::from_values(gain_medians),
             violations,
             tightness: TightnessDistribution::from_values(tightness_values),
             by_approach,

@@ -10,10 +10,11 @@
 //! statistics (wall time, throughput, per-thread load) vary.
 
 use crate::comparison::compare_scenario;
-use crate::report::{CampaignSummary, PbooCheck, ScenarioOutcome, ScenarioResult};
+use crate::report::{CampaignSummary, EnvelopeGain, PbooCheck, ScenarioOutcome, ScenarioResult};
 use crate::space::{Scenario, ScenarioSpace};
+use netcalc::EnvelopeModel;
 use netsim::Simulator;
-use rtswitch_core::{analyze_multi_hop, validation_from_bound_lookup, AnalysisError};
+use rtswitch_core::{analyze_multi_hop_with, validation_from_bound_lookup, AnalysisError};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -34,6 +35,11 @@ pub struct CampaignConfig {
     /// same workload, validate its analytic bounds against the seeded bus
     /// replay, and compare per-message against the Ethernet bounds.
     pub with_1553: bool,
+    /// Force one arrival-envelope model for every scenario instead of
+    /// sweeping the per-scenario envelope arm (`--envelope` CLI flag).
+    /// `Some(TokenBucket)` is the pre-refactor configuration: only the
+    /// closed-form pipeline runs and its bounds are reproduced exactly.
+    pub envelope_override: Option<EnvelopeModel>,
 }
 
 impl Default for CampaignConfig {
@@ -43,6 +49,7 @@ impl Default for CampaignConfig {
             master_seed: 42,
             threads: 0,
             with_1553: false,
+            envelope_override: None,
         }
     }
 }
@@ -114,18 +121,31 @@ pub struct CampaignReport {
 }
 
 /// Executes one scenario's full pipeline with the default stages (no
-/// 1553B comparison) — see [`execute_scenario_with`].
+/// 1553B comparison, envelope dimension live) — see
+/// [`execute_scenario_with`].
 pub fn execute_scenario(scenario: Scenario) -> ScenarioResult {
-    execute_scenario_with(scenario, false)
+    execute_scenario_with(scenario, false, None)
 }
 
 /// Executes one scenario's full pipeline: build the workload and fabric,
 /// run the multi-hop analytic bounds (per-hop sum and pay-bursts-only-once
-/// alike), execute the matching cascaded simulation, and compare.  With
-/// `with_1553` the cross-technology stage additionally runs the MIL-STD-
-/// 1553B pipeline on the same workload ([`compare_scenario`]) and attaches
-/// its [`crate::ComparisonReport`] section.
-pub fn execute_scenario_with(scenario: Scenario, with_1553: bool) -> ScenarioResult {
+/// alike), execute the matching cascaded simulation, and compare.
+///
+/// The arrival-envelope dimension works as follows: the closed-form
+/// token-bucket analysis always runs; unless `envelope_override` is
+/// `Some(TokenBucket)`, the staircase analysis runs alongside it and the
+/// per-message tightening is recorded ([`EnvelopeGain`]).  The bounds
+/// validated against the simulation are those of the scenario's envelope
+/// arm (or of the override).
+///
+/// With `with_1553` the cross-technology stage additionally runs the
+/// MIL-STD-1553B pipeline on the same workload ([`compare_scenario`]) and
+/// attaches its [`crate::ComparisonReport`] section.
+pub fn execute_scenario_with(
+    scenario: Scenario,
+    with_1553: bool,
+    envelope_override: Option<EnvelopeModel>,
+) -> ScenarioResult {
     let workload = scenario.build_workload();
     let fabric = scenario.build_fabric(&workload);
     debug_assert_eq!(
@@ -133,11 +153,19 @@ pub fn execute_scenario_with(scenario: Scenario, with_1553: bool) -> ScenarioRes
         workload.stations.len()
     );
     let config = scenario.network_config();
-    match analyze_multi_hop(&workload, &config, scenario.approach, &fabric) {
+    let model = envelope_override.unwrap_or(scenario.envelope);
+    match analyze_multi_hop_with(
+        &workload,
+        &config,
+        scenario.approach,
+        &fabric,
+        EnvelopeModel::TokenBucket,
+    ) {
         Err(AnalysisError::Stage { stage, .. }) => {
-            // The Ethernet analysis is infeasible: the bus side still runs
-            // (with no Ethernet bounds to win against) so the comparison
-            // section covers every scenario.
+            // The Ethernet analysis is infeasible (stability is judged on
+            // the token-bucket rates, so the staircase arm cannot save
+            // it): the bus side still runs (with no Ethernet bounds to win
+            // against) so the comparison section covers every scenario.
             let comparison = with_1553
                 .then(|| compare_scenario(&workload, |_| None, scenario.horizon, scenario.seed));
             ScenarioResult {
@@ -146,7 +174,28 @@ pub fn execute_scenario_with(scenario: Scenario, with_1553: bool) -> ScenarioRes
                 comparison,
             }
         }
-        Ok(analysis) => {
+        Ok(tb_analysis) => {
+            // The staircase analysis rides along whenever the envelope
+            // dimension is live, both to validate the staircase arm and to
+            // report the per-scenario tightness gain.
+            let staircase_analysis =
+                (envelope_override != Some(EnvelopeModel::TokenBucket)).then(|| {
+                    analyze_multi_hop_with(
+                        &workload,
+                        &config,
+                        scenario.approach,
+                        &fabric,
+                        EnvelopeModel::Staircase,
+                    )
+                    .expect("staircase stage bounds are minima that include the closed form")
+                });
+            let envelope_gain = staircase_analysis
+                .as_ref()
+                .map(|st| EnvelopeGain::from_reports(&tb_analysis, st));
+            let analysis = match (model, staircase_analysis) {
+                (EnvelopeModel::Staircase, Some(st)) => st,
+                _ => tb_analysis,
+            };
             let deadline_misses = analysis.violations().len();
             let pboo = PbooCheck {
                 cascaded: fabric.switch_count() > 1,
@@ -172,8 +221,15 @@ pub fn execute_scenario_with(scenario: Scenario, with_1553: bool) -> ScenarioRes
                 |id| analysis.bound_for(id).map(|b| b.total_bound),
                 simulation,
             );
-            ScenarioResult::from_validation(scenario, deadline_misses, pboo, &validation)
-                .with_comparison(comparison)
+            ScenarioResult::from_validation(
+                scenario,
+                analysis.envelope,
+                envelope_gain,
+                deadline_misses,
+                pboo,
+                &validation,
+            )
+            .with_comparison(comparison)
         }
     }
 }
@@ -203,7 +259,8 @@ pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
                 let Some(scenario) = scenarios.get(index).copied() else {
                     break;
                 };
-                let result = execute_scenario_with(scenario, config.with_1553);
+                let result =
+                    execute_scenario_with(scenario, config.with_1553, config.envelope_override);
                 if sender.send((worker, result)).is_err() {
                     break;
                 }
@@ -249,6 +306,7 @@ mod tests {
             master_seed: 42,
             threads,
             with_1553: false,
+            envelope_override: None,
         }
     }
 
@@ -410,9 +468,71 @@ mod tests {
             master_seed: 1,
             threads: 16,
             with_1553: false,
+            envelope_override: None,
         });
         assert_eq!(report.runtime.threads, 2);
         assert_eq!(report.outcome.results.len(), 2);
+    }
+
+    #[test]
+    fn staircase_arm_scenarios_are_sound_and_record_gains() {
+        // Force the staircase model on every scenario: bounds must stay
+        // sound against the simulator and the recorded gains must be
+        // non-negative, with at least one scenario genuinely tightened.
+        let report = run_campaign(CampaignConfig {
+            envelope_override: Some(netcalc::EnvelopeModel::Staircase),
+            ..small_config(4)
+        });
+        let summary = &report.outcome.summary;
+        assert!(summary.all_sound(), "violations: {:?}", summary.violations);
+        assert!(summary.pboo_consistent());
+        assert_eq!(summary.staircase_validated, summary.validated);
+        assert!(summary.envelope_gain.count > 0);
+        assert!(summary.envelope_gain.min >= 0.0);
+        assert!(
+            summary.envelope_gain.max > 0.0,
+            "staircase envelopes tightened nothing across {} scenarios",
+            summary.validated
+        );
+        for result in &report.outcome.results {
+            if let ScenarioOutcome::Validated(v) = &result.outcome {
+                assert_eq!(v.envelope, netcalc::EnvelopeModel::Staircase);
+                let gain = v.envelope_gain.as_ref().expect("both analyses ran");
+                assert!(gain.mean >= 0.0 && gain.max >= gain.median);
+            }
+        }
+    }
+
+    #[test]
+    fn token_bucket_override_disables_the_staircase_stage() {
+        let report = run_campaign(CampaignConfig {
+            envelope_override: Some(netcalc::EnvelopeModel::TokenBucket),
+            ..small_config(2)
+        });
+        let summary = &report.outcome.summary;
+        assert!(summary.all_sound());
+        assert_eq!(summary.staircase_validated, 0);
+        assert_eq!(summary.envelope_gain.count, 0);
+        for result in &report.outcome.results {
+            if let ScenarioOutcome::Validated(v) = &result.outcome {
+                assert_eq!(v.envelope, netcalc::EnvelopeModel::TokenBucket);
+                assert!(v.envelope_gain.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_sweep_validates_each_scenarios_own_arm() {
+        let report = run_campaign(small_config(4));
+        let summary = &report.outcome.summary;
+        assert!(summary.staircase_validated > 0, "no staircase arm drawn");
+        assert!(summary.staircase_validated < summary.validated);
+        for result in &report.outcome.results {
+            if let ScenarioOutcome::Validated(v) = &result.outcome {
+                assert_eq!(v.envelope, result.scenario.envelope);
+                assert!(v.envelope_gain.is_some(), "sweep records gains everywhere");
+            }
+        }
     }
 
     #[test]

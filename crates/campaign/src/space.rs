@@ -14,6 +14,7 @@ use ethernet::link::Link;
 use ethernet::phy::Phy;
 use ethernet::switch::{SchedulingPolicy, SwitchModel};
 use ethernet::topology::Topology;
+use netcalc::EnvelopeModel;
 use netsim::{Phasing, SimConfig, SporadicModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,6 +107,9 @@ pub struct Scenario {
     pub phasing: Phasing,
     /// Simulated horizon.
     pub horizon: Duration,
+    /// Arrival-envelope ablation arm: the paper's token buckets or the
+    /// staircase ∧ token-bucket curves of the generalized engine.
+    pub envelope: EnvelopeModel,
 }
 
 impl Scenario {
@@ -270,6 +274,16 @@ impl ScenarioSpace {
         };
         let horizon = Duration::from_millis([160u64, 320][rng.gen_range(0..2usize)]);
 
+        // Envelope dimension, drawn *last* so every earlier dimension of a
+        // given (master seed, id) is unchanged from the pre-envelope
+        // scenario space — the token-bucket arm therefore reproduces the
+        // pre-refactor scenarios exactly.
+        let envelope = if rng.gen_bool(0.5) {
+            EnvelopeModel::TokenBucket
+        } else {
+            EnvelopeModel::Staircase
+        };
+
         Scenario {
             id,
             seed,
@@ -281,6 +295,7 @@ impl ScenarioSpace {
             sporadic,
             phasing,
             horizon,
+            envelope,
         }
     }
 
@@ -342,6 +357,41 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| matches!(s.source, WorkloadSource::Generated(_))));
+    }
+
+    #[test]
+    fn space_covers_both_envelope_models() {
+        let scenarios = ScenarioSpace::new(42).scenarios(64);
+        for model in [EnvelopeModel::TokenBucket, EnvelopeModel::Staircase] {
+            assert!(
+                scenarios.iter().any(|s| s.envelope == model),
+                "no {model} scenario in 64 draws"
+            );
+            // The envelope arm crosses the policy arm.
+            for approach in [Approach::Fcfs, Approach::StrictPriority] {
+                assert!(
+                    scenarios
+                        .iter()
+                        .any(|s| s.envelope == model && s.approach == approach),
+                    "no {model} × {approach} scenario in 64 draws"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_dimension_leaves_earlier_dimensions_unchanged() {
+        // The envelope draw is appended after every pre-existing dimension,
+        // so workload, rates, fabric, policy and activation of a given
+        // (master seed, id) must match what the pre-envelope space
+        // produced.  Spot-check scenario 0 of seed 42 against the values
+        // the campaign has pinned since PR 2.
+        let s = ScenarioSpace::new(42).scenario(0);
+        let w = s.build_workload();
+        assert_eq!(w.messages.len(), 131);
+        assert_eq!(w.stations.len(), 30);
+        assert_eq!(s.fabric.switch_count(), 1);
+        assert_eq!(s.approach, Approach::StrictPriority);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::analysis::stage::{analyze_stage, StageFlow};
 use crate::analysis::Approach;
 use crate::config::NetworkConfig;
 use crate::verdict::ClassSummary;
-use netcalc::{NcError, TokenBucket};
+use netcalc::{Envelope, EnvelopeModel, NcError};
 use serde::{Deserialize, Serialize};
 use shaping::TrafficClass;
 use std::collections::HashMap;
@@ -124,22 +124,45 @@ impl AnalysisReport {
 ///    envelope* after stage 1 — burstiness inflated by the stage-1 delay —
 ///    with the switch's `t_techno`);
 /// 3. two link propagation delays.
+///
+/// Flows are described by their token-bucket envelopes (the paper's
+/// configuration) — see [`analyze_with_envelope`] for the staircase
+/// generalization.
 pub fn analyze(
     workload: &Workload,
     config: &NetworkConfig,
     approach: Approach,
 ) -> Result<AnalysisReport, AnalysisError> {
+    analyze_with_envelope(workload, config, approach, EnvelopeModel::TokenBucket)
+}
+
+/// [`analyze`] with an explicit arrival-envelope model.
+///
+/// Under [`EnvelopeModel::TokenBucket`] this reproduces the paper's
+/// closed-form pipeline bit for bit.  Under [`EnvelopeModel::Staircase`]
+/// every flow carries the staircase of its release pattern alongside the
+/// token-bucket summary; each stage reports the minimum of the closed-form
+/// and curve-aggregate bounds, and output envelopes propagate the
+/// staircase shifted by the stage delay — so bounds can only tighten.
+pub fn analyze_with_envelope(
+    workload: &Workload,
+    config: &NetworkConfig,
+    approach: Approach,
+    model: EnvelopeModel,
+) -> Result<AnalysisReport, AnalysisError> {
     let levels = config.priority_levels.max(1);
+    let source_envelope =
+        |spec: &workload::MessageSpec| spec.arrival_envelope(model, config.link_rate);
 
     // Stage 1: one multiplexer per source station.
-    let mut stage1: HashMap<MessageId, (Duration, TokenBucket)> = HashMap::new();
+    let mut stage1: HashMap<MessageId, (Duration, Envelope)> = HashMap::new();
     for station in &workload.stations {
         let flows: Vec<StageFlow> = workload
             .messages_from(station.id)
             .into_iter()
             .map(|spec| StageFlow {
                 message: spec.id,
-                envelope: TokenBucket::new(spec.frame_size(), spec.shaper_rate()),
+                envelope: source_envelope(spec),
                 priority: spec.priority(),
             })
             .collect();
@@ -165,7 +188,7 @@ pub fn analyze(
             .map(|spec| {
                 let (_, output) = stage1
                     .get(&spec.id)
-                    .copied()
+                    .cloned()
                     .expect("stage 1 covered every message");
                 StageFlow {
                     message: spec.id,

@@ -77,7 +77,10 @@ use crate::analysis::stage::{analyze_stage, StageFlow};
 use crate::analysis::Approach;
 use crate::config::NetworkConfig;
 use ethernet::Fabric;
-use netcalc::{delay_bound, NcError, RateLatency, TokenBucket};
+use netcalc::{
+    delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, NcError, RateLatency,
+    TokenBucket,
+};
 use serde::{Deserialize, Serialize};
 use shaping::TrafficClass;
 use std::collections::BTreeMap;
@@ -184,6 +187,8 @@ impl MultiHopMessageBound {
 pub struct MultiHopReport {
     /// Which multiplexing approach was analysed.
     pub approach: Approach,
+    /// Which arrival-envelope model the flows were described by.
+    pub envelope: EnvelopeModel,
     /// The network parameters used.
     pub config: NetworkConfig,
     /// The fabric the flows were routed over.
@@ -238,6 +243,10 @@ impl MultiHopReport {
 /// approach, propagating arrival curves hop by hop and computing the
 /// per-hop-summed and pay-bursts-only-once end-to-end bounds.
 ///
+/// Flows are described by their token-bucket envelopes (the paper's
+/// configuration) — see [`analyze_multi_hop_with`] for the staircase
+/// generalization.
+///
 /// # Panics
 /// Panics if the fabric's station count differs from the workload's — a
 /// configuration error that must fail loudly.
@@ -246,6 +255,46 @@ pub fn analyze_multi_hop(
     config: &NetworkConfig,
     approach: Approach,
     fabric: &Fabric,
+) -> Result<MultiHopReport, AnalysisError> {
+    analyze_multi_hop_with(
+        workload,
+        config,
+        approach,
+        fabric,
+        EnvelopeModel::TokenBucket,
+    )
+}
+
+/// [`analyze_multi_hop`] with an explicit arrival-envelope model.
+///
+/// Under [`EnvelopeModel::TokenBucket`] this reproduces the closed-form
+/// pipeline bit for bit.  Under [`EnvelopeModel::Staircase`] every flow
+/// carries the staircase of its release pattern:
+///
+/// * each stage bound is the minimum of the paper's closed form and the
+///   curve-aggregate horizontal deviation (computed inside the
+///   multiplexers);
+/// * each per-flow hop delay runs through the **general** blind-multiplexing
+///   left-over curve ([`minplus::leftover`]) with the staircase cross
+///   traffic, packetizer-corrected via `[β − l]⁺`
+///   ([`Curve::saturating_sub_const`]);
+/// * the pay-bursts-only-once bound is the minimum of the rate-latency
+///   convolution (on the token-bucket summaries) and the general min-plus
+///   convolution of the left-over curves ([`minplus::convolve`]).
+///
+/// Every staircase-model bound is therefore at most its token-bucket
+/// counterpart, and the PBOO invariant `convolved ≤ per-hop sum` is
+/// preserved within each model.
+///
+/// # Panics
+/// Panics if the fabric's station count differs from the workload's — a
+/// configuration error that must fail loudly.
+pub fn analyze_multi_hop_with(
+    workload: &Workload,
+    config: &NetworkConfig,
+    approach: Approach,
+    fabric: &Fabric,
+    model: EnvelopeModel,
 ) -> Result<MultiHopReport, AnalysisError> {
     assert_eq!(
         fabric.station_count(),
@@ -331,13 +380,16 @@ pub fn analyze_multi_hop(
 
     // Walk the ports in dependency order, carrying each flow's current
     // envelope and accumulating its per-hop delays and left-over curves.
-    let mut envelope: Vec<TokenBucket> = workload
+    let mut envelope: Vec<Envelope> = workload
         .messages
         .iter()
-        .map(|spec| TokenBucket::new(spec.frame_size(), spec.shaper_rate()))
+        .map(|spec| spec.arrival_envelope(model, config.link_rate))
         .collect();
     let mut hop_records: Vec<Vec<HopBound>> = vec![Vec::new(); workload.messages.len()];
     let mut leftovers: Vec<Vec<RateLatency>> = vec![Vec::new(); workload.messages.len()];
+    // The general left-over curves of the staircase model (empty under the
+    // token-bucket model).
+    let mut leftover_curves: Vec<Vec<Curve>> = vec![Vec::new(); workload.messages.len()];
 
     for &port in &order {
         let flows_here = &port_flows[&port];
@@ -349,7 +401,7 @@ pub fn analyze_multi_hop(
             .iter()
             .map(|&msg| StageFlow {
                 message: MessageId(msg),
-                envelope: envelope[msg],
+                envelope: envelope[msg].clone(),
                 priority: workload.messages[msg].priority(),
             })
             .collect();
@@ -358,25 +410,39 @@ pub fn analyze_multi_hop(
                 stage: port.to_string(),
                 source,
             })?;
+        // The general left-over curves of this port, one per flow (staircase
+        // model only; the token-bucket model keeps the closed-form path).
+        let port_curves = match model {
+            EnvelopeModel::TokenBucket => None,
+            EnvelopeModel::Staircase => Some(
+                leftover_curves_for_port(&stage_flows, approach, config, ttechno, levels).map_err(
+                    |source| AnalysisError::Stage {
+                        stage: port.to_string(),
+                        source,
+                    },
+                )?,
+            ),
+        };
 
         for (i, &msg) in flows_here.iter().enumerate() {
             let flow = &stage_flows[i];
+            let unstable_port = || AnalysisError::Stage {
+                stage: port.to_string(),
+                source: NcError::Unstable {
+                    context: format!("left-over service of {} at {port}", flow.message),
+                    // The saturating quantity is the port's aggregate
+                    // demand (the interfering traffic plus the flow
+                    // itself), not the flow's own rate.
+                    demand_bps: stage_flows
+                        .iter()
+                        .map(|f| f.envelope.rate())
+                        .sum::<units::DataRate>()
+                        .bps(),
+                    capacity_bps: config.link_rate.bps(),
+                },
+            };
             let mut leftover = leftover_service(&stage_flows, i, approach, config, ttechno, levels)
-                .ok_or_else(|| AnalysisError::Stage {
-                    stage: port.to_string(),
-                    source: NcError::Unstable {
-                        context: format!("left-over service of {} at {port}", flow.message),
-                        // The saturating quantity is the port's aggregate
-                        // demand (the interfering traffic plus the flow
-                        // itself), not the flow's own rate.
-                        demand_bps: stage_flows
-                            .iter()
-                            .map(|f| f.envelope.rate())
-                            .sum::<units::DataRate>()
-                            .bps(),
-                        capacity_bps: config.link_rate.bps(),
-                    },
-                })?;
+                .ok_or_else(unstable_port)?;
             // Store-and-forward packetizer: a frame cannot enter the next
             // hop's service before it is *fully* received, so the fluid
             // left-over curve of every non-final hop must give up one
@@ -385,19 +451,39 @@ pub fn analyze_multi_hop(
             // convolved bound would pay the flow's own serialization only
             // once even though store-and-forward pays it per link.
             let is_last = hop_records[msg].len() + 1 == paths[msg].len();
+            let frame = workload.messages[msg].frame_size();
             if !is_last {
-                let frame = workload.messages[msg].frame_size();
                 leftover = RateLatency::new(
                     leftover.rate(),
                     leftover.latency() + leftover.rate().transmission_time(frame),
                 );
             }
-            let flow_delay =
-                delay_bound(&flow.envelope, &leftover).map_err(|source| AnalysisError::Stage {
-                    stage: port.to_string(),
-                    source,
-                })?;
-            let (_, stage_bound) = stage_bounds[i];
+            let flow_delay = match model {
+                EnvelopeModel::TokenBucket => delay_bound(&flow.envelope.token_bucket(), &leftover)
+                    .map_err(|source| AnalysisError::Stage {
+                        stage: port.to_string(),
+                        source,
+                    })?,
+                EnvelopeModel::Staircase => {
+                    // The general blind-multiplexing left-over curve against
+                    // the staircase cross traffic, same packetizer
+                    // correction, same candidate-exact deviation.
+                    let mut lo_curve = port_curves.as_ref().expect("staircase model")[i].clone();
+                    if !is_last {
+                        lo_curve = lo_curve
+                            .saturating_sub_const(frame.as_f64_bits())
+                            .expect("frame sizes are finite and non-negative");
+                    }
+                    let h = minplus::horizontal_deviation(&flow.envelope.curve(), &lo_curve)
+                        .map_err(|source| AnalysisError::Stage {
+                            stage: port.to_string(),
+                            source,
+                        })?;
+                    leftover_curves[msg].push(lo_curve);
+                    Duration::from_secs_f64_ceil(h)
+                }
+            };
+            let stage_bound = &stage_bounds[i].1;
             hop_records[msg].push(HopBound {
                 port: port.to_string(),
                 stage_delay: stage_bound.delay,
@@ -406,8 +492,8 @@ pub fn analyze_multi_hop(
             leftovers[msg].push(leftover);
             // Propagate: the envelope entering the next hop is the output
             // envelope of this one (min-plus deconvolution, burst inflated
-            // by this element's delay bound).
-            envelope[msg] = stage_bound.output;
+            // by this element's delay bound; staircase extras shift left).
+            envelope[msg] = stage_bound.output.clone();
         }
     }
 
@@ -426,11 +512,43 @@ pub fn analyze_multi_hop(
             let network = leftovers[msg][1..]
                 .iter()
                 .fold(leftovers[msg][0], |acc, s| acc.concatenate(s));
-            let convolved =
+            let mut convolved =
                 delay_bound(&source_envelope, &network).map_err(|source| AnalysisError::Stage {
                     stage: format!("convolved path of {}", spec.name),
                     source,
                 })?;
+            if model == EnvelopeModel::Staircase {
+                // Pay bursts only once on the general curves: convolve the
+                // per-hop left-over curves and push the staircase source
+                // envelope through the result once.  Each hop contributes
+                // its convex minorant — a sound (smaller) service curve
+                // that keeps the early-service gain of the staircase cross
+                // traffic while convolving in near-linear time, so long
+                // paths stay cheap.  Both convolution routes are sound, so
+                // the reported bound is their minimum (which also absorbs
+                // float noise in the curve route on degenerate-staircase
+                // flows).
+                let network_curve = leftover_curves[msg][1..]
+                    .iter()
+                    .fold(leftover_curves[msg][0].convex_minorant(), |acc, c| {
+                        minplus::convolve(&acc, &c.convex_minorant())
+                    });
+                let source_curve = spec.arrival_envelope(model, config.link_rate).curve();
+                let h = minplus::horizontal_deviation(&source_curve, &network_curve).map_err(
+                    |source| AnalysisError::Stage {
+                        stage: format!("convolved path of {}", spec.name),
+                        source,
+                    },
+                )?;
+                convolved = convolved.min(Duration::from_secs_f64_ceil(h));
+                // The per-hop delays run on the *full* left-over hulls
+                // while the convolution runs on their convex minorants, so
+                // the textbook `convolved ≤ per-hop sum` comparison mixes
+                // two curve families.  Every term is an independently
+                // sound end-to-end bound, so clamping restores the PBOO
+                // invariant without giving up tightness anywhere.
+                convolved = convolved.min(hop_sum);
+            }
             let stage_sum_bound = stage_sum + propagation;
             let hop_sum_bound = hop_sum + propagation;
             let convolved_bound = convolved + propagation;
@@ -455,6 +573,7 @@ pub fn analyze_multi_hop(
 
     Ok(MultiHopReport {
         approach,
+        envelope: model,
         config: *config,
         fabric: fabric.clone(),
         messages,
@@ -487,7 +606,7 @@ fn leftover_service(
                     .iter()
                     .enumerate()
                     .filter(|&(j, _)| j != index)
-                    .map(|(_, f)| &f.envelope),
+                    .map(|(_, f)| f.envelope.token_bucket()),
             );
             (cross, units::DataSize::ZERO)
         }
@@ -498,7 +617,7 @@ fn leftover_service(
                     .iter()
                     .enumerate()
                     .filter(|&(j, f)| j != index && clamp(f.priority) <= own)
-                    .map(|(_, f)| &f.envelope),
+                    .map(|(_, f)| f.envelope.token_bucket()),
             );
             let blocking = flows
                 .iter()
@@ -513,6 +632,79 @@ fn leftover_service(
         ttechno + config.link_rate.transmission_time(blocking),
     );
     base.leftover(&cross)
+}
+
+/// The general left-over service **curves** of every flow at a port
+/// ([`minplus::leftover`]): the same blind-multiplexing construction as
+/// [`leftover_service`], but against the cross traffic's full
+/// piecewise-linear envelopes (e.g. staircases) instead of their
+/// token-bucket summaries — the cross traffic's flat steps let the residual
+/// service recover faster, so the served flow's deviation can only shrink.
+///
+/// Batched per port: the aggregate arrival curve of each priority prefix is
+/// built once and each flow's cross traffic is recovered by subtracting its
+/// own envelope ([`Curve::sub_envelope`]), turning the per-port cost from
+/// quadratic to linear in the flow count.
+fn leftover_curves_for_port(
+    flows: &[StageFlow],
+    approach: Approach,
+    config: &NetworkConfig,
+    ttechno: Duration,
+    levels: usize,
+) -> Result<Vec<Curve>, NcError> {
+    use netcalc::ServiceBound;
+    let clamp = |p: usize| p.min(levels.saturating_sub(1));
+    match approach {
+        Approach::Fcfs => {
+            let full = Envelope::aggregate_all(flows.iter().map(|f| &f.envelope)).curve();
+            let base = RateLatency::new(config.link_rate, ttechno).curve();
+            flows
+                .iter()
+                .map(|f| {
+                    let cross = full.sub_envelope(&f.envelope.curve());
+                    minplus::leftover(&base, &cross)
+                })
+                .collect()
+        }
+        Approach::StrictPriority => {
+            // Aggregate arrival curve of levels ≤ p, one prefix per level.
+            let mut prefixes: Vec<Curve> = Vec::with_capacity(levels);
+            let mut acc = netcalc::Curve::zero();
+            for p in 0..levels {
+                for f in flows.iter().filter(|f| clamp(f.priority) == p) {
+                    acc = acc.add(&f.envelope.curve());
+                }
+                prefixes.push(acc.clone());
+            }
+            // Largest lower-priority frame that can block level p.
+            let blocking: Vec<units::DataSize> = (0..levels)
+                .map(|p| {
+                    flows
+                        .iter()
+                        .filter(|f| clamp(f.priority) > p)
+                        .map(|f| f.envelope.burst())
+                        .fold(units::DataSize::ZERO, units::DataSize::max)
+                })
+                .collect();
+            let bases: Vec<Curve> = (0..levels)
+                .map(|p| {
+                    RateLatency::new(
+                        config.link_rate,
+                        ttechno + config.link_rate.transmission_time(blocking[p]),
+                    )
+                    .curve()
+                })
+                .collect();
+            flows
+                .iter()
+                .map(|f| {
+                    let own = clamp(f.priority);
+                    let cross = prefixes[own].sub_envelope(&f.envelope.curve());
+                    minplus::leftover(&bases[own], &cross)
+                })
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,33 +2,33 @@
 //! port).
 
 use crate::analysis::Approach;
-use netcalc::{FcfsMux, NcError, StaticPriorityMux, TokenBucket};
+use netcalc::{Envelope, FcfsMux, NcError, StaticPriorityMux};
 use serde::{Deserialize, Serialize};
 use units::{DataRate, Duration};
 use workload::MessageId;
 
 /// One shaped flow entering a multiplexing stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageFlow {
     /// The message stream the flow belongs to.
     pub message: MessageId,
     /// The arrival envelope of the flow *at this stage* (at the source this
-    /// is the shaper's `(b_i, r_i)`; at the switch it is the source stage's
-    /// output envelope).
-    pub envelope: TokenBucket,
+    /// is the shaper's `(b_i, r_i)` — possibly carrying a staircase curve —
+    /// and at the switch it is the source stage's output envelope).
+    pub envelope: Envelope,
     /// Queue index under the strict-priority policy (ignored by FCFS).
     pub priority: usize,
 }
 
 /// The per-flow outcome of a stage analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageBound {
     /// Worst-case delay through the stage (queueing + serialization +
     /// relaying latency).
     pub delay: Duration,
-    /// The flow's arrival envelope after the stage (burst inflated by the
-    /// stage delay).
-    pub output: TokenBucket,
+    /// The flow's arrival envelope after the stage (token-bucket summary
+    /// inflated by the stage delay, extra curve shifted left by it).
+    pub output: Envelope,
 }
 
 /// Analyses one stage under the given approach.
@@ -48,13 +48,16 @@ pub fn analyze_stage(
         Approach::Fcfs => {
             let mut mux = FcfsMux::new(capacity, ttechno);
             for flow in flows {
-                mux.add_flow(flow.envelope);
+                mux.add_flow(flow.envelope.clone());
             }
+            // One shared bound per FCFS stage; outputs are the inputs
+            // delayed by it (exactly what `FcfsMux::output_envelope`
+            // computes, without re-deriving the bound per flow).
             let delay = mux.delay_bound()?;
             flows
                 .iter()
                 .map(|flow| {
-                    let output = mux.output_envelope(&flow.envelope)?;
+                    let output = flow.envelope.delayed(delay)?;
                     Ok((flow.message, StageBound { delay, output }))
                 })
                 .collect()
@@ -62,15 +65,29 @@ pub fn analyze_stage(
         Approach::StrictPriority => {
             let mut mux = StaticPriorityMux::new(levels, capacity, ttechno);
             for flow in flows {
-                mux.add_flow(flow.priority.min(levels.saturating_sub(1)), flow.envelope)?;
+                mux.add_flow(
+                    flow.priority.min(levels.saturating_sub(1)),
+                    flow.envelope.clone(),
+                )?;
             }
             mux.check_stability()?;
+            // One bound per priority level (computed lazily — aggregating
+            // the level's arrival curves is the expensive part), shared by
+            // every flow of the level.
+            let mut level_delay: Vec<Option<Duration>> = vec![None; levels];
             flows
                 .iter()
                 .map(|flow| {
                     let priority = flow.priority.min(levels.saturating_sub(1));
-                    let delay = mux.delay_bound(priority)?;
-                    let output = mux.output_envelope(priority, &flow.envelope)?;
+                    let delay = match level_delay[priority] {
+                        Some(delay) => delay,
+                        None => {
+                            let delay = mux.delay_bound(priority)?;
+                            level_delay[priority] = Some(delay);
+                            delay
+                        }
+                    };
+                    let output = flow.envelope.delayed(delay)?;
                     Ok((flow.message, StageBound { delay, output }))
                 })
                 .collect()
@@ -86,10 +103,11 @@ mod tests {
     fn flow(id: usize, bytes: u64, period_ms: u64, priority: usize) -> StageFlow {
         StageFlow {
             message: MessageId(id),
-            envelope: TokenBucket::for_message(
+            envelope: netcalc::TokenBucket::for_message(
                 DataSize::from_bytes(bytes),
                 Duration::from_millis(period_ms),
-            ),
+            )
+            .into(),
             priority,
         }
     }

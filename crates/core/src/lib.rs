@@ -52,10 +52,13 @@ pub mod report;
 pub mod validation;
 pub mod verdict;
 
-pub use analysis::end_to_end::{analyze, AnalysisError, AnalysisReport, MessageBound};
+pub use analysis::end_to_end::{
+    analyze, analyze_with_envelope, AnalysisError, AnalysisReport, MessageBound,
+};
 pub use analysis::jitter::{jitter_bounds, JitterBound};
 pub use analysis::multi_hop::{
-    analyze_multi_hop, FabricPort, HopBound, MultiHopMessageBound, MultiHopReport,
+    analyze_multi_hop, analyze_multi_hop_with, FabricPort, HopBound, MultiHopMessageBound,
+    MultiHopReport,
 };
 pub use analysis::Approach;
 pub use compare1553::{

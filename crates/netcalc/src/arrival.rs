@@ -74,10 +74,14 @@ impl TokenBucket {
 
     /// Aggregates an iterator of token buckets (identity: zero burst, zero
     /// rate).
-    pub fn aggregate_all<'a, I: IntoIterator<Item = &'a TokenBucket>>(flows: I) -> TokenBucket {
+    pub fn aggregate_all<T, I>(flows: I) -> TokenBucket
+    where
+        T: core::borrow::Borrow<TokenBucket>,
+        I: IntoIterator<Item = T>,
+    {
         flows.into_iter().fold(
             TokenBucket::new(DataSize::ZERO, DataRate::ZERO),
-            |acc, f| acc.aggregate(f),
+            |acc, f| acc.aggregate(f.borrow()),
         )
     }
 }
@@ -97,31 +101,36 @@ impl ArrivalBound for TokenBucket {
     }
 }
 
-/// A periodic flow described by its exact staircase envelope intersected
-/// with its token-bucket envelope.
+/// A periodic (or minimum-interarrival sporadic) flow described by its
+/// staircase envelope.
 ///
-/// For a strictly periodic source the staircase `b·(⌊t/T⌋ + 1)` is a valid
-/// and tighter envelope than the affine token bucket; combining the two
-/// (pointwise minimum) gives the tightest concave-ish piecewise-linear bound
-/// this crate uses for the ablation studies.
+/// A source releasing at most one `length`-sized message per `period` obeys
+/// the staircase `b·(⌊t/T⌋ + 1)`, which sits below the affine token bucket
+/// everywhere except at the step instants where they touch
+/// ([`Curve::staircase`]).  `peak_rate` is the line rate bounding how fast
+/// one message's bits can physically arrive (the riser slope).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeriodicEnvelope {
     /// Message length per period.
     pub length: DataSize,
-    /// Period of the source.
+    /// Period (or minimal inter-arrival time) of the source.
     pub period: Duration,
     /// Number of staircase steps represented exactly before falling back to
-    /// the average rate.
+    /// the average rate (i.e. the token bucket).
     pub steps: usize,
+    /// The line rate bounding the staircase risers.
+    pub peak_rate: DataRate,
 }
 
 impl PeriodicEnvelope {
-    /// Creates the envelope of a periodic source.
-    pub fn new(length: DataSize, period: Duration, steps: usize) -> Self {
+    /// Creates the envelope of a periodic source on a line of rate
+    /// `peak_rate`.
+    pub fn new(length: DataSize, period: Duration, steps: usize, peak_rate: DataRate) -> Self {
         PeriodicEnvelope {
             length,
             period,
             steps,
+            peak_rate,
         }
     }
 
@@ -133,14 +142,13 @@ impl PeriodicEnvelope {
 
 impl ArrivalBound for PeriodicEnvelope {
     fn curve(&self) -> Curve {
-        let tb = self.token_bucket().curve();
-        let st = Curve::staircase(
+        Curve::staircase(
             self.length.as_f64_bits(),
             self.period.as_secs_f64(),
             self.steps,
+            self.peak_rate.as_f64_bps(),
         )
-        .expect("periodic envelope parameters validated at construction");
-        tb.min(&st)
+        .expect("periodic envelope parameters validated at construction")
     }
 
     fn burst(&self) -> DataSize {
@@ -197,7 +205,7 @@ mod tests {
         assert_eq!(all.burst(), DataSize::from_bits(300));
         assert_eq!(all.rate(), DataRate::from_bps(60));
 
-        let none = TokenBucket::aggregate_all(core::iter::empty());
+        let none = TokenBucket::aggregate_all(core::iter::empty::<&TokenBucket>());
         assert_eq!(none.burst(), DataSize::ZERO);
         assert_eq!(none.rate(), DataRate::ZERO);
     }
@@ -212,13 +220,16 @@ mod tests {
 
     #[test]
     fn periodic_envelope_is_tighter_than_token_bucket() {
-        let env = PeriodicEnvelope::new(DataSize::from_bytes(64), ms(20), 8);
+        let env =
+            PeriodicEnvelope::new(DataSize::from_bytes(64), ms(20), 8, DataRate::from_mbps(10));
         let tight = env.curve();
         let loose = env.token_bucket().curve();
-        // The combined envelope never exceeds the token bucket…
+        // The staircase envelope never exceeds the token bucket…
         for &t in &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2] {
             assert!(tight.eval(t) <= loose.eval(t) + 1e-6);
         }
+        // …is strictly below it inside a step…
+        assert!(tight.eval(0.01) + 100.0 < loose.eval(0.01));
         // …and burst/rate accessors mirror the token bucket's.
         assert_eq!(env.burst(), DataSize::from_bytes(64));
         assert_eq!(env.rate(), env.token_bucket().rate());

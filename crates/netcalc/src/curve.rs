@@ -22,7 +22,10 @@ pub const EPS: f64 = 1e-6;
 /// * breakpoint abscissas are finite, non-negative and strictly increasing,
 ///   and the first breakpoint is at `x = 0`;
 /// * ordinates are finite, non-negative and non-decreasing;
-/// * the final slope is finite and non-negative.
+/// * the final slope is finite and non-negative;
+/// * (debug builds) the breakpoint list is *simplified*: no interior
+///   breakpoint is collinear with its neighbours and the last breakpoint is
+///   not collinear with the final slope — see [`Curve::simplify`].
 ///
 /// A token-bucket arrival curve `γ_{r,b}` is represented with a single
 /// breakpoint `(0, b)` and final slope `r` (i.e. the value *just after* the
@@ -43,7 +46,7 @@ pub const EPS: f64 = 1e-6;
 /// assert!((beta.eval(1.0) - 10_000_000.0 * (1.0 - 16e-6)).abs() < 1e-6);
 ///
 /// // Envelopes of the same flow combine by pointwise minimum.
-/// let staircase = Curve::staircase(512.0, 0.02, 8).unwrap();
+/// let staircase = Curve::staircase(512.0, 0.02, 8, 10_000_000.0).unwrap();
 /// let tight = alpha.min(&staircase);
 /// assert!(tight.eval(0.05) <= alpha.eval(0.05));
 /// ```
@@ -96,10 +99,33 @@ impl Curve {
         if !(x0.is_finite() && y0.is_finite()) || y0 < 0.0 {
             return Err(NcError::InvalidCurve("invalid first breakpoint".into()));
         }
+        debug_assert!(
+            is_simplified(&points, final_slope),
+            "curve has redundant (collinear) breakpoints: {points:?} slope {final_slope}; \
+             route the construction through Curve::simplify"
+        );
         Ok(Curve {
             points,
             final_slope,
         })
+    }
+
+    /// Builds a curve from raw breakpoints, eliminating redundant collinear
+    /// breakpoints first (the construction path used by every operation that
+    /// synthesizes breakpoint lists, so curves stay small on hot paths).
+    fn simplified(points: Vec<(f64, f64)>, final_slope: f64) -> Result<Self, NcError> {
+        Curve::new(simplify_points(points, final_slope), final_slope)
+    }
+
+    /// Returns the curve with every redundant breakpoint removed: interior
+    /// breakpoints collinear with their neighbours (within [`EPS`]) and a
+    /// last breakpoint collinear with the final slope.  The represented
+    /// function is unchanged.
+    pub fn simplify(&self) -> Curve {
+        Curve {
+            points: simplify_points(self.points.clone(), self.final_slope),
+            final_slope: self.final_slope,
+        }
     }
 
     /// The constant-zero curve.
@@ -128,35 +154,61 @@ impl Curve {
         if latency_s == 0.0 {
             Curve::new(vec![(0.0, 0.0)], rate_bps)
         } else {
-            Curve::new(vec![(0.0, 0.0), (latency_s, 0.0)], rate_bps)
+            Curve::simplified(vec![(0.0, 0.0), (latency_s, 0.0)], rate_bps)
         }
     }
 
-    /// A staircase curve for a strictly periodic source: `burst` bits
-    /// released every `period` seconds, i.e. `f(t) = burst·(⌊t/period⌋ + 1)`,
-    /// truncated to `steps` steps and continued with the average rate.
+    /// The tight piecewise-linear envelope of a source releasing `burst`
+    /// bits at most once per `period` seconds: the staircase
+    /// `f(t) = burst·(⌊t/period⌋ + 1)` with each riser represented as a
+    /// ramp of slope `peak_rate` *ending* at the step instant, truncated to
+    /// `steps` steps and continued with the average rate (which beyond the
+    /// last step coincides with the token bucket, touching the staircase at
+    /// every step instant).
     ///
-    /// This is a tighter envelope than the token bucket for strictly
-    /// periodic traffic and is used by the ablation experiments.
-    pub fn staircase(burst_bits: f64, period_s: f64, steps: usize) -> Result<Self, NcError> {
+    /// Placing the ramp before the jump keeps the curve an upper bound of
+    /// the instantaneous-release staircase — two frames may arrive exactly
+    /// `period` apart, so the envelope must already read `2·burst` at
+    /// `t = period` — while staying below the affine token bucket
+    /// everywhere (they touch exactly at the step instants).  Any
+    /// `peak_rate` above the average rate is sound; callers use the line
+    /// rate, which keeps the ramps physically meaningful and the floats
+    /// well-conditioned.
+    ///
+    /// Falls back to the plain token bucket `γ_{burst/period, burst}` when
+    /// the ramp cannot fit inside one period (`burst/peak_rate ≥ period`,
+    /// i.e. the flow alone would saturate the line).
+    pub fn staircase(
+        burst_bits: f64,
+        period_s: f64,
+        steps: usize,
+        peak_rate_bps: f64,
+    ) -> Result<Self, NcError> {
         if period_s <= 0.0 || !period_s.is_finite() {
             return Err(NcError::InvalidCurve(format!("invalid period {period_s}")));
         }
         if burst_bits < 0.0 || !burst_bits.is_finite() {
             return Err(NcError::InvalidCurve(format!("invalid burst {burst_bits}")));
         }
-        let steps = steps.max(1);
-        // Piecewise-linear over-approximation of the staircase: we keep the
-        // exact step ordinates at the step instants (the staircase is
-        // upper-bounded by the piecewise-linear curve through the top of
-        // each riser).
-        let mut points = Vec::with_capacity(steps + 1);
-        points.push((0.0, burst_bits));
-        for k in 1..=steps {
-            points.push((k as f64 * period_s, burst_bits * (k as f64 + 1.0)));
+        if peak_rate_bps < 0.0 || !peak_rate_bps.is_finite() {
+            return Err(NcError::InvalidCurve(format!(
+                "invalid peak rate {peak_rate_bps}"
+            )));
         }
         let rate = burst_bits / period_s;
-        Curve::new(points, rate)
+        if burst_bits == 0.0 || peak_rate_bps <= rate || burst_bits / peak_rate_bps >= period_s {
+            return Curve::affine(burst_bits, rate);
+        }
+        let steps = steps.max(1);
+        let riser = burst_bits / peak_rate_bps;
+        let mut points = Vec::with_capacity(2 * steps + 1);
+        points.push((0.0, burst_bits));
+        for k in 1..=steps {
+            let step = k as f64 * period_s;
+            points.push((step - riser, burst_bits * k as f64));
+            points.push((step, burst_bits * (k as f64 + 1.0)));
+        }
+        Curve::simplified(points, rate)
     }
 
     /// The breakpoints of the curve.
@@ -262,18 +314,65 @@ impl Curve {
             .iter()
             .map(|&x| (x, self.eval(x) + other.eval(x)))
             .collect();
+        let final_slope = self.final_slope + other.final_slope;
         Curve {
-            points,
-            final_slope: self.final_slope + other.final_slope,
+            points: simplify_points(points, final_slope),
+            final_slope,
+        }
+    }
+
+    /// Pointwise difference `self − other` of two curves, for splitting an
+    /// aggregate envelope back into "everything but one flow".
+    ///
+    /// The caller must guarantee `other ≤ self` pointwise with the
+    /// difference non-decreasing (true whenever `other` is one of the
+    /// summands of `self`); float noise is clamped to keep the result a
+    /// valid curve.
+    pub fn sub_envelope(&self, other: &Curve) -> Curve {
+        let xs = merged_abscissas(self, other);
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(xs.len());
+        let mut prev = 0.0_f64;
+        for &x in &xs {
+            let y = (self.eval(x) - other.eval(x)).max(prev).max(0.0);
+            points.push((x, y));
+            prev = y;
+        }
+        let final_slope = (self.final_slope - other.final_slope).max(0.0);
+        Curve {
+            points: simplify_points(points, final_slope),
+            final_slope,
         }
     }
 
     /// Pointwise minimum of two curves (combining two envelopes of the same
     /// flow, e.g. token bucket ∧ staircase).
     pub fn min(&self, other: &Curve) -> Curve {
+        self.combine(other, true)
+    }
+
+    /// Pointwise maximum of two curves (the upper envelope, used by the
+    /// min-plus deconvolution).
+    pub fn max(&self, other: &Curve) -> Curve {
+        self.combine(other, false)
+    }
+
+    /// Shared implementation of [`Curve::min`] / [`Curve::max`]: evaluate on
+    /// the merged breakpoint grid with every intersection abscissa inserted
+    /// so the result stays exactly piecewise-linear.
+    fn combine(&self, other: &Curve, take_min: bool) -> Curve {
         let mut xs = merged_abscissas(self, other);
-        // Insert intersection abscissas so the minimum stays piecewise-linear
-        // on the breakpoint grid.
+        // Tail crossing beyond the last breakpoint of either curve —
+        // checked on the *breakpoint* grid before the interior crossings
+        // are appended (they are unsorted and all lie strictly inside it,
+        // so consulting `xs.last()` after the extend would inspect the
+        // wrong point and miss genuine tail crossings).
+        let last = *xs.last().expect("non-empty");
+        let da = self.eval(last) - other.eval(last);
+        let ds = self.final_slope_at(last) - other.final_slope_at(last);
+        let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
+            .then(|| last + da.abs() / ds.abs());
+        // Insert intersection abscissas so the extremum stays
+        // piecewise-linear on the breakpoint grid.
         let mut crossings = Vec::new();
         for w in xs.windows(2) {
             let (x0, x1) = (w[0], w[1]);
@@ -286,24 +385,55 @@ impl Curve {
             }
         }
         xs.extend(crossings);
-        // Tail crossing beyond the last breakpoint.
-        let last = *xs.last().expect("non-empty");
-        let da = self.eval(last) - other.eval(last);
-        let ds = self.final_slope_at(last) - other.final_slope_at(last);
-        if da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum() {
-            let t_cross = last + da.abs() / ds.abs();
-            xs.push(t_cross);
-        }
+        xs.extend(tail_cross);
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let pick = if take_min { f64::min } else { f64::max };
         let points = xs
             .iter()
-            .map(|&x| (x, self.eval(x).min(other.eval(x))))
+            .map(|&x| (x, pick(self.eval(x), other.eval(x))))
             .collect();
+        let final_slope = pick(self.final_slope, other.final_slope);
         Curve {
-            points,
-            final_slope: self.final_slope.min(other.final_slope),
+            points: simplify_points(points, final_slope),
+            final_slope,
         }
+    }
+
+    /// Horizontal shift to the left by `delta` seconds:
+    /// `g(t) = f(t + delta)` — the output-envelope propagation of an
+    /// element with delay bound `delta` (every bit leaves at most `delta`
+    /// after it entered, so the output is bounded by the input envelope
+    /// read `delta` later).
+    pub fn shift_left(&self, delta: f64) -> Result<Curve, NcError> {
+        if delta < 0.0 || !delta.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid shift {delta}")));
+        }
+        if delta == 0.0 {
+            return Ok(self.clone());
+        }
+        let mut points = vec![(0.0, self.eval(delta))];
+        for &(x, y) in &self.points {
+            if x > delta + 1e-15 {
+                points.push((x - delta, y));
+            }
+        }
+        Curve::simplified(points, self.final_slope)
+    }
+
+    /// The positive part of a vertical shift down: `g(t) = (f(t) − c)⁺`,
+    /// with the level crossing inserted as an exact breakpoint.  This is
+    /// the store-and-forward packetizer correction `[β − l]⁺` for general
+    /// service curves.
+    pub fn saturating_sub_const(&self, c: f64) -> Result<Curve, NcError> {
+        if c < 0.0 || !c.is_finite() {
+            return Err(NcError::InvalidCurve(format!("invalid offset {c}")));
+        }
+        if c == 0.0 {
+            return Ok(self.clone());
+        }
+        let raw: Vec<(f64, f64)> = self.points.iter().map(|&(x, y)| (x, y - c)).collect();
+        Ok(clamp_nonneg(raw, self.final_slope))
     }
 
     /// Horizontal shift to the right by `delta` seconds:
@@ -334,7 +464,51 @@ impl Curve {
                 last.1 = y;
             }
         }
-        Curve::new(points, self.final_slope)
+        Curve::simplified(points, self.final_slope)
+    }
+
+    /// The greatest convex function below the curve (the lower convex
+    /// hull of its graph, tail ray included).
+    ///
+    /// A convex minorant of a service curve is itself a valid (possibly
+    /// looser) service curve, and convex curves convolve in linear time —
+    /// the pay-bursts-only-once composition uses this to keep the network
+    /// curve small over long paths.
+    pub fn convex_minorant(&self) -> Curve {
+        // The tail is a ray of slope `final_slope`; the minorant follows
+        // the lower hull of the breakpoints up to the ray's support point
+        // (the breakpoint minimising y − slope·x) and continues with the
+        // ray from there.
+        let support = self
+            .points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let ka = a.1 - self.final_slope * a.0;
+                let kb = b.1 - self.final_slope * b.0;
+                ka.partial_cmp(&kb).expect("finite breakpoints")
+            })
+            .map(|(i, _)| i)
+            .expect("curve has at least one breakpoint");
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(support + 1);
+        for &p in &self.points[..=support] {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Keep the hull turning left (slopes non-decreasing).
+                let cross = (b.0 - a.0) * (p.1 - a.1) - (p.0 - a.0) * (b.1 - a.1);
+                if cross <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        Curve {
+            points: simplify_points(hull, self.final_slope),
+            final_slope: self.final_slope,
+        }
     }
 
     /// Slope of the curve just after abscissa `x`.
@@ -365,8 +539,93 @@ impl Curve {
     }
 }
 
+/// `true` when the middle point lies on the segment joining its neighbours
+/// (within [`EPS`] bits), i.e. it carries no information.
+fn collinear_mid(p0: (f64, f64), p1: (f64, f64), p2: (f64, f64)) -> bool {
+    let (x0, y0) = p0;
+    let (x1, y1) = p1;
+    let (x2, y2) = p2;
+    let predicted = y0 + (y2 - y0) * (x1 - x0) / (x2 - x0);
+    (y1 - predicted).abs() <= EPS
+}
+
+/// `true` when the last breakpoint lies on the line the previous breakpoint
+/// extends with `slope` (within [`EPS`] bits).
+fn collinear_tail(prev: (f64, f64), last: (f64, f64), slope: f64) -> bool {
+    (last.1 - (prev.1 + slope * (last.0 - prev.0))).abs() <= EPS
+}
+
+/// Removes redundant breakpoints: near-duplicate abscissas, interior points
+/// collinear with their neighbours, and trailing points collinear with the
+/// final slope.
+pub(crate) fn simplify_points(points: Vec<(f64, f64)>, final_slope: f64) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+    for p in points {
+        if let Some(&last) = out.last() {
+            if p.0 - last.0 < 1e-15 {
+                // Near-duplicate abscissa: keep the later ordinate.
+                out.pop();
+                out.push((last.0, p.1));
+                continue;
+            }
+        }
+        while out.len() >= 2 && collinear_mid(out[out.len() - 2], out[out.len() - 1], p) {
+            out.pop();
+        }
+        out.push(p);
+    }
+    while out.len() >= 2 && collinear_tail(out[out.len() - 2], out[out.len() - 1], final_slope) {
+        out.pop();
+    }
+    out
+}
+
+/// The invariant [`Curve::new`] asserts in debug builds: no breakpoint is
+/// redundant under the [`EPS`] collinearity tolerance.
+fn is_simplified(points: &[(f64, f64)], final_slope: f64) -> bool {
+    for w in points.windows(3) {
+        if collinear_mid(w[0], w[1], w[2]) {
+            return false;
+        }
+    }
+    if points.len() >= 2
+        && collinear_tail(
+            points[points.len() - 2],
+            points[points.len() - 1],
+            final_slope,
+        )
+    {
+        return false;
+    }
+    true
+}
+
+/// Builds a curve from a non-decreasing raw breakpoint list whose leading
+/// ordinates may be negative, clamping at zero with the level crossing
+/// inserted as an exact breakpoint (in the linear tail too, when the whole
+/// list is negative but the final slope eventually reaches zero).
+pub(crate) fn clamp_nonneg(points: Vec<(f64, f64)>, final_slope: f64) -> Curve {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(points.len() + 1);
+    let mut prev: Option<(f64, f64)> = None;
+    for &(x, y) in &points {
+        if let Some((px, py)) = prev {
+            if py < 0.0 && y > 0.0 {
+                out.push((px + (0.0 - py) * (x - px) / (y - py), 0.0));
+            }
+        }
+        out.push((x, y.max(0.0)));
+        prev = Some((x, y));
+    }
+    let (last_x, last_y) = *points.last().expect("non-empty raw breakpoints");
+    if last_y < 0.0 && final_slope > 0.0 {
+        out.push((last_x - last_y / final_slope, 0.0));
+    }
+    Curve::new(simplify_points(out, final_slope), final_slope)
+        .expect("clamped non-decreasing breakpoints form a valid curve")
+}
+
 /// The sorted, deduplicated union of the breakpoint abscissas of two curves.
-fn merged_abscissas(a: &Curve, b: &Curve) -> Vec<f64> {
+pub(crate) fn merged_abscissas(a: &Curve, b: &Curve) -> Vec<f64> {
     let mut xs: Vec<f64> = a
         .points
         .iter()
@@ -404,14 +663,50 @@ mod tests {
     }
 
     #[test]
-    fn staircase_dominates_token_bucket_average() {
-        let st = Curve::staircase(512.0, 0.02, 8).unwrap();
-        // At each multiple of the period the staircase has released k+1 bursts.
-        assert!((st.eval(0.0) - 512.0).abs() < EPS);
-        assert!((st.eval(0.04) - 3.0 * 512.0).abs() < EPS);
-        // Beyond the covered steps it grows at the average rate.
-        assert!((st.eval(0.16) - 9.0 * 512.0).abs() < EPS);
-        assert!((st.eval(0.18) - (9.0 * 512.0 + 512.0 * 0.02 / 0.02)).abs() < 1e-3);
+    fn staircase_hugs_the_periodic_release_pattern() {
+        // 512 bits every 20 ms, risers at 10 Mbps (51.2 µs wide).
+        let st = Curve::staircase(512.0, 0.02, 8, 10_000_000.0).unwrap();
+        let tb = Curve::affine(512.0, 25_600.0).unwrap();
+        // At every step instant the staircase has released k+1 bursts and
+        // touches the token bucket exactly.
+        for k in 0..=8u32 {
+            let t = k as f64 * 0.02;
+            assert!((st.eval(t) - 512.0 * (k as f64 + 1.0)).abs() < EPS, "k={k}");
+            assert!((st.eval(t) - tb.eval(t)).abs() < EPS, "k={k}");
+        }
+        // In the flat part of a step it sits strictly below the token
+        // bucket (that's the whole point).
+        assert!(st.eval(0.01) + 100.0 < tb.eval(0.01));
+        assert!((st.eval(0.01) - 512.0).abs() < EPS);
+        // Beyond the covered steps it continues at the average rate —
+        // i.e. exactly the token bucket.
+        assert!((st.eval(0.18) - tb.eval(0.18)).abs() < 1e-3);
+        // It never exceeds the token bucket anywhere.
+        for i in 0..400 {
+            let t = i as f64 * 0.001;
+            assert!(st.eval(t) <= tb.eval(t) + EPS, "t={t}");
+        }
+        // A peak rate at or below the average rate degenerates to the
+        // token bucket.
+        let degenerate = Curve::staircase(512.0, 0.02, 8, 20_000.0).unwrap();
+        assert!(degenerate.approx_eq(&tb));
+    }
+
+    #[test]
+    fn staircase_upper_bounds_the_instantaneous_release() {
+        // Frames of b bits released instantly at 0, T, 2T, … — the envelope
+        // must dominate the closed-window count b·(⌊t/T⌋ + 1).
+        let (b, t_period) = (1022.0 * 8.0, 0.016);
+        let st = Curve::staircase(b, t_period, 12, 100_000_000.0).unwrap();
+        for i in 0..2000 {
+            let t = i as f64 * 1e-4;
+            let released = b * ((t / t_period).floor() + 1.0);
+            assert!(
+                st.eval(t) + 1e-6 >= released,
+                "t={t}: {} < {released}",
+                st.eval(t)
+            );
+        }
     }
 
     #[test]
@@ -424,7 +719,9 @@ mod tests {
         assert!(Curve::new(vec![(0.0, 0.0)], f64::NAN).is_err());
         assert!(Curve::affine(-1.0, 1.0).is_err());
         assert!(Curve::rate_latency(1.0, -0.1).is_err());
-        assert!(Curve::staircase(1.0, 0.0, 3).is_err());
+        assert!(Curve::staircase(1.0, 0.0, 3, 10.0).is_err());
+        assert!(Curve::staircase(1.0, 1.0, 3, -1.0).is_err());
+        assert!(Curve::staircase(-1.0, 1.0, 3, 10.0).is_err());
     }
 
     #[test]
@@ -454,7 +751,7 @@ mod tests {
     #[test]
     fn min_of_token_bucket_and_staircase_is_tighter() {
         let tb = Curve::affine(512.0, 25_600.0).unwrap();
-        let st = Curve::staircase(512.0, 0.02, 8).unwrap();
+        let st = Curve::staircase(512.0, 0.02, 8, 10_000_000.0).unwrap();
         let m = tb.min(&st);
         for &t in &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 1.0] {
             let expect = tb.eval(t).min(st.eval(t));
@@ -487,6 +784,122 @@ mod tests {
         assert!((s.eval(2.0) - 100.0).abs() < 1e-9);
         assert!(c.shift_right(-1.0).is_err());
         assert!(c.shift_right(0.0).unwrap().approx_eq(&c));
+    }
+
+    #[test]
+    fn simplify_removes_collinear_and_tail_breakpoints() {
+        let redundant = vec![(0.0, 0.0), (1.0, 10.0), (2.0, 20.0), (3.0, 25.0)];
+        let simplified = simplify_points(redundant, 5.0);
+        // (1, 10) is collinear between (0,0) and (2,20); (3,25) is collinear
+        // with the final slope 5 from (2,20).
+        assert_eq!(simplified, vec![(0.0, 0.0), (2.0, 20.0)]);
+        assert!(is_simplified(&simplified, 5.0));
+        // A curve built by min/add is already simplified.
+        let a = Curve::affine(10.0, 5.0).unwrap();
+        let b = Curve::affine(10.0, 5.0).unwrap();
+        let s = a.add(&b);
+        assert_eq!(s.points().len(), 1);
+        assert!(s.min(&a).approx_eq(&a));
+        // simplify() is idempotent and value-preserving.
+        let st = Curve::staircase(512.0, 0.02, 4, 10_000_000.0).unwrap();
+        assert!(st.simplify().approx_eq(&st));
+    }
+
+    #[test]
+    fn combine_catches_the_tail_crossing_after_an_interior_crossing() {
+        // a starts below b, overtakes it inside the breakpoint grid
+        // (t = 2/3), then b overtakes a again in the linear tails (t = 2).
+        // The tail check must run on the true last breakpoint, not on the
+        // appended interior-crossing abscissa — a regression here made
+        // min() dip below both operands (an unsound envelope).
+        let a = Curve::new(vec![(0.0, 0.0), (1.0, 3.0)], 1.0).unwrap();
+        let b = Curve::affine(1.0, 1.5).unwrap();
+        let lo = a.min(&b);
+        let hi = a.max(&b);
+        for i in 0..80 {
+            let t = i as f64 * 0.05;
+            let (va, vb) = (a.eval(t), b.eval(t));
+            assert!(
+                (lo.eval(t) - va.min(vb)).abs() < 1e-9,
+                "min wrong at t={t}: {} vs {}",
+                lo.eval(t),
+                va.min(vb)
+            );
+            assert!(
+                (hi.eval(t) - va.max(vb)).abs() < 1e-9,
+                "max wrong at t={t}: {} vs {}",
+                hi.eval(t),
+                va.max(vb)
+            );
+        }
+        // The reviewer's concrete repro: the true minimum at t = 1.1.
+        assert!((lo.eval(1.1) - 2.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_is_the_upper_envelope() {
+        // a starts below b but grows faster; they cross at t = 10.
+        let a = Curve::affine(0.0, 2.0).unwrap();
+        let b = Curve::affine(10.0, 1.0).unwrap();
+        let m = a.max(&b);
+        assert!((m.eval(0.0) - 10.0).abs() < 1e-9);
+        assert!((m.eval(5.0) - 15.0).abs() < 1e-9);
+        assert!((m.eval(10.0) - 20.0).abs() < 1e-9);
+        assert!((m.eval(20.0) - 40.0).abs() < 1e-9);
+        assert!((m.final_slope() - 2.0).abs() < EPS);
+        // min and max bracket both operands everywhere.
+        let lo = a.min(&b);
+        for i in 0..50 {
+            let t = i as f64 * 0.5;
+            assert!(lo.eval(t) <= a.eval(t) + EPS && a.eval(t) <= m.eval(t) + EPS);
+            assert!(lo.eval(t) <= b.eval(t) + EPS && b.eval(t) <= m.eval(t) + EPS);
+        }
+    }
+
+    #[test]
+    fn shift_left_reads_the_curve_later() {
+        let st = Curve::staircase(512.0, 0.02, 8, 10_000_000.0).unwrap();
+        let shifted = st.shift_left(0.005).unwrap();
+        for i in 0..100 {
+            let t = i as f64 * 0.002;
+            assert!((shifted.eval(t) - st.eval(t + 0.005)).abs() < 1e-6, "t={t}");
+        }
+        assert!(st.shift_left(0.0).unwrap().approx_eq(&st));
+        assert!(st.shift_left(-1.0).is_err());
+        // Shifting past every breakpoint leaves the linear tail.
+        let tail = st.shift_left(1.0).unwrap();
+        assert_eq!(tail.points().len(), 1);
+        assert!((tail.eval(0.0) - st.eval(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturating_sub_const_inserts_the_level_crossing() {
+        let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+        // [β − l]⁺ for a rate-latency curve adds l/R of latency.
+        let corrected = beta.saturating_sub_const(8_000.0).unwrap();
+        let expect = Curve::rate_latency(10_000_000.0, 16e-6 + 8e-4).unwrap();
+        assert!(corrected.approx_eq(&expect), "{corrected:?}");
+        // Subtracting more than a flat curve ever reaches yields zero.
+        let flat = Curve::new(vec![(0.0, 0.0), (1.0, 5.0)], 0.0).unwrap();
+        assert!(flat
+            .saturating_sub_const(10.0)
+            .unwrap()
+            .approx_eq(&Curve::zero()));
+        assert!(beta.saturating_sub_const(0.0).unwrap().approx_eq(&beta));
+        assert!(beta.saturating_sub_const(-1.0).is_err());
+    }
+
+    #[test]
+    fn sub_envelope_recovers_the_other_summand() {
+        let a = Curve::staircase(512.0, 0.02, 8, 10_000_000.0).unwrap();
+        let b = Curve::affine(100.0, 40_000.0).unwrap();
+        let sum = a.add(&b);
+        let back = sum.sub_envelope(&b);
+        for i in 0..100 {
+            let t = i as f64 * 0.003;
+            assert!((back.eval(t) - a.eval(t)).abs() < 1e-6, "t={t}");
+        }
+        assert!((back.final_slope() - a.final_slope()).abs() < EPS);
     }
 
     #[test]

@@ -30,13 +30,16 @@
 pub mod arrival;
 pub mod bounds;
 pub mod curve;
+pub mod envelope;
 pub mod minplus;
 pub mod mux;
 pub mod service;
 
-pub use arrival::{ArrivalBound, TokenBucket};
+pub use arrival::{ArrivalBound, PeriodicEnvelope, TokenBucket};
 pub use bounds::{backlog_bound, delay_bound, output_burst};
 pub use curve::Curve;
+pub use envelope::{Envelope, EnvelopeModel};
+pub use minplus::{convolve, deconvolve, leftover};
 pub use mux::{FcfsMux, PriorityLevelReport, StaticPriorityMux};
 pub use service::{RateLatency, ServiceBound};
 
@@ -173,6 +176,117 @@ mod proptests {
                 convolved <= hop_sum + slack,
                 "convolved {convolved} > per-hop sum {hop_sum}"
             );
+        }
+
+        /// The general min-plus convolution agrees with the rate-latency
+        /// closed form (minimum rate, summed latencies) on random
+        /// rate-latency pairs.
+        #[test]
+        fn general_convolution_matches_closed_form(
+            rate_a_mbps in 1u64..1_000,
+            latency_a_us in 0u64..10_000,
+            rate_b_mbps in 1u64..1_000,
+            latency_b_us in 0u64..10_000,
+        ) {
+            let a = Curve::rate_latency(rate_a_mbps as f64 * 1e6, latency_a_us as f64 * 1e-6).unwrap();
+            let b = Curve::rate_latency(rate_b_mbps as f64 * 1e6, latency_b_us as f64 * 1e-6).unwrap();
+            let general = minplus::convolve(&a, &b);
+            let closed = minplus::convolve_rate_latency(&a, &b).unwrap();
+            prop_assert!(general.approx_eq(&closed), "{general:?} vs {closed:?}");
+        }
+
+        /// The general min-plus deconvolution agrees with the token-bucket
+        /// closed form `(b + r·T, r)` on random token-bucket/rate-latency
+        /// pairs.
+        #[test]
+        fn general_deconvolution_matches_closed_form(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            capacity_mbps in 1u64..1_000,
+        ) {
+            let tb = TokenBucket::for_message(
+                DataSize::from_bytes(burst),
+                Duration::from_millis(period_ms),
+            );
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            prop_assume!(tb.rate().bps() < capacity.bps());
+            let beta = Curve::rate_latency(
+                capacity.as_f64_bps(),
+                latency_us as f64 * 1e-6,
+            ).unwrap();
+            let out = minplus::deconvolve(&tb.curve(), &beta).unwrap();
+            let closed_burst = minplus::output_burst_token_bucket(
+                tb.burst().as_f64_bits(),
+                tb.rate().as_f64_bps(),
+                capacity.as_f64_bps(),
+                latency_us as f64 * 1e-6,
+            ).unwrap();
+            let closed = Curve::affine(closed_burst, tb.rate().as_f64_bps()).unwrap();
+            prop_assert!(out.approx_eq(&closed), "{out:?} vs {closed:?}");
+        }
+
+        /// The general left-over service curve agrees with the closed-form
+        /// blind-multiplexing residual on random token-bucket cross traffic,
+        /// up to the closed form's pessimistic nanosecond latency ceil.
+        #[test]
+        fn general_leftover_matches_closed_form(
+            cross_burst in 64u64..100_000,
+            cross_period_ms in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            capacity_mbps in 1u64..1_000,
+        ) {
+            let cross = TokenBucket::for_message(
+                DataSize::from_bytes(cross_burst),
+                Duration::from_millis(cross_period_ms),
+            );
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            prop_assume!(cross.rate().bps() < capacity.bps());
+            let server = RateLatency::new(capacity, Duration::from_micros(latency_us));
+            let closed = server.leftover(&cross).expect("stable by assumption");
+            let general = minplus::leftover(&server.curve(), &cross.curve()).unwrap();
+            // Same residual rate…
+            prop_assert!((general.final_slope() - closed.rate().as_f64_bps()).abs() < 1.0);
+            // …and the same latency up to the closed form's 1 ns ceil:
+            // where the general hull starts serving vs T*.
+            let t_general = general.inverse_upper(0.0).expect("positive residual rate");
+            let t_closed = closed.latency().as_secs_f64();
+            prop_assert!(
+                (t_general - t_closed).abs() <= 2e-9 + 1e-9 * t_closed,
+                "general latency {t_general} vs closed {t_closed}"
+            );
+        }
+
+        /// A staircase envelope never yields a larger delay bound than the
+        /// token bucket of the same flow, against any rate-latency server
+        /// (the staircase is pointwise below the affine envelope).
+        #[test]
+        fn staircase_bound_never_exceeds_token_bucket_bound(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            capacity_mbps in 1u64..1_000,
+            delay_us in 0u64..50_000,
+        ) {
+            let length = DataSize::from_bytes(burst);
+            let period = Duration::from_millis(period_ms);
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let tb = TokenBucket::for_message(length, period);
+            prop_assume!(tb.rate().bps() < capacity.bps());
+            let beta = RateLatency::new(capacity, Duration::from_micros(latency_us));
+            // Fresh at the source…
+            let st = Envelope::staircase(length, period, capacity);
+            let h_st = minplus::horizontal_deviation(&st.curve(), &beta.curve()).unwrap();
+            let h_tb = minplus::horizontal_deviation(&tb.curve(), &beta.curve()).unwrap();
+            prop_assert!(h_st <= h_tb + 1e-12, "fresh: {h_st} > {h_tb}");
+            // …and after propagating through an upstream delay, where the
+            // staircase's flat step keeps the effective burst down.
+            let delay = Duration::from_micros(delay_us);
+            let st_out = st.delayed(delay).unwrap();
+            let tb_out = Envelope::from(tb).delayed(delay).unwrap();
+            let h_st = minplus::horizontal_deviation(&st_out.curve(), &beta.curve()).unwrap();
+            let h_tb = minplus::horizontal_deviation(&tb_out.curve(), &beta.curve()).unwrap();
+            prop_assert!(h_st <= h_tb + 1e-12, "delayed: {h_st} > {h_tb}");
         }
 
         /// In a strict-priority multiplexer the bound of a higher priority

@@ -151,16 +151,217 @@ pub fn output_burst_token_bucket(
 fn as_rate_latency(c: &Curve) -> Result<(f64, f64), NcError> {
     let pts = c.points();
     // Acceptable shapes: [(0,0)] with slope R (latency 0), or
-    // [(0,0), (T,0)] with slope R.
+    // [(0,0), (T,0)] with slope R.  Abscissas are compared with the crate
+    // tolerance, not exact f64 equality, like the rest of the module.
     match pts {
-        [(x0, y0)] if *x0 == 0.0 && y0.abs() < EPS => Ok((c.final_slope(), 0.0)),
-        [(x0, y0), (x1, y1)] if *x0 == 0.0 && y0.abs() < EPS && y1.abs() < EPS => {
+        [(x0, y0)] if x0.abs() <= EPS && y0.abs() <= EPS => Ok((c.final_slope(), 0.0)),
+        [(x0, y0), (x1, y1)] if x0.abs() <= EPS && y0.abs() <= EPS && y1.abs() <= EPS => {
             Ok((c.final_slope(), *x1))
         }
         _ => Err(NcError::InvalidCurve(
             "curve is not of rate-latency shape".into(),
         )),
     }
+}
+
+/// The exact min-plus convolution
+/// `(f ⊗ g)(t) = inf_{0 ≤ s ≤ t} f(s) + g(t − s)`
+/// of two piecewise-linear curves.
+///
+/// For any fixed `t` the objective `s ↦ f(s) + g(t − s)` is piecewise
+/// linear with breakpoints where `s` hits a breakpoint of `f` or `t − s`
+/// hits a breakpoint of `g`, so its minimum is attained at one of them.
+/// The convolution is therefore the pointwise minimum of the finite family
+/// of shifted-and-raised curves `t ↦ f(x_i) + g(t − x_i)` (one per
+/// breakpoint `x_i` of `f`, held at `f(x_i) + g(0)` below `x_i`) and the
+/// symmetric family over `g`'s breakpoints — each member dominates the
+/// convolution, and at every `t` one of them attains it.
+///
+/// On two convex curves this reproduces the classical slope-sorted segment
+/// concatenation; on rate-latency operands it reproduces
+/// [`convolve_rate_latency`] exactly (minimum rate, summed latencies),
+/// which the property tests in the crate root pin down.
+///
+/// ```
+/// use netcalc::curve::Curve;
+/// use netcalc::minplus::{convolve, convolve_rate_latency};
+///
+/// let a = Curve::rate_latency(10e6, 16e-6).unwrap();
+/// let b = Curve::rate_latency(100e6, 5e-6).unwrap();
+/// assert!(convolve(&a, &b).approx_eq(&convolve_rate_latency(&a, &b).unwrap()));
+/// ```
+pub fn convolve(f: &Curve, g: &Curve) -> Curve {
+    let mut result: Option<Curve> = None;
+    let mut fold = |member: Curve| {
+        result = Some(match result.take() {
+            Some(acc) => acc.min(&member),
+            None => member,
+        });
+    };
+    for &(x, y) in f.points() {
+        fold(shifted_raised(g, x, y));
+    }
+    for &(x, y) in g.points() {
+        fold(shifted_raised(f, x, y));
+    }
+    result.expect("curves have at least one breakpoint each")
+}
+
+/// The member curve `t ↦ h((t − d)⁺) + c` of the convolution family: `h`
+/// shifted right by `d`, raised by `c`, and held at `h(0) + c` below `d`.
+fn shifted_raised(h: &Curve, d: f64, c: f64) -> Curve {
+    let h0 = h.points()[0].1;
+    let mut points = vec![(0.0, h0 + c)];
+    if d > 0.0 {
+        points.push((d, h0 + c));
+    }
+    for &(x, y) in h.points() {
+        if x > 0.0 {
+            points.push((x + d, y + c));
+        }
+    }
+    Curve::new(
+        crate::curve::simplify_points(points, h.final_slope()),
+        h.final_slope(),
+    )
+    .expect("shifting and raising a valid curve preserves validity")
+}
+
+/// The exact min-plus deconvolution
+/// `(α ⊘ β)(t) = sup_{s ≥ 0} α(t + s) − β(s)`
+/// of two piecewise-linear curves — the tightest arrival envelope of a flow
+/// with input envelope `α` after a server guaranteeing `β` (output-envelope
+/// propagation for any arrival/service pair).
+///
+/// Symmetric to [`convolve`]: for fixed `t` the objective is piecewise
+/// linear in `s`, so the supremum is attained where `s` hits a breakpoint
+/// of `β` (family `t ↦ α(t + s_j) − β(s_j)`) or `t + s` hits a breakpoint
+/// of `α` (family `t ↦ α(x_i) − β((x_i − t)⁺)`).  The deconvolution is the
+/// pointwise maximum of both families, each clamped at zero — valid
+/// because the result is itself non-negative, so clamping changes no value
+/// on the upper envelope.
+///
+/// Returns [`NcError::Unstable`] when `α`'s long-term rate exceeds `β`'s
+/// (the output burst would be unbounded).
+///
+/// ```
+/// use netcalc::curve::Curve;
+/// use netcalc::minplus::deconvolve;
+///
+/// // Token bucket (b, r) through β_{R,T}: the output is (b + r·T, r).
+/// let alpha = Curve::affine(10_000.0, 1_000_000.0).unwrap();
+/// let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
+/// let out = deconvolve(&alpha, &beta).unwrap();
+/// assert!(out.approx_eq(&Curve::affine(10_016.0, 1_000_000.0).unwrap()));
+/// ```
+pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+    if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+        return Err(NcError::Unstable {
+            context: "deconvolution".into(),
+            demand_bps: alpha.long_term_rate().ceil() as u64,
+            capacity_bps: beta.long_term_rate().floor() as u64,
+        });
+    }
+    let mut result: Option<Curve> = None;
+    let mut fold = |member: Curve| {
+        result = Some(match result.take() {
+            Some(acc) => acc.max(&member),
+            None => member,
+        });
+    };
+    // Family over β's breakpoints: α read s_j later, lowered by β(s_j).
+    for &(s, v) in beta.points() {
+        fold(alpha.shift_left(s)?.saturating_sub_const(v)?);
+    }
+    // Family over α's breakpoints: the reflected service curve
+    // t ↦ (α(x_i) − β((x_i − t)⁺))⁺, constant for t ≥ x_i.
+    for &(x, y) in alpha.points() {
+        let mut raw: Vec<(f64, f64)> = vec![(0.0, y - beta.eval(x))];
+        for &(u, v) in beta.points().iter().rev() {
+            if u < x {
+                raw.push((x - u, y - v));
+            }
+        }
+        fold(crate::curve::clamp_nonneg(raw, 0.0));
+    }
+    Ok(result.expect("curves have at least one breakpoint each"))
+}
+
+/// The general blind-multiplexing **left-over service curve**: the service
+/// seen by one flow sharing a server with guarantee `beta` and cross
+/// traffic bounded by the arbitrary arrival curve `cross`,
+///
+/// `β_lo(t) = inf_{s ≥ t} [β(s) − α_cross(s)]⁺`,
+///
+/// i.e. the non-decreasing lower hull of the positive part of
+/// `β − α_cross`.  Any non-decreasing function pointwise below
+/// `[β − α_cross]⁺` is a valid service curve for the flow under *any*
+/// work-conserving arbitration (the last-empty-time argument behind
+/// Le Boudec & Thiran Thm 6.2.1 only evaluates it at a single lag), and
+/// the hull is the largest such function.  For a convex `β` and concave
+/// `cross` the difference is convex, the hull is the identity, and this
+/// reproduces [`RateLatency::leftover`](crate::RateLatency::leftover)
+/// exactly — the property tests in the crate root pin that down.
+///
+/// Returns [`NcError::Unstable`] when the cross traffic's long-term rate
+/// reaches the server's (no finite left-over service exists).
+///
+/// ```
+/// use netcalc::curve::Curve;
+/// use netcalc::minplus::leftover;
+///
+/// // 10 Mbps / 16 µs server, 4 Mbps / 8 kbit cross traffic:
+/// // the closed form is rate 6 Mbps, latency (10^7·16e-6 + 8000)/(6·10^6).
+/// let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+/// let cross = Curve::affine(8_000.0, 4e6).unwrap();
+/// let lo = leftover(&beta, &cross).unwrap();
+/// assert!(lo.approx_eq(&Curve::rate_latency(6e6, 8_160.0 / 6e6).unwrap()));
+///
+/// // Saturating cross traffic leaves nothing over.
+/// assert!(leftover(&beta, &Curve::affine(0.0, 10e6).unwrap()).is_err());
+/// ```
+pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+    let slope = beta.long_term_rate() - cross.long_term_rate();
+    if slope <= EPS {
+        return Err(NcError::Unstable {
+            context: "left-over service".into(),
+            demand_bps: cross.long_term_rate().ceil() as u64,
+            capacity_bps: beta.long_term_rate().floor() as u64,
+        });
+    }
+    // The difference β − α_cross on the merged breakpoint grid (piecewise
+    // linear there, possibly negative and non-monotone).
+    let xs = crate::curve::merged_abscissas(beta, cross);
+    let diff: Vec<(f64, f64)> = xs
+        .iter()
+        .map(|&x| (x, beta.eval(x) - cross.eval(x)))
+        .collect();
+    // Non-decreasing lower hull from the right: beyond the last breakpoint
+    // the difference grows at `slope > 0`, so the hull equals the
+    // difference there; walking segments right to left, a decreasing piece
+    // flattens to its right endpoint and an increasing piece is capped by
+    // the minimum seen so far (with the cap crossing inserted exactly).
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(diff.len() + 4);
+    let mut cap = diff.last().expect("non-empty grid").1;
+    hull.push(*diff.last().expect("non-empty grid"));
+    for w in diff.windows(2).rev() {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if y0 > y1 {
+            // Decreasing piece: the infimum over [t, x1] is its right end.
+            cap = cap.min(y1);
+            hull.push((x0, cap));
+        } else {
+            // Non-decreasing piece: hull follows it until the cap bites.
+            if y1 > cap && y0 < cap {
+                hull.push((x0 + (cap - y0) * (x1 - x0) / (y1 - y0), cap));
+            }
+            cap = cap.min(y0);
+            hull.push((x0, cap));
+        }
+    }
+    hull.reverse();
+    Ok(crate::curve::clamp_nonneg(hull, slope))
 }
 
 #[cfg(test)]
@@ -248,10 +449,153 @@ mod tests {
         // A periodic flow's staircase envelope gives a delay no larger than
         // its token-bucket envelope.
         let tb = Curve::affine(512.0, 25_600.0).unwrap();
-        let st = Curve::staircase(512.0, 0.02, 16).unwrap().min(&tb);
+        let st = Curve::staircase(512.0, 0.02, 16, 10_000_000.0)
+            .unwrap()
+            .min(&tb);
         let beta = Curve::rate_latency(10_000_000.0, 16e-6).unwrap();
         let h_tb = horizontal_deviation(&tb, &beta).unwrap();
         let h_st = horizontal_deviation(&st, &beta).unwrap();
         assert!(h_st <= h_tb + 1e-12);
+    }
+
+    // ---------------- general min-plus operators ----------------
+
+    #[test]
+    fn general_convolution_matches_the_rate_latency_closed_form() {
+        let a = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let b = Curve::rate_latency(100e6, 5e-6).unwrap();
+        let general = convolve(&a, &b);
+        let closed = convolve_rate_latency(&a, &b).unwrap();
+        assert!(general.approx_eq(&closed), "{general:?} vs {closed:?}");
+        // Convolution with the zero-latency infinite-server identity-ish
+        // curve: β ⊗ β_{∞,0} is β itself only in the limit, but β ⊗ δ_0
+        // with a huge rate is numerically β.
+        let fast = Curve::rate_latency(1e15, 0.0).unwrap();
+        assert!(convolve(&a, &fast).approx_eq(&a));
+        // Commutativity.
+        assert!(convolve(&a, &b).approx_eq(&convolve(&b, &a)));
+    }
+
+    #[test]
+    fn general_convolution_handles_non_convex_operands() {
+        // A staircase convolved with a rate-latency curve: spot-check the
+        // defining infimum on a grid.
+        let st = Curve::staircase(1_000.0, 0.01, 6, 10e6).unwrap();
+        let beta = Curve::rate_latency(2e6, 1e-3).unwrap();
+        let conv = convolve(&st, &beta);
+        for i in 0..80 {
+            let t = i as f64 * 5e-4;
+            // The infimum is attained where s (resp. t − s) hits a
+            // breakpoint, so evaluating on those candidates plus a grid is
+            // exact.
+            let mut candidates: Vec<f64> = (0..=400).map(|j| t * j as f64 / 400.0).collect();
+            candidates.extend(st.points().iter().map(|&(x, _)| x));
+            candidates.extend(beta.points().iter().map(|&(u, _)| t - u));
+            let expect = candidates
+                .into_iter()
+                .filter(|&s| (0.0..=t).contains(&s))
+                .map(|s| st.eval(s) + beta.eval(t - s))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (conv.eval(t) - expect).abs() <= 1e-3 + 1e-9 * expect,
+                "t={t}: {} vs exact {expect}",
+                conv.eval(t)
+            );
+        }
+    }
+
+    #[test]
+    fn general_deconvolution_matches_the_token_bucket_closed_form() {
+        let alpha = Curve::affine(10_000.0, 1e6).unwrap();
+        let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let out = deconvolve(&alpha, &beta).unwrap();
+        let burst = output_burst_token_bucket(10_000.0, 1e6, 10e6, 16e-6).unwrap();
+        assert!(
+            out.approx_eq(&Curve::affine(burst, 1e6).unwrap()),
+            "{out:?}"
+        );
+        // Unstable pair is rejected.
+        let fat = Curve::affine(1.0, 20e6).unwrap();
+        assert!(matches!(
+            deconvolve(&fat, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn general_deconvolution_of_a_staircase_is_exact() {
+        // Spot-check the defining supremum on a grid for a non-concave α.
+        let st = Curve::staircase(1_000.0, 0.01, 6, 10e6).unwrap();
+        let beta = Curve::rate_latency(2e6, 1e-3).unwrap();
+        let out = deconvolve(&st, &beta).unwrap();
+        for i in 0..60 {
+            let t = i as f64 * 5e-4;
+            let mut expect = 0.0_f64;
+            for j in 0..=800 {
+                let s = 0.08 * j as f64 / 800.0;
+                expect = expect.max(st.eval(t + s) - beta.eval(s));
+            }
+            assert!(
+                out.eval(t) + 1e-3 >= expect,
+                "t={t}: {} under-approximates {expect}",
+                out.eval(t)
+            );
+            assert!(
+                out.eval(t) <= expect + 1e-3 + 1e-9 * expect,
+                "t={t}: {} over-approximates {expect}",
+                out.eval(t)
+            );
+        }
+        // The output envelope dominates the input's shape shifted through
+        // the service latency.
+        assert!(out.eval(0.0) + 1e-6 >= st.eval(0.0));
+    }
+
+    #[test]
+    fn general_leftover_matches_the_rate_latency_closed_form() {
+        let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let cross = Curve::affine(8_000.0, 4e6).unwrap();
+        let lo = leftover(&beta, &cross).unwrap();
+        let expect = Curve::rate_latency(6e6, (10e6 * 16e-6 + 8_000.0) / 6e6).unwrap();
+        assert!(lo.approx_eq(&expect), "{lo:?} vs {expect:?}");
+        // Saturation leaves nothing over.
+        assert!(matches!(
+            leftover(&beta, &Curve::affine(0.0, 10e6).unwrap()),
+            Err(NcError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn general_leftover_with_staircase_cross_dominates_the_affine_one() {
+        // Staircase cross traffic is pointwise below its token bucket, so
+        // the left-over service is pointwise above the affine-cross one —
+        // and the served flow's delay bound can only shrink.
+        let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let tb_cross = Curve::affine(8_000.0, 400_000.0).unwrap();
+        let st_cross = Curve::staircase(8_000.0, 0.02, 16, 10e6).unwrap();
+        let lo_tb = leftover(&beta, &tb_cross).unwrap();
+        let lo_st = leftover(&beta, &st_cross).unwrap();
+        for i in 0..200 {
+            let t = i as f64 * 2.5e-4;
+            assert!(lo_st.eval(t) + 1e-6 >= lo_tb.eval(t), "t={t}");
+        }
+        let own = Curve::affine(512.0, 25_600.0).unwrap();
+        let h_st = horizontal_deviation(&own, &lo_st).unwrap();
+        let h_tb = horizontal_deviation(&own, &lo_tb).unwrap();
+        assert!(h_st <= h_tb + 1e-12);
+    }
+
+    #[test]
+    fn general_leftover_is_a_lower_bound_of_the_positive_difference() {
+        // The hull never exceeds [β − α]⁺ pointwise (that is what makes it
+        // a valid blind-multiplexing service curve).
+        let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let cross = Curve::staircase(20_000.0, 0.004, 8, 10e6).unwrap();
+        let lo = leftover(&beta, &cross).unwrap();
+        for i in 0..400 {
+            let t = i as f64 * 1e-4;
+            let diff = (beta.eval(t) - cross.eval(t)).max(0.0);
+            assert!(lo.eval(t) <= diff + 1e-6, "t={t}: {} > {diff}", lo.eval(t));
+        }
     }
 }

@@ -12,23 +12,31 @@
 //!   `D_p = (Σ_{i ∈ ∪_{q≤p} S_q} b_i + max_{j ∈ ∪_{q>p} S_q} b_j) /
 //!          (C − Σ_{i ∈ ∪_{q<p} S_q} r_i) + t_techno`.
 //!
-//! Both formulas are also derivable from the general curve machinery
-//! (aggregate token bucket against a residual rate-latency service curve);
-//! the unit tests cross-check the two derivations.
+//! Both formulas are special cases of the general curve machinery
+//! (aggregate arrival envelope against a residual rate-latency service
+//! curve); the unit tests cross-check the two derivations.  The
+//! multiplexers accept any [`Envelope`]: flows carrying only a token-bucket
+//! summary take exactly the closed-form path (bit-identical to the paper's
+//! formulas), while flows carrying a tighter piecewise-linear constraint
+//! (e.g. staircase envelopes of periodic sources) additionally run the
+//! aggregate through [`minplus::horizontal_deviation`] and report the
+//! minimum of both bounds.
 
-use crate::arrival::TokenBucket;
+use crate::arrival::{ArrivalBound, TokenBucket};
 use crate::bounds;
-use crate::service::RateLatency;
+use crate::envelope::Envelope;
+use crate::minplus;
+use crate::service::{RateLatency, ServiceBound};
 use crate::NcError;
 use serde::{Deserialize, Serialize};
 use units::{DataRate, DataSize, Duration};
 
-/// Analysis of a FCFS multiplexer fed by token-bucket shaped flows.
+/// Analysis of a FCFS multiplexer fed by shaped flows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FcfsMux {
     capacity: DataRate,
     ttechno: Duration,
-    flows: Vec<TokenBucket>,
+    flows: Vec<Envelope>,
 }
 
 impl FcfsMux {
@@ -43,18 +51,24 @@ impl FcfsMux {
     }
 
     /// Adds a shaped flow to the multiplexer.
-    pub fn add_flow(&mut self, flow: TokenBucket) {
-        self.flows.push(flow);
+    pub fn add_flow(&mut self, flow: impl Into<Envelope>) {
+        self.flows.push(flow.into());
     }
 
     /// Adds every flow from an iterator.
-    pub fn add_flows<I: IntoIterator<Item = TokenBucket>>(&mut self, flows: I) {
-        self.flows.extend(flows);
+    pub fn add_flows<E: Into<Envelope>, I: IntoIterator<Item = E>>(&mut self, flows: I) {
+        self.flows.extend(flows.into_iter().map(Into::into));
     }
 
     /// The flows currently multiplexed.
-    pub fn flows(&self) -> &[TokenBucket] {
+    pub fn flows(&self) -> &[Envelope] {
         &self.flows
+    }
+
+    /// `true` when any flow carries a constraint tighter than its
+    /// token-bucket summary.
+    fn has_extras(&self) -> bool {
+        self.flows.iter().any(Envelope::has_extra)
     }
 
     /// The link capacity `C`.
@@ -99,10 +113,21 @@ impl FcfsMux {
 
     /// The paper's FCFS latency bound `D = Σ b_i / C + t_techno`, identical
     /// for every flow through the multiplexer.
+    ///
+    /// When flows carry envelope constraints tighter than their token
+    /// buckets, the bound is the minimum of the closed form and the
+    /// horizontal deviation of the aggregate arrival curve against the
+    /// link's rate-latency curve (both are sound FCFS aggregate bounds).
     pub fn delay_bound(&self) -> Result<Duration, NcError> {
         self.check_stability()?;
         let queueing = self.capacity.transmission_time(self.aggregate_burst());
-        Ok(queueing + self.ttechno)
+        let closed = queueing + self.ttechno;
+        if !self.has_extras() {
+            return Ok(closed);
+        }
+        let aggregate = Envelope::aggregate_all(self.flows.iter());
+        let h = minplus::horizontal_deviation(&aggregate.curve(), &self.service_curve().curve())?;
+        Ok(closed.min(Duration::from_secs_f64_ceil(h)))
     }
 
     /// The same bound obtained through the general curve machinery
@@ -110,15 +135,23 @@ impl FcfsMux {
     /// cross-validate [`FcfsMux::delay_bound`].
     pub fn delay_bound_via_curves(&self) -> Result<Duration, NcError> {
         self.check_stability()?;
-        let aggregate = TokenBucket::aggregate_all(self.flows.iter());
+        let aggregate = TokenBucket::aggregate_all(self.flows.iter().map(Envelope::token_bucket));
         bounds::delay_bound(&aggregate, &self.service_curve())
     }
 
-    /// The worst-case backlog in the multiplexer queue.
+    /// The worst-case backlog in the multiplexer queue (with envelope
+    /// extras, the minimum of the closed-form and curve-aggregate vertical
+    /// deviations).
     pub fn backlog_bound(&self) -> Result<DataSize, NcError> {
         self.check_stability()?;
-        let aggregate = TokenBucket::aggregate_all(self.flows.iter());
-        bounds::backlog_bound(&aggregate, &self.service_curve())
+        let aggregate = TokenBucket::aggregate_all(self.flows.iter().map(Envelope::token_bucket));
+        let closed = bounds::backlog_bound(&aggregate, &self.service_curve())?;
+        if !self.has_extras() {
+            return Ok(closed);
+        }
+        let curves = Envelope::aggregate_all(self.flows.iter());
+        let v = minplus::vertical_deviation(&curves.curve(), &self.service_curve().curve())?;
+        Ok(closed.min(DataSize::from_bits(v.ceil() as u64)))
     }
 
     /// The rate-latency service curve offered by the outgoing link.
@@ -127,15 +160,15 @@ impl FcfsMux {
     }
 
     /// The output envelope of one of the multiplexed flows after traversing
-    /// this element (burst inflated by the element's delay bound).
+    /// this element.
     ///
     /// The FCFS element delays any bit of flow `i` by at most
-    /// [`FcfsMux::delay_bound`], so the output is bounded by the input curve
-    /// shifted left by that delay: a token bucket `(b_i + r_i·D, r_i)`.
-    pub fn output_envelope(&self, flow: &TokenBucket) -> Result<TokenBucket, NcError> {
-        let d = self.delay_bound()?;
-        let extra = flow.rate().bits_in(d);
-        Ok(TokenBucket::new(flow.burst() + extra, flow.rate()))
+    /// [`FcfsMux::delay_bound`], so the output is bounded by the input
+    /// envelope read that much later ([`Envelope::delayed`]): the
+    /// token-bucket summary inflates to `(b_i + r_i·D, r_i)` and any extra
+    /// constraint shifts left by `D`.
+    pub fn output_envelope(&self, flow: &Envelope) -> Result<Envelope, NcError> {
+        flow.delayed(self.delay_bound()?)
     }
 }
 
@@ -164,7 +197,7 @@ pub struct PriorityLevelReport {
 pub struct StaticPriorityMux {
     capacity: DataRate,
     ttechno: Duration,
-    levels: Vec<Vec<TokenBucket>>,
+    levels: Vec<Vec<Envelope>>,
 }
 
 impl StaticPriorityMux {
@@ -176,6 +209,15 @@ impl StaticPriorityMux {
             ttechno,
             levels: vec![Vec::new(); levels.max(1)],
         }
+    }
+
+    /// `true` when any flow of levels `q ≤ p` carries a constraint tighter
+    /// than its token-bucket summary.
+    fn has_extras_through(&self, priority: usize) -> bool {
+        self.levels[..=priority]
+            .iter()
+            .flat_map(|l| l.iter())
+            .any(Envelope::has_extra)
     }
 
     /// Number of priority levels.
@@ -194,16 +236,16 @@ impl StaticPriorityMux {
     }
 
     /// Adds a shaped flow at priority `priority` (0 = highest).
-    pub fn add_flow(&mut self, priority: usize, flow: TokenBucket) -> Result<(), NcError> {
+    pub fn add_flow(&mut self, priority: usize, flow: impl Into<Envelope>) -> Result<(), NcError> {
         self.levels
             .get_mut(priority)
             .ok_or(NcError::UnknownPriority(priority))?
-            .push(flow);
+            .push(flow.into());
         Ok(())
     }
 
     /// The flows registered at a given priority.
-    pub fn flows_at(&self, priority: usize) -> Result<&[TokenBucket], NcError> {
+    pub fn flows_at(&self, priority: usize) -> Result<&[Envelope], NcError> {
         self.levels
             .get(priority)
             .map(|v| v.as_slice())
@@ -314,18 +356,37 @@ impl StaticPriorityMux {
     ///
     /// `D_p = (Σ_{i∈∪_{q≤p} S_q} b_i + max_{j∈∪_{q>p} S_q} b_j) /
     ///        (C − Σ_{i∈∪_{q<p} S_q} r_i) + t_techno`.
+    ///
+    /// When flows of levels `q ≤ p` carry envelope constraints tighter
+    /// than their token buckets, the bound is the minimum of the closed
+    /// form and the horizontal deviation of their aggregate arrival curve
+    /// against [`StaticPriorityMux::residual_service`] (both are sound
+    /// non-preemptive strict-priority bounds).
     pub fn delay_bound(&self, priority: usize) -> Result<Duration, NcError> {
         let residual = self.residual_rate(priority)?;
         let numerator = self.cumulative_burst(priority) + self.lower_blocking_burst(priority);
-        Ok(residual.transmission_time(numerator) + self.ttechno)
+        let closed = residual.transmission_time(numerator) + self.ttechno;
+        if !self.has_extras_through(priority) {
+            return Ok(closed);
+        }
+        let aggregate =
+            Envelope::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
+        let service = self.residual_service(priority)?;
+        let h = minplus::horizontal_deviation(&aggregate.curve(), &service.curve())?;
+        Ok(closed.min(Duration::from_secs_f64_ceil(h)))
     }
 
-    /// The same bound via the general curve machinery (aggregate of levels
-    /// ≤ p against [`StaticPriorityMux::residual_service`]); used to
-    /// cross-validate [`StaticPriorityMux::delay_bound`].
+    /// The closed-form bound via the general curve machinery (aggregate
+    /// token bucket of levels ≤ p against
+    /// [`StaticPriorityMux::residual_service`]); used to cross-validate
+    /// [`StaticPriorityMux::delay_bound`].
     pub fn delay_bound_via_curves(&self, priority: usize) -> Result<Duration, NcError> {
-        let aggregate =
-            TokenBucket::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
+        let aggregate = TokenBucket::aggregate_all(
+            self.levels[..=priority]
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(Envelope::token_bucket),
+        );
         let service = self.residual_service(priority)?;
         if aggregate.rate() > service.rate() {
             return Err(NcError::Unstable {
@@ -337,10 +398,16 @@ impl StaticPriorityMux {
         bounds::delay_bound(&aggregate, &service)
     }
 
-    /// The worst-case backlog of the queues holding priorities ≤ p.
+    /// The worst-case backlog of the queues holding priorities ≤ p (with
+    /// envelope extras, the minimum of the closed-form and curve-aggregate
+    /// vertical deviations).
     pub fn backlog_bound(&self, priority: usize) -> Result<DataSize, NcError> {
-        let aggregate =
-            TokenBucket::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
+        let aggregate = TokenBucket::aggregate_all(
+            self.levels[..=priority]
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(Envelope::token_bucket),
+        );
         let service = self.residual_service(priority)?;
         if aggregate.rate() > service.rate() {
             return Err(NcError::Unstable {
@@ -349,7 +416,14 @@ impl StaticPriorityMux {
                 capacity_bps: service.rate().bps(),
             });
         }
-        bounds::backlog_bound(&aggregate, &service)
+        let closed = bounds::backlog_bound(&aggregate, &service)?;
+        if !self.has_extras_through(priority) {
+            return Ok(closed);
+        }
+        let curves =
+            Envelope::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
+        let v = minplus::vertical_deviation(&curves.curve(), &service.curve())?;
+        Ok(closed.min(DataSize::from_bits(v.ceil() as u64)))
     }
 
     /// Full per-level report (one entry per priority level, ordered from the
@@ -372,15 +446,10 @@ impl StaticPriorityMux {
     }
 
     /// The output envelope of one flow of priority `priority` after
-    /// traversing this element (burst inflated by the level's delay bound).
-    pub fn output_envelope(
-        &self,
-        priority: usize,
-        flow: &TokenBucket,
-    ) -> Result<TokenBucket, NcError> {
-        let d = self.delay_bound(priority)?;
-        let extra = flow.rate().bits_in(d);
-        Ok(TokenBucket::new(flow.burst() + extra, flow.rate()))
+    /// traversing this element ([`Envelope::delayed`] by the level's delay
+    /// bound).
+    pub fn output_envelope(&self, priority: usize, flow: &Envelope) -> Result<Envelope, NcError> {
+        flow.delayed(self.delay_bound(priority)?)
     }
 }
 
@@ -458,8 +527,8 @@ mod tests {
     #[test]
     fn fcfs_output_envelope_inflates_burst() {
         let mut mux = FcfsMux::new(c10(), t16());
-        let f = tb(1000, 20);
-        mux.add_flow(f);
+        let f = Envelope::from(tb(1000, 20));
+        mux.add_flow(f.clone());
         mux.add_flow(tb(500, 20));
         let out = mux.output_envelope(&f).unwrap();
         assert!(out.burst() > f.burst());
@@ -597,7 +666,7 @@ mod tests {
     #[test]
     fn output_envelope_inflates_burst_by_level_delay() {
         let mux = example_mux();
-        let f = tb(64, 20);
+        let f = Envelope::from(tb(64, 20));
         let out = mux.output_envelope(0, &f).unwrap();
         assert!(out.burst() >= f.burst());
         assert_eq!(out.rate(), f.rate());

@@ -2,6 +2,7 @@
 
 use core::fmt;
 use ethernet::frame::EthernetFrame;
+use netcalc::{Envelope, EnvelopeModel};
 use serde::{Deserialize, Serialize};
 use shaping::TrafficClass;
 use units::{DataRate, DataSize, Duration};
@@ -125,6 +126,18 @@ impl MessageSpec {
     pub fn shaper_rate(&self) -> DataRate {
         DataRate::per(self.frame_size(), self.interval())
             .expect("message intervals are validated to be non-zero")
+    }
+
+    /// The arrival envelope of this message under the given model, on a
+    /// line of rate `link_rate`.
+    ///
+    /// The token-bucket model is the paper's `(b_i, r_i)` shaper contract.
+    /// The staircase model additionally carries the staircase of the
+    /// release pattern — exact for periodic messages and valid for
+    /// sporadic ones too, whose minimal inter-arrival time bounds the
+    /// release count of any window by the same `⌊t/T⌋ + 1`.
+    pub fn arrival_envelope(&self, model: EnvelopeModel, link_rate: DataRate) -> Envelope {
+        Envelope::for_message(model, self.frame_size(), self.interval(), link_rate)
     }
 
     /// `true` if the message's deadline is trivially unachievable (shorter
@@ -384,6 +397,33 @@ mod tests {
         );
         // 14 + 1000 + 4 + 4 (tag) = 1022 bytes.
         assert_eq!(w.message(large).frame_size(), DataSize::from_bytes(1022));
+    }
+
+    #[test]
+    fn arrival_envelope_follows_the_model() {
+        let (mut w, a, b) = two_station_workload();
+        let id = w.add_message(
+            "nav",
+            a,
+            b,
+            DataSize::from_bytes(46),
+            Arrival::Periodic {
+                period: Duration::from_millis(20),
+            },
+            Duration::from_millis(20),
+        );
+        let link = DataRate::from_mbps(10);
+        let tb = w
+            .message(id)
+            .arrival_envelope(EnvelopeModel::TokenBucket, link);
+        assert!(!tb.has_extra());
+        assert_eq!(tb.burst(), w.message(id).frame_size());
+        assert_eq!(tb.rate(), w.message(id).shaper_rate());
+        let st = w
+            .message(id)
+            .arrival_envelope(EnvelopeModel::Staircase, link);
+        assert!(st.has_extra());
+        assert_eq!(st.rate(), tb.rate());
     }
 
     #[test]

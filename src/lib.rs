@@ -38,9 +38,10 @@ pub use workload;
 pub use rtswitch_core as core;
 
 pub use ethernet::Fabric;
+pub use netcalc::{Envelope, EnvelopeModel};
 pub use netsim::Simulator;
 pub use rtswitch_core::{
-    analyze, analyze_1553, analyze_multi_hop, sim_config_for, validation_from_bound_lookup,
-    Approach, MultiHopReport, NetworkConfig,
+    analyze, analyze_1553, analyze_multi_hop, analyze_multi_hop_with, sim_config_for,
+    validation_from_bound_lookup, Approach, MultiHopReport, NetworkConfig,
 };
 pub use workload::case_study::case_study;

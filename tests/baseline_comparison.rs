@@ -87,6 +87,7 @@ fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
         master_seed: 42,
         threads: 4,
         with_1553: true,
+        envelope_override: None,
     };
     let a = run_campaign(config);
     let b = run_campaign(CampaignConfig {
