@@ -1,0 +1,30 @@
+//! E12 — policy ablation: the paper's case study under FCFS, 4-level
+//! strict priority and weighted round robin, at 10 and 100 Mbps, with the
+//! per-class bounds validated against the policy-serving simulator.
+//!
+//! Usage: `cargo run -p bench --bin e12_policy_ablation [--seed <S>] [--json <path>]`
+
+use bench::{policy_ablation, render_policy_ablation};
+use rtswitch_core::report::to_json;
+use units::Duration;
+use workload::case_study::case_study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|pos| args.get(pos + 1))
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+
+    let rows = policy_ablation(&case_study(), Duration::from_millis(640), seed);
+    print!("{}", render_policy_ablation(&rows));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            std::fs::write(path, to_json(&rows).expect("serializes")).expect("write JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -525,6 +525,7 @@ pub fn campaign_sweep(
         threads,
         with_1553: false,
         envelope_override: None,
+        policy_override: None,
     })
 }
 
@@ -1037,9 +1038,223 @@ pub fn render_envelope_curves(rows: &[EnvelopeCurveRow], summary: &EnvelopeCurve
     out
 }
 
+// ---------------------------------------------------------------- E12
+
+/// One row of E12 — the paper case study under one scheduling policy at
+/// one link rate, aggregated per traffic class.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PolicyAblationRow {
+    /// Human-readable policy label ("FCFS", "strict priority", "WRR …").
+    pub policy: String,
+    /// Link rate of the run, Mbps.
+    pub link_rate_mbps: u64,
+    /// `false` when the policy is analytically infeasible at this rate
+    /// (a WRR class's quantum share cannot carry its load) — the bound
+    /// fields are zero then.
+    pub feasible: bool,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Messages of the class.
+    pub messages: usize,
+    /// Worst analytic end-to-end bound of the class, milliseconds.
+    pub worst_bound_ms: f64,
+    /// Worst simulated delay of the class, milliseconds.
+    pub worst_observed_ms: f64,
+    /// Worst per-message `observed / bound` of the class (how much of the
+    /// bound the simulation actually used).
+    pub tightness: f64,
+    /// Smallest per-message `deadline − bound` of the class, milliseconds
+    /// — negative when the policy's bound misses a deadline.
+    pub deadline_margin_ms: f64,
+    /// Whether every class message's bound meets its deadline.
+    pub meets_deadline: bool,
+}
+
+/// The WRR weight set E12 ships the case study with: byte quanta 2:2:1:1
+/// (two maximal frames per visit for the urgent and periodic classes, one
+/// for the sporadic and background classes).
+pub fn e12_wrr_approach() -> Approach {
+    Approach::Wrr {
+        weights: netsim::WrrWeights::new(
+            &[2 * 1_518, 2 * 1_518, 1_518, 1_518],
+            netsim::WrrUnit::Bytes,
+        ),
+    }
+}
+
+/// E12: the policy ablation — the paper's case study analysed and
+/// simulated under all three scheduling policies (FCFS, 4-level strict
+/// priority, WRR) at the paper's 10 Mbps and at 100 Mbps, recording
+/// per-class bound tightness against the simulation and the deadline
+/// margins.
+pub fn policy_ablation(
+    workload: &Workload,
+    horizon: Duration,
+    seed: u64,
+) -> Vec<PolicyAblationRow> {
+    use rtswitch_core::validate_against_simulation;
+
+    let policies: [(String, Approach); 3] = [
+        ("FCFS".into(), Approach::Fcfs),
+        ("strict priority".into(), Approach::StrictPriority),
+        ("WRR 2:2:1:1 bytes".into(), e12_wrr_approach()),
+    ];
+    let mut rows = Vec::new();
+    for rate_mbps in [10u64, 100] {
+        let config = NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(rate_mbps));
+        for (label, approach) in &policies {
+            match analyze(workload, &config, *approach) {
+                Err(_) => {
+                    for class in TrafficClass::ALL {
+                        rows.push(PolicyAblationRow {
+                            policy: label.clone(),
+                            link_rate_mbps: rate_mbps,
+                            feasible: false,
+                            class,
+                            messages: 0,
+                            worst_bound_ms: 0.0,
+                            worst_observed_ms: 0.0,
+                            tightness: 0.0,
+                            deadline_margin_ms: 0.0,
+                            meets_deadline: false,
+                        });
+                    }
+                }
+                Ok(report) => {
+                    let validation = validate_against_simulation(workload, &report, horizon, seed);
+                    for class in TrafficClass::ALL {
+                        let bounds: Vec<_> = report
+                            .messages
+                            .iter()
+                            .filter(|m| m.class == class)
+                            .collect();
+                        if bounds.is_empty() {
+                            continue;
+                        }
+                        let worst_bound = bounds
+                            .iter()
+                            .map(|m| m.total_bound)
+                            .fold(Duration::ZERO, Duration::max);
+                        let margin = bounds
+                            .iter()
+                            .map(|m| m.deadline.as_millis_f64() - m.total_bound.as_millis_f64())
+                            .fold(f64::INFINITY, f64::min);
+                        let entries: Vec<_> = validation
+                            .entries
+                            .iter()
+                            .filter(|e| bounds.iter().any(|m| m.message == e.message))
+                            .collect();
+                        let worst_observed = entries
+                            .iter()
+                            .map(|e| e.observed_worst)
+                            .fold(Duration::ZERO, Duration::max);
+                        let tightness = entries
+                            .iter()
+                            .filter(|e| e.samples > 0 && !e.is_degenerate())
+                            .map(|e| e.tightness())
+                            .fold(0.0, f64::max);
+                        rows.push(PolicyAblationRow {
+                            policy: label.clone(),
+                            link_rate_mbps: rate_mbps,
+                            feasible: true,
+                            class,
+                            messages: bounds.len(),
+                            worst_bound_ms: worst_bound.as_millis_f64(),
+                            worst_observed_ms: worst_observed.as_millis_f64(),
+                            tightness,
+                            deadline_margin_ms: margin,
+                            meets_deadline: bounds.iter().all(|m| m.meets_deadline),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the policy ablation as a text table.
+pub fn render_policy_ablation(rows: &[PolicyAblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("E12 — policy ablation: per-class bounds, tightness and deadline margins\n");
+    out.push_str(&format!(
+        "{:<20} {:>6} {:<14} {:>10} {:>12} {:>9} {:>12} {:>6}\n",
+        "policy", "Mbps", "class", "bound ms", "observed ms", "tight", "margin ms", "meets"
+    ));
+    for row in rows {
+        if !row.feasible {
+            out.push_str(&format!(
+                "{:<20} {:>6} {:<14} {:>10}\n",
+                row.policy,
+                row.link_rate_mbps,
+                row.class.to_string(),
+                "infeasible"
+            ));
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<20} {:>6} {:<14} {:>10.3} {:>12.3} {:>9.4} {:>12.3} {:>6}\n",
+            row.policy,
+            row.link_rate_mbps,
+            row.class.to_string(),
+            row.worst_bound_ms,
+            row.worst_observed_ms,
+            row.tightness,
+            row.deadline_margin_ms,
+            if row.meets_deadline { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn policy_ablation_covers_all_policies_and_is_sound() {
+        let rows = policy_ablation(&case_study(), Duration::from_millis(320), 42);
+        // Three policies × two rates × four classes (feasible or not).
+        assert_eq!(rows.len(), 24);
+        for row in rows.iter().filter(|r| r.feasible) {
+            assert!(row.worst_bound_ms > 0.0);
+            // Soundness: the simulation never exceeds the analytic bound.
+            assert!(
+                row.worst_observed_ms <= row.worst_bound_ms,
+                "{} {} {}: observed {} > bound {}",
+                row.policy,
+                row.link_rate_mbps,
+                row.class,
+                row.worst_observed_ms,
+                row.worst_bound_ms
+            );
+            assert!(row.tightness >= 0.0 && row.tightness <= 1.0 + 1e-9);
+            assert_eq!(row.meets_deadline, row.deadline_margin_ms >= 0.0);
+        }
+        // The paper's Figure-1 verdicts survive inside E12: FCFS misses the
+        // urgent deadline at 10 Mbps, strict priority meets every deadline.
+        let urgent_fcfs = rows
+            .iter()
+            .find(|r| {
+                r.policy == "FCFS"
+                    && r.link_rate_mbps == 10
+                    && r.class == TrafficClass::UrgentSporadic
+            })
+            .unwrap();
+        assert!(!urgent_fcfs.meets_deadline);
+        assert!(rows
+            .iter()
+            .filter(|r| r.policy == "strict priority" && r.link_rate_mbps == 10)
+            .all(|r| r.meets_deadline));
+        // At 100 Mbps every policy (WRR included) is feasible.
+        assert!(rows
+            .iter()
+            .filter(|r| r.link_rate_mbps == 100)
+            .all(|r| r.feasible));
+        let table = render_policy_ablation(&rows);
+        assert!(table.contains("E12"));
+        assert!(table.contains("WRR"));
+    }
 
     #[test]
     fn envelope_ablation_measures_gain_and_cost() {

@@ -12,6 +12,7 @@
 
 use campaign::{run_campaign, CampaignConfig, ComparisonReport, ScenarioOutcome};
 use netcalc::EnvelopeModel;
+use rtswitch_core::PolicyArm;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -39,6 +40,11 @@ OPTIONS:
                       scenario draws its own arm), token-bucket (closed
                       forms only, pre-curve behaviour), or staircase
                       (validate the staircase bounds everywhere)
+    --policy <P>      scheduling-policy dimension: sweep (default, each
+                      scenario draws its own arm, WRR included), fcfs or
+                      priority (force the paper's arms — byte-identical to
+                      the pre-WRR campaign), or wrr (validate every
+                      scenario's seeded WRR weight set)
     --json <PATH>     write the deterministic campaign outcome as JSON
     --quiet           suppress the per-policy table
     --help            print this help
@@ -50,6 +56,7 @@ struct Args {
     threads: usize,
     with_1553: bool,
     envelope: Option<EnvelopeModel>,
+    policy: Option<PolicyArm>,
     json: Option<String>,
     quiet: bool,
 }
@@ -61,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         with_1553: false,
         envelope: None,
+        policy: None,
         json: None,
         quiet: false,
     };
@@ -97,6 +105,19 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--policy" => {
+                args.policy = match value_of("--policy")?.as_str() {
+                    "sweep" => None,
+                    "fcfs" => Some(PolicyArm::Fcfs),
+                    "priority" => Some(PolicyArm::StrictPriority),
+                    "wrr" => Some(PolicyArm::Wrr),
+                    other => {
+                        return Err(format!(
+                            "--policy expects sweep, fcfs, priority or wrr, got `{other}`"
+                        ))
+                    }
+                };
+            }
             "--json" => args.json = Some(value_of("--json")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -124,6 +145,7 @@ fn main() -> ExitCode {
         threads: args.threads,
         with_1553: args.with_1553,
         envelope_override: args.envelope,
+        policy_override: args.policy,
     };
     say!(
         "campaign: {} scenarios, master seed {}, {} worker threads",

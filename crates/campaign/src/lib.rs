@@ -52,6 +52,7 @@
 //!     threads: 2,
 //!     with_1553: true,
 //!     envelope_override: None,
+//!     policy_override: None,
 //! });
 //! assert!(report.outcome.summary.all_sound());
 //! assert_eq!(report.outcome.results.len(), 8);

@@ -3,7 +3,7 @@
 use crate::comparison::{ComparisonReport, ComparisonSummary};
 use crate::space::Scenario;
 use netcalc::EnvelopeModel;
-use rtswitch_core::{Approach, MultiHopReport, ValidationReport};
+use rtswitch_core::{MultiHopReport, PolicyArm, ValidationReport};
 use serde::{Deserialize, Serialize};
 use units::Duration;
 
@@ -234,11 +234,19 @@ impl ScenarioResult {
     }
 }
 
-/// Aggregate of one policy arm of the sweep.
+/// Aggregate of one policy arm of the sweep: per-policy soundness
+/// (`sound` / `validated`), tightness (`mean_tightness`) and win counts
+/// (`validated − deadline_miss_scenarios` scenarios whose bounds met every
+/// deadline).
+///
+/// Keyed by [`PolicyArm`] — WRR scenarios each draw their own weights, but
+/// they all aggregate into the one WRR row, which only appears when the
+/// sweep actually contains a WRR arm (so campaigns forced onto the
+/// pre-WRR policies serialize byte-identically to the pre-WRR output).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApproachBreakdown {
-    /// The multiplexing approach.
-    pub approach: Approach,
+    /// The scheduling-policy arm.
+    pub approach: PolicyArm,
     /// Scenarios of this arm that produced bounds.
     pub validated: usize,
     /// Scenarios of this arm found analytically infeasible.
@@ -380,14 +388,23 @@ impl CampaignSummary {
         let mut gain_medians = Vec::new();
         let mut violations = Vec::new();
         let mut tightness_values = Vec::new();
-        let mut arms: Vec<(Approach, Vec<&ScenarioResult>)> = vec![
-            (Approach::Fcfs, Vec::new()),
-            (Approach::StrictPriority, Vec::new()),
+        let mut arms: Vec<(PolicyArm, Vec<&ScenarioResult>)> = vec![
+            (PolicyArm::Fcfs, Vec::new()),
+            (PolicyArm::StrictPriority, Vec::new()),
         ];
+        // The WRR row joins the breakdown only when the sweep drew (or was
+        // forced onto) the WRR arm, keeping pre-WRR campaign JSON
+        // byte-stable under the fcfs/priority policy overrides.
+        if results
+            .iter()
+            .any(|r| r.scenario.approach.arm() == PolicyArm::Wrr)
+        {
+            arms.push((PolicyArm::Wrr, Vec::new()));
+        }
 
         for result in results {
-            for (approach, bucket) in &mut arms {
-                if result.scenario.approach == *approach {
+            for (arm, bucket) in &mut arms {
+                if result.scenario.approach.arm() == *arm {
                     bucket.push(result);
                 }
             }

@@ -14,7 +14,9 @@ use crate::report::{CampaignSummary, EnvelopeGain, PbooCheck, ScenarioOutcome, S
 use crate::space::{Scenario, ScenarioSpace};
 use netcalc::EnvelopeModel;
 use netsim::Simulator;
-use rtswitch_core::{analyze_multi_hop_with, validation_from_bound_lookup, AnalysisError};
+use rtswitch_core::{
+    analyze_multi_hop_with, validation_from_bound_lookup, AnalysisError, Approach, PolicyArm,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -40,6 +42,12 @@ pub struct CampaignConfig {
     /// `Some(TokenBucket)` is the pre-refactor configuration: only the
     /// closed-form pipeline runs and its bounds are reproduced exactly.
     pub envelope_override: Option<EnvelopeModel>,
+    /// Force one scheduling-policy arm onto every scenario instead of
+    /// sweeping the per-scenario policy dimension (`--policy` CLI flag).
+    /// `Some(Fcfs)` / `Some(StrictPriority)` reproduce the pre-WRR
+    /// campaign outputs byte for byte; `Some(Wrr)` validates every
+    /// scenario's own seeded WRR weight set.
+    pub policy_override: Option<PolicyArm>,
 }
 
 impl Default for CampaignConfig {
@@ -50,6 +58,7 @@ impl Default for CampaignConfig {
             threads: 0,
             with_1553: false,
             envelope_override: None,
+            policy_override: None,
         }
     }
 }
@@ -238,7 +247,20 @@ pub fn execute_scenario_with(
 /// seed and executes them on `config.effective_threads()` workers.
 pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
     let space = ScenarioSpace::new(config.master_seed);
-    let scenarios = space.scenarios(config.scenarios);
+    let mut scenarios = space.scenarios(config.scenarios);
+    // The policy override replaces each scenario's drawn arm before
+    // execution (and therefore before serialization): forcing FCFS or
+    // strict priority reproduces the pre-WRR campaign byte for byte, and
+    // forcing WRR puts every scenario on its own seeded weight set.
+    if let Some(arm) = config.policy_override {
+        for scenario in &mut scenarios {
+            scenario.approach = match arm {
+                PolicyArm::Fcfs => Approach::Fcfs,
+                PolicyArm::StrictPriority => Approach::StrictPriority,
+                PolicyArm::Wrr => space.wrr_arm(scenario.id),
+            };
+        }
+    }
     let threads = config
         .effective_threads()
         .max(1)
@@ -307,6 +329,7 @@ mod tests {
             threads,
             with_1553: false,
             envelope_override: None,
+            policy_override: None,
         }
     }
 
@@ -469,6 +492,7 @@ mod tests {
             threads: 16,
             with_1553: false,
             envelope_override: None,
+            policy_override: None,
         });
         assert_eq!(report.runtime.threads, 2);
         assert_eq!(report.outcome.results.len(), 2);
@@ -481,6 +505,7 @@ mod tests {
         // non-negative, with at least one scenario genuinely tightened.
         let report = run_campaign(CampaignConfig {
             envelope_override: Some(netcalc::EnvelopeModel::Staircase),
+            policy_override: None,
             ..small_config(4)
         });
         let summary = &report.outcome.summary;
@@ -507,6 +532,7 @@ mod tests {
     fn token_bucket_override_disables_the_staircase_stage() {
         let report = run_campaign(CampaignConfig {
             envelope_override: Some(netcalc::EnvelopeModel::TokenBucket),
+            policy_override: None,
             ..small_config(2)
         });
         let summary = &report.outcome.summary;
@@ -533,6 +559,69 @@ mod tests {
                 assert!(v.envelope_gain.is_some(), "sweep records gains everywhere");
             }
         }
+    }
+
+    #[test]
+    fn policy_override_forces_every_scenario_onto_one_arm() {
+        for arm in [PolicyArm::Fcfs, PolicyArm::StrictPriority, PolicyArm::Wrr] {
+            let report = run_campaign(CampaignConfig {
+                scenarios: 8,
+                policy_override: Some(arm),
+                ..small_config(2)
+            });
+            assert!(report
+                .outcome
+                .results
+                .iter()
+                .all(|r| r.scenario.approach.arm() == arm));
+            // Forced WRR scenarios carry their own seeded weight sets.
+            if arm == PolicyArm::Wrr {
+                let space = ScenarioSpace::new(42);
+                for r in &report.outcome.results {
+                    assert_eq!(r.scenario.approach, space.wrr_arm(r.scenario.id));
+                }
+            }
+            // The breakdown grows a WRR row exactly when the arm is WRR.
+            let rows = &report.outcome.summary.by_approach;
+            assert_eq!(rows.len(), if arm == PolicyArm::Wrr { 3 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn forced_wrr_campaign_is_sound() {
+        // Every scenario on its seeded WRR weight set: the WRR bounds must
+        // hold against the WRR-serving simulator everywhere.
+        let report = run_campaign(CampaignConfig {
+            policy_override: Some(PolicyArm::Wrr),
+            ..small_config(4)
+        });
+        let summary = &report.outcome.summary;
+        assert!(summary.all_sound(), "violations: {:?}", summary.violations);
+        assert!(summary.validated > 0, "no WRR scenario was validated");
+        assert!(summary.pboo_consistent());
+        let wrr_row = summary
+            .by_approach
+            .iter()
+            .find(|a| a.approach == PolicyArm::Wrr)
+            .expect("WRR row present");
+        assert_eq!(wrr_row.validated, summary.validated);
+        assert_eq!(wrr_row.sound, summary.validated);
+    }
+
+    #[test]
+    fn sweep_draws_and_validates_the_wrr_arm() {
+        let report = run_campaign(small_config(4));
+        let rows = &report.outcome.summary.by_approach;
+        assert_eq!(rows.len(), 3, "sweep must contain all three arms");
+        let wrr_row = rows
+            .iter()
+            .find(|a| a.approach == PolicyArm::Wrr)
+            .expect("WRR row present");
+        assert!(
+            wrr_row.validated + wrr_row.infeasible > 0,
+            "no WRR scenario drawn in the sweep"
+        );
+        assert_eq!(wrr_row.sound, wrr_row.validated);
     }
 
     #[test]

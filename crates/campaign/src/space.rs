@@ -12,7 +12,7 @@
 use ethernet::fabric::Fabric;
 use ethernet::link::Link;
 use ethernet::phy::Phy;
-use ethernet::switch::{SchedulingPolicy, SwitchModel};
+use ethernet::switch::{SwitchModel, WrrUnit, WrrWeights};
 use ethernet::topology::Topology;
 use netcalc::EnvelopeModel;
 use netsim::{Phasing, SimConfig, SporadicModel};
@@ -145,10 +145,7 @@ impl Scenario {
     /// them, one full-duplex link per workload station, everything at the
     /// scenario's rate.
     pub fn build_topology(&self, workload: &Workload) -> Topology {
-        let policy = match self.approach {
-            Approach::Fcfs => SchedulingPolicy::Fcfs,
-            Approach::StrictPriority => SchedulingPolicy::StrictPriority { levels: 4 },
-        };
+        let policy = self.approach.scheduling_policy(4);
         let switch = SwitchModel::new("campaign-switch", workload.stations.len(), policy)
             .with_relaying_latency(self.ttechno);
         let phy = match self.link_rate.bps() {
@@ -197,6 +194,18 @@ impl ScenarioSpace {
     /// The `i`-th scenario of this space — a pure function of
     /// `(master_seed, i)`.
     pub fn scenario(&self, id: usize) -> Scenario {
+        self.scenario_inner(id).0
+    }
+
+    /// The weighted-round-robin arm scenario `id` draws (its seeded weight
+    /// set), whether or not the policy-widening coin upgraded the scenario
+    /// to it — the `--policy wrr` override forces every scenario onto its
+    /// own WRR arm through this accessor.
+    pub fn wrr_arm(&self, id: usize) -> Approach {
+        self.scenario_inner(id).1
+    }
+
+    fn scenario_inner(&self, id: usize) -> (Scenario, Approach) {
         let seed = mix(self.master_seed, id as u64);
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -274,29 +283,64 @@ impl ScenarioSpace {
         };
         let horizon = Duration::from_millis([160u64, 320][rng.gen_range(0..2usize)]);
 
-        // Envelope dimension, drawn *last* so every earlier dimension of a
-        // given (master seed, id) is unchanged from the pre-envelope
-        // scenario space — the token-bucket arm therefore reproduces the
-        // pre-refactor scenarios exactly.
+        // Envelope dimension, drawn after the original dimensions so every
+        // earlier dimension of a given (master seed, id) is unchanged from
+        // the pre-envelope scenario space — the token-bucket arm therefore
+        // reproduces the pre-refactor scenarios exactly.
         let envelope = if rng.gen_bool(0.5) {
             EnvelopeModel::TokenBucket
         } else {
             EnvelopeModel::Staircase
         };
 
-        Scenario {
-            id,
-            seed,
-            source,
-            link_rate,
-            ttechno,
-            approach,
-            fabric,
-            sporadic,
-            phasing,
-            horizon,
-            envelope,
-        }
+        // Policy-dimension widening, drawn *last* (after every
+        // pre-existing draw, envelope included) so all earlier dimensions
+        // of a given (master seed, id) reproduce the pre-WRR space byte
+        // for byte: every scenario draws a seeded WRR weight set, and a
+        // final coin upgrades roughly a third of the scenarios onto it —
+        // the `--policy fcfs|priority` overrides therefore reproduce the
+        // pre-refactor campaign outputs exactly.
+        let wrr_arm = {
+            let classes = rng.gen_range(2..=4usize);
+            let unit = if rng.gen_bool(0.5) {
+                WrrUnit::Frames
+            } else {
+                WrrUnit::Bytes
+            };
+            let mut quanta = [0u32; 4];
+            for q in quanta.iter_mut().take(classes) {
+                *q = match unit {
+                    // 1–4 maximal frames per visit, either accounting.
+                    WrrUnit::Frames => rng.gen_range(1..=4u32),
+                    WrrUnit::Bytes => 1_518 * rng.gen_range(1..=4u32),
+                };
+            }
+            Approach::Wrr {
+                weights: WrrWeights::new(&quanta[..classes], unit),
+            }
+        };
+        let approach = if rng.gen_bool(1.0 / 3.0) {
+            wrr_arm
+        } else {
+            approach
+        };
+
+        (
+            Scenario {
+                id,
+                seed,
+                source,
+                link_rate,
+                ttechno,
+                approach,
+                fabric,
+                sporadic,
+                phasing,
+                horizon,
+                envelope,
+            },
+            wrr_arm,
+        )
     }
 
     /// The first `count` scenarios of this space.
@@ -380,18 +424,68 @@ mod tests {
     }
 
     #[test]
-    fn envelope_dimension_leaves_earlier_dimensions_unchanged() {
-        // The envelope draw is appended after every pre-existing dimension,
-        // so workload, rates, fabric, policy and activation of a given
-        // (master seed, id) must match what the pre-envelope space
-        // produced.  Spot-check scenario 0 of seed 42 against the values
-        // the campaign has pinned since PR 2.
+    fn late_dimensions_leave_earlier_dimensions_unchanged() {
+        // The envelope draw and the policy-widening draw are appended
+        // after every pre-existing dimension, so workload, rates, fabric
+        // and activation of a given (master seed, id) must match what the
+        // pre-envelope space produced.  Spot-check scenario 0 of seed 42
+        // against the values the campaign has pinned since PR 2.
         let s = ScenarioSpace::new(42).scenario(0);
         let w = s.build_workload();
         assert_eq!(w.messages.len(), 131);
         assert_eq!(w.stations.len(), 30);
         assert_eq!(s.fabric.switch_count(), 1);
-        assert_eq!(s.approach, Approach::StrictPriority);
+        // The policy coin (drawn last) upgraded this scenario onto its WRR
+        // arm; the pre-WRR approach is restored by the campaign's
+        // `--policy priority` override, which the policy regression test
+        // pins byte-identically.
+        assert_eq!(s.approach.arm(), rtswitch_core::PolicyArm::Wrr);
+        assert_eq!(s.approach, ScenarioSpace::new(42).wrr_arm(0));
+    }
+
+    #[test]
+    fn space_covers_all_three_policy_arms_and_both_wrr_units() {
+        use ethernet::switch::WrrUnit;
+        use rtswitch_core::PolicyArm;
+        let scenarios = ScenarioSpace::new(42).scenarios(64);
+        for arm in [PolicyArm::Fcfs, PolicyArm::StrictPriority, PolicyArm::Wrr] {
+            assert!(
+                scenarios.iter().any(|s| s.approach.arm() == arm),
+                "no {arm} scenario in 64 draws"
+            );
+        }
+        let units: Vec<WrrUnit> = scenarios
+            .iter()
+            .filter_map(|s| match s.approach {
+                Approach::Wrr { weights } => Some(weights.unit),
+                _ => None,
+            })
+            .collect();
+        assert!(units.contains(&WrrUnit::Frames));
+        assert!(units.contains(&WrrUnit::Bytes));
+        // Every WRR scenario's weights are its own seeded arm.
+        let space = ScenarioSpace::new(42);
+        for s in &scenarios {
+            if s.approach.arm() == PolicyArm::Wrr {
+                assert_eq!(s.approach, space.wrr_arm(s.id));
+            }
+        }
+    }
+
+    #[test]
+    fn wrr_arms_are_deterministic_and_bounded() {
+        let space = ScenarioSpace::new(7);
+        for id in 0..32 {
+            let a = space.wrr_arm(id);
+            assert_eq!(a, space.wrr_arm(id));
+            let Approach::Wrr { weights } = a else {
+                panic!("wrr_arm must return a WRR approach");
+            };
+            assert!((2..=4).contains(&weights.classes));
+            for &q in &weights.quanta[..weights.classes] {
+                assert!(q >= 1);
+            }
+        }
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub fn analyze_with_envelope(
     approach: Approach,
     model: EnvelopeModel,
 ) -> Result<AnalysisReport, AnalysisError> {
-    let levels = config.priority_levels.max(1);
+    let policy = approach.scheduling_policy(config.priority_levels);
     let source_envelope =
         |spec: &workload::MessageSpec| spec.arrival_envelope(model, config.link_rate);
 
@@ -164,15 +164,18 @@ pub fn analyze_with_envelope(
                 message: spec.id,
                 envelope: source_envelope(spec),
                 priority: spec.priority(),
+                frame: spec.frame_size(),
             })
             .collect();
         if flows.is_empty() {
             continue;
         }
-        let bounds = analyze_stage(&flows, approach, config.link_rate, Duration::ZERO, levels)
-            .map_err(|source| AnalysisError::Stage {
-                stage: format!("station {} ({}) uplink", station.id, station.name),
-                source,
+        let bounds =
+            analyze_stage(&flows, &policy, config.link_rate, Duration::ZERO).map_err(|source| {
+                AnalysisError::Stage {
+                    stage: format!("station {} ({}) uplink", station.id, station.name),
+                    source,
+                }
             })?;
         for (message, bound) in bounds {
             stage1.insert(message, (bound.delay, bound.output));
@@ -194,16 +197,19 @@ pub fn analyze_with_envelope(
                     message: spec.id,
                     envelope: output,
                     priority: spec.priority(),
+                    frame: spec.frame_size(),
                 }
             })
             .collect();
         if flows.is_empty() {
             continue;
         }
-        let bounds = analyze_stage(&flows, approach, config.link_rate, config.ttechno, levels)
-            .map_err(|source| AnalysisError::Stage {
-                stage: format!("switch port to {} ({})", station.id, station.name),
-                source,
+        let bounds =
+            analyze_stage(&flows, &policy, config.link_rate, config.ttechno).map_err(|source| {
+                AnalysisError::Stage {
+                    stage: format!("switch port to {} ({})", station.id, station.name),
+                    source,
+                }
             })?;
         for (message, bound) in bounds {
             stage2.insert(message, bound.delay);

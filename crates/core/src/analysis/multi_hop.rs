@@ -73,10 +73,10 @@
 //! ```
 
 use crate::analysis::end_to_end::AnalysisError;
-use crate::analysis::stage::{analyze_stage, StageFlow};
+use crate::analysis::stage::{analyze_stage, mux_for_policy, StageFlow};
 use crate::analysis::Approach;
 use crate::config::NetworkConfig;
-use ethernet::Fabric;
+use ethernet::{Fabric, SchedulingPolicy};
 use netcalc::{
     delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, NcError, RateLatency,
     TokenBucket,
@@ -301,7 +301,7 @@ pub fn analyze_multi_hop_with(
         workload.stations.len(),
         "fabric and workload disagree on the station count"
     );
-    let levels = config.priority_levels.max(1);
+    let policy = approach.scheduling_policy(config.priority_levels);
 
     // The ordered port sequence of every message.
     let paths: Vec<Vec<FabricPort>> = workload
@@ -403,9 +403,10 @@ pub fn analyze_multi_hop_with(
                 message: MessageId(msg),
                 envelope: envelope[msg].clone(),
                 priority: workload.messages[msg].priority(),
+                frame: workload.messages[msg].frame_size(),
             })
             .collect();
-        let stage_bounds = analyze_stage(&stage_flows, approach, config.link_rate, ttechno, levels)
+        let stage_bounds = analyze_stage(&stage_flows, &policy, config.link_rate, ttechno)
             .map_err(|source| AnalysisError::Stage {
                 stage: port.to_string(),
                 source,
@@ -415,7 +416,7 @@ pub fn analyze_multi_hop_with(
         let port_curves = match model {
             EnvelopeModel::TokenBucket => None,
             EnvelopeModel::Staircase => Some(
-                leftover_curves_for_port(&stage_flows, approach, config, ttechno, levels).map_err(
+                leftover_curves_for_port(&stage_flows, &policy, config, ttechno).map_err(
                     |source| AnalysisError::Stage {
                         stage: port.to_string(),
                         source,
@@ -441,7 +442,7 @@ pub fn analyze_multi_hop_with(
                     capacity_bps: config.link_rate.bps(),
                 },
             };
-            let mut leftover = leftover_service(&stage_flows, i, approach, config, ttechno, levels)
+            let mut leftover = leftover_service(&stage_flows, i, &policy, config, ttechno)
                 .ok_or_else(unstable_port)?;
             // Store-and-forward packetizer: a frame cannot enter the next
             // hop's service before it is *fully* received, so the fluid
@@ -582,7 +583,7 @@ pub fn analyze_multi_hop_with(
 
 /// The left-over rate-latency service curve of flow `index` at a port
 /// multiplexing `flows`, or `None` when the interfering traffic saturates
-/// the link.
+/// the flow's residual service.
 ///
 /// * **FCFS** — blind multiplexing against the aggregate of every other
 ///   flow at the port.
@@ -590,17 +591,21 @@ pub fn analyze_multi_hop_with(
 ///   the same or higher priority, after reserving the transmission time of
 ///   the largest lower-priority frame (non-preemptive blocking) as extra
 ///   latency.
+/// * **WRR** — the class's quantum-share residual service
+///   ([`netcalc::WrrMux::residual_service`]), then blind multiplexing
+///   against the other flows of the *same class* (the class queue is one
+///   FIFO, so the arbitrary-multiplexing residual applies within it).
 fn leftover_service(
     flows: &[StageFlow],
     index: usize,
-    approach: Approach,
+    policy: &SchedulingPolicy,
     config: &NetworkConfig,
     ttechno: Duration,
-    levels: usize,
 ) -> Option<RateLatency> {
-    let clamp = |p: usize| p.min(levels.saturating_sub(1));
-    let (cross, blocking) = match approach {
-        Approach::Fcfs => {
+    let classes = policy.queue_count();
+    let clamp = |p: usize| p.min(classes.saturating_sub(1));
+    let (base, cross) = match policy {
+        SchedulingPolicy::Fcfs => {
             let cross = TokenBucket::aggregate_all(
                 flows
                     .iter()
@@ -608,9 +613,9 @@ fn leftover_service(
                     .filter(|&(j, _)| j != index)
                     .map(|(_, f)| f.envelope.token_bucket()),
             );
-            (cross, units::DataSize::ZERO)
+            (RateLatency::new(config.link_rate, ttechno), cross)
         }
-        Approach::StrictPriority => {
+        SchedulingPolicy::StrictPriority { .. } => {
             let own = clamp(flows[index].priority);
             let cross = TokenBucket::aggregate_all(
                 flows
@@ -624,13 +629,34 @@ fn leftover_service(
                 .filter(|f| clamp(f.priority) > own)
                 .map(|f| f.envelope.burst())
                 .fold(units::DataSize::ZERO, units::DataSize::max);
-            (cross, blocking)
+            let base = RateLatency::new(
+                config.link_rate,
+                ttechno + config.link_rate.transmission_time(blocking),
+            );
+            (base, cross)
+        }
+        SchedulingPolicy::Wrr { .. } => {
+            // The quantum-share residual depends only on the per-class
+            // frame sizes and occupancy, so the mux is fed the flows'
+            // token-bucket summaries — not their full piecewise-linear
+            // envelopes, whose clones would dominate this per-flow path.
+            let mut mux = mux_for_policy(policy, config.link_rate, ttechno);
+            for f in flows {
+                mux.add_flow(f.priority, f.envelope.token_bucket(), f.frame)
+                    .ok()?;
+            }
+            let own = clamp(flows[index].priority);
+            let base = mux.residual_service(own).ok()?;
+            let cross = TokenBucket::aggregate_all(
+                flows
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, f)| j != index && clamp(f.priority) == own)
+                    .map(|(_, f)| f.envelope.token_bucket()),
+            );
+            (base, cross)
         }
     };
-    let base = RateLatency::new(
-        config.link_rate,
-        ttechno + config.link_rate.transmission_time(blocking),
-    );
     base.leftover(&cross)
 }
 
@@ -647,15 +673,15 @@ fn leftover_service(
 /// quadratic to linear in the flow count.
 fn leftover_curves_for_port(
     flows: &[StageFlow],
-    approach: Approach,
+    policy: &SchedulingPolicy,
     config: &NetworkConfig,
     ttechno: Duration,
-    levels: usize,
 ) -> Result<Vec<Curve>, NcError> {
     use netcalc::ServiceBound;
+    let levels = policy.queue_count();
     let clamp = |p: usize| p.min(levels.saturating_sub(1));
-    match approach {
-        Approach::Fcfs => {
+    match policy {
+        SchedulingPolicy::Fcfs => {
             let full = Envelope::aggregate_all(flows.iter().map(|f| &f.envelope)).curve();
             let base = RateLatency::new(config.link_rate, ttechno).curve();
             flows
@@ -666,7 +692,7 @@ fn leftover_curves_for_port(
                 })
                 .collect()
         }
-        Approach::StrictPriority => {
+        SchedulingPolicy::StrictPriority { .. } => {
             // Aggregate arrival curve of levels ≤ p, one prefix per level.
             let mut prefixes: Vec<Curve> = Vec::with_capacity(levels);
             let mut acc = netcalc::Curve::zero();
@@ -704,6 +730,34 @@ fn leftover_curves_for_port(
                 })
                 .collect()
         }
+        SchedulingPolicy::Wrr { .. } => {
+            // Per-class quantum-share residual services, then the general
+            // blind-multiplexing left-over against the *same-class* cross
+            // traffic's full piecewise-linear envelopes.
+            let mut mux = mux_for_policy(policy, config.link_rate, ttechno);
+            for f in flows {
+                mux.add_flow(f.priority, f.envelope.clone(), f.frame)?;
+            }
+            // Aggregate arrival curve of each class (classes without flows
+            // never get looked up).
+            let mut aggregates: Vec<Curve> = vec![netcalc::Curve::zero(); levels];
+            for f in flows {
+                let own = clamp(f.priority);
+                aggregates[own] = aggregates[own].add(&f.envelope.curve());
+            }
+            let mut bases: Vec<Option<Curve>> = vec![None; levels];
+            flows
+                .iter()
+                .map(|f| {
+                    let own = clamp(f.priority);
+                    if bases[own].is_none() {
+                        bases[own] = Some(mux.residual_service(own)?.curve());
+                    }
+                    let cross = aggregates[own].sub_envelope(&f.envelope.curve());
+                    minplus::leftover(bases[own].as_ref().expect("just filled"), &cross)
+                })
+                .collect()
+        }
     }
 }
 
@@ -724,6 +778,12 @@ mod tests {
 
     fn fast_config() -> NetworkConfig {
         NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(100))
+    }
+
+    fn wrr_approach() -> Approach {
+        Approach::Wrr {
+            weights: ethernet::WrrWeights::new(&[6000, 3000, 1518, 1518], ethernet::WrrUnit::Bytes),
+        }
     }
 
     #[test]
@@ -758,7 +818,7 @@ mod tests {
             Fabric::star_of_stars(2, w.stations.len()),
             Fabric::star_of_stars(3, w.stations.len()),
         ] {
-            for approach in [Approach::Fcfs, Approach::StrictPriority] {
+            for approach in [Approach::Fcfs, Approach::StrictPriority, wrr_approach()] {
                 let report = analyze_multi_hop(&w, &cfg, approach, &fabric).unwrap();
                 assert!(
                     report.pboo_consistent(),
@@ -918,7 +978,7 @@ mod tests {
             Fabric::line(3, w.stations.len()),
             Fabric::star_of_stars(2, w.stations.len()),
         ] {
-            for approach in [Approach::Fcfs, Approach::StrictPriority] {
+            for approach in [Approach::Fcfs, Approach::StrictPriority, wrr_approach()] {
                 let report = analyze_multi_hop(&w, &cfg, approach, &fabric).unwrap();
                 for seed in [1u64, 7] {
                     let sim = netsim::Simulator::with_fabric(

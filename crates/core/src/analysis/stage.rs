@@ -1,10 +1,10 @@
 //! Analysis of one multiplexing stage (a station uplink or a switch output
-//! port).
+//! port), generic over the unified [`SchedulingPolicy`].
 
-use crate::analysis::Approach;
-use netcalc::{Envelope, FcfsMux, NcError, StaticPriorityMux};
+use ethernet::{SchedulingPolicy, WrrUnit};
+use netcalc::{Envelope, Mux, NcError, WrrAccounting};
 use serde::{Deserialize, Serialize};
-use units::{DataRate, Duration};
+use units::{DataRate, DataSize, Duration};
 use workload::MessageId;
 
 /// One shaped flow entering a multiplexing stage.
@@ -16,8 +16,32 @@ pub struct StageFlow {
     /// is the shaper's `(b_i, r_i)` — possibly carrying a staircase curve —
     /// and at the switch it is the source stage's output envelope).
     pub envelope: Envelope,
-    /// Queue index under the strict-priority policy (ignored by FCFS).
+    /// Queue index under the class-based policies (ignored by FCFS),
+    /// clamped to the policy's queue count like the traffic classifier.
     pub priority: usize,
+    /// The flow's maximal physical frame size — unlike the envelope burst
+    /// it does not inflate across hops, and the WRR quantum accounting
+    /// works on frames.
+    pub frame: DataSize,
+}
+
+/// Builds the empty policy-generic multiplexer for a stage: the single
+/// place that maps the unified [`SchedulingPolicy`] onto the Network-
+/// Calculus multiplexers (FCFS, strict priority, WRR).
+pub fn mux_for_policy(policy: &SchedulingPolicy, capacity: DataRate, ttechno: Duration) -> Mux {
+    match policy {
+        SchedulingPolicy::Fcfs => Mux::fcfs(capacity, ttechno),
+        SchedulingPolicy::StrictPriority { levels } => {
+            Mux::static_priority((*levels).max(1), capacity, ttechno)
+        }
+        SchedulingPolicy::Wrr { weights } => {
+            let accounting = match weights.unit {
+                WrrUnit::Frames => WrrAccounting::Frames,
+                WrrUnit::Bytes => WrrAccounting::Bytes,
+            };
+            Mux::wrr(capacity, ttechno, accounting, &weights.active_quanta())
+        }
+    }
 }
 
 /// The per-flow outcome of a stage analysis.
@@ -31,74 +55,51 @@ pub struct StageBound {
     pub output: Envelope,
 }
 
-/// Analyses one stage under the given approach.
+/// Analyses one stage under the given scheduling policy.
 ///
 /// * `capacity` — the outgoing link rate `C`;
 /// * `ttechno` — the relaying latency of the element (0 for an end system,
-///   the switch's `t_techno` for a switch output port);
-/// * `levels` — number of strict-priority queues (ignored by FCFS).
+///   the switch's `t_techno` for a switch output port).
+///
+/// The policy selects the residual-service multiplexer through the
+/// policy-generic [`Mux`] dispatch; the per-class delay bounds are
+/// computed lazily (aggregating a class's arrival curves is the expensive
+/// part) and shared by every flow of the class.
 pub fn analyze_stage(
     flows: &[StageFlow],
-    approach: Approach,
+    policy: &SchedulingPolicy,
     capacity: DataRate,
     ttechno: Duration,
-    levels: usize,
 ) -> Result<Vec<(MessageId, StageBound)>, NcError> {
-    match approach {
-        Approach::Fcfs => {
-            let mut mux = FcfsMux::new(capacity, ttechno);
-            for flow in flows {
-                mux.add_flow(flow.envelope.clone());
-            }
-            // One shared bound per FCFS stage; outputs are the inputs
-            // delayed by it (exactly what `FcfsMux::output_envelope`
-            // computes, without re-deriving the bound per flow).
-            let delay = mux.delay_bound()?;
-            flows
-                .iter()
-                .map(|flow| {
-                    let output = flow.envelope.delayed(delay)?;
-                    Ok((flow.message, StageBound { delay, output }))
-                })
-                .collect()
-        }
-        Approach::StrictPriority => {
-            let mut mux = StaticPriorityMux::new(levels, capacity, ttechno);
-            for flow in flows {
-                mux.add_flow(
-                    flow.priority.min(levels.saturating_sub(1)),
-                    flow.envelope.clone(),
-                )?;
-            }
-            mux.check_stability()?;
-            // One bound per priority level (computed lazily — aggregating
-            // the level's arrival curves is the expensive part), shared by
-            // every flow of the level.
-            let mut level_delay: Vec<Option<Duration>> = vec![None; levels];
-            flows
-                .iter()
-                .map(|flow| {
-                    let priority = flow.priority.min(levels.saturating_sub(1));
-                    let delay = match level_delay[priority] {
-                        Some(delay) => delay,
-                        None => {
-                            let delay = mux.delay_bound(priority)?;
-                            level_delay[priority] = Some(delay);
-                            delay
-                        }
-                    };
-                    let output = flow.envelope.delayed(delay)?;
-                    Ok((flow.message, StageBound { delay, output }))
-                })
-                .collect()
-        }
+    let mut mux = mux_for_policy(policy, capacity, ttechno);
+    let classes = mux.class_count();
+    for flow in flows {
+        mux.add_flow(flow.priority, flow.envelope.clone(), flow.frame)?;
     }
+    mux.check_stability()?;
+    let mut class_delay: Vec<Option<Duration>> = vec![None; classes];
+    flows
+        .iter()
+        .map(|flow| {
+            let class = flow.priority.min(classes.saturating_sub(1));
+            let delay = match class_delay[class] {
+                Some(delay) => delay,
+                None => {
+                    let delay = mux.delay_bound(class)?;
+                    class_delay[class] = Some(delay);
+                    delay
+                }
+            };
+            let output = flow.envelope.delayed(delay)?;
+            Ok((flow.message, StageBound { delay, output }))
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use units::DataSize;
+    use ethernet::WrrWeights;
 
     fn flow(id: usize, bytes: u64, period_ms: u64, priority: usize) -> StageFlow {
         StageFlow {
@@ -109,11 +110,26 @@ mod tests {
             )
             .into(),
             priority,
+            frame: DataSize::from_bytes(bytes),
         }
     }
 
     fn c10() -> DataRate {
         DataRate::from_mbps(10)
+    }
+
+    fn fcfs() -> SchedulingPolicy {
+        SchedulingPolicy::Fcfs
+    }
+
+    fn sp4() -> SchedulingPolicy {
+        SchedulingPolicy::StrictPriority { levels: 4 }
+    }
+
+    fn wrr4() -> SchedulingPolicy {
+        SchedulingPolicy::Wrr {
+            weights: WrrWeights::new(&[4, 2, 1, 1], WrrUnit::Frames),
+        }
     }
 
     #[test]
@@ -123,8 +139,7 @@ mod tests {
             flow(1, 86, 40, 1),
             flow(2, 1046, 160, 3),
         ];
-        let result =
-            analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4).unwrap();
+        let result = analyze_stage(&flows, &fcfs(), c10(), Duration::from_micros(16)).unwrap();
         assert_eq!(result.len(), 3);
         let d0 = result[0].1.delay;
         assert!(result.iter().all(|(_, b)| b.delay == d0));
@@ -144,48 +159,69 @@ mod tests {
             flow(1, 86, 40, 1),
             flow(2, 1046, 160, 3),
         ];
-        let result = analyze_stage(
-            &flows,
-            Approach::StrictPriority,
-            c10(),
-            Duration::from_micros(16),
-            4,
-        )
-        .unwrap();
+        let result = analyze_stage(&flows, &sp4(), c10(), Duration::from_micros(16)).unwrap();
         assert!(result[0].1.delay <= result[1].1.delay);
         assert!(result[1].1.delay <= result[2].1.delay);
         // The urgent flow's bound beats the FCFS bound for the same stage.
-        let fcfs =
-            analyze_stage(&flows, Approach::Fcfs, c10(), Duration::from_micros(16), 4).unwrap();
+        let fcfs = analyze_stage(&flows, &fcfs(), c10(), Duration::from_micros(16)).unwrap();
         assert!(result[0].1.delay < fcfs[0].1.delay);
     }
 
     #[test]
-    fn priority_indices_above_the_level_count_are_clamped() {
-        let flows = [flow(0, 68, 20, 9)];
-        let result =
-            analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).unwrap();
-        assert_eq!(result.len(), 1);
-        assert!(result[0].1.delay > Duration::ZERO);
+    fn wrr_stage_bounds_every_class() {
+        let flows = [
+            flow(0, 68, 20, 0),
+            flow(1, 86, 40, 1),
+            flow(2, 1046, 160, 3),
+        ];
+        let result = analyze_stage(&flows, &wrr4(), c10(), Duration::from_micros(16)).unwrap();
+        assert_eq!(result.len(), 3);
+        for (i, (_, bound)) in result.iter().enumerate() {
+            assert!(bound.delay > Duration::ZERO);
+            assert!(bound.output.burst() >= flows[i].envelope.burst());
+        }
+    }
+
+    #[test]
+    fn single_class_wrr_stage_equals_fcfs_stage() {
+        let flows = [
+            flow(0, 68, 20, 0),
+            flow(1, 86, 40, 1),
+            flow(2, 1046, 160, 3),
+        ];
+        let single = SchedulingPolicy::Wrr {
+            weights: WrrWeights::new(&[2], WrrUnit::Frames),
+        };
+        let wrr = analyze_stage(&flows, &single, c10(), Duration::from_micros(16)).unwrap();
+        let fcfs = analyze_stage(&flows, &fcfs(), c10(), Duration::from_micros(16)).unwrap();
+        assert_eq!(wrr, fcfs);
+    }
+
+    #[test]
+    fn priority_indices_above_the_class_count_are_clamped() {
+        for policy in [sp4(), wrr4()] {
+            let flows = [flow(0, 68, 20, 9)];
+            let result = analyze_stage(&flows, &policy, c10(), Duration::ZERO).unwrap();
+            assert_eq!(result.len(), 1);
+            assert!(result[0].1.delay > Duration::ZERO);
+        }
     }
 
     #[test]
     fn empty_stage_is_fine() {
-        assert!(analyze_stage(&[], Approach::Fcfs, c10(), Duration::ZERO, 4)
-            .unwrap()
-            .is_empty());
-        assert!(
-            analyze_stage(&[], Approach::StrictPriority, c10(), Duration::ZERO, 4)
+        for policy in [fcfs(), sp4(), wrr4()] {
+            assert!(analyze_stage(&[], &policy, c10(), Duration::ZERO)
                 .unwrap()
-                .is_empty()
-        );
+                .is_empty());
+        }
     }
 
     #[test]
     fn overload_is_reported() {
         // 1518 bytes every 1 ms ≈ 12 Mbps > 10 Mbps.
         let flows = [flow(0, 1518, 1, 0)];
-        assert!(analyze_stage(&flows, Approach::Fcfs, c10(), Duration::ZERO, 4).is_err());
-        assert!(analyze_stage(&flows, Approach::StrictPriority, c10(), Duration::ZERO, 4).is_err());
+        for policy in [fcfs(), sp4(), wrr4()] {
+            assert!(analyze_stage(&flows, &policy, c10(), Duration::ZERO).is_err());
+        }
     }
 }

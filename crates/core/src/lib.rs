@@ -60,7 +60,7 @@ pub use analysis::multi_hop::{
     analyze_multi_hop, analyze_multi_hop_with, FabricPort, HopBound, MultiHopMessageBound,
     MultiHopReport,
 };
-pub use analysis::Approach;
+pub use analysis::{Approach, PolicyArm};
 pub use compare1553::{
     analyze_1553, compare_bounds_1553, compare_with_1553, BaselineComparison, Bus1553Study,
     Bus1553Validation, Infeasible1553, Infeasible1553Kind,

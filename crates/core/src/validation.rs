@@ -3,7 +3,7 @@
 
 use crate::analysis::end_to_end::AnalysisReport;
 use crate::analysis::Approach;
-use netsim::{MuxPolicy, SimConfig, SimReport, Simulator};
+use netsim::{SimConfig, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 use units::Duration;
 use workload::{MessageId, Workload};
@@ -111,14 +111,8 @@ pub fn sim_config_for(
     horizon: Duration,
     seed: u64,
 ) -> SimConfig {
-    let policy = match approach {
-        Approach::Fcfs => MuxPolicy::Fcfs,
-        Approach::StrictPriority => MuxPolicy::StrictPriority {
-            levels: config.priority_levels,
-        },
-    };
     SimConfig {
-        policy,
+        policy: approach.scheduling_policy(config.priority_levels),
         link_rate: config.link_rate,
         ttechno: config.ttechno,
         propagation: config.propagation,
@@ -285,6 +279,40 @@ mod tests {
     }
 
     #[test]
+    fn wrr_bounds_hold_in_simulation_across_seeds_and_weights() {
+        // The WRR extension runs through the exact ValidationEntry loop the
+        // FCFS/strict-priority arms use: analytic per-class bounds from the
+        // WRR residual services, observed worst delays from the simulator
+        // serving the same quanta — every observation must respect its
+        // bound, for frame- and byte-accounted quanta alike.
+        let w = reduced_case_study();
+        let weight_sets = [
+            netsim::WrrWeights::new(&[4, 2, 1, 1], netsim::WrrUnit::Frames),
+            netsim::WrrWeights::new(&[6000, 3000, 1518, 1518], netsim::WrrUnit::Bytes),
+            netsim::WrrWeights::new(&[2, 2], netsim::WrrUnit::Frames),
+        ];
+        for weights in weight_sets {
+            let approach = Approach::Wrr { weights };
+            let report = analyze(&w, &NetworkConfig::paper_default(), approach).unwrap();
+            for seed in [1u64, 42] {
+                let validation =
+                    validate_against_simulation(&w, &report, Duration::from_millis(640), seed);
+                assert!(
+                    validation.all_sound(),
+                    "{weights:?} seed {seed} violations: {:?}",
+                    validation
+                        .violations()
+                        .iter()
+                        .map(|v| (&v.name, v.observed_worst, v.bound))
+                        .collect::<Vec<_>>()
+                );
+                assert!(validation.entries.iter().any(|e| e.samples > 0));
+                assert!(validation.mean_tightness() > 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn matching_config_mirrors_the_analysis_parameters() {
         let w = reduced_case_study();
         let report = analyze(
@@ -296,14 +324,25 @@ mod tests {
         let cfg = matching_sim_config(&report, Duration::from_millis(100), 3);
         assert_eq!(cfg.link_rate, report.config.link_rate);
         assert_eq!(cfg.ttechno, report.config.ttechno);
-        assert_eq!(cfg.policy, MuxPolicy::StrictPriority { levels: 4 });
+        assert_eq!(
+            cfg.policy,
+            netsim::SchedulingPolicy::StrictPriority { levels: 4 }
+        );
         assert_eq!(cfg.horizon, Duration::from_millis(100));
         assert_eq!(cfg.seed, 3);
         let fcfs_report = analyze(&w, &NetworkConfig::paper_default(), Approach::Fcfs).unwrap();
         assert_eq!(
             matching_sim_config(&fcfs_report, Duration::from_millis(100), 3).policy,
-            MuxPolicy::Fcfs
+            netsim::SchedulingPolicy::Fcfs
         );
+        let weights = netsim::WrrWeights::new(&[4, 2, 1, 1], netsim::WrrUnit::Frames);
+        let cfg = sim_config_for(
+            Approach::Wrr { weights },
+            &NetworkConfig::paper_default(),
+            Duration::from_millis(100),
+            3,
+        );
+        assert_eq!(cfg.policy, netsim::SchedulingPolicy::Wrr { weights });
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use frame::{EthernetFrame, FrameError, MAX_PAYLOAD, MIN_FRAME_SIZE};
 pub use link::Link;
 pub use mac::MacAddress;
 pub use phy::Phy;
-pub use switch::SwitchModel;
+pub use switch::{SchedulingPolicy, SwitchModel, WrrUnit, WrrWeights, MAX_WRR_CLASSES};
 pub use topology::{NodeId, PortId, Route, Topology, TopologyError};
 pub use vlan::{Pcp, VlanTag};

@@ -40,7 +40,10 @@ pub use bounds::{backlog_bound, delay_bound, output_burst};
 pub use curve::Curve;
 pub use envelope::{Envelope, EnvelopeModel};
 pub use minplus::{convolve, deconvolve, leftover};
-pub use mux::{FcfsMux, PriorityLevelReport, StaticPriorityMux};
+pub use mux::{
+    FcfsMux, Mux, PriorityLevelReport, StaticPriorityMux, WrrAccounting, WrrClassReport, WrrFlow,
+    WrrMux,
+};
 pub use service::{RateLatency, ServiceBound};
 
 /// Errors produced by the analysis routines.
@@ -287,6 +290,76 @@ mod proptests {
             let h_st = minplus::horizontal_deviation(&st_out.curve(), &beta.curve()).unwrap();
             let h_tb = minplus::horizontal_deviation(&tb_out.curve(), &beta.curve()).unwrap();
             prop_assert!(h_st <= h_tb + 1e-12, "delayed: {h_st} > {h_tb}");
+        }
+
+        /// WRR residual services never promise more than the port offers:
+        /// the per-class residual rates sum to at most `C`, and the sum of
+        /// the residual curves stays below the full port service curve at
+        /// every sampled instant.
+        #[test]
+        fn wrr_residuals_sum_below_port_service(
+            quanta in proptest::collection::vec(1u64..8, 2..5),
+            sizes in proptest::collection::vec(64u64..1_518, 2..5),
+            capacity_mbps in 10u64..1_000,
+            byte_flag in 0u8..2,
+        ) {
+            let byte_mode = byte_flag == 1;
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let n = quanta.len().min(sizes.len());
+            let accounting = if byte_mode { mux::WrrAccounting::Bytes } else { mux::WrrAccounting::Frames };
+            let quanta: Vec<u64> = quanta[..n]
+                .iter()
+                .map(|&q| if byte_mode { q * 1_518 } else { q })
+                .collect();
+            let mut wrr = mux::WrrMux::new(capacity, Duration::from_micros(16), accounting, &quanta);
+            for (p, &s) in sizes[..n].iter().enumerate() {
+                wrr.add_flow(p, TokenBucket::for_message(
+                    DataSize::from_bytes(s),
+                    Duration::from_millis(200),
+                ), DataSize::from_bytes(s)).unwrap();
+            }
+            let port = RateLatency::new(capacity, Duration::from_micros(16));
+            let residuals: Vec<RateLatency> = (0..n)
+                .map(|p| wrr.residual_service(p).unwrap())
+                .collect();
+            let rate_sum: u64 = residuals.iter().map(|r| r.rate().bps()).sum();
+            prop_assert!(rate_sum <= port.rate().bps(),
+                "residual rates sum to {rate_sum} > {}", port.rate().bps());
+            for t_us in [0u64, 16, 100, 1_000, 10_000, 100_000, 1_000_000] {
+                let t = t_us as f64 * 1e-6;
+                let sum: f64 = residuals.iter().map(|r| r.curve().eval(t)).sum();
+                prop_assert!(sum <= port.curve().eval(t) + 1e-6,
+                    "Σ residual {sum} above port service at t = {t_us} µs");
+            }
+        }
+
+        /// A single-class WRR multiplexer is FCFS: same residual service
+        /// curve, same delay bound, for any quantum and either accounting
+        /// unit.
+        #[test]
+        fn single_class_wrr_equals_fcfs(
+            quantum in 1u64..64,
+            sizes in proptest::collection::vec(64u64..1_518, 1..8),
+            capacity_mbps in 10u64..1_000,
+            byte_flag in 0u8..2,
+        ) {
+            let byte_mode = byte_flag == 1;
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let accounting = if byte_mode { mux::WrrAccounting::Bytes } else { mux::WrrAccounting::Frames };
+            let mut wrr = mux::WrrMux::new(capacity, Duration::from_micros(16), accounting, &[quantum]);
+            let mut fcfs = FcfsMux::new(capacity, Duration::from_micros(16));
+            for &s in &sizes {
+                let flow = TokenBucket::for_message(
+                    DataSize::from_bytes(s),
+                    Duration::from_millis(20),
+                );
+                wrr.add_flow(0, flow, DataSize::from_bytes(s)).unwrap();
+                fcfs.add_flow(flow);
+            }
+            let residual = wrr.residual_service(0).unwrap();
+            prop_assert_eq!(residual.rate(), capacity);
+            prop_assert_eq!(residual.latency(), Duration::from_micros(16));
+            prop_assert_eq!(wrr.delay_bound(0).unwrap(), fcfs.delay_bound().unwrap());
         }
 
         /// In a strict-priority multiplexer the bound of a higher priority

@@ -1,35 +1,12 @@
 //! Simulation configuration.
+//!
+//! The output-port scheduling policy is the workspace-wide
+//! [`ethernet::switch::SchedulingPolicy`] (re-exported here and from the
+//! crate root) — the simulator has no policy enum of its own.
 
+use ethernet::switch::SchedulingPolicy;
 use serde::{Deserialize, Serialize};
 use units::{DataRate, DataSize, Duration};
-
-/// Output-port multiplexing policy used by every station and by the switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum MuxPolicy {
-    /// One FIFO per output port (the paper's first approach).
-    Fcfs,
-    /// Strict priority with the given number of levels (the paper's second
-    /// approach uses 4).
-    StrictPriority {
-        /// Number of priority levels.
-        levels: usize,
-    },
-}
-
-impl MuxPolicy {
-    /// The paper's 4-level strict-priority configuration.
-    pub fn paper_priority() -> Self {
-        MuxPolicy::StrictPriority { levels: 4 }
-    }
-
-    /// Number of queues per output port.
-    pub fn levels(&self) -> usize {
-        match self {
-            MuxPolicy::Fcfs => 1,
-            MuxPolicy::StrictPriority { levels } => (*levels).max(1),
-        }
-    }
-}
 
 /// How sporadic messages generate instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,8 +39,8 @@ pub enum Phasing {
 /// Complete configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
-    /// Multiplexing policy of every output port.
-    pub policy: MuxPolicy,
+    /// Scheduling policy of every output port.
+    pub policy: SchedulingPolicy,
     /// Link rate `C` of every full-duplex link.
     pub link_rate: DataRate,
     /// Switch relaying latency bound `t_techno`.
@@ -100,7 +77,7 @@ impl SimConfig {
     /// (160 ms) of simulated time per seed.
     pub fn paper_default() -> Self {
         SimConfig {
-            policy: MuxPolicy::paper_priority(),
+            policy: SchedulingPolicy::paper_priority(),
             link_rate: DataRate::from_mbps(10),
             ttechno: Duration::from_micros(16),
             propagation: Duration::ZERO,
@@ -116,7 +93,13 @@ impl SimConfig {
 
     /// Switches the configuration to the FCFS policy.
     pub fn with_fcfs(mut self) -> Self {
-        self.policy = MuxPolicy::Fcfs;
+        self.policy = SchedulingPolicy::Fcfs;
+        self
+    }
+
+    /// Switches the configuration to a weighted-round-robin policy.
+    pub fn with_wrr(mut self, weights: ethernet::switch::WrrWeights) -> Self {
+        self.policy = SchedulingPolicy::Wrr { weights };
         self
     }
 
@@ -167,7 +150,7 @@ mod tests {
         let cfg = SimConfig::paper_default();
         assert_eq!(cfg.link_rate, DataRate::from_mbps(10));
         assert_eq!(cfg.ttechno, Duration::from_micros(16));
-        assert_eq!(cfg.policy.levels(), 4);
+        assert_eq!(cfg.policy.queue_count(), 4);
         assert!(cfg.shaping);
         assert_eq!(cfg.switch_buffer, None);
         assert_eq!(cfg.background_burst_factor, 1);
@@ -192,8 +175,8 @@ mod tests {
             .with_horizon(Duration::from_millis(320))
             .with_seed(7)
             .without_shaping();
-        assert_eq!(cfg.policy, MuxPolicy::Fcfs);
-        assert_eq!(cfg.policy.levels(), 1);
+        assert_eq!(cfg.policy, SchedulingPolicy::Fcfs);
+        assert_eq!(cfg.policy.queue_count(), 1);
         assert_eq!(cfg.link_rate, DataRate::from_mbps(100));
         assert_eq!(cfg.horizon, Duration::from_millis(320));
         assert_eq!(cfg.seed, 7);
@@ -201,9 +184,11 @@ mod tests {
     }
 
     #[test]
-    fn mux_policy_levels() {
-        assert_eq!(MuxPolicy::Fcfs.levels(), 1);
-        assert_eq!(MuxPolicy::StrictPriority { levels: 0 }.levels(), 1);
-        assert_eq!(MuxPolicy::paper_priority().levels(), 4);
+    fn wrr_builder_installs_the_shared_policy() {
+        use ethernet::switch::{WrrUnit, WrrWeights};
+        let weights = WrrWeights::new(&[4, 2, 1, 1], WrrUnit::Frames);
+        let cfg = SimConfig::paper_default().with_wrr(weights);
+        assert_eq!(cfg.policy, SchedulingPolicy::Wrr { weights });
+        assert_eq!(cfg.policy.queue_count(), 4);
     }
 }

@@ -4,6 +4,7 @@ use crate::config::{Phasing, SimConfig, SporadicModel};
 use crate::event::{EventKind, EventQueue, PortRef};
 use crate::metrics::{DelayAccumulator, FlowStats, PortStats, SimReport};
 use crate::packet::Packet;
+use ethernet::switch::{SchedulingPolicy, WrrUnit};
 use ethernet::Fabric;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,10 +114,112 @@ struct FlowState {
     delays: DelayAccumulator,
 }
 
+/// The service discipline of one output port.
+///
+/// Strict priority (a single level of which is FCFS) picks the
+/// highest-priority non-empty queue; weighted round robin cycles through
+/// the class queues under deficit-style quantum accounting.  Either way the
+/// frame in transmission is never preempted (the engine only asks for the
+/// next frame when the link goes idle).
+enum PortScheduler {
+    /// Highest non-empty queue first (FCFS when there is one queue).
+    Priority,
+    /// Deficit-style weighted round robin.
+    Wrr(WrrState),
+}
+
+/// Mutable weighted-round-robin state of one port.
+///
+/// `deficits[c]` counts what class `c` may still send in its current visit:
+/// whole frames under [`WrrUnit::Frames`], bits under [`WrrUnit::Bytes`].
+/// Byte deficits carry over when a visit ends with a frame too large for
+/// the remainder (deficit round robin); frame quanta reset every visit.
+struct WrrState {
+    /// Quanta per class, in frames or bits depending on `unit`.
+    quanta: Vec<u64>,
+    unit: WrrUnit,
+    /// The class whose visit is current.
+    current: usize,
+    /// `true` once the current class has been granted its quantum.
+    visiting: bool,
+    deficits: Vec<u64>,
+}
+
+impl WrrState {
+    fn new(weights: &ethernet::WrrWeights) -> Self {
+        let quanta: Vec<u64> = weights
+            .active_quanta()
+            .into_iter()
+            .map(|q| match weights.unit {
+                WrrUnit::Frames => q,
+                // Byte quanta are accounted in bits, like packet sizes.
+                WrrUnit::Bytes => q * 8,
+            })
+            .collect();
+        WrrState {
+            deficits: vec![0; quanta.len()],
+            unit: weights.unit,
+            current: 0,
+            visiting: false,
+            quanta,
+        }
+    }
+
+    /// Picks the next frame to transmit, updating the quantum accounting.
+    ///
+    /// The caller guarantees at least one queue is non-empty, so the loop
+    /// terminates: every full cycle either serves a frame or (in byte mode)
+    /// grows a non-empty class's deficit by its quantum until its head
+    /// frame fits.
+    fn dequeue(&mut self, queues: &mut PriorityQueues<Packet>) -> Option<(usize, Packet)> {
+        if queues.is_empty() {
+            return None;
+        }
+        loop {
+            if !self.visiting {
+                self.visiting = true;
+                match self.unit {
+                    WrrUnit::Frames => self.deficits[self.current] = self.quanta[self.current],
+                    WrrUnit::Bytes => self.deficits[self.current] += self.quanta[self.current],
+                }
+            }
+            match queues.peek_at(self.current) {
+                None => {
+                    // An idle class hoards no credit (classic DRR).
+                    self.deficits[self.current] = 0;
+                    self.advance();
+                }
+                Some(head) => {
+                    let cost = match self.unit {
+                        WrrUnit::Frames => 1,
+                        WrrUnit::Bytes => head.size.bits(),
+                    };
+                    if cost <= self.deficits[self.current] {
+                        self.deficits[self.current] -= cost;
+                        let class = self.current;
+                        return queues.dequeue_at(class).map(|p| (class, p));
+                    }
+                    // Visit over; byte deficits carry to the next round.
+                    if self.unit == WrrUnit::Frames {
+                        self.deficits[self.current] = 0;
+                    }
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        self.current = (self.current + 1) % self.quanta.len();
+        self.visiting = false;
+    }
+}
+
 /// One directed output port (station uplink or switch output).
 struct Port {
     name: String,
     queues: PriorityQueues<Packet>,
+    scheduler: PortScheduler,
     busy: bool,
     max_backlog: DataSize,
     transmitted: u64,
@@ -124,18 +227,34 @@ struct Port {
 }
 
 impl Port {
-    fn new(name: String, levels: usize, buffer: Option<DataSize>) -> Self {
+    fn new(name: String, policy: &SchedulingPolicy, buffer: Option<DataSize>) -> Self {
+        let levels = policy.queue_count();
         let queues = match buffer {
             Some(cap) => PriorityQueues::bounded(levels, cap),
             None => PriorityQueues::new(levels),
         };
+        let scheduler = match policy {
+            SchedulingPolicy::Fcfs | SchedulingPolicy::StrictPriority { .. } => {
+                PortScheduler::Priority
+            }
+            SchedulingPolicy::Wrr { weights } => PortScheduler::Wrr(WrrState::new(weights)),
+        };
         Port {
             name,
             queues,
+            scheduler,
             busy: false,
             max_backlog: DataSize::ZERO,
             transmitted: 0,
             busy_ns: 0,
+        }
+    }
+
+    /// The next frame the port's discipline serves, if any.
+    fn next_packet(&mut self) -> Option<(usize, Packet)> {
+        match &mut self.scheduler {
+            PortScheduler::Priority => self.queues.dequeue(),
+            PortScheduler::Wrr(state) => state.dequeue(&mut self.queues),
         }
     }
 }
@@ -162,7 +281,7 @@ struct Run<'a> {
 
 impl<'a> Run<'a> {
     fn new(workload: &'a Workload, config: &'a SimConfig, fabric: &'a Fabric) -> Self {
-        let classifier = Classifier::new(config.policy.levels());
+        let classifier = Classifier::new(config.policy.queue_count());
         let flows = workload
             .messages
             .iter()
@@ -196,11 +315,11 @@ impl<'a> Run<'a> {
                 }
             })
             .collect();
-        let levels = config.policy.levels();
+        let policy = &config.policy;
         let uplinks = workload
             .stations
             .iter()
-            .map(|s| Port::new(format!("uplink[{}]", s.id), levels, None))
+            .map(|s| Port::new(format!("uplink[{}]", s.id), policy, None))
             .collect();
         let downlinks = workload
             .stations
@@ -208,7 +327,7 @@ impl<'a> Run<'a> {
             .map(|s| {
                 Port::new(
                     format!("switch-out[{}]", s.id),
-                    levels,
+                    policy,
                     config.switch_buffer,
                 )
             })
@@ -220,7 +339,7 @@ impl<'a> Run<'a> {
             .collect();
         let trunk_ports = directed_trunks
             .iter()
-            .map(|&(a, b)| Port::new(format!("trunk[sw{a}->sw{b}]"), levels, config.switch_buffer))
+            .map(|&(a, b)| Port::new(format!("trunk[sw{a}->sw{b}]"), policy, config.switch_buffer))
             .collect();
         Run {
             config,
@@ -433,7 +552,7 @@ impl<'a> Run<'a> {
         if port.busy {
             return;
         }
-        if let Some((_, packet)) = port.queues.dequeue() {
+        if let Some((_, packet)) = port.next_packet() {
             port.busy = true;
             port.transmitted += 1;
             let tx_time = rate.transmission_time(packet.size);
@@ -839,6 +958,76 @@ mod tests {
             .filter(|p| p.name.starts_with("trunk") && p.transmitted > 0)
             .collect();
         assert!(!core_trunks.is_empty());
+    }
+
+    #[test]
+    fn single_class_wrr_is_bit_identical_to_fcfs() {
+        // A WRR port with one class degenerates to one FIFO served whenever
+        // the link is idle — exactly the FCFS discipline.  Both quantum
+        // units must reproduce the FCFS run bit for bit.
+        let w = small_workload();
+        let fcfs = Simulator::new(w.clone(), quick_config().with_fcfs()).run();
+        for unit in [ethernet::WrrUnit::Frames, ethernet::WrrUnit::Bytes] {
+            let weights = ethernet::WrrWeights::new(&[2], unit);
+            let wrr = Simulator::new(w.clone(), quick_config().with_wrr(weights)).run();
+            assert_eq!(wrr, fcfs, "{unit:?} single-class WRR diverged from FCFS");
+        }
+    }
+
+    #[test]
+    fn wrr_run_is_deterministic_and_lossless() {
+        let w = small_workload();
+        let weights = ethernet::WrrWeights::new(&[4, 2, 1, 1], ethernet::WrrUnit::Frames);
+        let cfg = quick_config().with_wrr(weights);
+        let a = Simulator::new(w.clone(), cfg).run();
+        let b = Simulator::new(w, cfg).run();
+        assert_eq!(a, b);
+        assert!(a.total_delivered > 0);
+        assert_eq!(a.total_dropped, 0);
+    }
+
+    #[test]
+    fn wrr_shares_the_link_instead_of_starving_low_classes() {
+        // Two stations flood a common destination: an urgent-class stream
+        // and a background bulk stream.  Under strict priority the bulk
+        // class only gets leftovers; under WRR with a generous background
+        // quantum the bulk stream's worst-case delay improves while the
+        // urgent stream still gets through.
+        let mut w = Workload::new();
+        let mc = w.add_station("mission-computer");
+        let a = w.add_station("urgent-source");
+        let b = w.add_station("bulk-source");
+        w.add_message(
+            "urgent",
+            a,
+            mc,
+            DataSize::from_bytes(256),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(4),
+            },
+            Duration::from_millis(3),
+        );
+        w.add_message(
+            "bulk",
+            b,
+            mc,
+            DataSize::from_bytes(1400),
+            Arrival::Sporadic {
+                min_interarrival: Duration::from_millis(4),
+            },
+            Duration::from_millis(500),
+        );
+        let weights =
+            ethernet::WrrWeights::new(&[1518, 1518, 1518, 4 * 1518], ethernet::WrrUnit::Bytes);
+        let sp = Simulator::new(w.clone(), quick_config()).run();
+        let wrr = Simulator::new(w, quick_config().with_wrr(weights)).run();
+        assert!(wrr.total_delivered > 0 && sp.total_delivered > 0);
+        let bulk_sp = sp.flow(MessageId(1)).unwrap().max_delay;
+        let bulk_wrr = wrr.flow(MessageId(1)).unwrap().max_delay;
+        assert!(
+            bulk_wrr <= bulk_sp,
+            "WRR bulk worst delay {bulk_wrr} worse than strict-priority {bulk_sp}"
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //!
 //! The analytic crates bound worst-case delays; this simulator *executes*
 //! the paper's architecture — token-bucket shapers in every end system, a
-//! single store-and-forward switch, FCFS or 4-level strict-priority output
-//! scheduling — and measures the delays, jitter, backlog and loss that a
-//! concrete run actually produces.  Its two jobs in the reproduction are:
+//! single store-and-forward switch, FCFS, strict-priority or
+//! weighted-round-robin output scheduling (the workspace-wide
+//! [`SchedulingPolicy`]) — and measures the delays, jitter, backlog and
+//! loss that a concrete run actually produces.  Its two jobs in the
+//! reproduction are:
 //!
 //! * **E4 (validation)** — observed worst-case delays must stay below the
 //!   Network-Calculus bounds for every flow;
@@ -36,8 +38,11 @@ pub mod event;
 pub mod metrics;
 pub mod packet;
 
-pub use config::{MuxPolicy, Phasing, SimConfig, SporadicModel};
+pub use config::{Phasing, SimConfig, SporadicModel};
 pub use engine::Simulator;
 pub use ethernet::Fabric;
+// The workspace's single scheduling-policy type lives in `ethernet`; the
+// simulator re-exports it so callers configuring a run need only this crate.
+pub use ethernet::{SchedulingPolicy, WrrUnit, WrrWeights};
 pub use metrics::{FlowStats, PortStats, SimReport};
 pub use packet::Packet;

@@ -64,6 +64,20 @@ impl<T: Sized64> PriorityQueues<T> {
         self.queues[level].peek().map(|item| (level, item))
     }
 
+    /// The head item of one specific level (`None` when the level is empty
+    /// or does not exist) — the hook a round-robin scheduler needs to
+    /// inspect a queue without committing to serve it.
+    pub fn peek_at(&self, priority: usize) -> Option<&T> {
+        self.queues.get(priority).and_then(|q| q.peek())
+    }
+
+    /// Dequeues from one specific level, bypassing the strict-priority
+    /// order — the hook a round-robin scheduler uses to serve the class its
+    /// quantum accounting selected.
+    pub fn dequeue_at(&mut self, priority: usize) -> Option<T> {
+        self.queues.get_mut(priority).and_then(|q| q.dequeue())
+    }
+
     /// Total number of queued items across all levels.
     pub fn len(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
@@ -124,6 +138,21 @@ mod tests {
         assert_eq!(pq.dequeue().unwrap(), (3, Pkt(100, "bg")));
         assert_eq!(pq.dequeue(), None);
         assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn per_level_peek_and_dequeue() {
+        let mut pq = PriorityQueues::new(3);
+        pq.enqueue(0, Pkt(10, "urgent"));
+        pq.enqueue(2, Pkt(30, "bg"));
+        assert_eq!(pq.peek_at(2).unwrap().1, "bg");
+        assert!(pq.peek_at(1).is_none());
+        assert!(pq.peek_at(9).is_none());
+        assert_eq!(pq.dequeue_at(2).unwrap().1, "bg");
+        assert!(pq.dequeue_at(2).is_none());
+        assert!(pq.dequeue_at(9).is_none());
+        // The strict-priority path is untouched.
+        assert_eq!(pq.dequeue().unwrap(), (0, Pkt(10, "urgent")));
     }
 
     #[test]

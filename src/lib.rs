@@ -6,7 +6,8 @@
 //!
 //! * [`units`] — exact integer time / size / rate quantities;
 //! * [`netcalc`] — Network Calculus (arrival/service curves, delay bounds,
-//!   FCFS and strict-priority multiplexer formulas);
+//!   FCFS, strict-priority and weighted-round-robin multiplexer formulas
+//!   behind the policy-generic [`netcalc::Mux`] dispatch);
 //! * [`ethernet`] — frames, 802.1Q/p tags, PHY timing, links, switches,
 //!   topologies;
 //! * [`milstd1553`] — the MIL-STD-1553B baseline (scheduling, analysis,
@@ -37,11 +38,11 @@ pub use workload;
 /// The paper's analysis crate (`rtswitch-core`), re-exported as `core`.
 pub use rtswitch_core as core;
 
-pub use ethernet::Fabric;
+pub use ethernet::{Fabric, SchedulingPolicy, WrrUnit, WrrWeights};
 pub use netcalc::{Envelope, EnvelopeModel};
 pub use netsim::Simulator;
 pub use rtswitch_core::{
     analyze, analyze_1553, analyze_multi_hop, analyze_multi_hop_with, sim_config_for,
-    validation_from_bound_lookup, Approach, MultiHopReport, NetworkConfig,
+    validation_from_bound_lookup, Approach, MultiHopReport, NetworkConfig, PolicyArm,
 };
 pub use workload::case_study::case_study;

@@ -88,6 +88,7 @@ fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
         threads: 4,
         with_1553: true,
         envelope_override: None,
+        policy_override: None,
     };
     let a = run_campaign(config);
     let b = run_campaign(CampaignConfig {
@@ -105,5 +106,23 @@ fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
     assert!(comparison.all_sound(), "{:?}", comparison.violations);
     assert_eq!(comparison.soundness_rate, 1.0);
     assert!(comparison.ethernet_only_wins > 0);
-    assert_eq!(comparison.bus_only_wins, 0);
+    // Under the paper's own arms (FCFS, strict priority) the bus never
+    // wins a message at the campaign's rates.  A scenario the widened
+    // policy dimension put on WRR *may* lose a message to the bus — the
+    // quantum interference inflates the Ethernet bound — so the zero
+    // claim is scoped per scenario to the non-WRR arms.
+    use rt_ethernet::campaign::ComparisonReport;
+    use rt_ethernet::PolicyArm;
+    for result in &a.outcome.results {
+        if result.scenario.approach.arm() == PolicyArm::Wrr {
+            continue;
+        }
+        if let Some(ComparisonReport::Compared(section)) = &result.comparison {
+            assert_eq!(
+                section.bus_only_wins, 0,
+                "bus won a message against {} in scenario {}",
+                result.scenario.approach, result.scenario.id
+            );
+        }
+    }
 }

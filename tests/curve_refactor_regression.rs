@@ -1,47 +1,22 @@
 //! Regression pins for the curve-engine refactor.
 //!
-//! 1. The token-bucket-only configuration must keep producing exactly the
-//!    bounds the closed-form pipeline produced before the analysis stack
-//!    was generalized onto piecewise-linear curves: the fingerprint hashes
-//!    the nanosecond value of every end-to-end bound (stage sum, per-hop
-//!    sum, convolved, total) of every message of the first 200 seed-42
-//!    campaign scenarios.  Any numeric drift in the token-bucket path —
-//!    however small — changes the hash.
-//! 2. The staircase envelope dimension must dominate the token-bucket
+//! 1. The staircase envelope dimension must dominate the token-bucket
 //!    bounds message for message, with a strictly positive median
-//!    tightness gain across the same 200 scenarios.
-//! 3. The token-bucket-only campaign configuration
+//!    tightness gain across the first 200 seed-42 scenarios (now spanning
+//!    all three policy arms — the WRR scenarios the widened policy
+//!    dimension draws run the same dominance check).
+//! 2. The token-bucket-only campaign configuration
 //!    (`--envelope token-bucket`) must produce byte-identical JSON across
 //!    runs and thread counts, with the staircase stage fully disabled.
+//!
+//! The numeric fingerprint of the closed-form token-bucket pipeline lives
+//! in `tests/policy_refactor_regression.rs`, which pins *both* paper arms
+//! explicitly over the same 200 scenarios (the per-drawn-arm fingerprint
+//! this file used to carry predates the WRR policy arm).
 
 use campaign::{run_campaign, CampaignConfig, ScenarioOutcome, ScenarioSpace};
 use netcalc::EnvelopeModel;
 use rtswitch_core::{analyze_multi_hop, analyze_multi_hop_with, MultiHopReport};
-
-/// The seed-42 bound fingerprint of the pre-refactor closed-form pipeline
-/// (commit `c11991f`), captured before `Envelope` was threaded through the
-/// analysis stack.
-const PRE_REFACTOR_FINGERPRINT: u64 = 0x52e8_fc75_dea9_ec84;
-
-/// FNV-1a over a stream of u64 values.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn push(&mut self, value: u64) {
-        for byte in value.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    fn push_str(&mut self, s: &str) {
-        for &b in s.as_bytes() {
-            self.push(b as u64);
-        }
-    }
-}
 
 fn for_each_seed42_report(
     model: EnvelopeModel,
@@ -65,28 +40,6 @@ fn for_each_seed42_report(
 }
 
 #[test]
-fn token_bucket_bounds_match_the_pre_refactor_pipeline() {
-    let mut hash = Fnv::new();
-    for_each_seed42_report(EnvelopeModel::TokenBucket, |_, report| match report {
-        Ok(report) => {
-            for m in &report.messages {
-                hash.push(m.stage_sum_bound.as_nanos());
-                hash.push(m.hop_sum_bound.as_nanos());
-                hash.push(m.convolved_bound.as_nanos());
-                hash.push(m.total_bound.as_nanos());
-            }
-        }
-        Err(e) => hash.push_str(&e),
-    });
-    assert_eq!(
-        hash.0, PRE_REFACTOR_FINGERPRINT,
-        "token-bucket bounds drifted from the pre-refactor closed forms \
-         (got {:#x})",
-        hash.0
-    );
-}
-
-#[test]
 fn token_bucket_campaign_json_is_byte_identical() {
     let config = CampaignConfig {
         scenarios: 40,
@@ -94,6 +47,7 @@ fn token_bucket_campaign_json_is_byte_identical() {
         threads: 4,
         with_1553: false,
         envelope_override: Some(EnvelopeModel::TokenBucket),
+        policy_override: None,
     };
     let a = run_campaign(config);
     let b = run_campaign(CampaignConfig {
@@ -143,6 +97,7 @@ fn staircase_bounds_dominate_token_bucket_with_positive_median_gain() {
     for_each_seed42_report(EnvelopeModel::TokenBucket, |_, r| tb_reports.push(r));
 
     let mut gains: Vec<f64> = Vec::new();
+    let mut infeasible = 0usize;
     let mut feasibility_flips = 0usize;
     for_each_seed42_report(EnvelopeModel::Staircase, |id, st| {
         match (&tb_reports[id], st) {
@@ -172,13 +127,22 @@ fn staircase_bounds_dominate_token_bucket_with_positive_median_gain() {
             }
             (Err(_), Err(_)) => {
                 // Infeasible under both models: stability is judged on the
-                // token-bucket rates in either case, so this must be symmetric.
+                // token-bucket rates in either case, so this must be
+                // symmetric.  A legitimate outcome since the policy
+                // dimension widened — a drawn WRR weight set can starve a
+                // heavily loaded class of its quantum share.
+                infeasible += 1;
             }
             (Ok(_), Err(_)) | (Err(_), Ok(_)) => feasibility_flips += 1,
         }
     });
     assert_eq!(feasibility_flips, 0, "envelope model changed feasibility");
-    assert_eq!(gains.len(), 200);
+    assert_eq!(gains.len() + infeasible, 200);
+    assert!(
+        gains.len() >= 150,
+        "only {} of 200 seed-42 scenarios feasible",
+        gains.len()
+    );
     gains.sort_by(|a, b| a.partial_cmp(b).expect("finite gains"));
     let median = gains[gains.len() / 2];
     assert!(
