@@ -1,0 +1,157 @@
+//! Batched concurrent admission: evaluate N queries by partitioning them
+//! into *commuting groups* and previewing each group on a worker pool.
+//!
+//! # Why disjoint dirty closures commute
+//!
+//! Two queries whose dirty-port closures are disjoint touch disjoint state:
+//! no flow can cross both closures (a flow crossing closure A at hop `k`
+//! and closure B at hop `m > k` would have dragged its hop-`m` port into
+//! A's closure — contradiction), so the port entries they recompute, the
+//! ports they vacate and the bounds they recompose are pairwise disjoint.
+//! Previewing both against the group-start state therefore yields exactly
+//! what sequential evaluation would, and their deltas can commit in query
+//! order without re-reading state in between.  The batch evaluator exploits
+//! this: it takes the maximal *prefix* of pending queries with pairwise
+//! disjoint projected closures (order-preserving, so verdicts match the
+//! sequential ones), previews the group concurrently, then commits
+//! serially.
+
+use crate::engine::{AdmissionEngine, AdmissionQuery, AdmissionVerdict, FlowId, Preview};
+use rtswitch_core::FabricPort;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// The result of one batched evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// One verdict per query, in query order — identical to what the same
+    /// queries evaluated one by one would produce.
+    pub verdicts: Vec<AdmissionVerdict>,
+    /// The sizes of the commuting groups, in evaluation order (sums to the
+    /// query count).
+    pub groups: Vec<usize>,
+    /// Worker threads used for in-group previews.
+    pub threads: usize,
+}
+
+impl AdmissionEngine {
+    /// Evaluates `queries` in order, partitioning them into commuting
+    /// groups (pairwise-disjoint projected dirty closures) whose previews
+    /// run concurrently on up to `threads` workers; commits stay serial
+    /// and ordered.  Verdicts — including allocated [`FlowId`]s — are
+    /// byte-identical to sequential evaluation.
+    pub fn evaluate_batch(&mut self, queries: &[AdmissionQuery], threads: usize) -> BatchOutcome {
+        let threads = threads.max(1);
+        // Ids are consumed per admission attempt, in query order, exactly
+        // as a sequential run would allocate them.
+        let assigned: Vec<Option<FlowId>> = queries
+            .iter()
+            .map(|q| match q {
+                AdmissionQuery::Admit { .. } => Some(self.allocate_id()),
+                _ => None,
+            })
+            .collect();
+        let mut verdicts: Vec<Option<AdmissionVerdict>> = Vec::new();
+        verdicts.resize_with(queries.len(), || None);
+        let mut groups = Vec::new();
+
+        let mut start = 0;
+        while start < queries.len() {
+            // Maximal prefix of pending queries with pairwise-disjoint
+            // projected closures.  A query that cannot be projected
+            // (references a flow another pending query must create or
+            // remove first) closes the group; alone, it forms a singleton
+            // group and its preview reports the error verdict.
+            let mut union: BTreeSet<FabricPort> = BTreeSet::new();
+            let mut projections: Vec<Option<BTreeSet<FabricPort>>> = Vec::new();
+            let mut end = start;
+            while end < queries.len() {
+                match self.projected_dirty(&queries[end]) {
+                    Some(dirty) if end == start || union.is_disjoint(&dirty) => {
+                        union.extend(dirty.iter().copied());
+                        projections.push(Some(dirty));
+                        end += 1;
+                    }
+                    None if end == start => {
+                        projections.push(None);
+                        end += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            let group: Vec<usize> = (start..end).collect();
+            groups.push(group.len());
+
+            let previews = self.preview_group(queries, &assigned, &group, projections, threads);
+            for (j, preview) in group.into_iter().zip(previews) {
+                verdicts[j] = Some(self.apply(preview));
+            }
+            start = end;
+        }
+
+        BatchOutcome {
+            verdicts: verdicts
+                .into_iter()
+                .map(|v| v.expect("every query evaluated"))
+                .collect(),
+            groups,
+            threads,
+        }
+    }
+
+    /// Previews every query of a commuting group against the current
+    /// (group-start) state, on a work-stealing pool — the campaign
+    /// runner's worker pattern.  `projections` carries the dirty closures
+    /// the grouping pass already walked, one per group member, so
+    /// previews don't walk them twice.
+    fn preview_group(
+        &self,
+        queries: &[AdmissionQuery],
+        assigned: &[Option<FlowId>],
+        group: &[usize],
+        projections: Vec<Option<BTreeSet<FabricPort>>>,
+        threads: usize,
+    ) -> Vec<Preview> {
+        let workers = threads.min(group.len());
+        // Tiny groups preview inline: spawning scoped workers costs more
+        // than a few closure-local re-analyses.
+        if workers <= 1 || group.len() < 8 {
+            return group
+                .iter()
+                .zip(projections)
+                .map(|(&j, projected)| self.preview(&queries[j], assigned[j], projected))
+                .collect();
+        }
+        drop(projections);
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, Preview)>();
+        let engine: &AdmissionEngine = self;
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&j) = group.get(n) else {
+                        break;
+                    };
+                    // Re-walking the closure here is cheaper than handing
+                    // the grouping pass's copy across the pool: the walk
+                    // parallelizes with the rest of the preview.
+                    let preview = engine.preview(&queries[j], assigned[j], None);
+                    if sender.send((n, preview)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+            let mut collected: Vec<(usize, Preview)> = receiver.iter().collect();
+            collected.sort_by_key(|(n, _)| *n);
+            collected.into_iter().map(|(_, p)| p).collect()
+        })
+    }
+}

@@ -1,0 +1,198 @@
+//! The `admission` service binary.
+//!
+//! * `admission replay --seed <S> [--queries <N>] [--batch <B>]
+//!   [--threads <T>] [--json <path>]` — synthesize a seeded query trace
+//!   over a campaign scenario, drive the engine (batched when `--batch >
+//!   1`), print throughput/cache stats, and verify the final incremental
+//!   state against a from-scratch re-analysis (exits non-zero on
+//!   mismatch).
+//! * `admission serve --seed <S>` — load the seeded base scenario and
+//!   answer NDJSON requests on stdin with NDJSON responses on stdout.
+
+use admission::{base_scenario, engine_for, resolve, serve, trace_ops, AdmissionEngine};
+use rtswitch_core::{analyze_multi_hop_with, report::to_json};
+use serde::{Deserialize, Serialize};
+use std::io;
+
+/// The machine-readable outcome of a replay run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ReplayReport {
+    seed: u64,
+    queries: usize,
+    batch: usize,
+    threads: usize,
+    groups: usize,
+    admitted: u64,
+    rejected: u64,
+    revoked: u64,
+    modified: u64,
+    active_flows: usize,
+    cache_hit_rate: f64,
+    elapsed_secs: f64,
+    queries_per_sec: f64,
+    matches_scratch: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    let seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+
+    match args.get(1).map(String::as_str) {
+        Some("serve") => {
+            let scenario = base_scenario(seed);
+            let mut engine = engine_for(&scenario).expect("base scenario is analysable");
+            eprintln!(
+                "admission serve: seed {seed}, scenario {}, {} stations, {} flows, {} / {}",
+                scenario.id,
+                engine.station_count(),
+                engine.active_flows().len(),
+                engine.approach(),
+                engine.model(),
+            );
+            let stdin = io::stdin();
+            let mut stdout = io::stdout();
+            let served = serve(&mut engine, stdin.lock(), &mut stdout).expect("serve loop");
+            eprintln!("admission serve: {served} requests served");
+        }
+        Some("replay") => {
+            let queries: usize = flag("--queries")
+                .map(|s| s.parse().expect("--queries expects a count"))
+                .unwrap_or(256);
+            let batch: usize = flag("--batch")
+                .map(|s| s.parse().expect("--batch expects a size"))
+                .unwrap_or(1);
+            let threads: usize = flag("--threads")
+                .map(|s| s.parse().expect("--threads expects a count"))
+                .unwrap_or(4);
+            let report = replay(seed, queries, batch.max(1), threads.max(1));
+            println!(
+                "replay seed {}: {} queries (batch {}, {} threads, {} groups) in {:.3}s — \
+                 {:.0} queries/s",
+                report.seed,
+                report.queries,
+                report.batch,
+                report.threads,
+                report.groups,
+                report.elapsed_secs,
+                report.queries_per_sec,
+            );
+            println!(
+                "  admitted {}, rejected {}, revoked {}, modified {}; {} active flows; \
+                 port-cache hit rate {:.1}%",
+                report.admitted,
+                report.rejected,
+                report.revoked,
+                report.modified,
+                report.active_flows,
+                report.cache_hit_rate * 100.0,
+            );
+            println!(
+                "  incremental state vs from-scratch re-analysis: {}",
+                if report.matches_scratch {
+                    "byte-identical"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            if let Some(path) = flag("--json") {
+                std::fs::write(&path, to_json(&report).expect("serializes")).expect("write JSON");
+                eprintln!("wrote {path}");
+            }
+            if !report.matches_scratch {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: admission <serve|replay> [--seed S] [--queries N] [--batch B] \
+                 [--threads T] [--json path]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn replay(seed: u64, queries: usize, batch: usize, threads: usize) -> ReplayReport {
+    let scenario = base_scenario(seed);
+    let mut engine = engine_for(&scenario).expect("base scenario is analysable");
+    let ops = trace_ops(seed, queries, engine.station_count());
+
+    let started = std::time::Instant::now();
+    let mut groups = 0usize;
+    for chunk in ops.chunks(batch) {
+        let resolved: Vec<_> = chunk
+            .iter()
+            .map(|op| resolve(op, engine.active_flows()))
+            .collect();
+        if batch == 1 {
+            for query in resolved {
+                match query {
+                    admission::AdmissionQuery::Admit { flow } => {
+                        engine.admit(flow);
+                    }
+                    admission::AdmissionQuery::Revoke { flow } => {
+                        engine.revoke(flow);
+                    }
+                    admission::AdmissionQuery::Modify { flow, spec } => {
+                        engine.modify(flow, spec);
+                    }
+                }
+                groups += 1;
+            }
+        } else {
+            let outcome = engine.evaluate_batch(&resolved, threads);
+            groups += outcome.groups.len();
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let matches_scratch = verify_against_scratch(&engine);
+    let stats = engine.stats().clone();
+    ReplayReport {
+        seed,
+        queries,
+        batch,
+        threads,
+        groups,
+        admitted: stats.admitted,
+        rejected: stats.rejected,
+        revoked: stats.revoked,
+        modified: stats.modified,
+        active_flows: engine.active_flows().len(),
+        cache_hit_rate: stats.cache_hit_rate(),
+        elapsed_secs: elapsed,
+        queries_per_sec: if elapsed > 0.0 {
+            queries as f64 / elapsed
+        } else {
+            0.0
+        },
+        matches_scratch,
+    }
+}
+
+/// The cache-soundness check at CLI level: the incremental engine's
+/// snapshot must serialize byte-identically to a from-scratch analysis of
+/// its current flow set.
+fn verify_against_scratch(engine: &AdmissionEngine) -> bool {
+    let scratch = analyze_multi_hop_with(
+        &engine.workload(),
+        engine.config(),
+        engine.approach(),
+        engine.fabric(),
+        engine.model(),
+    );
+    let Ok(scratch) = scratch else {
+        return false;
+    };
+    let incremental = to_json(&engine.snapshot().report).expect("serializes");
+    let scratch = to_json(&scratch).expect("serializes");
+    incremental == scratch
+}

@@ -1,0 +1,79 @@
+//! The NDJSON request/response protocol of `admission serve`: one JSON
+//! request per input line, one JSON response per output line, testable
+//! against in-memory byte buffers.
+
+use crate::engine::{AdmissionEngine, AdmissionSnapshot, AdmissionVerdict, FlowId, FlowSpec};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeRequest {
+    /// Admit a new flow.
+    Admit {
+        /// The proposed flow.
+        flow: FlowSpec,
+    },
+    /// Revoke an admitted flow.
+    Revoke {
+        /// The flow to remove.
+        flow: FlowId,
+    },
+    /// Re-spec an admitted flow.
+    Modify {
+        /// The flow to change.
+        flow: FlowId,
+        /// Its new spec.
+        spec: FlowSpec,
+    },
+    /// Dump the engine's current state.
+    Snapshot,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeResponse {
+    /// The verdict of an admit/revoke/modify.
+    Verdict(AdmissionVerdict),
+    /// The state dump of a snapshot request.
+    Snapshot(AdmissionSnapshot),
+    /// The request line could not be parsed or serialized.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Drives `engine` from a line-oriented request stream, writing one JSON
+/// response per request; returns the number of requests served.  Blank
+/// lines are skipped; unparseable lines produce [`ServeResponse::Error`]
+/// and the loop continues (a long-lived service must not die on one bad
+/// client line).
+pub fn serve<R: BufRead, W: Write>(
+    engine: &mut AdmissionEngine,
+    input: R,
+    output: &mut W,
+) -> io::Result<usize> {
+    let mut served = 0;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<ServeRequest>(&line) {
+            Ok(ServeRequest::Admit { flow }) => ServeResponse::Verdict(engine.admit(flow)),
+            Ok(ServeRequest::Revoke { flow }) => ServeResponse::Verdict(engine.revoke(flow)),
+            Ok(ServeRequest::Modify { flow, spec }) => {
+                ServeResponse::Verdict(engine.modify(flow, spec))
+            }
+            Ok(ServeRequest::Snapshot) => ServeResponse::Snapshot(engine.snapshot()),
+            Err(err) => ServeResponse::Error {
+                message: format!("bad request: {err:?}"),
+            },
+        };
+        let encoded = serde_json::to_string(&response).map_err(io::Error::other)?;
+        writeln!(output, "{encoded}")?;
+        served += 1;
+    }
+    Ok(served)
+}

@@ -1,0 +1,214 @@
+//! The cache-soundness invariant: after *every* mutation, the incremental
+//! engine's bounds are byte-identical (as JSON) to a from-scratch
+//! [`analyze_multi_hop_with`] of the current flow set — across all three
+//! policy arms and both envelope models — and batched evaluation matches
+//! sequential evaluation verdict for verdict.
+
+use admission::{resolve, trace_ops, AdmissionEngine, AdmissionQuery};
+use ethernet::{Fabric, WrrUnit, WrrWeights};
+use netcalc::EnvelopeModel;
+use rtswitch_core::{analyze_multi_hop_with, report::to_json, Approach, NetworkConfig};
+use workload::case_study::{case_study_with, CaseStudyConfig};
+use workload::Workload;
+
+fn base_workload() -> Workload {
+    case_study_with(CaseStudyConfig {
+        subsystems: 3,
+        with_command_traffic: false,
+    })
+}
+
+fn arms() -> Vec<Approach> {
+    vec![
+        Approach::Fcfs,
+        Approach::StrictPriority,
+        Approach::Wrr {
+            weights: WrrWeights::new(&[4, 2, 1, 1], WrrUnit::Frames),
+        },
+    ]
+}
+
+/// The invariant itself: snapshot == from-scratch, byte for byte.
+fn assert_matches_scratch(engine: &AdmissionEngine, context: &str) {
+    let scratch = analyze_multi_hop_with(
+        &engine.workload(),
+        engine.config(),
+        engine.approach(),
+        engine.fabric(),
+        engine.model(),
+    )
+    .expect("active flow set is analysable");
+    assert_eq!(
+        to_json(&engine.snapshot().report).unwrap(),
+        to_json(&scratch).unwrap(),
+        "incremental state diverged from scratch after {context}"
+    );
+}
+
+#[test]
+fn incremental_equals_scratch_after_every_mutation() {
+    let workload = base_workload();
+    // Two cascaded switches so flows have multi-hop paths and the dirty
+    // closure is a strict subset of the fabric on most mutations.
+    let fabric = Fabric::line(2, workload.stations.len());
+    let config = NetworkConfig::paper_default();
+    for approach in arms() {
+        for model in [EnvelopeModel::TokenBucket, EnvelopeModel::Staircase] {
+            let mut engine = AdmissionEngine::new(&workload, &fabric, &config, approach, model)
+                .expect("seed workload is analysable");
+            assert_matches_scratch(&engine, &format!("cold start ({approach} / {model:?})"));
+            let ops = trace_ops(7, 12, engine.station_count());
+            for (step, op) in ops.iter().enumerate() {
+                let query = resolve(op, engine.active_flows());
+                match query {
+                    AdmissionQuery::Admit { flow } => {
+                        engine.admit(flow);
+                    }
+                    AdmissionQuery::Revoke { flow } => {
+                        engine.revoke(flow);
+                    }
+                    AdmissionQuery::Modify { flow, spec } => {
+                        engine.modify(flow, spec);
+                    }
+                }
+                assert_matches_scratch(
+                    &engine,
+                    &format!("step {step} ({approach} / {model:?}: {op:?})"),
+                );
+            }
+            // The cache must have earned its keep along the way.
+            assert!(engine.stats().ports_reused > 0, "no cache reuse at all");
+        }
+    }
+}
+
+#[test]
+fn batch_evaluation_matches_sequential() {
+    let workload = base_workload();
+    let fabric = Fabric::line(2, workload.stations.len());
+    let config = NetworkConfig::paper_default();
+    let engine = AdmissionEngine::new(
+        &workload,
+        &fabric,
+        &config,
+        Approach::StrictPriority,
+        EnvelopeModel::TokenBucket,
+    )
+    .unwrap();
+
+    // One fixed query list, resolved once against the starting state.
+    let queries: Vec<AdmissionQuery> = trace_ops(11, 24, engine.station_count())
+        .iter()
+        .map(|op| resolve(op, engine.active_flows()))
+        .collect();
+
+    let mut sequential = engine.clone();
+    let seq_verdicts: Vec<_> = queries
+        .iter()
+        .map(|q| match q.clone() {
+            AdmissionQuery::Admit { flow } => sequential.admit(flow),
+            AdmissionQuery::Revoke { flow } => sequential.revoke(flow),
+            AdmissionQuery::Modify { flow, spec } => sequential.modify(flow, spec),
+        })
+        .collect();
+
+    let mut batched = engine.clone();
+    let outcome = batched.evaluate_batch(&queries, 4);
+
+    assert_eq!(outcome.verdicts.len(), seq_verdicts.len());
+    assert_eq!(
+        outcome.groups.iter().sum::<usize>(),
+        queries.len(),
+        "groups partition the query list"
+    );
+    for (i, (batch_v, seq_v)) in outcome.verdicts.iter().zip(&seq_verdicts).enumerate() {
+        assert_eq!(
+            to_json(batch_v).unwrap(),
+            to_json(seq_v).unwrap(),
+            "verdict {i} diverged between batch and sequential evaluation"
+        );
+    }
+    assert_eq!(
+        to_json(&batched.snapshot()).unwrap(),
+        to_json(&sequential.snapshot()).unwrap(),
+        "final state diverged between batch and sequential evaluation"
+    );
+    assert_matches_scratch(&batched, "batched trace");
+}
+
+#[test]
+fn admit_then_revoke_restores_bounds() {
+    let workload = base_workload();
+    let fabric = Fabric::single_switch(workload.stations.len());
+    let config = NetworkConfig::paper_default();
+    let mut engine = AdmissionEngine::new(
+        &workload,
+        &fabric,
+        &config,
+        Approach::StrictPriority,
+        EnvelopeModel::TokenBucket,
+    )
+    .unwrap();
+    let before = to_json(&engine.snapshot().report).unwrap();
+
+    let spec = match resolve(
+        &trace_ops(3, 1, engine.station_count())[0],
+        engine.active_flows(),
+    ) {
+        AdmissionQuery::Admit { flow } => flow,
+        other => panic!("trace seed 3 starts with an admit, got {other:?}"),
+    };
+    let verdict = engine.admit(spec);
+    assert!(verdict.accepted(), "{:?}", verdict.decision);
+    let id = verdict.flow.expect("admits carry the new id");
+    assert!(engine.revoke(id).accepted());
+
+    assert_eq!(
+        before,
+        to_json(&engine.snapshot().report).unwrap(),
+        "admit followed by revoke must restore the original bounds"
+    );
+}
+
+#[test]
+fn rejected_queries_leave_state_untouched() {
+    let workload = base_workload();
+    let fabric = Fabric::single_switch(workload.stations.len());
+    let config = NetworkConfig::paper_default();
+    let mut engine = AdmissionEngine::new(
+        &workload,
+        &fabric,
+        &config,
+        Approach::StrictPriority,
+        EnvelopeModel::TokenBucket,
+    )
+    .unwrap();
+    let before = to_json(&engine.snapshot().report).unwrap();
+
+    // An unknown-station admit rejects on validation.
+    let mut bad = match resolve(
+        &trace_ops(3, 1, engine.station_count())[0],
+        engine.active_flows(),
+    ) {
+        AdmissionQuery::Admit { flow } => flow,
+        other => panic!("trace seed 3 starts with an admit, got {other:?}"),
+    };
+    bad.source = engine.station_count() + 7;
+    assert!(!engine.admit(bad.clone()).accepted());
+
+    // A flow demanding more than the link can carry rejects on analysis.
+    bad.source = 0;
+    bad.destination = 1;
+    bad.payload = units::DataSize::from_bytes(1500);
+    bad.arrival = workload::Arrival::Periodic {
+        period: units::Duration::from_micros(100),
+    };
+    bad.deadline = units::Duration::from_micros(100);
+    assert!(!engine.admit(bad).accepted());
+
+    // An unknown flow cannot be revoked or modified.
+    assert!(!engine.revoke(admission::FlowId(10_000)).accepted());
+
+    assert_eq!(before, to_json(&engine.snapshot().report).unwrap());
+    assert_eq!(engine.stats().rejected, 3);
+}

@@ -1,0 +1,36 @@
+//! E13 — admission throughput: the incremental per-port-cached admission
+//! engine vs from-scratch re-analysis, at batch sizes 1, 64 and 1024.
+
+use bench::{admission_throughput, render_admission_throughput};
+use rtswitch_core::report::to_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    let seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+    let queries: usize = flag("--queries")
+        .map(|s| s.parse().expect("--queries expects a count"))
+        .unwrap_or(1024);
+    let threads: usize = flag("--threads")
+        .map(|s| s.parse().expect("--threads expects a count"))
+        .unwrap_or(4);
+
+    let rows = admission_throughput(seed, queries, threads);
+    print!("{}", render_admission_throughput(&rows));
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&rows).expect("rows serialize")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    if rows.iter().any(|r| !r.matches_scratch) {
+        eprintln!("E13: incremental state diverged from from-scratch analysis");
+        std::process::exit(1);
+    }
+}

@@ -1,18 +1,22 @@
 //! The experiment implementations.
 
+use admission::{resolve, trace_ops, AdmissionEngine, AdmissionQuery};
+use ethernet::Fabric;
 use milstd1553::schedule::Scheduler;
 use milstd1553::sim::BusSimulation;
+use netcalc::EnvelopeModel;
 use netsim::{SimConfig, SimReport, Simulator};
+use rtswitch_core::report::to_json;
 use rtswitch_core::{
-    analyze, compare_with_1553, AnalysisReport, Approach, BaselineComparison, NetworkConfig,
-    ValidationReport,
+    analyze, analyze_multi_hop_with, compare_with_1553, AnalysisReport, Approach,
+    BaselineComparison, NetworkConfig, ValidationReport,
 };
 use serde::Serialize;
 use shaping::TrafficClass;
 use units::{DataRate, DataSize, Duration};
 use workload::case_study::{case_study, case_study_with, CaseStudyConfig};
 use workload::map1553::{map_workload, MappingConfig};
-use workload::Workload;
+use workload::{Arrival, StationId, Workload};
 
 /// The reduced case-study configuration used whenever the MIL-STD-1553B bus
 /// is part of the experiment (the full case study exceeds the 1 Mbps bus
@@ -1207,6 +1211,218 @@ pub fn render_policy_ablation(rows: &[PolicyAblationRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E13
+
+/// One row of the admission-throughput experiment: the same seeded query
+/// trace driven through the incremental engine at one batch size, compared
+/// against the cost of answering every query with a from-scratch
+/// `analyze_multi_hop_with` run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmissionThroughputRow {
+    /// Queries handed to the engine per `evaluate_batch` call (1 = the
+    /// sequential `admit`/`revoke`/`modify` path).
+    pub batch: usize,
+    /// Queries in the trace.
+    pub queries: usize,
+    /// Worker threads for in-group previews.
+    pub threads: usize,
+    /// Commuting groups formed across the run.
+    pub groups: usize,
+    /// Flows still admitted when the trace ends.
+    pub active_flows: usize,
+    /// Queries answered per second by the incremental engine.
+    pub admissions_per_sec: f64,
+    /// Mean incremental cost per query, in microseconds.
+    pub incremental_us_per_query: f64,
+    /// Mean cost of one from-scratch re-analysis of the final network, in
+    /// microseconds — what every query would cost without the cache.
+    pub scratch_us_per_query: f64,
+    /// `scratch_us_per_query / incremental_us_per_query`.
+    pub speedup_vs_scratch: f64,
+    /// Fraction of per-port cache lookups served without recomputation.
+    pub cache_hit_rate: f64,
+    /// Whether the final incremental state serializes byte-identically to
+    /// the from-scratch analysis (the cache-soundness gate).
+    pub matches_scratch: bool,
+}
+
+/// Stations of the E13 network: a wide edge switch.  Width is what the
+/// cache monetizes — each admission's dirty closure is a handful of the
+/// 256 ports, where a from-scratch run pays for all of them.
+const E13_STATIONS: usize = 128;
+
+/// The E13 network: one wide switch at 100 Mbps under strict priority,
+/// pre-loaded with a light ring workload (station `i` streams to station
+/// `i + 1`) so every port starts occupied, then churned by the seeded
+/// peer-to-peer admission trace.
+fn admission_bench_engine(stations: usize) -> AdmissionEngine {
+    let mut workload = Workload::new();
+    for i in 0..stations {
+        workload.add_station(format!("es-{i}"));
+    }
+    for i in 0..stations {
+        workload.add_message(
+            format!("seed-{i}"),
+            StationId(i),
+            StationId((i + 1) % stations),
+            DataSize::from_bytes(64),
+            Arrival::Periodic {
+                period: Duration::from_millis(40),
+            },
+            Duration::from_millis(40),
+        );
+    }
+    let fabric = Fabric::single_switch(stations);
+    let config = NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(100));
+    AdmissionEngine::new(
+        &workload,
+        &fabric,
+        &config,
+        Approach::StrictPriority,
+        EnvelopeModel::TokenBucket,
+    )
+    .expect("the E13 seed network is analysable")
+}
+
+/// E13 — admission throughput.  Replays the same seeded trace at batch
+/// sizes 1, 64 and 1024 on a fresh engine each time, so the rows isolate
+/// the effect of batching (commuting-group concurrency) on top of the
+/// shared per-port curve cache.
+pub fn admission_throughput(
+    seed: u64,
+    queries: usize,
+    threads: usize,
+) -> Vec<AdmissionThroughputRow> {
+    [1usize, 64, 1024]
+        .into_iter()
+        .map(|batch| admission_throughput_row(seed, queries, batch, threads))
+        .collect()
+}
+
+fn admission_throughput_row(
+    seed: u64,
+    queries: usize,
+    batch: usize,
+    threads: usize,
+) -> AdmissionThroughputRow {
+    let mut engine = admission_bench_engine(E13_STATIONS);
+    let ops = trace_ops(seed, queries, engine.station_count());
+
+    let started = std::time::Instant::now();
+    let mut groups = 0usize;
+    for chunk in ops.chunks(batch) {
+        let resolved: Vec<AdmissionQuery> = chunk
+            .iter()
+            .map(|op| resolve(op, engine.active_flows()))
+            .collect();
+        if batch == 1 {
+            for query in resolved {
+                match query {
+                    AdmissionQuery::Admit { flow } => {
+                        engine.admit(flow);
+                    }
+                    AdmissionQuery::Revoke { flow } => {
+                        engine.revoke(flow);
+                    }
+                    AdmissionQuery::Modify { flow, spec } => {
+                        engine.modify(flow, spec);
+                    }
+                }
+                groups += 1;
+            }
+        } else {
+            groups += engine.evaluate_batch(&resolved, threads).groups.len();
+        }
+    }
+    let incremental_secs = started.elapsed().as_secs_f64();
+
+    // The no-cache baseline: every query re-runs the full multi-hop
+    // analysis of the network it would leave behind.  Timing the final
+    // state (the largest the flow set gets in expectation) a few times
+    // gives a stable per-query figure without re-simulating the trace.
+    let workload = engine.workload();
+    let scratch_reps = 5;
+    let scratch_started = std::time::Instant::now();
+    let mut scratch = None;
+    for _ in 0..scratch_reps {
+        scratch = Some(analyze_multi_hop_with(
+            &workload,
+            engine.config(),
+            engine.approach(),
+            engine.fabric(),
+            engine.model(),
+        ));
+    }
+    let scratch_secs_per_query = scratch_started.elapsed().as_secs_f64() / scratch_reps as f64;
+
+    let matches_scratch = match scratch.expect("at least one rep").ok() {
+        Some(report) => {
+            to_json(&engine.snapshot().report).expect("serializes")
+                == to_json(&report).expect("serializes")
+        }
+        None => false,
+    };
+
+    let incremental_secs_per_query = incremental_secs / queries.max(1) as f64;
+    let stats = engine.stats();
+    AdmissionThroughputRow {
+        batch,
+        queries,
+        threads,
+        groups,
+        active_flows: engine.active_flows().len(),
+        admissions_per_sec: if incremental_secs > 0.0 {
+            queries as f64 / incremental_secs
+        } else {
+            0.0
+        },
+        incremental_us_per_query: incremental_secs_per_query * 1e6,
+        scratch_us_per_query: scratch_secs_per_query * 1e6,
+        speedup_vs_scratch: if incremental_secs_per_query > 0.0 {
+            scratch_secs_per_query / incremental_secs_per_query
+        } else {
+            0.0
+        },
+        cache_hit_rate: stats.cache_hit_rate(),
+        matches_scratch,
+    }
+}
+
+/// Renders E13 as the table `EXPERIMENTS.md` records.
+pub fn render_admission_throughput(rows: &[AdmissionThroughputRow]) -> String {
+    let mut out = String::new();
+    out.push_str("E13 — admission throughput: incremental per-port cache vs from-scratch\n\n");
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>8} {:>7} {:>16} {:>12} {:>14} {:>9} {:>9} {:>8}\n",
+        "batch",
+        "queries",
+        "groups",
+        "flows",
+        "admissions_per_sec",
+        "inc µs/query",
+        "scratch µs/query",
+        "speedup",
+        "hit-rate",
+        "sound"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>8} {:>7} {:>16.0} {:>12.1} {:>14.1} {:>8.1}x {:>8.1}% {:>8}\n",
+            row.batch,
+            row.queries,
+            row.groups,
+            row.active_flows,
+            row.admissions_per_sec,
+            row.incremental_us_per_query,
+            row.scratch_us_per_query,
+            row.speedup_vs_scratch,
+            row.cache_hit_rate * 100.0,
+            if row.matches_scratch { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1254,6 +1470,30 @@ mod tests {
         let table = render_policy_ablation(&rows);
         assert!(table.contains("E12"));
         assert!(table.contains("WRR"));
+    }
+
+    #[test]
+    fn admission_throughput_is_sound_and_faster_than_scratch() {
+        let rows = admission_throughput(42, 24, 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.batch).collect::<Vec<_>>(),
+            vec![1, 64, 1024]
+        );
+        for row in &rows {
+            assert!(row.matches_scratch, "batch {}: cache unsound", row.batch);
+            assert_eq!(row.queries, 24);
+            assert!(
+                row.speedup_vs_scratch > 1.0,
+                "batch {}: incremental slower than from-scratch ({:.2}x)",
+                row.batch,
+                row.speedup_vs_scratch
+            );
+            assert!(row.cache_hit_rate > 0.0 && row.cache_hit_rate <= 1.0);
+        }
+        let table = render_admission_throughput(&rows);
+        assert!(table.contains("E13"));
+        assert!(table.contains("admissions_per_sec"));
     }
 
     #[test]

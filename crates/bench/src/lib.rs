@@ -20,6 +20,7 @@
 //! | E10 | capacity headroom — 1553B intensity wall vs Ethernet PBOO | [`experiments::capacity_headroom`] |
 //! | E11 | envelope ablation — closed forms vs the piecewise-linear curve engine | [`experiments::envelope_curve_ablation`] |
 //! | E12 | policy ablation — FCFS vs strict priority vs WRR, per-class tightness and deadline margins | [`experiments::policy_ablation`] |
+//! | E13 | admission throughput — incremental per-port-cached admission vs from-scratch re-analysis, batched 1/64/1024 | [`experiments::admission_throughput`] |
 
 pub mod experiments;
 

@@ -127,6 +127,17 @@ impl Scenario {
         }
     }
 
+    /// The full analytic input set of this scenario in one call — the
+    /// workload, the network configuration and the switch fabric the
+    /// flows route over.  Services that load a scenario once and keep it
+    /// live (the admission engine's seeded traces) start here.
+    pub fn analysis_inputs(&self) -> (Workload, NetworkConfig, Fabric) {
+        let workload = self.build_workload();
+        let config = self.network_config();
+        let fabric = self.build_fabric(&workload);
+        (workload, config, fabric)
+    }
+
     /// The analytic network configuration of this scenario.
     pub fn network_config(&self) -> NetworkConfig {
         NetworkConfig::paper_default()

@@ -12,7 +12,10 @@ use units::Duration;
 use workload::{MessageId, StationId, Workload};
 
 /// Errors the end-to-end analysis can produce.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries `serde` derives so services (e.g. the admission engine) can ship
+/// structured failure verdicts over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AnalysisError {
     /// A multiplexing stage has no finite bound (overload) or was
     /// mis-configured; the string identifies the stage.

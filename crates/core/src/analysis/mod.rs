@@ -3,6 +3,7 @@
 pub mod end_to_end;
 pub mod jitter;
 pub mod multi_hop;
+pub mod port;
 pub mod stage;
 
 use ethernet::{SchedulingPolicy, WrrWeights};
@@ -57,7 +58,10 @@ impl Approach {
 /// The policy family of an [`Approach`], with the WRR weights erased —
 /// what campaign aggregation buckets by (every WRR scenario draws its own
 /// weights, but they all belong to one arm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` lets the arm participate in composite cache keys (the admission
+/// engine keys its per-port curve cache by `(port, policy arm, model)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PolicyArm {
     /// A single FCFS queue per output port.
     Fcfs,

@@ -36,7 +36,8 @@
 //! Arrival curves propagate between hops by min-plus deconvolution: a
 //! token-bucket flow `(b, r)` that traversed an element with delay bound `D`
 //! leaves it with envelope `(b + r·D, r)`
-//! ([`analyze_stage`] computes exactly that inflation).
+//! ([`analyze_stage`](super::stage::analyze_stage) computes exactly that
+//! inflation).
 //!
 //! The reported [`MultiHopMessageBound::total_bound`] is the minimum of the
 //! stage sum and the convolved bound — both are sound, neither dominates the
@@ -73,19 +74,19 @@
 //! ```
 
 use crate::analysis::end_to_end::AnalysisError;
-use crate::analysis::stage::{analyze_stage, mux_for_policy, StageFlow};
+use crate::analysis::port::analyze_port;
+use crate::analysis::stage::StageFlow;
 use crate::analysis::Approach;
 use crate::config::NetworkConfig;
-use ethernet::{Fabric, SchedulingPolicy};
+use ethernet::Fabric;
 use netcalc::{
-    delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, NcError, RateLatency,
-    TokenBucket,
+    delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, RateLatency, TokenBucket,
 };
 use serde::{Deserialize, Serialize};
 use shaping::TrafficClass;
 use std::collections::BTreeMap;
 use units::Duration;
-use workload::{MessageId, StationId, Workload};
+use workload::{MessageId, MessageSpec, StationId, Workload};
 
 /// One directed output port of a cascaded fabric, as seen by the analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -307,29 +308,136 @@ pub fn analyze_multi_hop_with(
     let paths: Vec<Vec<FabricPort>> = workload
         .messages
         .iter()
-        .map(|spec| {
-            let switches = fabric.switch_path(spec.source.0, spec.destination.0);
-            let mut ports = Vec::with_capacity(switches.len() + 1);
-            ports.push(FabricPort::Uplink {
-                station: spec.source.0,
-            });
-            for pair in switches.windows(2) {
-                ports.push(FabricPort::Trunk {
-                    from: pair[0],
-                    to: pair[1],
-                });
-            }
-            ports.push(FabricPort::Down {
-                station: spec.destination.0,
-            });
-            ports
-        })
+        .map(|spec| flow_ports(fabric, spec.source.0, spec.destination.0))
         .collect();
 
-    // Flows per port, and the port dependency graph (a flow's hop k must be
-    // analysed before its hop k+1, because the envelope at hop k+1 is the
-    // output envelope of hop k).  BTreeMaps keep the iteration order — and
-    // therefore every float accumulation — deterministic.
+    let path_slices: Vec<&[FabricPort]> = paths.iter().map(Vec::as_slice).collect();
+    let (port_flows, order) = port_schedule(&path_slices);
+
+    // Walk the ports in dependency order, carrying each flow's current
+    // envelope and accumulating its per-hop delays and left-over curves.
+    let mut envelope: Vec<Envelope> = workload
+        .messages
+        .iter()
+        .map(|spec| spec.arrival_envelope(model, config.link_rate))
+        .collect();
+    let mut hop_records: Vec<Vec<HopBound>> = vec![Vec::new(); workload.messages.len()];
+    let mut leftovers: Vec<Vec<RateLatency>> = vec![Vec::new(); workload.messages.len()];
+    // The general left-over curves of the staircase model (empty under the
+    // token-bucket model).
+    let mut leftover_curves: Vec<Vec<Curve>> = vec![Vec::new(); workload.messages.len()];
+
+    for &port in &order {
+        let flows_here = &port_flows[&port];
+        let ttechno = match port {
+            FabricPort::Uplink { .. } => Duration::ZERO,
+            FabricPort::Trunk { .. } | FabricPort::Down { .. } => config.ttechno,
+        };
+        let stage_flows: Vec<StageFlow> = flows_here
+            .iter()
+            .map(|&msg| StageFlow {
+                message: MessageId(msg),
+                envelope: envelope[msg].clone(),
+                priority: workload.messages[msg].priority(),
+                frame: workload.messages[msg].frame_size(),
+            })
+            .collect();
+        let last_hop: Vec<bool> = flows_here
+            .iter()
+            .map(|&msg| hop_records[msg].len() + 1 == paths[msg].len())
+            .collect();
+        let analysis = analyze_port(
+            &stage_flows,
+            &last_hop,
+            &policy,
+            config,
+            ttechno,
+            model,
+            &port.to_string(),
+        )?;
+
+        for (i, &msg) in flows_here.iter().enumerate() {
+            let pf = &analysis.flows[i];
+            hop_records[msg].push(HopBound {
+                port: port.to_string(),
+                stage_delay: pf.stage_delay,
+                flow_delay: pf.flow_delay,
+            });
+            leftovers[msg].push(pf.leftover);
+            if let Some(curve) = &pf.leftover_curve {
+                leftover_curves[msg].push(curve.clone());
+            }
+            // Propagate: the envelope entering the next hop is the output
+            // envelope of this one (min-plus deconvolution, burst inflated
+            // by this element's delay bound; staircase extras shift left).
+            envelope[msg] = pf.output.clone();
+        }
+    }
+
+    // Compose the three end-to-end bounds per message.
+    let messages = workload
+        .messages
+        .iter()
+        .enumerate()
+        .map(|(msg, spec)| {
+            let hops = std::mem::take(&mut hop_records[msg]);
+            compose_end_to_end(
+                spec,
+                paths[msg].len(),
+                hops,
+                &leftovers[msg],
+                &leftover_curves[msg],
+                model,
+                config,
+            )
+        })
+        .collect::<Result<Vec<_>, AnalysisError>>()?;
+
+    Ok(MultiHopReport {
+        approach,
+        envelope: model,
+        config: *config,
+        fabric: fabric.clone(),
+        messages,
+    })
+}
+
+/// The ordered port sequence of one flow over `fabric`: its source uplink,
+/// the trunk ports along the switch path, and the final switch output port
+/// towards its destination.
+///
+/// This is the route walk the admission engine uses to compute which cache
+/// entries a flow mutation touches.
+pub fn flow_ports(fabric: &Fabric, source: usize, destination: usize) -> Vec<FabricPort> {
+    let switches = fabric.switch_path(source, destination);
+    let mut ports = Vec::with_capacity(switches.len() + 1);
+    ports.push(FabricPort::Uplink { station: source });
+    for pair in switches.windows(2) {
+        ports.push(FabricPort::Trunk {
+            from: pair[0],
+            to: pair[1],
+        });
+    }
+    ports.push(FabricPort::Down {
+        station: destination,
+    });
+    ports
+}
+
+/// The flows crossing every port (indices into `paths`, in input order) and
+/// a deterministic topological order of the ports: a flow's hop `k` always
+/// precedes its hop `k+1`, because the envelope entering hop `k+1` is the
+/// output envelope of hop `k`.
+///
+/// `BTreeMap`s keep the iteration order — and therefore every float
+/// accumulation of the analyses that walk this schedule — deterministic.
+///
+/// # Panics
+/// Panics on cyclic port dependencies, which can only arise from routing
+/// over a cyclic switch graph — the tree builders never produce one.
+pub fn port_schedule(
+    paths: &[&[FabricPort]],
+) -> (BTreeMap<FabricPort, Vec<usize>>, Vec<FabricPort>) {
     let mut port_flows: BTreeMap<FabricPort, Vec<usize>> = BTreeMap::new();
     let mut indegree: BTreeMap<FabricPort, usize> = BTreeMap::new();
     let mut successors: BTreeMap<FabricPort, Vec<FabricPort>> = BTreeMap::new();
@@ -377,394 +485,96 @@ pub fn analyze_multi_hop_with(
         indegree.len(),
         "cyclic port dependencies: the fabric's switch graph is not a tree"
     );
+    (port_flows, order)
+}
 
-    // Walk the ports in dependency order, carrying each flow's current
-    // envelope and accumulating its per-hop delays and left-over curves.
-    let mut envelope: Vec<Envelope> = workload
-        .messages
+/// Composes one flow's end-to-end bounds from its per-hop results: the
+/// stage sum, the per-hop sum, and the pay-bursts-only-once convolution of
+/// the hop left-over curves, plus per-link propagation.
+///
+/// `hops`, `leftovers` and (under the staircase model) `leftover_curves`
+/// are the flow's per-port results in traversal order — exactly what
+/// [`analyze_port`] yields hop by hop, whether the
+/// hops were freshly computed or served from an admission cache.
+pub fn compose_end_to_end(
+    spec: &MessageSpec,
+    links: usize,
+    hops: Vec<HopBound>,
+    leftovers: &[RateLatency],
+    leftover_curves: &[Curve],
+    model: EnvelopeModel,
+    config: &NetworkConfig,
+) -> Result<MultiHopMessageBound, AnalysisError> {
+    let propagation = config.propagation * links as u64;
+    let stage_sum: Duration = hops.iter().map(|h| h.stage_delay).sum();
+    let hop_sum: Duration = hops.iter().map(|h| h.flow_delay).sum();
+    let source_envelope = TokenBucket::new(spec.frame_size(), spec.shaper_rate());
+    let network = leftovers[1..]
         .iter()
-        .map(|spec| spec.arrival_envelope(model, config.link_rate))
-        .collect();
-    let mut hop_records: Vec<Vec<HopBound>> = vec![Vec::new(); workload.messages.len()];
-    let mut leftovers: Vec<Vec<RateLatency>> = vec![Vec::new(); workload.messages.len()];
-    // The general left-over curves of the staircase model (empty under the
-    // token-bucket model).
-    let mut leftover_curves: Vec<Vec<Curve>> = vec![Vec::new(); workload.messages.len()];
-
-    for &port in &order {
-        let flows_here = &port_flows[&port];
-        let ttechno = match port {
-            FabricPort::Uplink { .. } => Duration::ZERO,
-            FabricPort::Trunk { .. } | FabricPort::Down { .. } => config.ttechno,
-        };
-        let stage_flows: Vec<StageFlow> = flows_here
+        .fold(leftovers[0], |acc, s| acc.concatenate(s));
+    let mut convolved =
+        delay_bound(&source_envelope, &network).map_err(|source| AnalysisError::Stage {
+            stage: format!("convolved path of {}", spec.name),
+            source,
+        })?;
+    if model == EnvelopeModel::Staircase {
+        // Pay bursts only once on the general curves: convolve the
+        // per-hop left-over curves and push the staircase source
+        // envelope through the result once.  Each hop contributes
+        // its convex minorant — a sound (smaller) service curve
+        // that keeps the early-service gain of the staircase cross
+        // traffic while convolving in near-linear time, so long
+        // paths stay cheap.  Both convolution routes are sound, so
+        // the reported bound is their minimum (which also absorbs
+        // float noise in the curve route on degenerate-staircase
+        // flows).
+        let network_curve = leftover_curves[1..]
             .iter()
-            .map(|&msg| StageFlow {
-                message: MessageId(msg),
-                envelope: envelope[msg].clone(),
-                priority: workload.messages[msg].priority(),
-                frame: workload.messages[msg].frame_size(),
-            })
-            .collect();
-        let stage_bounds = analyze_stage(&stage_flows, &policy, config.link_rate, ttechno)
-            .map_err(|source| AnalysisError::Stage {
-                stage: port.to_string(),
-                source,
-            })?;
-        // The general left-over curves of this port, one per flow (staircase
-        // model only; the token-bucket model keeps the closed-form path).
-        let port_curves = match model {
-            EnvelopeModel::TokenBucket => None,
-            EnvelopeModel::Staircase => Some(
-                leftover_curves_for_port(&stage_flows, &policy, config, ttechno).map_err(
-                    |source| AnalysisError::Stage {
-                        stage: port.to_string(),
-                        source,
-                    },
-                )?,
-            ),
-        };
-
-        for (i, &msg) in flows_here.iter().enumerate() {
-            let flow = &stage_flows[i];
-            let unstable_port = || AnalysisError::Stage {
-                stage: port.to_string(),
-                source: NcError::Unstable {
-                    context: format!("left-over service of {} at {port}", flow.message),
-                    // The saturating quantity is the port's aggregate
-                    // demand (the interfering traffic plus the flow
-                    // itself), not the flow's own rate.
-                    demand_bps: stage_flows
-                        .iter()
-                        .map(|f| f.envelope.rate())
-                        .sum::<units::DataRate>()
-                        .bps(),
-                    capacity_bps: config.link_rate.bps(),
-                },
-            };
-            let mut leftover = leftover_service(&stage_flows, i, &policy, config, ttechno)
-                .ok_or_else(unstable_port)?;
-            // Store-and-forward packetizer: a frame cannot enter the next
-            // hop's service before it is *fully* received, so the fluid
-            // left-over curve of every non-final hop must give up one
-            // maximum frame of the flow — `[β − l]⁺`, i.e. `l/R` of extra
-            // latency (Le Boudec & Thiran §1.7.4).  Without this term the
-            // convolved bound would pay the flow's own serialization only
-            // once even though store-and-forward pays it per link.
-            let is_last = hop_records[msg].len() + 1 == paths[msg].len();
-            let frame = workload.messages[msg].frame_size();
-            if !is_last {
-                leftover = RateLatency::new(
-                    leftover.rate(),
-                    leftover.latency() + leftover.rate().transmission_time(frame),
-                );
-            }
-            let flow_delay = match model {
-                EnvelopeModel::TokenBucket => delay_bound(&flow.envelope.token_bucket(), &leftover)
-                    .map_err(|source| AnalysisError::Stage {
-                        stage: port.to_string(),
-                        source,
-                    })?,
-                EnvelopeModel::Staircase => {
-                    // The general blind-multiplexing left-over curve against
-                    // the staircase cross traffic, same packetizer
-                    // correction, same candidate-exact deviation.
-                    let mut lo_curve = port_curves.as_ref().expect("staircase model")[i].clone();
-                    if !is_last {
-                        lo_curve = lo_curve
-                            .saturating_sub_const(frame.as_f64_bits())
-                            .expect("frame sizes are finite and non-negative");
-                    }
-                    let h = minplus::horizontal_deviation(&flow.envelope.curve(), &lo_curve)
-                        .map_err(|source| AnalysisError::Stage {
-                            stage: port.to_string(),
-                            source,
-                        })?;
-                    leftover_curves[msg].push(lo_curve);
-                    Duration::from_secs_f64_ceil(h)
-                }
-            };
-            let stage_bound = &stage_bounds[i].1;
-            hop_records[msg].push(HopBound {
-                port: port.to_string(),
-                stage_delay: stage_bound.delay,
-                flow_delay,
+            .fold(leftover_curves[0].convex_minorant(), |acc, c| {
+                minplus::convolve(&acc, &c.convex_minorant())
             });
-            leftovers[msg].push(leftover);
-            // Propagate: the envelope entering the next hop is the output
-            // envelope of this one (min-plus deconvolution, burst inflated
-            // by this element's delay bound; staircase extras shift left).
-            envelope[msg] = stage_bound.output.clone();
-        }
-    }
-
-    // Compose the three end-to-end bounds per message.
-    let messages = workload
-        .messages
-        .iter()
-        .enumerate()
-        .map(|(msg, spec)| {
-            let links = paths[msg].len();
-            let propagation = config.propagation * links as u64;
-            let hops = std::mem::take(&mut hop_records[msg]);
-            let stage_sum: Duration = hops.iter().map(|h| h.stage_delay).sum();
-            let hop_sum: Duration = hops.iter().map(|h| h.flow_delay).sum();
-            let source_envelope = TokenBucket::new(spec.frame_size(), spec.shaper_rate());
-            let network = leftovers[msg][1..]
-                .iter()
-                .fold(leftovers[msg][0], |acc, s| acc.concatenate(s));
-            let mut convolved =
-                delay_bound(&source_envelope, &network).map_err(|source| AnalysisError::Stage {
-                    stage: format!("convolved path of {}", spec.name),
-                    source,
-                })?;
-            if model == EnvelopeModel::Staircase {
-                // Pay bursts only once on the general curves: convolve the
-                // per-hop left-over curves and push the staircase source
-                // envelope through the result once.  Each hop contributes
-                // its convex minorant — a sound (smaller) service curve
-                // that keeps the early-service gain of the staircase cross
-                // traffic while convolving in near-linear time, so long
-                // paths stay cheap.  Both convolution routes are sound, so
-                // the reported bound is their minimum (which also absorbs
-                // float noise in the curve route on degenerate-staircase
-                // flows).
-                let network_curve = leftover_curves[msg][1..]
-                    .iter()
-                    .fold(leftover_curves[msg][0].convex_minorant(), |acc, c| {
-                        minplus::convolve(&acc, &c.convex_minorant())
-                    });
-                let source_curve = spec.arrival_envelope(model, config.link_rate).curve();
-                let h = minplus::horizontal_deviation(&source_curve, &network_curve).map_err(
-                    |source| AnalysisError::Stage {
-                        stage: format!("convolved path of {}", spec.name),
-                        source,
-                    },
-                )?;
-                convolved = convolved.min(Duration::from_secs_f64_ceil(h));
-                // The per-hop delays run on the *full* left-over hulls
-                // while the convolution runs on their convex minorants, so
-                // the textbook `convolved ≤ per-hop sum` comparison mixes
-                // two curve families.  Every term is an independently
-                // sound end-to-end bound, so clamping restores the PBOO
-                // invariant without giving up tightness anywhere.
-                convolved = convolved.min(hop_sum);
+        let source_curve = spec.arrival_envelope(model, config.link_rate).curve();
+        let h = minplus::horizontal_deviation(&source_curve, &network_curve).map_err(|source| {
+            AnalysisError::Stage {
+                stage: format!("convolved path of {}", spec.name),
+                source,
             }
-            let stage_sum_bound = stage_sum + propagation;
-            let hop_sum_bound = hop_sum + propagation;
-            let convolved_bound = convolved + propagation;
-            let total_bound = stage_sum_bound.min(convolved_bound);
-            Ok(MultiHopMessageBound {
-                message: spec.id,
-                name: spec.name.clone(),
-                class: spec.traffic_class(),
-                source: spec.source,
-                destination: spec.destination,
-                deadline: spec.deadline,
-                links,
-                hops,
-                stage_sum_bound,
-                hop_sum_bound,
-                convolved_bound,
-                total_bound,
-                meets_deadline: total_bound <= spec.deadline,
-            })
-        })
-        .collect::<Result<Vec<_>, AnalysisError>>()?;
-
-    Ok(MultiHopReport {
-        approach,
-        envelope: model,
-        config: *config,
-        fabric: fabric.clone(),
-        messages,
+        })?;
+        convolved = convolved.min(Duration::from_secs_f64_ceil(h));
+        // The per-hop delays run on the *full* left-over hulls
+        // while the convolution runs on their convex minorants, so
+        // the textbook `convolved ≤ per-hop sum` comparison mixes
+        // two curve families.  Every term is an independently
+        // sound end-to-end bound, so clamping restores the PBOO
+        // invariant without giving up tightness anywhere.
+        convolved = convolved.min(hop_sum);
+    }
+    let stage_sum_bound = stage_sum + propagation;
+    let hop_sum_bound = hop_sum + propagation;
+    let convolved_bound = convolved + propagation;
+    let total_bound = stage_sum_bound.min(convolved_bound);
+    Ok(MultiHopMessageBound {
+        message: spec.id,
+        name: spec.name.clone(),
+        class: spec.traffic_class(),
+        source: spec.source,
+        destination: spec.destination,
+        deadline: spec.deadline,
+        links,
+        hops,
+        stage_sum_bound,
+        hop_sum_bound,
+        convolved_bound,
+        total_bound,
+        meets_deadline: total_bound <= spec.deadline,
     })
-}
-
-/// The left-over rate-latency service curve of flow `index` at a port
-/// multiplexing `flows`, or `None` when the interfering traffic saturates
-/// the flow's residual service.
-///
-/// * **FCFS** — blind multiplexing against the aggregate of every other
-///   flow at the port.
-/// * **Strict priority** — blind multiplexing against the other flows of
-///   the same or higher priority, after reserving the transmission time of
-///   the largest lower-priority frame (non-preemptive blocking) as extra
-///   latency.
-/// * **WRR** — the class's quantum-share residual service
-///   ([`netcalc::WrrMux::residual_service`]), then blind multiplexing
-///   against the other flows of the *same class* (the class queue is one
-///   FIFO, so the arbitrary-multiplexing residual applies within it).
-fn leftover_service(
-    flows: &[StageFlow],
-    index: usize,
-    policy: &SchedulingPolicy,
-    config: &NetworkConfig,
-    ttechno: Duration,
-) -> Option<RateLatency> {
-    let classes = policy.queue_count();
-    let clamp = |p: usize| p.min(classes.saturating_sub(1));
-    let (base, cross) = match policy {
-        SchedulingPolicy::Fcfs => {
-            let cross = TokenBucket::aggregate_all(
-                flows
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != index)
-                    .map(|(_, f)| f.envelope.token_bucket()),
-            );
-            (RateLatency::new(config.link_rate, ttechno), cross)
-        }
-        SchedulingPolicy::StrictPriority { .. } => {
-            let own = clamp(flows[index].priority);
-            let cross = TokenBucket::aggregate_all(
-                flows
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, f)| j != index && clamp(f.priority) <= own)
-                    .map(|(_, f)| f.envelope.token_bucket()),
-            );
-            let blocking = flows
-                .iter()
-                .filter(|f| clamp(f.priority) > own)
-                .map(|f| f.envelope.burst())
-                .fold(units::DataSize::ZERO, units::DataSize::max);
-            let base = RateLatency::new(
-                config.link_rate,
-                ttechno + config.link_rate.transmission_time(blocking),
-            );
-            (base, cross)
-        }
-        SchedulingPolicy::Wrr { .. } => {
-            // The quantum-share residual depends only on the per-class
-            // frame sizes and occupancy, so the mux is fed the flows'
-            // token-bucket summaries — not their full piecewise-linear
-            // envelopes, whose clones would dominate this per-flow path.
-            let mut mux = mux_for_policy(policy, config.link_rate, ttechno);
-            for f in flows {
-                mux.add_flow(f.priority, f.envelope.token_bucket(), f.frame)
-                    .ok()?;
-            }
-            let own = clamp(flows[index].priority);
-            let base = mux.residual_service(own).ok()?;
-            let cross = TokenBucket::aggregate_all(
-                flows
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, f)| j != index && clamp(f.priority) == own)
-                    .map(|(_, f)| f.envelope.token_bucket()),
-            );
-            (base, cross)
-        }
-    };
-    base.leftover(&cross)
-}
-
-/// The general left-over service **curves** of every flow at a port
-/// ([`minplus::leftover`]): the same blind-multiplexing construction as
-/// [`leftover_service`], but against the cross traffic's full
-/// piecewise-linear envelopes (e.g. staircases) instead of their
-/// token-bucket summaries — the cross traffic's flat steps let the residual
-/// service recover faster, so the served flow's deviation can only shrink.
-///
-/// Batched per port: the aggregate arrival curve of each priority prefix is
-/// built once and each flow's cross traffic is recovered by subtracting its
-/// own envelope ([`Curve::sub_envelope`]), turning the per-port cost from
-/// quadratic to linear in the flow count.
-fn leftover_curves_for_port(
-    flows: &[StageFlow],
-    policy: &SchedulingPolicy,
-    config: &NetworkConfig,
-    ttechno: Duration,
-) -> Result<Vec<Curve>, NcError> {
-    use netcalc::ServiceBound;
-    let levels = policy.queue_count();
-    let clamp = |p: usize| p.min(levels.saturating_sub(1));
-    match policy {
-        SchedulingPolicy::Fcfs => {
-            let full = Envelope::aggregate_all(flows.iter().map(|f| &f.envelope)).curve();
-            let base = RateLatency::new(config.link_rate, ttechno).curve();
-            flows
-                .iter()
-                .map(|f| {
-                    let cross = full.sub_envelope(&f.envelope.curve());
-                    minplus::leftover(&base, &cross)
-                })
-                .collect()
-        }
-        SchedulingPolicy::StrictPriority { .. } => {
-            // Aggregate arrival curve of levels ≤ p, one prefix per level.
-            let mut prefixes: Vec<Curve> = Vec::with_capacity(levels);
-            let mut acc = netcalc::Curve::zero();
-            for p in 0..levels {
-                for f in flows.iter().filter(|f| clamp(f.priority) == p) {
-                    acc = acc.add(&f.envelope.curve());
-                }
-                prefixes.push(acc.clone());
-            }
-            // Largest lower-priority frame that can block level p.
-            let blocking: Vec<units::DataSize> = (0..levels)
-                .map(|p| {
-                    flows
-                        .iter()
-                        .filter(|f| clamp(f.priority) > p)
-                        .map(|f| f.envelope.burst())
-                        .fold(units::DataSize::ZERO, units::DataSize::max)
-                })
-                .collect();
-            let bases: Vec<Curve> = (0..levels)
-                .map(|p| {
-                    RateLatency::new(
-                        config.link_rate,
-                        ttechno + config.link_rate.transmission_time(blocking[p]),
-                    )
-                    .curve()
-                })
-                .collect();
-            flows
-                .iter()
-                .map(|f| {
-                    let own = clamp(f.priority);
-                    let cross = prefixes[own].sub_envelope(&f.envelope.curve());
-                    minplus::leftover(&bases[own], &cross)
-                })
-                .collect()
-        }
-        SchedulingPolicy::Wrr { .. } => {
-            // Per-class quantum-share residual services, then the general
-            // blind-multiplexing left-over against the *same-class* cross
-            // traffic's full piecewise-linear envelopes.
-            let mut mux = mux_for_policy(policy, config.link_rate, ttechno);
-            for f in flows {
-                mux.add_flow(f.priority, f.envelope.clone(), f.frame)?;
-            }
-            // Aggregate arrival curve of each class (classes without flows
-            // never get looked up).
-            let mut aggregates: Vec<Curve> = vec![netcalc::Curve::zero(); levels];
-            for f in flows {
-                let own = clamp(f.priority);
-                aggregates[own] = aggregates[own].add(&f.envelope.curve());
-            }
-            let mut bases: Vec<Option<Curve>> = vec![None; levels];
-            flows
-                .iter()
-                .map(|f| {
-                    let own = clamp(f.priority);
-                    if bases[own].is_none() {
-                        bases[own] = Some(mux.residual_service(own)?.curve());
-                    }
-                    let cross = aggregates[own].sub_envelope(&f.envelope.curve());
-                    minplus::leftover(bases[own].as_ref().expect("just filled"), &cross)
-                })
-                .collect()
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analysis::end_to_end::analyze;
+    use netcalc::NcError;
     use units::{DataRate, DataSize};
     use workload::case_study::{case_study_with, CaseStudyConfig};
     use workload::Arrival;

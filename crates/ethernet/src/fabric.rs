@@ -296,6 +296,7 @@ impl Fabric {
             .enumerate()
             .map(|(i, &sw)| {
                 topo.attach_end_system(format!("station-{i}"), switch_ids[sw], link)
+                    .map(|(id, _)| id)
                     .expect("validated attachment")
             })
             .collect();

@@ -70,6 +70,9 @@ pub enum TopologyError {
     DuplicateLink(NodeId, NodeId),
     /// No path exists between the two nodes.
     NoRoute(NodeId, NodeId),
+    /// The operation only applies to end systems (e.g. detaching a switch
+    /// would orphan whole subtrees).
+    NotAnEndSystem(NodeId),
 }
 
 impl fmt::Display for TopologyError {
@@ -79,6 +82,7 @@ impl fmt::Display for TopologyError {
             TopologyError::SelfLoop(n) => write!(f, "cannot connect node {n} to itself"),
             TopologyError::DuplicateLink(a, b) => write!(f, "nodes {a} and {b} already connected"),
             TopologyError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
+            TopologyError::NotAnEndSystem(n) => write!(f, "node {n} is not an end system"),
         }
     }
 }
@@ -288,31 +292,77 @@ impl Topology {
         (topo, switch_id, station_ids)
     }
 
-    /// Adds an end system and connects it to `switch` in one step,
-    /// returning the new node's id — the campaign builder's way of growing
-    /// a star topology one station at a time.
+    /// Adds an end system and connects it to `switch` in one step — the
+    /// campaign builder's way of growing a star topology one station at a
+    /// time.
+    ///
+    /// Returns the new node's id together with the set of directed ports
+    /// the mutation touched (the new station's uplink and downlink), so
+    /// callers that cache per-port state (the admission engine) can
+    /// invalidate exactly those entries instead of diffing topologies.
     pub fn attach_end_system(
         &mut self,
         name: impl Into<String>,
         switch: NodeId,
         link: Link,
-    ) -> Result<NodeId, TopologyError> {
+    ) -> Result<(NodeId, Vec<PortId>), TopologyError> {
         self.check_node(switch)?;
         let id = self.add_end_system(name);
         self.connect(id, switch, link)?;
-        Ok(id)
+        let ports = vec![
+            PortId {
+                from: id,
+                to: switch,
+            },
+            PortId {
+                from: switch,
+                to: id,
+            },
+        ];
+        Ok((id, ports))
+    }
+
+    /// Disconnects an end system from the topology (its node id stays
+    /// allocated but isolated — node ids are dense indices, so the node
+    /// itself cannot be removed without renumbering every other node).
+    ///
+    /// Returns the set of directed ports that vanished, in adjacency
+    /// order, so per-port caches can drop exactly those entries.
+    pub fn detach_end_system(&mut self, id: NodeId) -> Result<Vec<PortId>, TopologyError> {
+        match self.node(id)? {
+            NodeKind::EndSystem { .. } => {}
+            NodeKind::Switch(_) => return Err(TopologyError::NotAnEndSystem(id)),
+        }
+        let neighbors: Vec<NodeId> = self.adjacency[id.0].iter().map(|(n, _)| *n).collect();
+        let mut ports = Vec::with_capacity(2 * neighbors.len());
+        for nb in neighbors {
+            self.adjacency[nb.0].retain(|(n, _)| *n != id);
+            ports.push(PortId { from: id, to: nb });
+            ports.push(PortId { from: nb, to: id });
+        }
+        self.adjacency[id.0].clear();
+        Ok(ports)
     }
 
     /// Replaces every link in the topology with `link`, keeping the
     /// connectivity — the programmatic mutation behind campaign rate
     /// sweeps (upgrade the whole network from 10 Mbps to Fast Ethernet
     /// without rebuilding it).
-    pub fn relink_all(&mut self, link: Link) {
-        for adjacency in &mut self.adjacency {
-            for (_, l) in adjacency.iter_mut() {
+    ///
+    /// Returns every directed port whose link changed (all of them), in
+    /// adjacency order — the whole-cache invalidation set.
+    pub fn relink_all(&mut self, link: Link) -> Vec<PortId> {
+        let mut ports = Vec::new();
+        for (from, adjacency) in self.adjacency.iter_mut().enumerate() {
+            for (to, l) in adjacency.iter_mut() {
                 *l = link;
+                ports.push(PortId {
+                    from: NodeId(from),
+                    to: *to,
+                });
             }
         }
+        ports
     }
 
     fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
@@ -444,21 +494,69 @@ mod tests {
     fn attach_and_relink_mutate_in_place() {
         let (mut topo, sw, stations) =
             Topology::single_switch(3, switch("sw0"), Link::new(Phy::TenMbps));
-        let extra = topo
+        let (extra, ports) = topo
             .attach_end_system("late-joiner", sw, Link::new(Phy::TenMbps))
             .unwrap();
         assert_eq!(topo.end_systems().len(), 4);
         assert_eq!(topo.route(extra, stations[0]).unwrap().switch_count(), 1);
+        assert_eq!(
+            ports,
+            vec![
+                PortId {
+                    from: extra,
+                    to: sw
+                },
+                PortId {
+                    from: sw,
+                    to: extra
+                }
+            ]
+        );
         assert!(topo
             .attach_end_system("bad", NodeId(99), Link::new(Phy::TenMbps))
             .is_err());
 
         let fast = Link::new(Phy::FastEthernet);
-        topo.relink_all(fast);
+        let relinked = topo.relink_all(fast);
+        assert_eq!(relinked.len(), 2 * 4); // four stations, two directions each
         for s in topo.end_systems() {
             assert_eq!(topo.link_between(s, sw), Some(fast));
             assert_eq!(topo.link_between(sw, s), Some(fast));
         }
+    }
+
+    #[test]
+    fn detach_end_system_reports_removed_ports() {
+        let (mut topo, sw, stations) =
+            Topology::single_switch(3, switch("sw0"), Link::new(Phy::TenMbps));
+        let victim = stations[1];
+        let removed = topo.detach_end_system(victim).unwrap();
+        assert_eq!(
+            removed,
+            vec![
+                PortId {
+                    from: victim,
+                    to: sw
+                },
+                PortId {
+                    from: sw,
+                    to: victim
+                }
+            ]
+        );
+        // The node id stays allocated but isolated.
+        assert_eq!(topo.end_systems().len(), 3);
+        assert_eq!(topo.link_between(victim, sw), None);
+        assert!(topo.route(victim, stations[0]).is_err());
+        // Other stations are untouched.
+        assert!(topo.route(stations[0], stations[2]).is_ok());
+        // Detaching a switch is refused.
+        assert_eq!(
+            topo.detach_end_system(sw),
+            Err(TopologyError::NotAnEndSystem(sw))
+        );
+        // Detaching twice yields an empty port set.
+        assert_eq!(topo.detach_end_system(victim), Ok(Vec::new()));
     }
 
     #[test]

@@ -22,7 +22,10 @@ use units::{DataRate, DataSize, Duration};
 
 /// Which arrival-envelope family an analysis derives for each flow — the
 /// campaign's envelope ablation dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` lets the model participate in composite cache keys (the admission
+/// engine keys its per-port curve cache by `(port, policy arm, model)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EnvelopeModel {
     /// The paper's affine token bucket `(b_i, r_i = b_i / T_i)` only.
     TokenBucket,

@@ -47,7 +47,10 @@ pub use mux::{
 pub use service::{RateLatency, ServiceBound};
 
 /// Errors produced by the analysis routines.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries `serde` derives so services (e.g. the admission engine) can ship
+/// structured failure verdicts over the wire.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum NcError {
     /// The aggregate reserved rate meets or exceeds the service capacity, so
     /// no finite bound exists (`C − Σ r_i ≤ 0` in the priority formula, or

@@ -18,7 +18,10 @@
 //! * [`core`] (crate `rtswitch-core`) — the paper's end-to-end analysis,
 //!   verdicts, 1553B comparison and simulation validation;
 //! * [`campaign`] — the parallel scenario-sweep subsystem (mass validation
-//!   of the bounds, including the MIL-STD-1553B cross-technology stage).
+//!   of the bounds, including the MIL-STD-1553B cross-technology stage);
+//! * [`admission`] — the always-on admission-control service (incremental
+//!   re-analysis over a per-port curve cache, batched commuting-group
+//!   evaluation, NDJSON serving).
 //!
 //! See the repository `README.md` for a quick start and `EXPERIMENTS.md` for
 //! the reproduction of every figure and table.
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use admission;
 pub use campaign;
 pub use ethernet;
 pub use milstd1553;
@@ -38,6 +42,7 @@ pub use workload;
 /// The paper's analysis crate (`rtswitch-core`), re-exported as `core`.
 pub use rtswitch_core as core;
 
+pub use admission::{AdmissionEngine, AdmissionVerdict, FlowId, FlowSpec};
 pub use ethernet::{Fabric, SchedulingPolicy, WrrUnit, WrrWeights};
 pub use netcalc::{Envelope, EnvelopeModel};
 pub use netsim::Simulator;
