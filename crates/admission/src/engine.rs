@@ -124,6 +124,12 @@ pub enum Decision {
     Revoked,
     /// The flow's new spec was accepted.
     Modified,
+    /// A fault set was applied: babble flows joined the analysis and a
+    /// failover may have swapped the routing fabric.  Faults are acts of
+    /// the network, not requests — they are never deadline-gated.
+    Degraded,
+    /// The fault set was lifted and the healthy state recomputed.
+    Restored,
     /// The query was refused; the engine state is unchanged.
     Rejected {
         /// Why.
@@ -236,6 +242,27 @@ impl EngineStats {
             self.ports_reused as f64 / total as f64
         }
     }
+}
+
+/// A scheduled trunk failover as the admission layer sees it: which trunk
+/// failed and which backup pair replaced it (see
+/// [`ethernet::Fabric::with_failover`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverPlan {
+    /// Index of the failed trunk in the fabric's trunk list.
+    pub trunk: usize,
+    /// The backup switch pair brought up in its place.
+    pub backup: (usize, usize),
+}
+
+/// What [`AdmissionEngine::degrade`] changed, remembered so
+/// [`AdmissionEngine::restore`] can undo it.
+#[derive(Debug, Clone)]
+struct DegradedState {
+    /// The babble flows registered by the degrade, in registration order.
+    babble_flows: Vec<FlowId>,
+    /// The pre-failover fabric, when the degrade swapped it.
+    healthy_fabric: Option<Fabric>,
 }
 
 /// Per-port occupancy as reported by [`AdmissionEngine::snapshot`].
@@ -385,6 +412,8 @@ pub struct AdmissionEngine {
     bounds: BTreeMap<FlowId, MultiHopMessageBound>,
     next_id: u64,
     stats: EngineStats,
+    /// The active fault set, when the engine is running degraded.
+    degraded: Option<DegradedState>,
 }
 
 impl AdmissionEngine {
@@ -437,6 +466,7 @@ impl AdmissionEngine {
             bounds: BTreeMap::new(),
             next_id: specs.len() as u64,
             stats: EngineStats::default(),
+            degraded: None,
         };
         let paths: Vec<Vec<FabricPort>> = specs
             .iter()
@@ -537,6 +567,195 @@ impl AdmissionEngine {
             None,
         )
         .verdict
+    }
+
+    /// `true` while a fault set applied by [`AdmissionEngine::degrade`] is
+    /// active.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Applies a fault set: each `babbler` joins the analysis as an
+    /// adversarial flow (highest priority by its spec, exactly like the
+    /// degraded-mode analysis in `rtswitch-core`), and `failover` swaps the
+    /// routing fabric for the post-failover one.  The whole state is then
+    /// recomputed from scratch, so subsequent incremental queries run
+    /// against the degraded network.
+    ///
+    /// Faults are *applied*, not requested: deadline violations they cause
+    /// never reject the query (the margins in the verdict report them).
+    /// Rejections happen only for invalid inputs — already degraded, a
+    /// malformed babbler spec, a failover that disconnects the fabric — or
+    /// when no finite bound exists under the fault set (analysis error),
+    /// in which case the engine state is unchanged.
+    pub fn degrade(
+        &mut self,
+        babblers: &[FlowSpec],
+        failover: Option<FailoverPlan>,
+    ) -> AdmissionVerdict {
+        if self.degraded.is_some() {
+            return self.fault_rejection("degrade", "already degraded; restore first".to_string());
+        }
+        for spec in babblers {
+            if let Err(reason) = self.validate(spec) {
+                return self.fault_rejection("degrade", reason);
+            }
+        }
+        let fabric = match failover {
+            Some(plan) => match self.fabric.with_failover(plan.trunk, plan.backup) {
+                Ok(fabric) => fabric,
+                Err(err) => {
+                    return self.fault_rejection("degrade", format!("invalid failover: {err}"));
+                }
+            },
+            None => self.fabric.clone(),
+        };
+        let babble_ids: Vec<FlowId> = babblers.iter().map(|_| self.allocate_id()).collect();
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .copied()
+            .chain(babble_ids.iter().copied())
+            .collect();
+        let specs: Vec<&FlowSpec> = self
+            .flows
+            .iter()
+            .map(|id| &self.specs[id])
+            .chain(babblers.iter())
+            .collect();
+        let re = match self.recompute_full(&ids, &specs, &fabric) {
+            Ok(re) => re,
+            Err(err) => return self.fault_rejection("degrade", err.to_string()),
+        };
+        let healthy_fabric = failover.map(|_| std::mem::replace(&mut self.fabric, fabric));
+        for (id, spec) in babble_ids.iter().zip(babblers) {
+            self.specs.insert(*id, spec.clone());
+        }
+        self.degraded = Some(DegradedState {
+            babble_flows: babble_ids,
+            healthy_fabric,
+        });
+        self.install_full(ids, re, Decision::Degraded, "degrade")
+    }
+
+    /// Lifts the active fault set: babble flows leave the analysis, the
+    /// healthy fabric returns if a failover had swapped it, and the whole
+    /// state is recomputed from scratch — byte-identical to an engine that
+    /// never degraded (modulo lifetime counters and consumed flow ids).
+    pub fn restore(&mut self) -> AdmissionVerdict {
+        let Some(state) = self.degraded.clone() else {
+            return self.fault_rejection("restore", "not degraded".to_string());
+        };
+        let fabric = state
+            .healthy_fabric
+            .clone()
+            .unwrap_or_else(|| self.fabric.clone());
+        let ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .copied()
+            .filter(|id| !state.babble_flows.contains(id))
+            .collect();
+        let specs: Vec<&FlowSpec> = ids.iter().map(|id| &self.specs[id]).collect();
+        let re = match self.recompute_full(&ids, &specs, &fabric) {
+            Ok(re) => re,
+            Err(err) => return self.fault_rejection("restore", err.to_string()),
+        };
+        self.fabric = fabric;
+        for id in &state.babble_flows {
+            self.specs.remove(id);
+        }
+        self.degraded = None;
+        self.install_full(ids, re, Decision::Restored, "restore")
+    }
+
+    /// From-scratch-equivalent re-analysis of `ids`/`specs` routed over
+    /// `fabric`: every previously cached port and every port of the new
+    /// routes is dirty, so nothing stale survives.
+    fn recompute_full(
+        &self,
+        ids: &[FlowId],
+        specs: &[&FlowSpec],
+        fabric: &Fabric,
+    ) -> Result<Reanalysis, AnalysisError> {
+        let paths: Vec<Vec<FabricPort>> = specs
+            .iter()
+            .map(|s| flow_ports(fabric, s.source, s.destination))
+            .collect();
+        let tentative: Vec<TentativeFlow<'_>> = ids
+            .iter()
+            .zip(specs)
+            .zip(&paths)
+            .map(|((id, spec), path)| TentativeFlow {
+                id: *id,
+                spec,
+                path,
+            })
+            .collect();
+        let mut dirty: BTreeSet<FabricPort> = self.cache.keys().map(|k| k.port).collect();
+        for path in &paths {
+            dirty.extend(path.iter().copied());
+        }
+        let mut re = self.reanalyze(&tentative, &dirty)?;
+        re.paths = ids.iter().copied().zip(paths).collect();
+        Ok(re)
+    }
+
+    /// Installs a full recompute wholesale: flow order, route index, port
+    /// cache and bounds are all replaced, which is exactly the cold-start
+    /// state for the new flow set (the cache-soundness invariant by
+    /// construction).
+    fn install_full(
+        &mut self,
+        ids: Vec<FlowId>,
+        re: Reanalysis,
+        decision: Decision,
+        name: &str,
+    ) -> AdmissionVerdict {
+        let margins: Vec<FlowMargin> = ids
+            .iter()
+            .filter_map(|id| {
+                re.bounds
+                    .get(id)
+                    .map(|bound| FlowMargin::from_bound(*id, bound))
+            })
+            .collect();
+        self.flows = ids;
+        self.paths = re.paths;
+        self.crossings.clear();
+        for id in self.flows.clone() {
+            let path = self.paths[&id].clone();
+            self.index_path(id, &path);
+        }
+        self.cache = re.entries;
+        self.bounds = re.bounds;
+        let mut cache = re.cache;
+        cache.ports_total = self.cache.len();
+        cache.ports_reused = 0;
+        cache.flows_reused = 0;
+        self.stats.queries += 1;
+        self.stats.ports_recomputed += cache.ports_recomputed as u64;
+        self.stats.flows_recomputed += cache.flows_recomputed as u64;
+        AdmissionVerdict {
+            decision,
+            flow: None,
+            name: name.to_string(),
+            margins,
+            cache,
+        }
+    }
+
+    /// A rejected degrade/restore verdict (state unchanged).
+    fn fault_rejection(&mut self, name: &str, reason: String) -> AdmissionVerdict {
+        self.stats.queries += 1;
+        self.stats.rejected += 1;
+        AdmissionVerdict {
+            decision: Decision::Rejected { reason },
+            flow: None,
+            name: name.to_string(),
+            margins: Vec::new(),
+            cache: CacheStats::default(),
+        }
     }
 
     /// A consistent view of the engine's current state.
@@ -834,6 +1053,8 @@ impl AdmissionEngine {
             Decision::Revoked => self.stats.revoked += 1,
             Decision::Modified => self.stats.modified += 1,
             Decision::Rejected { .. } => self.stats.rejected += 1,
+            // Degrade/restore never flow through previews.
+            Decision::Degraded | Decision::Restored => {}
         }
         if let Some(delta) = delta {
             self.commit(delta);
@@ -1192,6 +1413,7 @@ impl AdmissionEngine {
             entries,
             removed_ports,
             bounds,
+            paths: BTreeMap::new(),
             cache: CacheStats {
                 ports_total,
                 ports_recomputed,
@@ -1221,6 +1443,9 @@ struct Reanalysis {
     removed_ports: Vec<CurveKey>,
     bounds: BTreeMap<FlowId, MultiHopMessageBound>,
     cache: CacheStats,
+    /// The routes the analysis ran over, filled only by the full-recompute
+    /// path (degrade/restore), which replaces the route table wholesale.
+    paths: BTreeMap<FlowId, Vec<FabricPort>>,
 }
 
 impl Preview {

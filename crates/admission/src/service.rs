@@ -2,7 +2,9 @@
 //! request per input line, one JSON response per output line, testable
 //! against in-memory byte buffers.
 
-use crate::engine::{AdmissionEngine, AdmissionSnapshot, AdmissionVerdict, FlowId, FlowSpec};
+use crate::engine::{
+    AdmissionEngine, AdmissionSnapshot, AdmissionVerdict, FailoverPlan, FlowId, FlowSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
@@ -26,6 +28,16 @@ pub enum ServeRequest {
         /// Its new spec.
         spec: FlowSpec,
     },
+    /// Apply a fault set: babble flows join the analysis and an optional
+    /// trunk failover swaps the routing fabric.
+    Degrade {
+        /// The adversarial flows, one per babbling talker.
+        babblers: Vec<FlowSpec>,
+        /// The trunk failover, when one is scheduled.
+        failover: Option<FailoverPlan>,
+    },
+    /// Lift the active fault set and recompute the healthy state.
+    Restore,
     /// Dump the engine's current state.
     Snapshot,
 }
@@ -66,6 +78,10 @@ pub fn serve<R: BufRead, W: Write>(
             Ok(ServeRequest::Modify { flow, spec }) => {
                 ServeResponse::Verdict(engine.modify(flow, spec))
             }
+            Ok(ServeRequest::Degrade { babblers, failover }) => {
+                ServeResponse::Verdict(engine.degrade(&babblers, failover))
+            }
+            Ok(ServeRequest::Restore) => ServeResponse::Verdict(engine.restore()),
             Ok(ServeRequest::Snapshot) => ServeResponse::Snapshot(engine.snapshot()),
             Err(err) => ServeResponse::Error {
                 message: format!("bad request: {err:?}"),

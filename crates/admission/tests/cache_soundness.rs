@@ -4,12 +4,13 @@
 //! policy arms and both envelope models — and batched evaluation matches
 //! sequential evaluation verdict for verdict.
 
-use admission::{resolve, trace_ops, AdmissionEngine, AdmissionQuery};
+use admission::{resolve, trace_ops, AdmissionEngine, AdmissionQuery, FailoverPlan, FlowSpec};
 use ethernet::{Fabric, WrrUnit, WrrWeights};
 use netcalc::EnvelopeModel;
 use rtswitch_core::{analyze_multi_hop_with, report::to_json, Approach, NetworkConfig};
+use units::{DataSize, Duration};
 use workload::case_study::{case_study_with, CaseStudyConfig};
-use workload::Workload;
+use workload::{Arrival, Workload};
 
 fn base_workload() -> Workload {
     case_study_with(CaseStudyConfig {
@@ -168,6 +169,117 @@ fn admit_then_revoke_restores_bounds() {
         to_json(&engine.snapshot().report).unwrap(),
         "admit followed by revoke must restore the original bounds"
     );
+}
+
+fn babbler_spec(source: usize, destination: usize) -> FlowSpec {
+    FlowSpec {
+        name: format!("babble-{source}"),
+        source,
+        destination,
+        payload: DataSize::from_bytes(128),
+        arrival: Arrival::Sporadic {
+            min_interarrival: Duration::from_millis(10),
+        },
+        // The P0 boundary: the adversarial flow competes at the highest
+        // priority, like the simulator's babbled frames.
+        deadline: Duration::from_millis(3),
+    }
+}
+
+#[test]
+fn degraded_state_equals_scratch_and_restore_is_exact() {
+    let workload = base_workload();
+    let fabric = Fabric::line(2, workload.stations.len());
+    let config = NetworkConfig::paper_default();
+    for approach in arms() {
+        for model in [EnvelopeModel::TokenBucket, EnvelopeModel::Staircase] {
+            let mut engine = AdmissionEngine::new(&workload, &fabric, &config, approach, model)
+                .expect("seed workload is analysable");
+            let healthy = to_json(&engine.snapshot().report).unwrap();
+
+            // Degrade: two babblers plus a trunk failover onto the backup.
+            let backup = fabric.backup_for(0).expect("line fabrics reconnect");
+            let verdict = engine.degrade(
+                &[babbler_spec(1, 0), babbler_spec(2, 0)],
+                Some(FailoverPlan { trunk: 0, backup }),
+            );
+            assert!(verdict.accepted(), "{:?}", verdict.decision);
+            assert!(engine.is_degraded());
+            assert_eq!(
+                engine.fabric().trunks()[0],
+                backup,
+                "failover swapped the routing fabric"
+            );
+            // The degraded incremental state must still be byte-identical
+            // to a from-scratch analysis of the degraded flow set on the
+            // post-failover fabric.
+            assert_matches_scratch(&engine, &format!("degrade ({approach} / {model:?})"));
+
+            // Incremental queries keep the invariant while degraded.
+            // Revokes and modifies only target flows admitted inside this
+            // trace, so the pre-fault flow set survives for the restore
+            // check below.
+            let original_flows = workload.messages.len() as u64;
+            let is_trace_extra = |engine: &AdmissionEngine, id: admission::FlowId| {
+                id.0 >= original_flows
+                    && engine
+                        .flow_spec(id)
+                        .is_some_and(|s| !s.name.starts_with("babble"))
+            };
+            let ops = trace_ops(5, 6, engine.station_count());
+            for (step, op) in ops.iter().enumerate() {
+                match resolve(op, engine.active_flows()) {
+                    AdmissionQuery::Admit { flow } => {
+                        engine.admit(flow);
+                    }
+                    AdmissionQuery::Revoke { flow } => {
+                        if is_trace_extra(&engine, flow) {
+                            engine.revoke(flow);
+                        }
+                    }
+                    AdmissionQuery::Modify { flow, spec } => {
+                        if is_trace_extra(&engine, flow) {
+                            engine.modify(flow, spec);
+                        }
+                    }
+                }
+                assert_matches_scratch(
+                    &engine,
+                    &format!("degraded step {step} ({approach} / {model:?}: {op:?})"),
+                );
+            }
+
+            // A second degrade while degraded rejects without mutating.
+            let mid = to_json(&engine.snapshot().report).unwrap();
+            assert!(!engine.degrade(&[babbler_spec(1, 0)], None).accepted());
+            assert_eq!(mid, to_json(&engine.snapshot().report).unwrap());
+
+            // Undo the trace so restore targets the pre-fault flow set,
+            // then restore: the healthy fingerprint must return exactly.
+            let extras: Vec<_> = engine
+                .active_flows()
+                .iter()
+                .copied()
+                .filter(|&id| is_trace_extra(&engine, id))
+                .collect();
+            for id in extras {
+                assert!(engine.revoke(id).accepted());
+            }
+            let verdict = engine.restore();
+            assert!(verdict.accepted(), "{:?}", verdict.decision);
+            assert!(!engine.is_degraded());
+            assert_matches_scratch(&engine, &format!("restore ({approach} / {model:?})"));
+            assert_eq!(
+                healthy,
+                to_json(&engine.snapshot().report).unwrap(),
+                "restore must return the pre-fault fingerprint exactly \
+                 ({approach} / {model:?})"
+            );
+
+            // Restoring a healthy engine rejects.
+            assert!(!engine.restore().accepted());
+        }
+    }
 }
 
 #[test]

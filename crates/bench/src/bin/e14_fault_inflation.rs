@@ -1,0 +1,35 @@
+//! E14 — degraded-mode bound inflation vs fault count: each scheduling
+//! policy climbs a fault ladder (babbling idiots, then a trunk failover)
+//! and the degraded bounds are validated against the faulty simulation.
+
+use bench::{fault_inflation, render_fault_inflation};
+use rtswitch_core::report::to_json;
+use units::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    let seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+    let horizon_ms: u64 = flag("--horizon-ms")
+        .map(|s| s.parse().expect("--horizon-ms expects milliseconds"))
+        .unwrap_or(160);
+
+    let rows = fault_inflation(seed, Duration::from_millis(horizon_ms));
+    print!("{}", render_fault_inflation(&rows));
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&rows).expect("rows serialize")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    if rows.iter().any(|r| !r.sound) {
+        eprintln!("E14: a surviving frame exceeded its degraded-mode bound");
+        std::process::exit(1);
+    }
+}

@@ -530,6 +530,7 @@ pub fn campaign_sweep(
         with_1553: false,
         envelope_override: None,
         policy_override: None,
+        faults: campaign::FaultMode::Off,
     })
 }
 
@@ -1423,6 +1424,168 @@ pub fn render_admission_throughput(rows: &[AdmissionThroughputRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E14
+
+/// One row of the fault-inflation experiment: the degraded-mode bounds of
+/// one policy arm under one fault ladder rung, validated against the
+/// faulty simulation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultInflationRow {
+    /// The scheduling-policy arm.
+    pub policy: String,
+    /// Injected faults (babblers + failover) at this rung.
+    pub fault_count: usize,
+    /// Babbling-idiot talkers at this rung.
+    pub babblers: usize,
+    /// Whether this rung schedules the trunk failover.
+    pub failover: bool,
+    /// Largest degraded-over-healthy bound ratio across messages.
+    pub max_bound_inflation: f64,
+    /// Mean degraded-over-healthy bound ratio across messages.
+    pub mean_bound_inflation: f64,
+    /// Largest degraded total bound, in milliseconds.
+    pub worst_degraded_bound_ms: f64,
+    /// `true` when the degraded bounds still meet every deadline.
+    pub bounds_hold: bool,
+    /// `true` when every surviving simulated frame respected its degraded
+    /// bound.
+    pub sound: bool,
+}
+
+/// The E14 fault ladder: `rung` babblers (station `2i+1` floods station 0
+/// at the highest priority), plus the trunk failover on the last rung.
+fn fault_ladder_rung(rung: usize, stations: usize, fabric: &Fabric) -> netsim::FaultModel {
+    let babblers = (0..rung.min(3))
+        .map(|i| netsim::Babbler {
+            station: StationId((2 * i + 1) % stations),
+            destination: StationId(0),
+            payload: DataSize::from_bytes(64),
+            start: Duration::ZERO,
+            interval: Duration::from_millis(5),
+        })
+        .collect();
+    let failover = (rung >= 3).then(|| {
+        let backup = fabric
+            .backup_for(0)
+            .expect("the E14 line fabric reconnects");
+        netsim::TrunkFailover {
+            trunk: 0,
+            backup,
+            at: Duration::from_millis(80),
+        }
+    });
+    netsim::FaultModel {
+        babblers,
+        link_faults: Vec::new(),
+        failover,
+        monitor: None,
+    }
+}
+
+/// E14 — degraded-mode bound inflation vs fault count.  A three-switch
+/// line fabric at 100 Mbps carries the bus-sized case study; each policy
+/// arm climbs a fault ladder (0 → 2 babblers, then babblers + trunk
+/// failover) and every rung's degraded bounds are validated against the
+/// simulator injecting the identical fault set.
+pub fn fault_inflation(seed: u64, horizon: Duration) -> Vec<FaultInflationRow> {
+    let workload = bus_sized_case_study();
+    let stations = workload.stations.len();
+    let config = NetworkConfig::paper_default().with_link_rate(DataRate::from_mbps(100));
+    let arms: Vec<(&str, Approach)> = vec![
+        ("fcfs", Approach::Fcfs),
+        ("strict-priority", Approach::StrictPriority),
+        (
+            "wrr-4/2/1/1",
+            Approach::Wrr {
+                weights: ethernet::WrrWeights::new(&[4, 2, 1, 1], ethernet::WrrUnit::Frames),
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, approach) in arms {
+        for rung in 0..=3usize {
+            let fabric = Fabric::line(3, stations);
+            let faults = fault_ladder_rung(rung, stations, &fabric);
+            let degraded = rtswitch_core::analyze_degraded_with(
+                &workload,
+                &config,
+                approach,
+                &fabric,
+                EnvelopeModel::TokenBucket,
+                &faults,
+            )
+            .expect("the E14 ladder stays feasible at 100 Mbps");
+            let simulation = Simulator::with_fabric(
+                workload.clone(),
+                rtswitch_core::sim_config_for(approach, &config, horizon, seed),
+                fabric,
+            )
+            .with_faults(faults.clone())
+            .run();
+            let validation = rtswitch_core::validation_from_bound_lookup(
+                &workload,
+                |id| degraded.bound_for(id),
+                simulation,
+            );
+            let inflations: Vec<f64> = degraded.flows.iter().map(|f| f.inflation).collect();
+            let worst_bound = degraded
+                .flows
+                .iter()
+                .map(|f| f.degraded_bound)
+                .fold(Duration::ZERO, Duration::max);
+            rows.push(FaultInflationRow {
+                policy: name.to_string(),
+                fault_count: faults.fault_count(),
+                babblers: faults.babblers.len(),
+                failover: faults.failover.is_some(),
+                max_bound_inflation: degraded.max_inflation(),
+                mean_bound_inflation: inflations.iter().sum::<f64>()
+                    / inflations.len().max(1) as f64,
+                worst_degraded_bound_ms: worst_bound.as_nanos() as f64 / 1e6,
+                bounds_hold: degraded.bounds_hold,
+                sound: validation.all_sound(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E14 rows as an aligned table.
+pub fn render_fault_inflation(rows: &[FaultInflationRow]) -> String {
+    let mut out = String::from(
+        "E14 — degraded-mode bound inflation vs fault count\n\
+         (3-switch line, 100 Mbps, bus-sized case study; babblers flood at\n\
+         the highest priority, the last rung adds a trunk failover)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>9} {:>9} {:>14} {:>14} {:>14} {:>11} {:>6}\n",
+        "policy",
+        "faults",
+        "babblers",
+        "failover",
+        "max inflation",
+        "mean inflation",
+        "worst bound ms",
+        "bounds hold",
+        "sound",
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>9} {:>9} {:>14.4} {:>14.4} {:>14.3} {:>11} {:>6}\n",
+            row.policy,
+            row.fault_count,
+            row.babblers,
+            row.failover,
+            row.max_bound_inflation,
+            row.mean_bound_inflation,
+            row.worst_degraded_bound_ms,
+            if row.bounds_hold { "yes" } else { "NO" },
+            if row.sound { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1687,5 +1850,42 @@ mod tests {
         );
         assert!(result.unshaped_losses() > result.shaped_losses());
         assert!(result.render().contains("frames dropped"));
+    }
+
+    #[test]
+    fn fault_inflation_is_sound_and_monotone_in_fault_count() {
+        let rows = fault_inflation(42, Duration::from_millis(160));
+        assert_eq!(rows.len(), 12, "three policy arms x four ladder rungs");
+        for arm in rows.chunks(4) {
+            // Rung 0 injects nothing: the degraded bounds collapse onto the
+            // healthy ones.
+            assert_eq!(arm[0].fault_count, 0);
+            assert_eq!(arm[0].max_bound_inflation, 1.0);
+            assert!(!arm[0].failover);
+            assert!(arm[3].failover, "the last rung schedules the failover");
+            for (prev, next) in arm.iter().zip(arm.iter().skip(1)) {
+                assert_eq!(prev.policy, next.policy);
+                assert!(
+                    next.max_bound_inflation >= prev.max_bound_inflation,
+                    "{}: inflation shrank from {} to {} when adding faults",
+                    next.policy,
+                    prev.max_bound_inflation,
+                    next.max_bound_inflation,
+                );
+            }
+            for row in arm {
+                assert!(row.mean_bound_inflation >= 1.0);
+                assert!(row.mean_bound_inflation <= row.max_bound_inflation + 1e-12);
+                assert!(
+                    row.sound,
+                    "{} with {} faults: a surviving frame exceeded its \
+                     degraded bound",
+                    row.policy, row.fault_count,
+                );
+            }
+        }
+        let table = render_fault_inflation(&rows);
+        assert!(table.contains("wrr-4/2/1/1"));
+        assert!(table.contains("trunk failover"));
     }
 }

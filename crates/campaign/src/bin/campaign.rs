@@ -10,7 +10,7 @@
 //! scenario count produces a byte-identical file regardless of `--threads`.
 //! Wall-clock statistics are printed to stdout only.
 
-use campaign::{run_campaign, CampaignConfig, ComparisonReport, ScenarioOutcome};
+use campaign::{run_campaign, CampaignConfig, ComparisonReport, FaultMode, ScenarioOutcome};
 use netcalc::EnvelopeModel;
 use rtswitch_core::PolicyArm;
 use std::io::Write;
@@ -45,6 +45,11 @@ OPTIONS:
                       priority (force the paper's arms — byte-identical to
                       the pre-WRR campaign), or wrr (validate every
                       scenario's seeded WRR weight set)
+    --faults <F>      fault dimension: off (default, pre-fault pipeline,
+                      byte-identical output) or sweep (every scenario draws
+                      a seeded fault set — babblers, link bursts, trunk
+                      failover — and validates degraded-mode bounds against
+                      the faulty simulation)
     --json <PATH>     write the deterministic campaign outcome as JSON
     --quiet           suppress the per-policy table
     --help            print this help
@@ -57,6 +62,7 @@ struct Args {
     with_1553: bool,
     envelope: Option<EnvelopeModel>,
     policy: Option<PolicyArm>,
+    faults: FaultMode,
     json: Option<String>,
     quiet: bool,
 }
@@ -69,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         with_1553: false,
         envelope: None,
         policy: None,
+        faults: FaultMode::Off,
         json: None,
         quiet: false,
     };
@@ -118,6 +125,13 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--faults" => {
+                args.faults = match value_of("--faults")?.as_str() {
+                    "off" => FaultMode::Off,
+                    "sweep" => FaultMode::Sweep,
+                    other => return Err(format!("--faults expects off or sweep, got `{other}`")),
+                };
+            }
             "--json" => args.json = Some(value_of("--json")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -146,6 +160,7 @@ fn main() -> ExitCode {
         with_1553: args.with_1553,
         envelope_override: args.envelope,
         policy_override: args.policy,
+        faults: args.faults,
     };
     say!(
         "campaign: {} scenarios, master seed {}, {} worker threads",
@@ -203,6 +218,23 @@ fn main() -> ExitCode {
             summary.envelope_gain.p50,
             summary.envelope_gain.max,
             summary.zero_gain_scenarios,
+        );
+    }
+
+    if let Some(faults) = &report.outcome.fault_summary {
+        say!(
+            "fault sweep: {} degraded stages | {} validated | {} infeasible | sound {} | bounds hold under faults in {} | {} with trunk failover",
+            faults.scenarios,
+            faults.validated,
+            faults.infeasible,
+            faults.sound_scenarios,
+            faults.bounds_hold_scenarios,
+            faults.failover_scenarios,
+        );
+        say!(
+            "fault sweep: max bound inflation {:.3}x | {} adversarial frames babbled",
+            faults.max_inflation,
+            faults.babble_frames,
         );
     }
 
@@ -290,6 +322,21 @@ fn main() -> ExitCode {
             );
         }
     }
+    if let Some(faults) = &report.outcome.fault_summary {
+        if !faults.violations.is_empty() {
+            eprintln!("DEGRADED-BOUND VIOLATIONS DETECTED:");
+            for violation in &faults.violations {
+                eprintln!(
+                    "  scenario {} (seed {}): message {} observed {} > degraded bound {}",
+                    violation.scenario_id,
+                    violation.seed,
+                    violation.violation.message,
+                    violation.violation.observed,
+                    violation.violation.bound,
+                );
+            }
+        }
+    }
     if let Some(comparison) = &summary.comparison {
         if !comparison.violations.is_empty() {
             eprintln!("1553 BOUND VIOLATIONS DETECTED:");
@@ -327,7 +374,13 @@ fn main() -> ExitCode {
         .as_ref()
         .map(|c| c.all_sound())
         .unwrap_or(true);
-    if summary.all_sound() && bus_sound {
+    let faults_sound = report
+        .outcome
+        .fault_summary
+        .as_ref()
+        .map(|f| f.all_sound())
+        .unwrap_or(true);
+    if summary.all_sound() && bus_sound && faults_sound {
         say!("RESULT: 100% soundness — every simulated delay within its analytic bound");
         ExitCode::SUCCESS
     } else {

@@ -34,6 +34,16 @@
 //!    compared against the Ethernet bounds — the paper's replace-the-bus
 //!    thesis as a mass experiment ([`ComparisonReport`],
 //!    [`ComparisonSummary`]).
+//! 5. With [`CampaignConfig::faults`] set to [`FaultMode::Sweep`] (the
+//!    `--faults sweep` flag) every scenario draws a seeded fault set —
+//!    babbling-idiot talkers, link error bursts, a trunk failover on
+//!    cascaded fabrics — and runs the **degraded stage**: the
+//!    degraded-mode analysis ([`rtswitch_core::analyze_degraded_with`])
+//!    recomputes the bounds with the faults folded in, the faulty
+//!    simulation injects the identical fault set, and every surviving
+//!    frame is validated against its degraded bound ([`FaultOutcome`],
+//!    [`FaultSummary`]).  The fault dimension is drawn *last*, so
+//!    `--faults off` reproduces the pre-fault campaign byte for byte.
 //!
 //! Determinism contract: the [`CampaignOutcome`] (results + summary) is a
 //! pure function of `(master seed, scenario count)` — re-running with the
@@ -53,6 +63,7 @@
 //!     with_1553: true,
 //!     envelope_override: None,
 //!     policy_override: None,
+//!     faults: campaign::FaultMode::Off,
 //! });
 //! assert!(report.outcome.summary.all_sound());
 //! assert_eq!(report.outcome.results.len(), 8);
@@ -77,12 +88,12 @@ pub mod space;
 
 pub use comparison::{compare_scenario, ComparisonReport, ComparisonSummary, ScenarioComparison};
 pub use report::{
-    ApproachBreakdown, CampaignSummary, CampaignViolation, EnvelopeGain, PbooCheck,
-    ScenarioOutcome, ScenarioResult, ScenarioValidation, TightnessDistribution, TightnessStats,
-    ViolationReport,
+    ApproachBreakdown, CampaignSummary, CampaignViolation, EnvelopeGain, FaultOutcome,
+    FaultSummary, FaultValidation, PbooCheck, ScenarioOutcome, ScenarioResult, ScenarioValidation,
+    TightnessDistribution, TightnessStats, ViolationReport,
 };
 pub use runner::{
     execute_scenario, execute_scenario_with, run_campaign, CampaignConfig, CampaignOutcome,
-    CampaignReport, RuntimeStats,
+    CampaignReport, FaultMode, RuntimeStats,
 };
-pub use space::{FabricSpec, Scenario, ScenarioSpace, WorkloadSource};
+pub use space::{FabricSpec, FaultDraw, Scenario, ScenarioSpace, WorkloadSource};

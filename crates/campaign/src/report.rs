@@ -174,8 +174,56 @@ pub enum ScenarioOutcome {
     },
 }
 
-/// The full record of one executed scenario.
+/// The measured outcome of one scenario's degraded stage: the faulty
+/// simulation's surviving frames checked against the degraded-mode
+/// analytic bounds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultValidation {
+    /// Injected faults (babblers + link bursts + failover).
+    pub fault_count: usize,
+    /// `true` when a trunk failover was part of the fault set.
+    pub failover: bool,
+    /// Workload messages checked against a degraded bound.
+    pub messages: usize,
+    /// `true` when every surviving frame's delay respected its
+    /// degraded-mode bound.
+    pub sound: bool,
+    /// The violations (empty when sound).
+    pub violations: Vec<ViolationReport>,
+    /// `true` when the degraded bounds still meet every deadline — the
+    /// "bounds hold under N faults" certification verdict.
+    pub bounds_hold: bool,
+    /// The largest degraded-over-healthy bound ratio across messages.
+    pub max_inflation: f64,
+    /// Adversarial frames the babblers emitted within the horizon.
+    pub babble_emitted: u64,
+    /// Frames corrupted by link error bursts.
+    pub corrupted: u64,
+    /// Frames lost to the trunk failover (queued on the dead trunk or
+    /// flushed at reconvergence).
+    pub lost_on_failover: u64,
+    /// Stations the health monitor isolated within the horizon.
+    pub isolated_stations: usize,
+}
+
+/// What the degraded stage of one scenario produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Degraded-mode analysis produced bounds and the faulty simulation
+    /// was checked against them.
+    Validated(FaultValidation),
+    /// The degraded-mode analysis is infeasible (the fault set pushes a
+    /// multiplexer stage past capacity, or the healthy baseline already
+    /// was) — a legitimate certification answer: the network cannot
+    /// guarantee its deadlines under this fault set.
+    AnalysisInfeasible {
+        /// The stage that failed, as reported by the analysis.
+        stage: String,
+    },
+}
+
+/// The full record of one executed scenario.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// The scenario specification (sufficient to reproduce the run).
     pub scenario: Scenario,
@@ -184,6 +232,42 @@ pub struct ScenarioResult {
     /// The MIL-STD-1553B cross-technology section (present when the
     /// campaign ran with the 1553B comparison stage enabled).
     pub comparison: Option<ComparisonReport>,
+    /// The degraded-stage section (present when the campaign ran with
+    /// `--faults sweep`).
+    pub fault: Option<FaultOutcome>,
+}
+
+// Hand-written (not derived) so fault-free campaigns serialize without the
+// `fault` key and keep their pre-fault JSON byte-identical; `comparison`
+// predates the fault axis and stays explicit (`null` when absent) for the
+// same reason.
+impl Serialize for ScenarioResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            ("comparison".to_string(), self.comparison.to_value()),
+        ];
+        if let Some(fault) = &self.fault {
+            fields.push(("fault".to_string(), fault.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(ScenarioResult {
+            scenario: Deserialize::from_value(v.field("scenario")?)?,
+            outcome: Deserialize::from_value(v.field("outcome")?)?,
+            comparison: Deserialize::from_value(v.field("comparison")?)?,
+            // Absent in every pre-fault record: tolerate the missing field.
+            fault: match v.field("fault") {
+                Ok(value) => Deserialize::from_value(value)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl ScenarioResult {
@@ -224,12 +308,19 @@ impl ScenarioResult {
                 dropped: validation.simulation.total_dropped,
             }),
             comparison: None,
+            fault: None,
         }
     }
 
     /// Attaches (or clears) the 1553B comparison section.
     pub fn with_comparison(mut self, comparison: Option<ComparisonReport>) -> Self {
         self.comparison = comparison;
+        self
+    }
+
+    /// Attaches (or clears) the degraded-stage section.
+    pub fn with_fault(mut self, fault: Option<FaultOutcome>) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -319,6 +410,92 @@ pub struct CampaignViolation {
     pub seed: u64,
     /// The violation.
     pub violation: ViolationReport,
+}
+
+/// Campaign-level aggregation of the degraded stage — attached to the
+/// outcome only when the campaign ran with `--faults sweep`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Scenarios that ran the degraded stage.
+    pub scenarios: usize,
+    /// Scenarios whose degraded bounds were validated against the faulty
+    /// simulation.
+    pub validated: usize,
+    /// Scenarios whose fault set is analytically infeasible.
+    pub infeasible: usize,
+    /// Validated scenarios with zero degraded-bound violations.
+    pub sound_scenarios: usize,
+    /// `sound_scenarios / validated` (1.0 when nothing was validated).
+    pub soundness_rate: f64,
+    /// Validated scenarios whose degraded bounds still meet every
+    /// deadline.
+    pub bounds_hold_scenarios: usize,
+    /// Scenarios whose fault set included a trunk failover.
+    pub failover_scenarios: usize,
+    /// The largest degraded-over-healthy bound ratio across the sweep.
+    pub max_inflation: f64,
+    /// Adversarial frames babbled across all scenarios.
+    pub babble_frames: u64,
+    /// Every degraded-bound violation across the campaign (must be empty).
+    pub violations: Vec<CampaignViolation>,
+}
+
+impl FaultSummary {
+    /// Aggregates the degraded-stage sections; `None` when no scenario
+    /// carried one (the fault dimension was off).
+    pub fn from_results(results: &[ScenarioResult]) -> Option<Self> {
+        let mut summary = FaultSummary {
+            scenarios: 0,
+            validated: 0,
+            infeasible: 0,
+            sound_scenarios: 0,
+            soundness_rate: 1.0,
+            bounds_hold_scenarios: 0,
+            failover_scenarios: 0,
+            max_inflation: 0.0,
+            babble_frames: 0,
+            violations: Vec::new(),
+        };
+        for result in results {
+            let Some(fault) = &result.fault else {
+                continue;
+            };
+            summary.scenarios += 1;
+            match fault {
+                FaultOutcome::Validated(v) => {
+                    summary.validated += 1;
+                    if v.sound {
+                        summary.sound_scenarios += 1;
+                    }
+                    if v.bounds_hold {
+                        summary.bounds_hold_scenarios += 1;
+                    }
+                    if v.failover {
+                        summary.failover_scenarios += 1;
+                    }
+                    summary.max_inflation = summary.max_inflation.max(v.max_inflation);
+                    summary.babble_frames += v.babble_emitted;
+                    for violation in &v.violations {
+                        summary.violations.push(CampaignViolation {
+                            scenario_id: result.scenario.id,
+                            seed: result.scenario.seed,
+                            violation: violation.clone(),
+                        });
+                    }
+                }
+                FaultOutcome::AnalysisInfeasible { .. } => summary.infeasible += 1,
+            }
+        }
+        if summary.validated > 0 {
+            summary.soundness_rate = summary.sound_scenarios as f64 / summary.validated as f64;
+        }
+        (summary.scenarios > 0).then_some(summary)
+    }
+
+    /// `true` when every validated degraded stage was sound.
+    pub fn all_sound(&self) -> bool {
+        self.violations.is_empty() && self.sound_scenarios == self.validated
+    }
 }
 
 /// Campaign-level statistics computed from every scenario result.

@@ -10,18 +10,33 @@
 //! statistics (wall time, throughput, per-thread load) vary.
 
 use crate::comparison::compare_scenario;
-use crate::report::{CampaignSummary, EnvelopeGain, PbooCheck, ScenarioOutcome, ScenarioResult};
-use crate::space::{Scenario, ScenarioSpace};
+use crate::report::{
+    CampaignSummary, EnvelopeGain, FaultOutcome, FaultSummary, FaultValidation, PbooCheck,
+    ScenarioOutcome, ScenarioResult, ViolationReport,
+};
+use crate::space::{FaultDraw, Scenario, ScenarioSpace};
 use netcalc::EnvelopeModel;
 use netsim::Simulator;
 use rtswitch_core::{
-    analyze_multi_hop_with, validation_from_bound_lookup, AnalysisError, Approach, PolicyArm,
+    analyze_degraded_with, analyze_multi_hop_with, validation_from_bound_lookup, AnalysisError,
+    Approach, PolicyArm,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
+
+/// The fault dimension of a campaign (`--faults` CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// No degraded stage: the pre-fault pipeline, byte-identical output.
+    #[default]
+    Off,
+    /// Every scenario draws a seeded fault set; the degraded stage
+    /// validates the degraded-mode bounds against the faulty simulation.
+    Sweep,
+}
 
 /// Configuration of a campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +63,12 @@ pub struct CampaignConfig {
     /// campaign outputs byte for byte; `Some(Wrr)` validates every
     /// scenario's own seeded WRR weight set.
     pub policy_override: Option<PolicyArm>,
+    /// Fault dimension (`--faults` CLI flag): [`FaultMode::Off`] runs the
+    /// pre-fault pipeline byte-identically; [`FaultMode::Sweep`] draws a
+    /// seeded fault set per scenario — last in the draw order, so every
+    /// healthy dimension stays byte-identical at any seed — and appends
+    /// the degraded stage.
+    pub faults: FaultMode,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +80,7 @@ impl Default for CampaignConfig {
             with_1553: false,
             envelope_override: None,
             policy_override: None,
+            faults: FaultMode::Off,
         }
     }
 }
@@ -86,7 +108,7 @@ impl CampaignConfig {
 /// The deterministic part of a campaign's output: scenario results (sorted
 /// by id) plus the aggregate statistics computed from them.  Serializing
 /// this is byte-identical across runs with the same configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignOutcome {
     /// The configuration that produced this outcome (threads excluded from
     /// determinism: any thread count produces the same outcome).
@@ -95,6 +117,40 @@ pub struct CampaignOutcome {
     pub results: Vec<ScenarioResult>,
     /// Campaign-level aggregation.
     pub summary: CampaignSummary,
+    /// Degraded-stage aggregation, present only under `--faults sweep`.
+    pub fault_summary: Option<FaultSummary>,
+}
+
+// Hand-written (not derived) so fault-free campaigns serialize without the
+// `fault_summary` key: `--faults off` output stays byte-identical to the
+// pre-fault pipeline's, which the regression suite pins.
+impl Serialize for CampaignOutcome {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("master_seed".to_string(), self.master_seed.to_value()),
+            ("results".to_string(), self.results.to_value()),
+            ("summary".to_string(), self.summary.to_value()),
+        ];
+        if let Some(fault_summary) = &self.fault_summary {
+            fields.push(("fault_summary".to_string(), fault_summary.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CampaignOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(CampaignOutcome {
+            master_seed: Deserialize::from_value(v.field("master_seed")?)?,
+            results: Deserialize::from_value(v.field("results")?)?,
+            summary: Deserialize::from_value(v.field("summary")?)?,
+            // Absent in every pre-fault record: tolerate the missing field.
+            fault_summary: match v.field("fault_summary") {
+                Ok(value) => Deserialize::from_value(value)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// Wall-clock statistics of one campaign execution — everything here is
@@ -163,6 +219,11 @@ pub fn execute_scenario_with(
     );
     let config = scenario.network_config();
     let model = envelope_override.unwrap_or(scenario.envelope);
+    // The degraded stage is independent of the healthy pipeline's outcome:
+    // an infeasible fault set is a certification answer in its own right.
+    let fault = scenario
+        .faults
+        .map(|draw| execute_fault_stage(&scenario, draw, model));
     match analyze_multi_hop_with(
         &workload,
         &config,
@@ -181,6 +242,7 @@ pub fn execute_scenario_with(
                 scenario,
                 outcome: ScenarioOutcome::AnalysisInfeasible { stage },
                 comparison,
+                fault,
             }
         }
         Ok(tb_analysis) => {
@@ -239,6 +301,59 @@ pub fn execute_scenario_with(
                 &validation,
             )
             .with_comparison(comparison)
+            .with_fault(fault)
+        }
+    }
+}
+
+/// Runs the degraded stage of one scenario: expand the drawn fault set,
+/// compute the degraded-mode analytic bounds (babblers as extra
+/// cross-traffic envelopes, failover re-routed through the backup trunk),
+/// run the faulty simulation with the *same* fault set, and validate every
+/// surviving frame's delay against its degraded bound.
+fn execute_fault_stage(scenario: &Scenario, draw: FaultDraw, model: EnvelopeModel) -> FaultOutcome {
+    let workload = scenario.build_workload();
+    let fabric = scenario.build_fabric(&workload);
+    let config = scenario.network_config();
+    let faults = draw.expand(workload.stations.len(), &fabric, scenario.horizon);
+    match analyze_degraded_with(
+        &workload,
+        &config,
+        scenario.approach,
+        &fabric,
+        model,
+        &faults,
+    ) {
+        Err(AnalysisError::Stage { stage, .. }) => FaultOutcome::AnalysisInfeasible { stage },
+        Ok(degraded) => {
+            let simulator = Simulator::with_fabric(workload.clone(), scenario.sim_config(), fabric)
+                .with_faults(faults.clone());
+            let simulation = simulator.run();
+            let validation =
+                validation_from_bound_lookup(&workload, |id| degraded.bound_for(id), simulation);
+            let violations: Vec<ViolationReport> = validation
+                .violations()
+                .into_iter()
+                .map(|entry| ViolationReport {
+                    message: entry.name.clone(),
+                    bound: entry.bound,
+                    observed: entry.observed_worst,
+                })
+                .collect();
+            let report = validation.simulation.faults.clone().unwrap_or_default();
+            FaultOutcome::Validated(FaultValidation {
+                fault_count: faults.fault_count(),
+                failover: faults.failover.is_some(),
+                messages: validation.entries.len(),
+                sound: violations.is_empty(),
+                violations,
+                bounds_hold: degraded.bounds_hold,
+                max_inflation: degraded.max_inflation(),
+                babble_emitted: report.babble_emitted,
+                corrupted: report.corrupted,
+                lost_on_failover: report.lost_on_failover,
+                isolated_stations: report.isolated_stations.len(),
+            })
         }
     }
 }
@@ -246,7 +361,8 @@ pub fn execute_scenario_with(
 /// Runs a campaign: generates `config.scenarios` scenarios from the master
 /// seed and executes them on `config.effective_threads()` workers.
 pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
-    let space = ScenarioSpace::new(config.master_seed);
+    let space =
+        ScenarioSpace::new(config.master_seed).with_faults(config.faults == FaultMode::Sweep);
     let mut scenarios = space.scenarios(config.scenarios);
     // The policy override replaces each scenario's drawn arm before
     // execution (and therefore before serialization): forcing FCFS or
@@ -298,11 +414,13 @@ pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
         collected.sort_by_key(|r| r.scenario.id);
         let elapsed = started.elapsed().as_secs_f64();
         let summary = CampaignSummary::from_results(&collected);
+        let fault_summary = FaultSummary::from_results(&collected);
         CampaignReport {
             outcome: CampaignOutcome {
                 master_seed: config.master_seed,
                 results: collected,
                 summary,
+                fault_summary,
             },
             runtime: RuntimeStats {
                 threads,
@@ -330,6 +448,7 @@ mod tests {
             with_1553: false,
             envelope_override: None,
             policy_override: None,
+            faults: FaultMode::Off,
         }
     }
 
@@ -493,6 +612,7 @@ mod tests {
             with_1553: false,
             envelope_override: None,
             policy_override: None,
+            faults: FaultMode::Off,
         });
         assert_eq!(report.runtime.threads, 2);
         assert_eq!(report.outcome.results.len(), 2);
@@ -627,6 +747,79 @@ mod tests {
     #[test]
     fn outcome_json_roundtrips() {
         let report = run_campaign(small_config(2));
+        let json = serde_json::to_string_pretty(&report.outcome).unwrap();
+        let parsed: CampaignOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report.outcome);
+    }
+
+    #[test]
+    fn faults_off_leaves_no_fault_sections() {
+        let report = run_campaign(small_config(2));
+        assert!(report.outcome.fault_summary.is_none());
+        assert!(report.outcome.results.iter().all(|r| r.fault.is_none()));
+        let json = serde_json::to_string_pretty(&report.outcome).unwrap();
+        assert!(
+            !json.contains("\"fault\""),
+            "off-mode JSON must be fault-free"
+        );
+    }
+
+    #[test]
+    fn fault_sweep_is_sound_and_byte_identical_across_threads() {
+        let config = CampaignConfig {
+            faults: FaultMode::Sweep,
+            ..small_config(4)
+        };
+        let a = run_campaign(config);
+        let b = run_campaign(CampaignConfig {
+            threads: 2,
+            ..config
+        });
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(
+            serde_json::to_string_pretty(&a.outcome).unwrap(),
+            serde_json::to_string_pretty(&b.outcome).unwrap()
+        );
+
+        // Every scenario ran the degraded stage and every validated one
+        // held its degraded bounds against the faulty simulation.
+        assert!(a.outcome.results.iter().all(|r| r.fault.is_some()));
+        let faults = a
+            .outcome
+            .fault_summary
+            .as_ref()
+            .expect("sweep populates the fault summary");
+        assert_eq!(faults.scenarios, 24);
+        assert_eq!(faults.validated + faults.infeasible, 24);
+        assert!(faults.validated > 0, "no degraded stage was validated");
+        assert!(
+            faults.all_sound(),
+            "degraded-bound violations: {:?}",
+            faults.violations
+        );
+        assert_eq!(faults.soundness_rate, 1.0);
+        assert!(faults.babble_frames > 0, "no adversarial frame simulated");
+        assert!(
+            faults.max_inflation >= 1.0,
+            "a babbler must inflate at least one bound"
+        );
+
+        // The sweep changes nothing about the healthy pipeline: healthy
+        // sections match the fault-free campaign result for result.
+        let healthy = run_campaign(small_config(4));
+        for (h, f) in healthy.outcome.results.iter().zip(&a.outcome.results) {
+            assert_eq!(h.outcome, f.outcome, "scenario {}", h.scenario.id);
+        }
+        assert_eq!(healthy.outcome.summary, a.outcome.summary);
+    }
+
+    #[test]
+    fn roundtrip_preserves_fault_sections() {
+        let report = run_campaign(CampaignConfig {
+            scenarios: 6,
+            faults: FaultMode::Sweep,
+            ..small_config(2)
+        });
         let json = serde_json::to_string_pretty(&report.outcome).unwrap();
         let parsed: CampaignOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, report.outcome);

@@ -15,14 +15,16 @@ use ethernet::phy::Phy;
 use ethernet::switch::{SwitchModel, WrrUnit, WrrWeights};
 use ethernet::topology::Topology;
 use netcalc::EnvelopeModel;
-use netsim::{Phasing, SimConfig, SporadicModel};
+use netsim::{
+    Babbler, FaultModel, HealthMonitor, LinkFault, Phasing, SimConfig, SporadicModel, TrunkFailover,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtswitch_core::{Approach, NetworkConfig};
 use serde::{Deserialize, Serialize};
-use units::{DataRate, Duration};
+use units::{DataRate, DataSize, Duration};
 use workload::case_study::{case_study_with, CaseStudyConfig};
-use workload::{GeneratorConfig, Workload, WorkloadGenerator};
+use workload::{GeneratorConfig, StationId, Workload, WorkloadGenerator};
 
 /// The topology dimension of the sweep: which switch fabric the scenario's
 /// stations are cabled into.
@@ -83,8 +85,79 @@ pub enum WorkloadSource {
     Generated(GeneratorConfig),
 }
 
+/// The fault dimension of one scenario: how many faults of which kinds the
+/// degraded stage injects.  The draw is deliberately compact — the concrete
+/// [`FaultModel`] (stations, instants, intervals) is expanded on demand
+/// from `expansion_seed` by [`FaultDraw::expand`], so the scenario record
+/// stays small and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultDraw {
+    /// Babbling-idiot talkers to inject (≥ 1: a drawn fault set is never
+    /// empty).
+    pub babblers: u8,
+    /// Whether one station uplink suffers a link error burst.
+    pub link_burst: bool,
+    /// Whether a trunk failover is scheduled (only drawn `true` on
+    /// cascaded fabrics, which have trunks to fail).
+    pub failover: bool,
+    /// Seeds the expansion into the concrete [`FaultModel`].
+    pub expansion_seed: u64,
+}
+
+impl FaultDraw {
+    /// Expands the draw into the concrete fault set for a scenario with
+    /// `stations` stations routed over `fabric`, simulated to `horizon` —
+    /// a pure function of the draw, so the analysis and the simulation
+    /// stages always inject the identical faults.
+    pub fn expand(&self, stations: usize, fabric: &Fabric, horizon: Duration) -> FaultModel {
+        let mut rng = StdRng::seed_from_u64(self.expansion_seed);
+        let babblers = (0..self.babblers)
+            .map(|_| {
+                let station = rng.gen_range(0..stations);
+                let destination = (station + rng.gen_range(1..stations.max(2))) % stations;
+                Babbler {
+                    station: StationId(station),
+                    destination: StationId(destination),
+                    payload: DataSize::from_bytes(rng.gen_range(16u64..=128)),
+                    start: Duration::from_millis(rng.gen_range(0u64..40)),
+                    interval: Duration::from_millis([5u64, 10, 20, 40][rng.gen_range(0..4usize)]),
+                }
+            })
+            .collect();
+        let link_faults = if self.link_burst {
+            vec![LinkFault {
+                station: StationId(rng.gen_range(0..stations)),
+                start: Duration::from_millis(rng.gen_range(0u64..40)),
+                duration: Duration::from_millis(rng.gen_range(5u64..=20)),
+            }]
+        } else {
+            Vec::new()
+        };
+        let failover = (self.failover && !fabric.trunks().is_empty())
+            .then(|| {
+                let trunk = rng.gen_range(0..fabric.trunks().len());
+                fabric.backup_for(trunk).map(|backup| TrunkFailover {
+                    trunk,
+                    backup,
+                    // Mid-horizon, so both routings carry real traffic.
+                    at: Duration::from_nanos(horizon.as_nanos() / 2),
+                })
+            })
+            .flatten();
+        let monitor = rng.gen_bool(0.5).then_some(HealthMonitor {
+            window: Duration::from_millis(40),
+        });
+        FaultModel {
+            babblers,
+            link_faults,
+            failover,
+            monitor,
+        }
+    }
+}
+
 /// One fully-specified scenario of the sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Index within the campaign (0-based).
     pub id: usize,
@@ -110,6 +183,58 @@ pub struct Scenario {
     /// Arrival-envelope ablation arm: the paper's token buckets or the
     /// staircase ∧ token-bucket curves of the generalized engine.
     pub envelope: EnvelopeModel,
+    /// Fault dimension: `Some` only when the campaign runs with
+    /// `--faults sweep`, in which case the degraded stage expands and
+    /// injects this draw.
+    pub faults: Option<FaultDraw>,
+}
+
+// Hand-written (not derived) so a fault-free scenario serializes without
+// the `faults` key: `--faults off` campaign JSON stays byte-identical to
+// the pre-fault pipeline's output, which the regression suite pins.
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("source".to_string(), self.source.to_value()),
+            ("link_rate".to_string(), self.link_rate.to_value()),
+            ("ttechno".to_string(), self.ttechno.to_value()),
+            ("approach".to_string(), self.approach.to_value()),
+            ("fabric".to_string(), self.fabric.to_value()),
+            ("sporadic".to_string(), self.sporadic.to_value()),
+            ("phasing".to_string(), self.phasing.to_value()),
+            ("horizon".to_string(), self.horizon.to_value()),
+            ("envelope".to_string(), self.envelope.to_value()),
+        ];
+        if let Some(faults) = &self.faults {
+            fields.push(("faults".to_string(), faults.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Scenario {
+            id: Deserialize::from_value(v.field("id")?)?,
+            seed: Deserialize::from_value(v.field("seed")?)?,
+            source: Deserialize::from_value(v.field("source")?)?,
+            link_rate: Deserialize::from_value(v.field("link_rate")?)?,
+            ttechno: Deserialize::from_value(v.field("ttechno")?)?,
+            approach: Deserialize::from_value(v.field("approach")?)?,
+            fabric: Deserialize::from_value(v.field("fabric")?)?,
+            sporadic: Deserialize::from_value(v.field("sporadic")?)?,
+            phasing: Deserialize::from_value(v.field("phasing")?)?,
+            horizon: Deserialize::from_value(v.field("horizon")?)?,
+            envelope: Deserialize::from_value(v.field("envelope")?)?,
+            // Absent in every pre-fault record: tolerate the missing field.
+            faults: match v.field("faults") {
+                Ok(value) => Deserialize::from_value(value)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl Scenario {
@@ -194,12 +319,25 @@ impl Scenario {
 pub struct ScenarioSpace {
     /// Master seed; scenario `i` derives its own seed from `(master, i)`.
     pub master_seed: u64,
+    /// When `true` every scenario carries its fault draw (`--faults
+    /// sweep`); when `false` the draw is discarded and the space
+    /// reproduces the pre-fault scenarios exactly.
+    pub faults_enabled: bool,
 }
 
 impl ScenarioSpace {
-    /// Creates the space for a master seed.
+    /// Creates the space for a master seed (fault dimension off).
     pub fn new(master_seed: u64) -> Self {
-        ScenarioSpace { master_seed }
+        ScenarioSpace {
+            master_seed,
+            faults_enabled: false,
+        }
+    }
+
+    /// Enables or disables the fault dimension.
+    pub fn with_faults(mut self, enabled: bool) -> Self {
+        self.faults_enabled = enabled;
+        self
     }
 
     /// The `i`-th scenario of this space — a pure function of
@@ -336,6 +474,19 @@ impl ScenarioSpace {
             approach
         };
 
+        // Fault dimension, drawn *last* (after every healthy dimension,
+        // the policy-widening coin included) so all earlier dimensions of
+        // a given (master seed, id) reproduce the pre-fault space byte
+        // for byte — `--faults off` therefore reproduces the pre-fault
+        // campaign exactly, and the sweep perturbs nothing but the
+        // degraded stage it appends.
+        let fault_draw = FaultDraw {
+            babblers: rng.gen_range(1..=2u8),
+            link_burst: rng.gen_bool(0.5),
+            failover: fabric.is_cascaded() && rng.gen_bool(0.5),
+            expansion_seed: mix(seed, 0xFA17),
+        };
+
         (
             Scenario {
                 id,
@@ -349,6 +500,7 @@ impl ScenarioSpace {
                 phasing,
                 horizon,
                 envelope,
+                faults: self.faults_enabled.then_some(fault_draw),
             },
             wrr_arm,
         )
@@ -558,6 +710,75 @@ mod tests {
         assert_eq!(cfg.sporadic, scenario.sporadic);
         assert_eq!(cfg.phasing, scenario.phasing);
         assert_eq!(cfg.horizon, scenario.horizon);
+    }
+
+    #[test]
+    fn fault_dimension_off_reproduces_the_pre_fault_space() {
+        // With faults disabled (the default) the scenarios are the
+        // pre-fault ones; enabling the dimension changes *only* the
+        // `faults` field — every healthy dimension is drawn first.
+        let plain = ScenarioSpace::new(42).scenarios(32);
+        assert_eq!(
+            plain,
+            ScenarioSpace::new(42).with_faults(false).scenarios(32)
+        );
+        let faulty = ScenarioSpace::new(42).with_faults(true).scenarios(32);
+        for (p, f) in plain.iter().zip(&faulty) {
+            assert!(p.faults.is_none());
+            assert!(f.faults.is_some());
+            assert_eq!(*p, Scenario { faults: None, ..*f });
+        }
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_and_expand_validly() {
+        let scenarios = ScenarioSpace::new(42).with_faults(true).scenarios(32);
+        let mut saw_failover = false;
+        for s in &scenarios {
+            let draw = s.faults.expect("sweep scenarios carry a draw");
+            assert!((1..=2).contains(&draw.babblers));
+            let workload = s.build_workload();
+            let fabric = s.build_fabric(&workload);
+            let model = draw.expand(workload.stations.len(), &fabric, s.horizon);
+            assert_eq!(
+                model,
+                draw.expand(workload.stations.len(), &fabric, s.horizon),
+                "expansion must be a pure function of the draw"
+            );
+            assert!(!model.is_empty(), "a drawn fault set is never empty");
+            assert_eq!(model.babblers.len(), draw.babblers as usize);
+            for b in &model.babblers {
+                assert!(b.station.0 < workload.stations.len());
+                assert!(b.destination.0 < workload.stations.len());
+                assert_ne!(b.station, b.destination);
+            }
+            assert_eq!(model.link_faults.len(), usize::from(draw.link_burst));
+            if let Some(f) = model.failover {
+                saw_failover = true;
+                assert!(s.fabric.is_cascaded());
+                assert!(f.trunk < fabric.trunks().len());
+                assert_eq!(Some(f.backup), fabric.backup_for(f.trunk));
+                assert_eq!(f.at, Duration::from_nanos(s.horizon.as_nanos() / 2));
+            } else {
+                assert!(!draw.failover || fabric.trunks().is_empty());
+            }
+        }
+        assert!(saw_failover, "no failover drawn in 32 sweep scenarios");
+    }
+
+    #[test]
+    fn scenario_json_omits_the_fault_field_when_absent() {
+        let plain = ScenarioSpace::new(42).scenario(0);
+        let json = serde_json::to_string(&plain).expect("serializes");
+        assert!(!json.contains("faults"));
+        let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, plain);
+
+        let faulty = ScenarioSpace::new(42).with_faults(true).scenario(0);
+        let json = serde_json::to_string(&faulty).expect("serializes");
+        assert!(json.contains("expansion_seed"));
+        let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, faulty);
     }
 
     #[test]

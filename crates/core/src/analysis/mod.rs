@@ -1,5 +1,6 @@
 //! The delay-bound analyses.
 
+pub mod degraded;
 pub mod end_to_end;
 pub mod jitter;
 pub mod multi_hop;

@@ -52,6 +52,9 @@ pub mod report;
 pub mod validation;
 pub mod verdict;
 
+pub use analysis::degraded::{
+    analyze_degraded_with, degraded_workload, DegradedFlowBound, DegradedReport,
+};
 pub use analysis::end_to_end::{
     analyze, analyze_with_envelope, AnalysisError, AnalysisReport, MessageBound,
 };

@@ -392,10 +392,67 @@ mod tests {
                 total_delivered: 10,
                 total_dropped: 0,
                 horizon: Duration::from_millis(100),
+                faults: None,
             },
         };
         assert_eq!(report.tightness_values(), vec![0.5]);
         assert_eq!(report.mean_tightness(), 0.5);
         assert!(report.mean_tightness().is_finite());
+    }
+
+    #[test]
+    fn isolated_talkers_produce_sampleless_entries_not_nans() {
+        // The fault axis can silence a station entirely (health-monitor
+        // isolation): its flows deliver nothing, so the validation entry
+        // has a positive bound, a zero observation and zero samples.  Pin
+        // the exact shape the aggregation relies on — the entry is sound,
+        // not degenerate, carries tightness 0.0 (no division by zero), and
+        // is excluded from the distributions by its zero sample count.
+        let isolated = ValidationEntry {
+            message: MessageId(0),
+            name: "isolated".into(),
+            bound: Duration::from_millis(4),
+            observed_worst: Duration::ZERO,
+            samples: 0,
+            sound: true,
+        };
+        assert!(!isolated.is_degenerate());
+        assert_eq!(isolated.tightness(), 0.0);
+        // A flow whose bound *and* observation vanish (e.g. a babble-only
+        // report slot) pins tightness to 1.0, never NaN.
+        let vacuous = ValidationEntry {
+            bound: Duration::ZERO,
+            ..isolated.clone()
+        };
+        assert!(!vacuous.is_degenerate());
+        assert_eq!(vacuous.tightness(), 1.0);
+        // Only the genuinely degenerate zero-bound/nonzero-observation
+        // shape yields the NaN sentinel.
+        let degenerate = ValidationEntry {
+            bound: Duration::ZERO,
+            observed_worst: Duration::from_micros(1),
+            samples: 1,
+            sound: false,
+            ..isolated.clone()
+        };
+        assert!(degenerate.is_degenerate());
+        assert!(degenerate.tightness().is_nan());
+        // Sampleless entries stay out of every aggregate, so an isolated
+        // talker cannot skew (or NaN-poison) the campaign distributions.
+        let report = ValidationReport {
+            entries: vec![isolated],
+            simulation: netsim::SimReport {
+                flows: vec![],
+                ports: vec![],
+                total_generated: 0,
+                total_delivered: 0,
+                total_dropped: 0,
+                horizon: Duration::from_millis(100),
+                faults: None,
+            },
+        };
+        assert!(report.tightness_values().is_empty());
+        assert_eq!(report.mean_tightness(), 0.0);
+        assert!(report.all_sound());
     }
 }

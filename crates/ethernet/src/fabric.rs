@@ -269,6 +269,69 @@ impl Fabric {
         worst
     }
 
+    /// The fabric after trunk `failed` (an index into [`Fabric::trunks`])
+    /// has gone down and the `backup` link has been brought up in its
+    /// place.  The replacement must reconnect the two components the
+    /// failure splits the tree into, so the result is validated through
+    /// [`Fabric::new`] — an ill-chosen backup surfaces as the usual
+    /// [`FabricError`] rather than a silently partitioned network.
+    pub fn with_failover(
+        &self,
+        failed: usize,
+        backup: (usize, usize),
+    ) -> Result<Fabric, FabricError> {
+        if failed >= self.trunks.len() {
+            return Err(FabricError::UnknownSwitch(failed));
+        }
+        let mut trunks = self.trunks.clone();
+        trunks[failed] = backup;
+        Fabric::new(self.switch_count, self.station_switch.clone(), trunks)
+    }
+
+    /// A deterministic backup link for trunk `failed`: the lexicographically
+    /// smallest switch of the component containing the failed trunk's lower
+    /// endpoint, paired with the largest switch of the other component.
+    /// When that candidate *is* the failed pair itself (adjacent leaves of
+    /// the tree), the backup degenerates to a parallel standby link on the
+    /// same switch pair.  Returns `None` for out-of-range trunk indices.
+    pub fn backup_for(&self, failed: usize) -> Option<(usize, usize)> {
+        let &(fa, fb) = self.trunks.get(failed)?;
+        // BFS the component containing `fa` in the tree minus the failed
+        // trunk; everything else is the component containing `fb`.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.switch_count];
+        for (i, &(a, b)) in self.trunks.iter().enumerate() {
+            if i == failed {
+                continue;
+            }
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        let mut in_a = vec![false; self.switch_count];
+        in_a[fa] = true;
+        let mut queue = VecDeque::from([fa]);
+        while let Some(current) = queue.pop_front() {
+            for &next in &adjacency[current] {
+                if !in_a[next] {
+                    in_a[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        let low_a = (0..self.switch_count).find(|&s| in_a[s])?;
+        let high_a = (0..self.switch_count).rev().find(|&s| in_a[s])?;
+        let high_b = (0..self.switch_count).rev().find(|&s| !in_a[s])?;
+        let failed_pair = (fa.min(fb), fa.max(fb));
+        for (x, y) in [(low_a, high_b), (high_a, high_b)] {
+            let candidate = (x.min(y), x.max(y));
+            if candidate != failed_pair {
+                return Some(candidate);
+            }
+        }
+        // Both components are single attachment points (e.g. a two-switch
+        // fabric): fall back to a parallel standby link on the same pair.
+        Some(failed_pair)
+    }
+
     /// Lowers the fabric to a full [`Topology`]: switches first (same
     /// indices), then one end system per station (in station order), every
     /// link carrying `link`.  Returns the topology together with the switch
@@ -426,6 +489,55 @@ mod tests {
         assert_eq!(f.next_hop(1, 3), 2);
         assert_eq!(f.next_hop(3, 0), 2);
         assert_eq!(f.next_hop(2, 2), 2);
+    }
+
+    #[test]
+    fn failover_reroutes_onto_the_backup() {
+        // Line of 3: failing (0,1) must reconnect sw0 via the (0,2) backup.
+        let f = Fabric::line(3, 6);
+        let backup = f.backup_for(0).expect("trunk 0 exists");
+        assert_eq!(backup, (0, 2));
+        let degraded = f.with_failover(0, backup).expect("backup reconnects");
+        assert_eq!(degraded.trunks(), &[(0, 2), (1, 2)]);
+        // Station 0 (sw0) to station 1 (sw1) now detours through sw2.
+        assert_eq!(degraded.switch_path(0, 1), vec![0, 2, 1]);
+        assert_eq!(f.switch_path(0, 1), vec![0, 1]);
+        // Attachments are unchanged.
+        assert_eq!(degraded.switch_of(0), f.switch_of(0));
+        assert_eq!(degraded.station_count(), f.station_count());
+    }
+
+    #[test]
+    fn backup_for_prefers_a_genuine_reroute() {
+        // Star: failing (0,1) should bridge leaf 1 to leaf 2, not
+        // re-create the failed core link.
+        let f = Fabric::star_of_stars(2, 4);
+        assert_eq!(f.backup_for(0), Some((1, 2)));
+        let degraded = f.with_failover(0, (1, 2)).expect("leaves bridge");
+        assert_eq!(degraded.switch_path(0, 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn backup_degenerates_to_a_parallel_link_on_two_switches() {
+        let f = Fabric::line(2, 4);
+        assert_eq!(f.backup_for(0), Some((0, 1)));
+        let degraded = f.with_failover(0, (0, 1)).expect("parallel standby");
+        assert_eq!(degraded, f);
+    }
+
+    #[test]
+    fn invalid_failovers_are_rejected() {
+        let f = Fabric::line(3, 6);
+        // Out-of-range trunk index.
+        assert!(f.backup_for(7).is_none());
+        assert!(f.with_failover(7, (0, 2)).is_err());
+        // A backup that fails to reconnect the cut partitions the fabric.
+        assert_eq!(
+            f.with_failover(0, (1, 2)),
+            Err(FabricError::DuplicateTrunk(1, 2))
+        );
+        // Single-switch fabrics have no trunks to fail.
+        assert!(Fabric::single_switch(4).backup_for(0).is_none());
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub enum EventKind {
         /// The relayed frame.
         packet: Packet,
     },
+    /// A babbling-idiot talker emits its next adversarial frame.
+    BabbleEmit {
+        /// Index into the fault model's babbler list.
+        babbler: usize,
+    },
+    /// The scheduled trunk failure fires: queued frames on the failed
+    /// trunk are lost and routing switches to the failover fabric.
+    TrunkFail,
 }
 
 /// An event scheduled at an instant; the sequence number makes the ordering

@@ -28,6 +28,13 @@
 //! link, the relaying latency at every traversed switch and one
 //! propagation delay per link — the same model the multi-hop analysis in
 //! `rtswitch-core` bounds.
+//!
+//! Fault injection: [`Simulator::with_faults`] attaches a
+//! [`fault::FaultModel`] — babbling-idiot talkers, link error bursts, a
+//! scheduled trunk failover and a health monitor that isolates faulty
+//! talkers — and the run reports what the faults did in
+//! [`metrics::FaultReport`].  An empty model reproduces the healthy run
+//! bit for bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +42,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod packet;
 
@@ -44,5 +52,6 @@ pub use ethernet::Fabric;
 // The workspace's single scheduling-policy type lives in `ethernet`; the
 // simulator re-exports it so callers configuring a run need only this crate.
 pub use ethernet::{SchedulingPolicy, WrrUnit, WrrWeights};
-pub use metrics::{FlowStats, PortStats, SimReport};
+pub use fault::{Babbler, FaultModel, HealthMonitor, LinkFault, TrunkFailover};
+pub use metrics::{FaultReport, FlowStats, PortStats, SimReport};
 pub use packet::Packet;

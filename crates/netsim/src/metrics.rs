@@ -54,8 +54,34 @@ pub struct PortStats {
     pub utilization: f64,
 }
 
+/// What the injected faults did during a run.
+///
+/// Babbled frames are adversarial, outside the workload: they are counted
+/// here and never in the per-flow or total frame counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Adversarial frames emitted by babbling talkers.
+    pub babble_emitted: u64,
+    /// Adversarial frames that reached their destination.
+    pub babble_delivered: u64,
+    /// Adversarial frames lost anywhere (buffer overflow, corruption,
+    /// failover, isolation).
+    pub babble_lost: u64,
+    /// Frames (workload or babble) corrupted by link error bursts.
+    pub corrupted: u64,
+    /// Frames queued on the failed trunk and lost at the failover instant.
+    pub lost_on_failover: u64,
+    /// Frames refused at an isolated station's uplink by the health
+    /// monitor (babble and legitimate traffic alike).
+    pub dropped_after_isolation: u64,
+    /// Stations the health monitor isolated within the horizon.
+    pub isolated_stations: Vec<usize>,
+    /// `true` once the scheduled trunk failover fired within the horizon.
+    pub failover_applied: bool,
+}
+
 /// The complete result of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Per-flow statistics, in message order.
     pub flows: Vec<FlowStats>,
@@ -70,6 +96,51 @@ pub struct SimReport {
     pub total_dropped: u64,
     /// The simulated horizon.
     pub horizon: Duration,
+    /// Fault statistics; present only when faults were injected, so healthy
+    /// reports keep their exact pre-fault JSON shape (the hand-written
+    /// serialization below omits the field entirely when `None`).
+    pub faults: Option<FaultReport>,
+}
+
+impl Serialize for SimReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("flows".to_string(), self.flows.to_value()),
+            ("ports".to_string(), self.ports.to_value()),
+            (
+                "total_generated".to_string(),
+                self.total_generated.to_value(),
+            ),
+            (
+                "total_delivered".to_string(),
+                self.total_delivered.to_value(),
+            ),
+            ("total_dropped".to_string(), self.total_dropped.to_value()),
+            ("horizon".to_string(), self.horizon.to_value()),
+        ];
+        if let Some(faults) = &self.faults {
+            fields.push(("faults".to_string(), faults.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(SimReport {
+            flows: Deserialize::from_value(v.field("flows")?)?,
+            ports: Deserialize::from_value(v.field("ports")?)?,
+            total_generated: Deserialize::from_value(v.field("total_generated")?)?,
+            total_delivered: Deserialize::from_value(v.field("total_delivered")?)?,
+            total_dropped: Deserialize::from_value(v.field("total_dropped")?)?,
+            horizon: Deserialize::from_value(v.field("horizon")?)?,
+            // Absent in every pre-fault report: tolerate the missing field.
+            faults: match v.field("faults") {
+                Ok(value) => Deserialize::from_value(value)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl SimReport {
@@ -184,7 +255,25 @@ mod tests {
             total_delivered: 20,
             total_dropped: 0,
             horizon: Duration::from_millis(160),
+            faults: None,
         }
+    }
+
+    #[test]
+    fn healthy_reports_omit_the_fault_section() {
+        let r = report(vec![flow(0, TrafficClass::Periodic, 2, 1)]);
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(!json.contains("faults"));
+        let mut faulty = r.clone();
+        faulty.faults = Some(FaultReport {
+            babble_emitted: 3,
+            isolated_stations: vec![1],
+            ..FaultReport::default()
+        });
+        let json = serde_json::to_string(&faulty).expect("serializes");
+        assert!(json.contains("babble_emitted"));
+        let back: SimReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, faulty);
     }
 
     #[test]

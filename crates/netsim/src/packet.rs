@@ -23,6 +23,11 @@ pub struct Packet {
     pub priority: usize,
     /// Instant the application produced the message.
     pub generated: Instant,
+    /// Routing epoch under which the frame entered the switch fabric
+    /// (0 before a scheduled trunk failover, 1 after).  On failover the
+    /// fabric flushes epoch-0 frames still travelling between switches, so
+    /// every delivered frame traversed exactly one analyzed routing.
+    pub epoch: u8,
 }
 
 impl Sized64 for Packet {
@@ -45,6 +50,7 @@ mod tests {
             size: DataSize::from_bytes(68),
             priority: 0,
             generated: Instant::EPOCH,
+            epoch: 0,
         };
         assert_eq!(p.size_bits(), 544);
     }

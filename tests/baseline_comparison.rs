@@ -77,7 +77,7 @@ fn generalized_pipeline_synthesizes_validates_and_rejects() {
 
 #[test]
 fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
-    use rt_ethernet::campaign::{run_campaign, CampaignConfig};
+    use rt_ethernet::campaign::{run_campaign, CampaignConfig, FaultMode};
 
     // The cross-technology acceptance gate: at seed 42 the 1553B analytic
     // bound is sound in every bus-feasible scenario and the outcome JSON
@@ -89,6 +89,7 @@ fn campaign_comparison_stage_is_sound_and_deterministic_at_seed_42() {
         with_1553: true,
         envelope_override: None,
         policy_override: None,
+        faults: FaultMode::Off,
     };
     let a = run_campaign(config);
     let b = run_campaign(CampaignConfig {

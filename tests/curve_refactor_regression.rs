@@ -14,7 +14,7 @@
 //! explicitly over the same 200 scenarios (the per-drawn-arm fingerprint
 //! this file used to carry predates the WRR policy arm).
 
-use campaign::{run_campaign, CampaignConfig, ScenarioOutcome, ScenarioSpace};
+use campaign::{run_campaign, CampaignConfig, FaultMode, ScenarioOutcome, ScenarioSpace};
 use netcalc::EnvelopeModel;
 use rtswitch_core::{analyze_multi_hop, analyze_multi_hop_with, MultiHopReport};
 
@@ -48,6 +48,7 @@ fn token_bucket_campaign_json_is_byte_identical() {
         with_1553: false,
         envelope_override: Some(EnvelopeModel::TokenBucket),
         policy_override: None,
+        faults: FaultMode::Off,
     };
     let a = run_campaign(config);
     let b = run_campaign(CampaignConfig {

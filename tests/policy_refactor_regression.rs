@@ -19,7 +19,7 @@
 //!    seeded WRR weight set validates against the WRR-serving simulator
 //!    with zero bound violations.
 
-use campaign::{run_campaign, CampaignConfig, ScenarioSpace};
+use campaign::{run_campaign, CampaignConfig, FaultMode, ScenarioSpace};
 use netcalc::EnvelopeModel;
 use rtswitch_core::{analyze_multi_hop_with, Approach, PolicyArm};
 
@@ -61,6 +61,7 @@ fn forced_campaign_json_hash(arm: PolicyArm) -> u64 {
         with_1553: false,
         envelope_override: None,
         policy_override: Some(arm),
+        faults: FaultMode::Off,
     });
     let json = serde_json::to_string_pretty(&report.outcome).unwrap();
     let mut hash = Fnv::new();
@@ -131,6 +132,7 @@ fn seed42_wrr_campaign_is_sound_and_deterministic() {
         with_1553: false,
         envelope_override: None,
         policy_override: Some(PolicyArm::Wrr),
+        faults: FaultMode::Off,
     };
     let a = run_campaign(config);
     let summary = &a.outcome.summary;

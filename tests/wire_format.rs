@@ -80,14 +80,38 @@ fn admission_wire_types_round_trip() {
         .unwrap(),
         r#"{"Rejected":{"reason":"full"}}"#
     );
+    assert_eq!(
+        serde_json::to_string(&Decision::Degraded).unwrap(),
+        r#""Degraded""#
+    );
+    assert_eq!(
+        serde_json::to_string(&Decision::Restored).unwrap(),
+        r#""Restored""#
+    );
+    assert_eq!(
+        serde_json::to_string(&admission::FailoverPlan {
+            trunk: 0,
+            backup: (0, 2),
+        })
+        .unwrap(),
+        r#"{"trunk":0,"backup":[0,2]}"#
+    );
 
     let requests = [
         ServeRequest::Admit { flow: spec.clone() },
         ServeRequest::Revoke { flow: FlowId(3) },
         ServeRequest::Modify {
             flow: FlowId(3),
-            spec,
+            spec: spec.clone(),
         },
+        ServeRequest::Degrade {
+            babblers: vec![spec],
+            failover: Some(admission::FailoverPlan {
+                trunk: 1,
+                backup: (0, 2),
+            }),
+        },
+        ServeRequest::Restore,
         ServeRequest::Snapshot,
     ];
     for request in requests {
