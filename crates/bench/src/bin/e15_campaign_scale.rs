@@ -1,0 +1,82 @@
+//! E15 — the sharded streaming campaign at scale: streaming vs buffered
+//! throughput and memory, the byte-identity cross-check, and the
+//! arena-vs-allocating min-plus hot-path microbenchmark.
+//!
+//! This binary installs a counting global allocator so the microbenchmark
+//! can report real allocations per operation; the library code stays
+//! allocator-agnostic and just reads the counter through a closure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bench::{campaign_scale, render_campaign_scale};
+use rtswitch_core::report::to_json;
+
+/// The system allocator with a relaxed allocation counter bolted on.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// side effect that never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    let scenarios: usize = flag("--scenarios")
+        .map(|s| s.parse().expect("--scenarios expects a count"))
+        .unwrap_or(2_000);
+    let shards: usize = flag("--shards")
+        .map(|s| s.parse().expect("--shards expects a count"))
+        .unwrap_or(8);
+    let threads: usize = flag("--threads")
+        .map(|s| s.parse().expect("--threads expects a count"))
+        .unwrap_or(0);
+    let seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+
+    let report = campaign_scale(scenarios, shards, threads, seed, || {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    });
+    print!("{}", render_campaign_scale(&report));
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&report).expect("report serializes")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    if !report.summary_matches_buffered {
+        eprintln!("E15: sharded streaming summary diverged from the buffered campaign");
+        std::process::exit(1);
+    }
+    if report.soundness_violations > 0 {
+        eprintln!(
+            "E15: {} soundness violations recorded",
+            report.soundness_violations
+        );
+        std::process::exit(1);
+    }
+}

@@ -1586,6 +1586,251 @@ pub fn render_fault_inflation(rows: &[FaultInflationRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E15
+
+/// Result of experiment E15 — the sharded streaming campaign at scale:
+/// throughput of the streaming executor vs the buffered baseline, peak
+/// RSS, the soundness verdict, and an arena-vs-allocating min-plus
+/// microbenchmark of the per-port leftover hot path.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignScaleReport {
+    /// Scenarios executed per campaign.
+    pub scenarios: usize,
+    /// Seed-range shards of the streaming run.
+    pub shards: usize,
+    /// Worker threads (0 = all cores at run time).
+    pub threads: usize,
+    /// Master seed of the scenario space.
+    pub master_seed: u64,
+    /// Wall-clock seconds of the sharded streaming run.
+    pub sharded_elapsed_secs: f64,
+    /// Streaming throughput — the figure the CI perf gate greps for.
+    pub scenarios_per_sec: f64,
+    /// Wall-clock seconds of the un-sharded buffered baseline run.
+    pub buffered_elapsed_secs: f64,
+    /// Buffered throughput.
+    pub buffered_scenarios_per_sec: f64,
+    /// `scenarios_per_sec / buffered_scenarios_per_sec`.  On a single
+    /// core the two paths are compute-bound on the same per-scenario
+    /// pipeline, so this hovers near 1; the streaming win is the O(shards)
+    /// memory profile visible in the RSS columns.
+    pub speedup_vs_buffered: f64,
+    /// Process peak RSS (VmHWM) right after the sharded run, in MiB.
+    pub sharded_peak_rss_mb: f64,
+    /// Process peak RSS after the buffered baseline also ran, in MiB —
+    /// the high-water mark is monotone, so the delta over the previous
+    /// column is memory only the buffered path needed.
+    pub final_peak_rss_mb: f64,
+    /// The campaign fingerprint of the sharded run (hex).
+    pub fingerprint: String,
+    /// Whether the streamed summary equals the buffered one bit for bit.
+    pub summary_matches_buffered: bool,
+    /// Bound violations across both runs — the soundness gate greps for
+    /// zero.
+    pub soundness_violations: usize,
+    /// Nanoseconds per leftover-service chain on the arena path.
+    pub arena_ns_per_op: f64,
+    /// Nanoseconds per identical chain on the allocating path.
+    pub allocating_ns_per_op: f64,
+    /// `allocating_ns_per_op / arena_ns_per_op`.
+    pub arena_speedup: f64,
+    /// Heap allocations per chain on the arena path (0 when the binary
+    /// has no counting allocator installed).
+    pub arena_allocs_per_op: f64,
+    /// Heap allocations per chain on the allocating path.
+    pub allocating_allocs_per_op: f64,
+}
+
+/// Peak resident set size of this process in MiB (`VmHWM`), 0.0 where
+/// `/proc` is unavailable.
+pub fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// One iteration of the min-plus chain the per-port analysis runs per
+/// flow: aggregate two arrival curves, subtract the flow's own envelope,
+/// take the blind-multiplexing leftover, deconvolve the output envelope
+/// and bound the delay.  `arena` selects the scratch-buffer mirrors.
+fn leftover_chain(arena: bool) -> f64 {
+    use netcalc::{ArrivalBound, PeriodicEnvelope, RateLatency, ServiceBound, TokenBucket};
+    let own = TokenBucket::new(DataSize::from_bytes(1_500), DataRate::from_mbps(10)).curve();
+    let stair = PeriodicEnvelope::new(
+        DataSize::from_bytes(1_000),
+        Duration::from_micros(500),
+        16,
+        DataRate::from_mbps(100),
+    );
+    let cross = stair.curve().add(&own);
+    let beta = RateLatency::new(DataRate::from_mbps(100), Duration::from_micros(120)).curve();
+    let (leftover, output, delay) = if arena {
+        let leftover = netcalc::arena::leftover(&beta, &cross).expect("stable");
+        let output = netcalc::arena::deconvolve(&own, &leftover).expect("stable");
+        let delay = netcalc::arena::horizontal_deviation(&own, &leftover).expect("stable");
+        (leftover, output, delay)
+    } else {
+        let leftover = netcalc::minplus::leftover(&beta, &cross).expect("stable");
+        let output = netcalc::minplus::deconvolve(&own, &leftover).expect("stable");
+        let delay = netcalc::minplus::horizontal_deviation(&own, &leftover).expect("stable");
+        (leftover, output, delay)
+    };
+    // Fold everything into a scalar so the optimizer cannot discard the
+    // chain.
+    delay + leftover.eval(1e-3) + output.eval(1e-3)
+}
+
+/// Times `reps` leftover chains and samples the allocation counter around
+/// them; returns `(ns_per_op, allocs_per_op)`.
+fn time_leftover_chain(arena: bool, reps: usize, alloc_count: &dyn Fn() -> u64) -> (f64, f64) {
+    // Warm the thread-local scratch so the arena column measures the
+    // steady state the campaign hot loop sees, not the first-call growth.
+    let mut sink = leftover_chain(arena);
+    let allocs_before = alloc_count();
+    let started = std::time::Instant::now();
+    for _ in 0..reps {
+        sink += leftover_chain(arena);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = alloc_count().saturating_sub(allocs_before);
+    assert!(sink.is_finite());
+    (
+        elapsed * 1e9 / reps.max(1) as f64,
+        allocs as f64 / reps.max(1) as f64,
+    )
+}
+
+/// E15 — the sharded streaming campaign at scale.  Runs the sharded
+/// streaming executor first (so the RSS high-water mark after it is the
+/// streaming profile), then the buffered baseline on the same scenarios,
+/// cross-checks the summaries and the fingerprint, and appends the
+/// arena-vs-allocating microbenchmark.  `alloc_count` reads the calling
+/// binary's allocation counter (`|| 0` when none is installed).
+pub fn campaign_scale(
+    scenarios: usize,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+    alloc_count: impl Fn() -> u64,
+) -> CampaignScaleReport {
+    let base = campaign::CampaignConfig {
+        scenarios,
+        master_seed: seed,
+        threads,
+        with_1553: false,
+        envelope_override: None,
+        policy_override: None,
+        faults: campaign::FaultMode::Off,
+    };
+    let sharded = campaign::run_sharded_campaign(&campaign::ShardedCampaignConfig {
+        base,
+        shards,
+        state_dir: None,
+        resume: false,
+    })
+    .expect("in-memory sharded run cannot fail");
+    let sharded_peak_rss_mb = peak_rss_mb();
+
+    let buffered = campaign::run_campaign(base);
+    let final_peak_rss_mb = peak_rss_mb();
+
+    let summary_matches_buffered = sharded.outcome.summary == buffered.outcome.summary
+        && sharded.outcome.fingerprint == campaign::results_fingerprint(&buffered.outcome.results);
+    let soundness_violations =
+        sharded.outcome.summary.violations.len() + buffered.outcome.summary.violations.len();
+
+    let reps = 2_000;
+    let (arena_ns_per_op, arena_allocs_per_op) = time_leftover_chain(true, reps, &alloc_count);
+    let (allocating_ns_per_op, allocating_allocs_per_op) =
+        time_leftover_chain(false, reps, &alloc_count);
+
+    CampaignScaleReport {
+        scenarios,
+        shards,
+        threads,
+        master_seed: seed,
+        sharded_elapsed_secs: sharded.runtime.elapsed_secs,
+        scenarios_per_sec: sharded.runtime.scenarios_per_sec,
+        buffered_elapsed_secs: buffered.runtime.elapsed_secs,
+        buffered_scenarios_per_sec: buffered.runtime.scenarios_per_sec,
+        speedup_vs_buffered: if buffered.runtime.scenarios_per_sec > 0.0 {
+            sharded.runtime.scenarios_per_sec / buffered.runtime.scenarios_per_sec
+        } else {
+            0.0
+        },
+        sharded_peak_rss_mb,
+        final_peak_rss_mb,
+        fingerprint: format!("{:#018x}", sharded.outcome.fingerprint),
+        summary_matches_buffered,
+        soundness_violations,
+        arena_ns_per_op,
+        allocating_ns_per_op,
+        arena_speedup: if arena_ns_per_op > 0.0 {
+            allocating_ns_per_op / arena_ns_per_op
+        } else {
+            0.0
+        },
+        arena_allocs_per_op,
+        allocating_allocs_per_op,
+    }
+}
+
+/// Renders E15 as the table `EXPERIMENTS.md` records.
+pub fn render_campaign_scale(report: &CampaignScaleReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E15 — sharded streaming campaign at scale ({} scenarios, {} shards, seed {})\n\n",
+        report.scenarios, report.shards, report.master_seed
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>14} {:>14} {:>14}\n",
+        "path", "elapsed s", "scen/sec", "peak RSS MiB"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>14.2} {:>14.1} {:>14.1}\n",
+        "sharded streaming",
+        report.sharded_elapsed_secs,
+        report.scenarios_per_sec,
+        report.sharded_peak_rss_mb,
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>14.2} {:>14.1} {:>14.1}\n",
+        "buffered baseline",
+        report.buffered_elapsed_secs,
+        report.buffered_scenarios_per_sec,
+        report.final_peak_rss_mb,
+    ));
+    out.push_str(&format!(
+        "\nspeedup {:.2}x | fingerprint {} | summary match: {} | soundness violations: {}\n",
+        report.speedup_vs_buffered,
+        report.fingerprint,
+        if report.summary_matches_buffered {
+            "yes"
+        } else {
+            "NO"
+        },
+        report.soundness_violations,
+    ));
+    out.push_str(&format!(
+        "leftover hot path: arena {:.0} ns/op ({:.1} allocs) vs allocating {:.0} ns/op \
+         ({:.1} allocs) — {:.2}x\n",
+        report.arena_ns_per_op,
+        report.arena_allocs_per_op,
+        report.allocating_ns_per_op,
+        report.allocating_allocs_per_op,
+        report.arena_speedup,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,10 @@
 //! scenario count produces a byte-identical file regardless of `--threads`.
 //! Wall-clock statistics are printed to stdout only.
 
-use campaign::{run_campaign, CampaignConfig, ComparisonReport, FaultMode, ScenarioOutcome};
+use campaign::{
+    run_campaign, run_sharded_campaign, CampaignConfig, CampaignSummary, ComparisonReport,
+    FaultMode, FaultSummary, RuntimeStats, ScenarioOutcome, ShardError, ShardedCampaignConfig,
+};
 use netcalc::EnvelopeModel;
 use rtswitch_core::PolicyArm;
 use std::io::Write;
@@ -50,9 +53,24 @@ OPTIONS:
                       a seeded fault set — babblers, link bursts, trunk
                       failover — and validates degraded-mode bounds against
                       the faulty simulation)
+    --shards <N>      run as N contiguous seed-range shards with streaming
+                      aggregation (memory stays O(shards), outcome summary
+                      and fingerprint byte-identical to the buffered run);
+                      0 (default) buffers every result as before
+    --state-dir <DIR> persist per-shard checkpoints and a manifest under
+                      DIR (implies the sharded path)
+    --resume          restore completed shards from --state-dir and run
+                      only the rest; the merged outcome is byte-identical
+                      to an uninterrupted run
     --json <PATH>     write the deterministic campaign outcome as JSON
     --quiet           suppress the per-policy table
     --help            print this help
+
+EXIT CODES:
+    0  success, every validated bound sound
+    1  bound violations detected, or output could not be written
+    2  usage error
+    3  shard state error (corrupt manifest/checkpoint, config mismatch)
 ";
 
 struct Args {
@@ -63,6 +81,9 @@ struct Args {
     envelope: Option<EnvelopeModel>,
     policy: Option<PolicyArm>,
     faults: FaultMode,
+    shards: usize,
+    state_dir: Option<String>,
+    resume: bool,
     json: Option<String>,
     quiet: bool,
 }
@@ -76,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
         envelope: None,
         policy: None,
         faults: FaultMode::Off,
+        shards: 0,
+        state_dir: None,
+        resume: false,
         json: None,
         quiet: false,
     };
@@ -132,6 +156,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--faults expects off or sweep, got `{other}`")),
                 };
             }
+            "--shards" => {
+                args.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--state-dir" => args.state_dir = Some(value_of("--state-dir")?),
+            "--resume" => args.resume = true,
             "--json" => args.json = Some(value_of("--json")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -144,43 +175,21 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(args) => args,
-        Err(message) => {
-            eprintln!("error: {message}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let config = CampaignConfig {
-        scenarios: args.scenarios,
-        master_seed: args.seed,
-        threads: args.threads,
-        with_1553: args.with_1553,
-        envelope_override: args.envelope,
-        policy_override: args.policy,
-        faults: args.faults,
-    };
-    say!(
-        "campaign: {} scenarios, master seed {}, {} worker threads",
-        config.scenarios,
-        config.master_seed,
-        config.effective_threads()
-    );
-
-    let report = run_campaign(config);
-    let summary = &report.outcome.summary;
-    let runtime = &report.runtime;
-
+/// Prints the wall-clock line of one execution.
+fn print_runtime(executed: usize, runtime: &RuntimeStats) {
     say!(
         "executed {} scenarios in {:.2}s ({:.1} scenarios/sec) on {} busy threads {:?}",
-        summary.scenarios,
+        executed,
         runtime.elapsed_secs,
         runtime.scenarios_per_sec,
         runtime.busy_threads(),
         runtime.per_thread,
     );
+}
+
+/// Prints the aggregate sections shared by the buffered and sharded
+/// paths: soundness, tightness, PBOO, envelope, fault and 1553 summaries.
+fn print_summary(summary: &CampaignSummary, fault_summary: Option<&FaultSummary>) {
     say!(
         "validated {} | infeasible {} | sound {} | soundness rate {:.1}% | {} messages checked | {} frames simulated",
         summary.validated,
@@ -221,7 +230,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Some(faults) = &report.outcome.fault_summary {
+    if let Some(faults) = fault_summary {
         say!(
             "fault sweep: {} degraded stages | {} validated | {} infeasible | sound {} | bounds hold under faults in {} | {} with trunk failover",
             faults.scenarios,
@@ -262,53 +271,36 @@ fn main() -> ExitCode {
             comparison.min_infeasible_utilization,
         );
     }
+}
 
-    if !args.quiet {
-        say!();
+/// Prints the per-policy breakdown table.
+fn print_policy_table(summary: &CampaignSummary) {
+    say!();
+    say!(
+        "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15}",
+        "approach",
+        "validated",
+        "infeasible",
+        "sound",
+        "deadline-misses",
+        "mean tightness"
+    );
+    for arm in &summary.by_approach {
         say!(
-            "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15}",
-            "approach",
-            "validated",
-            "infeasible",
-            "sound",
-            "deadline-misses",
-            "mean tightness"
+            "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15.4}",
+            arm.approach.to_string(),
+            arm.validated,
+            arm.infeasible,
+            arm.sound,
+            arm.deadline_miss_scenarios,
+            arm.mean_tightness,
         );
-        for arm in &summary.by_approach {
-            say!(
-                "{:<18} {:>9} {:>10} {:>6} {:>15} {:>15.4}",
-                arm.approach.to_string(),
-                arm.validated,
-                arm.infeasible,
-                arm.sound,
-                arm.deadline_miss_scenarios,
-                arm.mean_tightness,
-            );
-        }
-        let infeasible: Vec<usize> = report
-            .outcome
-            .results
-            .iter()
-            .filter(|r| matches!(r.outcome, ScenarioOutcome::AnalysisInfeasible { .. }))
-            .map(|r| r.scenario.id)
-            .collect();
-        if !infeasible.is_empty() {
-            say!("analytically infeasible scenario ids: {infeasible:?}");
-        }
-        if summary.comparison.is_some() {
-            let bus_infeasible: Vec<usize> = report
-                .outcome
-                .results
-                .iter()
-                .filter(|r| matches!(r.comparison, Some(ComparisonReport::Infeasible1553(_))))
-                .map(|r| r.scenario.id)
-                .collect();
-            if !bus_infeasible.is_empty() {
-                say!("1553-infeasible scenario ids: {bus_infeasible:?}");
-            }
-        }
     }
+}
 
+/// Dumps every recorded violation to stderr and returns `true` when all
+/// three summaries (Ethernet, degraded, 1553) are sound.
+fn report_soundness(summary: &CampaignSummary, fault_summary: Option<&FaultSummary>) -> bool {
     if !summary.violations.is_empty() {
         eprintln!("BOUND VIOLATIONS DETECTED:");
         for violation in &summary.violations {
@@ -322,7 +314,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    if let Some(faults) = &report.outcome.fault_summary {
+    if let Some(faults) = fault_summary {
         if !faults.violations.is_empty() {
             eprintln!("DEGRADED-BOUND VIOLATIONS DETECTED:");
             for violation in &faults.violations {
@@ -353,38 +345,166 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &args.json {
-        match serde_json::to_string_pretty(&report.outcome) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json + "\n") {
-                    eprintln!("error: writing {path}: {e}");
-                    return ExitCode::from(1);
-                }
-                say!("wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("error: serializing outcome: {e}");
-                return ExitCode::from(1);
-            }
-        }
-    }
-
     let bus_sound = summary
         .comparison
         .as_ref()
         .map(|c| c.all_sound())
         .unwrap_or(true);
-    let faults_sound = report
-        .outcome
-        .fault_summary
-        .as_ref()
-        .map(|f| f.all_sound())
-        .unwrap_or(true);
-    if summary.all_sound() && bus_sound && faults_sound {
+    let faults_sound = fault_summary.map(|f| f.all_sound()).unwrap_or(true);
+    summary.all_sound() && bus_sound && faults_sound
+}
+
+/// Writes a serialized outcome to `path`; `false` on failure.
+fn write_json_outcome<T: serde::Serialize>(path: &str, outcome: &T) -> bool {
+    match serde_json::to_string_pretty(outcome) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: writing {path}: {e}");
+                return false;
+            }
+            say!("wrote {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: serializing outcome: {e}");
+            false
+        }
+    }
+}
+
+/// The buffered path: every result retained, per-result listings printed.
+fn run_buffered(args: &Args, config: CampaignConfig) -> ExitCode {
+    let report = run_campaign(config);
+    let summary = &report.outcome.summary;
+    let fault_summary = report.outcome.fault_summary.as_ref();
+
+    print_runtime(summary.scenarios, &report.runtime);
+    print_summary(summary, fault_summary);
+    if !args.quiet {
+        print_policy_table(summary);
+        let infeasible: Vec<usize> = report
+            .outcome
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, ScenarioOutcome::AnalysisInfeasible { .. }))
+            .map(|r| r.scenario.id)
+            .collect();
+        if !infeasible.is_empty() {
+            say!("analytically infeasible scenario ids: {infeasible:?}");
+        }
+        if summary.comparison.is_some() {
+            let bus_infeasible: Vec<usize> = report
+                .outcome
+                .results
+                .iter()
+                .filter(|r| matches!(r.comparison, Some(ComparisonReport::Infeasible1553(_))))
+                .map(|r| r.scenario.id)
+                .collect();
+            if !bus_infeasible.is_empty() {
+                say!("1553-infeasible scenario ids: {bus_infeasible:?}");
+            }
+        }
+    }
+
+    let sound = report_soundness(summary, fault_summary);
+    if let Some(path) = &args.json {
+        if !write_json_outcome(path, &report.outcome) {
+            return ExitCode::from(1);
+        }
+    }
+    if sound {
         say!("RESULT: 100% soundness — every simulated delay within its analytic bound");
         ExitCode::SUCCESS
     } else {
         eprintln!("RESULT: soundness violated");
         ExitCode::from(1)
+    }
+}
+
+/// The sharded streaming path: no per-result retention (or listings) —
+/// the summaries plus the order-independent fingerprint stand in for the
+/// result vector.
+fn run_sharded(args: &Args, config: ShardedCampaignConfig) -> ExitCode {
+    let report = match run_sharded_campaign(&config) {
+        Ok(report) => report,
+        Err(ShardError::MissingStateDir) => {
+            eprintln!("error: {}\n\n{USAGE}", ShardError::MissingStateDir);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let summary = &report.outcome.summary;
+    let fault_summary = report.outcome.fault_summary.as_ref();
+
+    say!(
+        "sharded: {} shards ({} executed, {} restored), fingerprint {:#018x}",
+        report.executed_shards + report.restored_shards,
+        report.executed_shards,
+        report.restored_shards,
+        report.outcome.fingerprint,
+    );
+    print_runtime(summary.scenarios, &report.runtime);
+    print_summary(summary, fault_summary);
+    if !args.quiet {
+        print_policy_table(summary);
+    }
+
+    let sound = report_soundness(summary, fault_summary);
+    if let Some(path) = &args.json {
+        if !write_json_outcome(path, &report.outcome) {
+            return ExitCode::from(1);
+        }
+    }
+    if sound {
+        say!("RESULT: 100% soundness — every simulated delay within its analytic bound");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("RESULT: soundness violated");
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = CampaignConfig {
+        scenarios: args.scenarios,
+        master_seed: args.seed,
+        threads: args.threads,
+        with_1553: args.with_1553,
+        envelope_override: args.envelope,
+        policy_override: args.policy,
+        faults: args.faults,
+    };
+    say!(
+        "campaign: {} scenarios, master seed {}, {} worker threads",
+        config.scenarios,
+        config.master_seed,
+        config.effective_threads()
+    );
+
+    // Any shard-related flag selects the streaming path; a bare
+    // invocation keeps the buffered behaviour (and output) unchanged.
+    if args.shards > 0 || args.state_dir.is_some() || args.resume {
+        run_sharded(
+            &args,
+            ShardedCampaignConfig {
+                base: config,
+                shards: args.shards.max(1),
+                state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+                resume: args.resume,
+            },
+        )
+    } else {
+        run_buffered(&args, config)
     }
 }

@@ -84,6 +84,7 @@
 pub mod comparison;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod space;
 
 pub use comparison::{compare_scenario, ComparisonReport, ComparisonSummary, ScenarioComparison};
@@ -95,5 +96,9 @@ pub use report::{
 pub use runner::{
     execute_scenario, execute_scenario_with, run_campaign, CampaignConfig, CampaignOutcome,
     CampaignReport, FaultMode, RuntimeStats,
+};
+pub use shard::{
+    plan_shards, result_fingerprint, results_fingerprint, run_sharded_campaign, ShardError,
+    ShardedCampaignConfig, ShardedOutcome, ShardedReport, StreamAggregate,
 };
 pub use space::{FabricSpec, FaultDraw, Scenario, ScenarioSpace, WorkloadSource};

@@ -358,16 +358,19 @@ fn execute_fault_stage(scenario: &Scenario, draw: FaultDraw, model: EnvelopeMode
     }
 }
 
-/// Runs a campaign: generates `config.scenarios` scenarios from the master
-/// seed and executes them on `config.effective_threads()` workers.
-pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
+/// Expands a configuration into its executable scenario list: the master
+/// seed generates the space, and the policy override (if any) replaces
+/// each scenario's drawn arm before execution (and therefore before
+/// serialization) — forcing FCFS or strict priority reproduces the
+/// pre-WRR campaign byte for byte, and forcing WRR puts every scenario on
+/// its own seeded weight set.  Shared by the buffered ([`run_campaign`])
+/// and sharded ([`crate::shard::run_sharded_campaign`]) executors, so a
+/// shard over `[start, end)` sees exactly the scenarios the buffered run
+/// would execute at those indices.
+pub(crate) fn prepared_scenarios(config: &CampaignConfig) -> Vec<Scenario> {
     let space =
         ScenarioSpace::new(config.master_seed).with_faults(config.faults == FaultMode::Sweep);
     let mut scenarios = space.scenarios(config.scenarios);
-    // The policy override replaces each scenario's drawn arm before
-    // execution (and therefore before serialization): forcing FCFS or
-    // strict priority reproduces the pre-WRR campaign byte for byte, and
-    // forcing WRR puts every scenario on its own seeded weight set.
     if let Some(arm) = config.policy_override {
         for scenario in &mut scenarios {
             scenario.approach = match arm {
@@ -377,6 +380,13 @@ pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
             };
         }
     }
+    scenarios
+}
+
+/// Runs a campaign: generates `config.scenarios` scenarios from the master
+/// seed and executes them on `config.effective_threads()` workers.
+pub fn run_campaign(config: CampaignConfig) -> CampaignReport {
+    let scenarios = prepared_scenarios(&config);
     let threads = config
         .effective_threads()
         .max(1)

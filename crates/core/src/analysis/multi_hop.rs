@@ -80,7 +80,7 @@ use crate::analysis::Approach;
 use crate::config::NetworkConfig;
 use ethernet::Fabric;
 use netcalc::{
-    delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, RateLatency, TokenBucket,
+    delay_bound, ArrivalBound, Curve, Envelope, EnvelopeModel, RateLatency, TokenBucket,
 };
 use serde::{Deserialize, Serialize};
 use shaping::TrafficClass;
@@ -276,12 +276,12 @@ pub fn analyze_multi_hop(
 ///   curve-aggregate horizontal deviation (computed inside the
 ///   multiplexers);
 /// * each per-flow hop delay runs through the **general** blind-multiplexing
-///   left-over curve ([`minplus::leftover`]) with the staircase cross
+///   left-over curve ([`netcalc::minplus::leftover`]) with the staircase cross
 ///   traffic, packetizer-corrected via `[β − l]⁺`
 ///   ([`Curve::saturating_sub_const`]);
 /// * the pay-bursts-only-once bound is the minimum of the rate-latency
 ///   convolution (on the token-bucket summaries) and the general min-plus
-///   convolution of the left-over curves ([`minplus::convolve`]).
+///   convolution of the left-over curves ([`netcalc::minplus::convolve`]).
 ///
 /// Every staircase-model bound is therefore at most its token-bucket
 /// counterpart, and the PBOO invariant `convolved ≤ per-hop sum` is
@@ -531,15 +531,15 @@ pub fn compose_end_to_end(
         let network_curve = leftover_curves[1..]
             .iter()
             .fold(leftover_curves[0].convex_minorant(), |acc, c| {
-                minplus::convolve(&acc, &c.convex_minorant())
+                netcalc::arena::convolve(&acc, &c.convex_minorant())
             });
         let source_curve = spec.arrival_envelope(model, config.link_rate).curve();
-        let h = minplus::horizontal_deviation(&source_curve, &network_curve).map_err(|source| {
-            AnalysisError::Stage {
+        let h = netcalc::arena::horizontal_deviation(&source_curve, &network_curve).map_err(
+            |source| AnalysisError::Stage {
                 stage: format!("convolved path of {}", spec.name),
                 source,
-            }
-        })?;
+            },
+        )?;
         convolved = convolved.min(Duration::from_secs_f64_ceil(h));
         // The per-hop delays run on the *full* left-over hulls
         // while the convolution runs on their convex minorants, so

@@ -20,7 +20,7 @@ use crate::analysis::stage::{analyze_stage, mux_for_policy, StageFlow};
 use crate::config::NetworkConfig;
 use ethernet::SchedulingPolicy;
 use netcalc::{
-    delay_bound, minplus, ArrivalBound, Curve, Envelope, EnvelopeModel, NcError, RateLatency,
+    arena, delay_bound, ArrivalBound, Curve, Envelope, EnvelopeModel, NcError, RateLatency,
     TokenBucket,
 };
 use units::Duration;
@@ -144,7 +144,7 @@ pub fn analyze_port(
                         .saturating_sub_const(frame.as_f64_bits())
                         .expect("frame sizes are finite and non-negative");
                 }
-                let h = minplus::horizontal_deviation(&flow.envelope.curve(), &lo_curve)
+                let h = arena::horizontal_deviation(&flow.envelope.effective_curve(), &lo_curve)
                     .map_err(&stage)?;
                 (Duration::from_secs_f64_ceil(h), Some(lo_curve))
             }
@@ -249,7 +249,7 @@ pub fn leftover_service(
 }
 
 /// The general left-over service **curves** of every flow at a port
-/// ([`minplus::leftover`]): the same blind-multiplexing construction as
+/// ([`netcalc::minplus::leftover`]): the same blind-multiplexing construction as
 /// [`leftover_service`], but against the cross traffic's full
 /// piecewise-linear envelopes (e.g. staircases) instead of their
 /// token-bucket summaries — the cross traffic's flat steps let the residual
@@ -275,8 +275,8 @@ pub fn leftover_curves_for_port(
             flows
                 .iter()
                 .map(|f| {
-                    let cross = full.sub_envelope(&f.envelope.curve());
-                    minplus::leftover(&base, &cross)
+                    let cross = arena::sub_envelope(&full, &f.envelope.effective_curve());
+                    arena::leftover(&base, &cross)
                 })
                 .collect()
         }
@@ -286,7 +286,7 @@ pub fn leftover_curves_for_port(
             let mut acc = netcalc::Curve::zero();
             for p in 0..levels {
                 for f in flows.iter().filter(|f| clamp(f.priority) == p) {
-                    acc = acc.add(&f.envelope.curve());
+                    acc = arena::add(&acc, &f.envelope.effective_curve());
                 }
                 prefixes.push(acc.clone());
             }
@@ -313,8 +313,8 @@ pub fn leftover_curves_for_port(
                 .iter()
                 .map(|f| {
                     let own = clamp(f.priority);
-                    let cross = prefixes[own].sub_envelope(&f.envelope.curve());
-                    minplus::leftover(&bases[own], &cross)
+                    let cross = arena::sub_envelope(&prefixes[own], &f.envelope.effective_curve());
+                    arena::leftover(&bases[own], &cross)
                 })
                 .collect()
         }
@@ -331,7 +331,7 @@ pub fn leftover_curves_for_port(
             let mut aggregates: Vec<Curve> = vec![netcalc::Curve::zero(); levels];
             for f in flows {
                 let own = clamp(f.priority);
-                aggregates[own] = aggregates[own].add(&f.envelope.curve());
+                aggregates[own] = arena::add(&aggregates[own], &f.envelope.effective_curve());
             }
             let mut bases: Vec<Option<Curve>> = vec![None; levels];
             flows
@@ -341,8 +341,9 @@ pub fn leftover_curves_for_port(
                     if bases[own].is_none() {
                         bases[own] = Some(mux.residual_service(own)?.curve());
                     }
-                    let cross = aggregates[own].sub_envelope(&f.envelope.curve());
-                    minplus::leftover(bases[own].as_ref().expect("just filled"), &cross)
+                    let cross =
+                        arena::sub_envelope(&aggregates[own], &f.envelope.effective_curve());
+                    arena::leftover(bases[own].as_ref().expect("just filled"), &cross)
                 })
                 .collect()
         }

@@ -1,0 +1,492 @@
+//! Scratch-buffer ("arena") variants of the hot min-plus operations.
+//!
+//! The campaign analyses ~10⁵ scenarios per run, and every scenario pays
+//! thousands of calls into [`crate::minplus`] — each of which allocates a
+//! fresh breakpoint `Vec` (often several) that is dropped microseconds
+//! later.  This module provides a [`Scratch`] arena of reusable breakpoint
+//! buffers plus *arithmetically identical* mirrors of
+//! [`convolve`](crate::minplus::convolve),
+//! [`deconvolve`](crate::minplus::deconvolve),
+//! [`leftover`](crate::minplus::leftover), [`Curve::add`],
+//! [`Curve::sub_envelope`] and the deviation routines.  The mirrors reuse
+//! the *same* slice-level kernels as the allocating implementations
+//! (`eval_points`, `slope_after`, `clamp_nonneg_into`, in-place
+//! simplify) so both paths
+//! perform bit-for-bit identical float arithmetic; the module-level
+//! property tests pin breakpoint-identical equality on random curve
+//! families, and the campaign fingerprints pin it end-to-end.
+//!
+//! The free functions at the bottom ([`convolve`], [`deconvolve`],
+//! [`leftover`], [`add`], [`sub_envelope`], [`horizontal_deviation`],
+//! [`vertical_deviation`]) route through a thread-local [`Scratch`], which
+//! is what the per-port analysis hot paths call.
+
+use crate::curve::{
+    clamp_nonneg_into, eval_points, simplify_points_in_place, slope_after, Curve, EPS,
+};
+use crate::NcError;
+use std::cell::RefCell;
+
+/// Reusable breakpoint buffers for the arena operations.
+///
+/// One `Scratch` serves any number of sequential operations; buffers grow to
+/// the high-water mark of the curves seen and are then reused without
+/// further allocation.  Each public operation leaves the arena ready for the
+/// next call (buffers are cleared on entry, never on exit).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Merged abscissa grid (mirror of `merged_abscissas`).
+    xs: Vec<f64>,
+    /// Interior-crossing abscissas of the min/max combine.
+    crossings: Vec<f64>,
+    /// Fold accumulator breakpoints (convolve / deconvolve).
+    acc: Vec<(f64, f64)>,
+    /// Current family-member breakpoints.
+    member: Vec<(f64, f64)>,
+    /// General output buffer (combine result, clamp result).
+    work: Vec<(f64, f64)>,
+    /// Raw difference grid (leftover) / raw pre-clamp breakpoints.
+    diff: Vec<(f64, f64)>,
+    /// Candidate abscissas for the deviation routines.
+    candidates: Vec<f64>,
+}
+
+/// The sorted, deduplicated union of two breakpoint lists' abscissas —
+/// slice-level mirror of `merged_abscissas`, written into `xs`.
+fn merged_xs_into(a: &[(f64, f64)], b: &[(f64, f64)], xs: &mut Vec<f64>) {
+    xs.clear();
+    xs.extend(a.iter().chain(b.iter()).map(|&(x, _)| x));
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+}
+
+/// Mirror of `Curve::combine` on raw `(breakpoints, final_slope)` pairs:
+/// computes `min`/`max` of `a` and `b` into `out` and returns the result's
+/// final slope.  Same grid construction, same tail-crossing check on the
+/// breakpoint grid *before* interior crossings are appended, same
+/// simplification.
+fn combine_into(
+    a: (&[(f64, f64)], f64),
+    b: (&[(f64, f64)], f64),
+    take_min: bool,
+    xs: &mut Vec<f64>,
+    crossings: &mut Vec<f64>,
+    out: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let (ap, a_slope) = a;
+    let (bp, b_slope) = b;
+    merged_xs_into(ap, bp, xs);
+    let last = *xs.last().expect("non-empty");
+    let da = eval_points(ap, a_slope, last) - eval_points(bp, b_slope, last);
+    let ds = slope_after(ap, a_slope, last) - slope_after(bp, b_slope, last);
+    let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
+        .then(|| last + da.abs() / ds.abs());
+    crossings.clear();
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        let d0 = eval_points(ap, a_slope, x0) - eval_points(bp, b_slope, x0);
+        let d1 = eval_points(ap, a_slope, x1) - eval_points(bp, b_slope, x1);
+        if (d0 > EPS && d1 < -EPS) || (d0 < -EPS && d1 > EPS) {
+            let t = x0 + (x1 - x0) * d0.abs() / (d0.abs() + d1.abs());
+            crossings.push(t);
+        }
+    }
+    xs.extend_from_slice(crossings);
+    xs.extend(tail_cross);
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let pick = if take_min { f64::min } else { f64::max };
+    out.clear();
+    out.extend(xs.iter().map(|&x| {
+        (
+            x,
+            pick(eval_points(ap, a_slope, x), eval_points(bp, b_slope, x)),
+        )
+    }));
+    let final_slope = pick(a_slope, b_slope);
+    simplify_points_in_place(out, final_slope);
+    final_slope
+}
+
+/// Mirror of `minplus::shifted_raised`: writes the member curve
+/// `t ↦ h((t − d)⁺) + c` into `member` and returns its final slope.
+fn shifted_raised_into(member: &mut Vec<(f64, f64)>, h: &Curve, d: f64, c: f64) -> f64 {
+    member.clear();
+    let h0 = h.points()[0].1;
+    member.push((0.0, h0 + c));
+    if d > 0.0 {
+        member.push((d, h0 + c));
+    }
+    for &(x, y) in h.points() {
+        if x > 0.0 {
+            member.push((x + d, y + c));
+        }
+    }
+    simplify_points_in_place(member, h.final_slope());
+    h.final_slope()
+}
+
+/// Mirror of `Curve::shift_left` for the non-negative shifts produced by
+/// breakpoint abscissas: writes `t ↦ f(t + s)` into `member` and returns
+/// its final slope.
+fn shift_left_into(member: &mut Vec<(f64, f64)>, f: &Curve, s: f64) -> f64 {
+    member.clear();
+    if s == 0.0 {
+        member.extend_from_slice(f.points());
+        return f.final_slope();
+    }
+    member.push((0.0, f.eval(s)));
+    for &(x, y) in f.points() {
+        if x > s + 1e-15 {
+            member.push((x - s, y));
+        }
+    }
+    simplify_points_in_place(member, f.final_slope());
+    f.final_slope()
+}
+
+impl Scratch {
+    /// A fresh arena with empty buffers.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Folds the current `member` buffer into the `acc` buffer with
+    /// min (`take_min`) or max, returning the accumulator's new final
+    /// slope.  The first fold just adopts the member.
+    fn fold_member(
+        &mut self,
+        first: bool,
+        acc_slope: f64,
+        member_slope: f64,
+        take_min: bool,
+    ) -> f64 {
+        if first {
+            std::mem::swap(&mut self.acc, &mut self.member);
+            member_slope
+        } else {
+            let slope = combine_into(
+                (&self.acc, acc_slope),
+                (&self.member, member_slope),
+                take_min,
+                &mut self.xs,
+                &mut self.crossings,
+                &mut self.work,
+            );
+            std::mem::swap(&mut self.acc, &mut self.work);
+            slope
+        }
+    }
+
+    /// Arena mirror of [`crate::minplus::convolve`].
+    pub fn convolve(&mut self, f: &Curve, g: &Curve) -> Curve {
+        let mut acc_slope = 0.0_f64;
+        let mut first = true;
+        for &(x, y) in f.points() {
+            let ms = shifted_raised_into(&mut self.member, g, x, y);
+            acc_slope = self.fold_member(first, acc_slope, ms, true);
+            first = false;
+        }
+        for &(x, y) in g.points() {
+            let ms = shifted_raised_into(&mut self.member, f, x, y);
+            acc_slope = self.fold_member(first, acc_slope, ms, true);
+            first = false;
+        }
+        Curve::from_simplified_parts(self.acc.clone(), acc_slope)
+    }
+
+    /// Arena mirror of [`crate::minplus::deconvolve`].
+    pub fn deconvolve(&mut self, alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "deconvolution".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        let mut acc_slope = 0.0_f64;
+        let mut first = true;
+        // Family over β's breakpoints: α read s later, lowered by β(s),
+        // clamped at zero — shift_left then saturating_sub_const, with the
+        // intermediate simplification happening at exactly the same point
+        // as in the allocating pipeline.
+        for &(s, v) in beta.points() {
+            let ms = shift_left_into(&mut self.member, alpha, s);
+            if v != 0.0 {
+                for p in self.member.iter_mut() {
+                    p.1 -= v;
+                }
+                clamp_nonneg_into(&self.member, ms, &mut self.diff);
+                std::mem::swap(&mut self.member, &mut self.diff);
+            }
+            acc_slope = self.fold_member(first, acc_slope, ms, false);
+            first = false;
+        }
+        // Family over α's breakpoints: the reflected service curve
+        // t ↦ (α(x) − β((x − t)⁺))⁺, constant for t ≥ x.
+        for &(x, y) in alpha.points() {
+            self.diff.clear();
+            self.diff.push((0.0, y - beta.eval(x)));
+            for &(u, v) in beta.points().iter().rev() {
+                if u < x {
+                    self.diff.push((x - u, y - v));
+                }
+            }
+            clamp_nonneg_into(&self.diff, 0.0, &mut self.member);
+            acc_slope = self.fold_member(first, acc_slope, 0.0, false);
+            first = false;
+        }
+        Ok(Curve::from_simplified_parts(self.acc.clone(), acc_slope))
+    }
+
+    /// Arena mirror of [`crate::minplus::leftover`].
+    pub fn leftover(&mut self, beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+        let slope = beta.long_term_rate() - cross.long_term_rate();
+        if slope <= EPS {
+            return Err(NcError::Unstable {
+                context: "left-over service".into(),
+                demand_bps: cross.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        merged_xs_into(beta.points(), cross.points(), &mut self.xs);
+        self.diff.clear();
+        self.diff
+            .extend(self.xs.iter().map(|&x| (x, beta.eval(x) - cross.eval(x))));
+        // Non-decreasing lower hull from the right (see minplus::leftover).
+        self.member.clear();
+        let mut cap = self.diff.last().expect("non-empty grid").1;
+        self.member.push(*self.diff.last().expect("non-empty grid"));
+        for w in self.diff.windows(2).rev() {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if y0 > y1 {
+                cap = cap.min(y1);
+                self.member.push((x0, cap));
+            } else {
+                if y1 > cap && y0 < cap {
+                    self.member
+                        .push((x0 + (cap - y0) * (x1 - x0) / (y1 - y0), cap));
+                }
+                cap = cap.min(y0);
+                self.member.push((x0, cap));
+            }
+        }
+        self.member.reverse();
+        clamp_nonneg_into(&self.member, slope, &mut self.work);
+        Ok(Curve::from_simplified_parts(self.work.clone(), slope))
+    }
+
+    /// Arena mirror of [`Curve::add`].
+    pub fn add(&mut self, a: &Curve, b: &Curve) -> Curve {
+        merged_xs_into(a.points(), b.points(), &mut self.xs);
+        self.work.clear();
+        self.work
+            .extend(self.xs.iter().map(|&x| (x, a.eval(x) + b.eval(x))));
+        let final_slope = a.final_slope() + b.final_slope();
+        simplify_points_in_place(&mut self.work, final_slope);
+        Curve::from_simplified_parts(self.work.clone(), final_slope)
+    }
+
+    /// Arena mirror of [`Curve::sub_envelope`].
+    pub fn sub_envelope(&mut self, a: &Curve, b: &Curve) -> Curve {
+        merged_xs_into(a.points(), b.points(), &mut self.xs);
+        self.work.clear();
+        let mut prev = 0.0_f64;
+        for &x in &self.xs {
+            let y = (a.eval(x) - b.eval(x)).max(prev).max(0.0);
+            self.work.push((x, y));
+            prev = y;
+        }
+        let final_slope = (a.final_slope() - b.final_slope()).max(0.0);
+        simplify_points_in_place(&mut self.work, final_slope);
+        Curve::from_simplified_parts(self.work.clone(), final_slope)
+    }
+
+    /// Arena mirror of [`crate::minplus::horizontal_deviation`].
+    pub fn horizontal_deviation(&mut self, alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "horizontal deviation".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        self.candidates.clear();
+        self.candidates
+            .extend(alpha.points().iter().map(|&(x, _)| x));
+        for &(_, by) in beta.points() {
+            if let Some(t) = alpha.inverse(by) {
+                self.candidates.push(t);
+            }
+        }
+        if let Some(&(bx, _)) = beta.points().last() {
+            self.candidates.push(bx);
+        }
+        let mut worst: f64 = 0.0;
+        for &t in &self.candidates {
+            let a = alpha.eval(t);
+            let d = match beta.inverse_upper(a) {
+                Some(x) => (x - t).max(0.0),
+                None => {
+                    return Err(NcError::Unstable {
+                        context: "service curve plateaus below arrival curve".into(),
+                        demand_bps: alpha.long_term_rate().ceil() as u64,
+                        capacity_bps: beta.long_term_rate().floor() as u64,
+                    });
+                }
+            };
+            if d > worst {
+                worst = d;
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Arena mirror of [`crate::minplus::vertical_deviation`].
+    pub fn vertical_deviation(&mut self, alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "vertical deviation".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        self.candidates.clear();
+        self.candidates.extend(
+            alpha
+                .points()
+                .iter()
+                .chain(beta.points().iter())
+                .map(|&(x, _)| x),
+        );
+        self.candidates
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let worst = self
+            .candidates
+            .iter()
+            .map(|&t| alpha.eval(t) - beta.eval(t))
+            .fold(0.0_f64, f64::max);
+        Ok(worst)
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Thread-local-arena [`crate::minplus::convolve`].
+pub fn convolve(f: &Curve, g: &Curve) -> Curve {
+    SCRATCH.with(|s| s.borrow_mut().convolve(f, g))
+}
+
+/// Thread-local-arena [`crate::minplus::deconvolve`].
+pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+    SCRATCH.with(|s| s.borrow_mut().deconvolve(alpha, beta))
+}
+
+/// Thread-local-arena [`crate::minplus::leftover`].
+pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+    SCRATCH.with(|s| s.borrow_mut().leftover(beta, cross))
+}
+
+/// Thread-local-arena [`Curve::add`].
+pub fn add(a: &Curve, b: &Curve) -> Curve {
+    SCRATCH.with(|s| s.borrow_mut().add(a, b))
+}
+
+/// Thread-local-arena [`Curve::sub_envelope`].
+pub fn sub_envelope(a: &Curve, b: &Curve) -> Curve {
+    SCRATCH.with(|s| s.borrow_mut().sub_envelope(a, b))
+}
+
+/// Thread-local-arena [`crate::minplus::horizontal_deviation`].
+pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    SCRATCH.with(|s| s.borrow_mut().horizontal_deviation(alpha, beta))
+}
+
+/// Thread-local-arena [`crate::minplus::vertical_deviation`].
+pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    SCRATCH.with(|s| s.borrow_mut().vertical_deviation(alpha, beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minplus;
+
+    fn exact_eq(a: &Curve, b: &Curve) -> bool {
+        a.points() == b.points() && a.final_slope() == b.final_slope()
+    }
+
+    #[test]
+    fn arena_ops_match_allocating_ops_on_representative_curves() {
+        let beta = Curve::rate_latency(10e6, 16e-6).unwrap();
+        let tb = Curve::affine(8_000.0, 4e6).unwrap();
+        let st = Curve::staircase(8_000.0, 0.02, 16, 10e6).unwrap();
+        let mut s = Scratch::new();
+        for cross in [&tb, &st] {
+            assert!(exact_eq(
+                &s.leftover(&beta, cross).unwrap(),
+                &minplus::leftover(&beta, cross).unwrap()
+            ));
+            assert!(exact_eq(
+                &s.deconvolve(cross, &beta).unwrap(),
+                &minplus::deconvolve(cross, &beta).unwrap()
+            ));
+            assert!(exact_eq(&s.add(cross, &tb), &cross.add(&tb)));
+            let sum = cross.add(&tb);
+            assert!(exact_eq(&s.sub_envelope(&sum, &tb), &sum.sub_envelope(&tb)));
+            assert_eq!(
+                s.horizontal_deviation(cross, &beta).unwrap(),
+                minplus::horizontal_deviation(cross, &beta).unwrap()
+            );
+            assert_eq!(
+                s.vertical_deviation(cross, &beta).unwrap(),
+                minplus::vertical_deviation(cross, &beta).unwrap()
+            );
+        }
+        let beta2 = Curve::rate_latency(100e6, 5e-6).unwrap();
+        assert!(exact_eq(
+            &s.convolve(&beta, &beta2),
+            &minplus::convolve(&beta, &beta2)
+        ));
+        assert!(exact_eq(
+            &s.convolve(&st, &beta),
+            &minplus::convolve(&st, &beta)
+        ));
+    }
+
+    #[test]
+    fn simplify_in_place_matches_allocating_simplify() {
+        let redundant = vec![(0.0, 0.0), (1.0, 10.0), (2.0, 20.0), (3.0, 25.0)];
+        let allocating = crate::curve::simplify_points(redundant.clone(), 5.0);
+        let mut in_place = redundant;
+        simplify_points_in_place(&mut in_place, 5.0);
+        assert_eq!(allocating, in_place);
+    }
+
+    #[test]
+    fn arena_errors_mirror_allocating_errors() {
+        let beta = Curve::rate_latency(1e6, 0.0).unwrap();
+        let flood = Curve::affine(0.0, 2e6).unwrap();
+        let mut s = Scratch::new();
+        assert!(matches!(
+            s.leftover(&beta, &Curve::affine(0.0, 1e6).unwrap()),
+            Err(NcError::Unstable { .. })
+        ));
+        assert!(matches!(
+            s.deconvolve(&flood, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+        assert!(matches!(
+            s.horizontal_deviation(&flood, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+        assert!(matches!(
+            s.vertical_deviation(&flood, &beta),
+            Err(NcError::Unstable { .. })
+        ));
+    }
+}

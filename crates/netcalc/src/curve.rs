@@ -128,6 +128,26 @@ impl Curve {
         }
     }
 
+    /// In-place variant of [`Curve::simplify`]: removes redundant
+    /// breakpoints without allocating a new breakpoint list.  Produces a
+    /// breakpoint list identical to the allocating path (the equivalence is
+    /// property-tested in [`crate::arena`]).
+    pub fn simplify_in_place(&mut self) {
+        simplify_points_in_place(&mut self.points, self.final_slope);
+    }
+
+    /// Constructs a curve from an already-simplified breakpoint list (the
+    /// arena operations end every synthesis with
+    /// [`simplify_points_in_place`], exactly like the allocating operations
+    /// end with [`simplify_points`]).
+    pub(crate) fn from_simplified_parts(points: Vec<(f64, f64)>, final_slope: f64) -> Curve {
+        debug_assert!(is_simplified(&points, final_slope));
+        Curve {
+            points,
+            final_slope,
+        }
+    }
+
     /// The constant-zero curve.
     pub fn zero() -> Self {
         Curve {
@@ -228,23 +248,7 @@ impl Curve {
 
     /// Evaluates the curve at `t` seconds (`t < 0` is clamped to 0).
     pub fn eval(&self, t: f64) -> f64 {
-        let t = t.max(0.0);
-        let (last_x, last_y) = *self.points.last().expect("curve has at least one point");
-        if t >= last_x {
-            return last_y + self.final_slope * (t - last_x);
-        }
-        // Find the segment containing t.
-        let idx = match self
-            .points
-            .binary_search_by(|&(x, _)| x.partial_cmp(&t).expect("finite abscissa"))
-        {
-            Ok(i) => return self.points[i].1,
-            Err(i) => i,
-        };
-        // idx >= 1 because points[0].0 == 0.0 <= t.
-        let (x0, y0) = self.points[idx - 1];
-        let (x1, y1) = self.points[idx];
-        y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+        eval_points(&self.points, self.final_slope, t)
     }
 
     /// The smallest `t` such that `f(t) ≥ y` (the pseudo-inverse), or `None`
@@ -513,18 +517,7 @@ impl Curve {
 
     /// Slope of the curve just after abscissa `x`.
     fn final_slope_at(&self, x: f64) -> f64 {
-        let (last_x, _) = *self.points.last().expect("non-empty");
-        if x >= last_x {
-            return self.final_slope;
-        }
-        for w in self.points.windows(2) {
-            let (x0, y0) = w[0];
-            let (x1, y1) = w[1];
-            if x >= x0 && x < x1 {
-                return (y1 - y0) / (x1 - x0);
-            }
-        }
-        self.final_slope
+        slope_after(&self.points, self.final_slope, x)
     }
 
     /// `true` if the two curves are equal within [`EPS`] at every breakpoint
@@ -635,6 +628,93 @@ pub(crate) fn merged_abscissas(a: &Curve, b: &Curve) -> Vec<f64> {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     xs
+}
+
+/// Slice-level [`Curve::eval`]: evaluates the piecewise-linear function
+/// given by `points` + `final_slope` at `t` (`t < 0` clamped to 0).  Shared
+/// verbatim by the owning method and the arena operations so both paths
+/// perform the identical arithmetic.
+pub(crate) fn eval_points(points: &[(f64, f64)], final_slope: f64, t: f64) -> f64 {
+    let t = t.max(0.0);
+    let (last_x, last_y) = *points.last().expect("curve has at least one point");
+    if t >= last_x {
+        return last_y + final_slope * (t - last_x);
+    }
+    // Find the segment containing t.
+    let idx = match points.binary_search_by(|&(x, _)| x.partial_cmp(&t).expect("finite abscissa")) {
+        Ok(i) => return points[i].1,
+        Err(i) => i,
+    };
+    // idx >= 1 because points[0].0 == 0.0 <= t.
+    let (x0, y0) = points[idx - 1];
+    let (x1, y1) = points[idx];
+    y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+}
+
+/// Slice-level slope just after abscissa `x` (see `Curve::final_slope_at`).
+pub(crate) fn slope_after(points: &[(f64, f64)], final_slope: f64, x: f64) -> f64 {
+    let (last_x, _) = *points.last().expect("non-empty");
+    if x >= last_x {
+        return final_slope;
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x >= x0 && x < x1 {
+            return (y1 - y0) / (x1 - x0);
+        }
+    }
+    final_slope
+}
+
+/// In-place [`simplify_points`]: identical dedup / collinearity elimination
+/// performed with a read/write cursor pair instead of a fresh `Vec`.  The
+/// write cursor never overtakes the read cursor (each input element yields
+/// at most one output element), so compaction is safe within one buffer.
+pub(crate) fn simplify_points_in_place(points: &mut Vec<(f64, f64)>, final_slope: f64) {
+    let mut w = 0usize;
+    for r in 0..points.len() {
+        let p = points[r];
+        if w > 0 {
+            let last = points[w - 1];
+            if p.0 - last.0 < 1e-15 {
+                // Near-duplicate abscissa: keep the later ordinate.
+                points[w - 1] = (last.0, p.1);
+                continue;
+            }
+        }
+        while w >= 2 && collinear_mid(points[w - 2], points[w - 1], p) {
+            w -= 1;
+        }
+        points[w] = p;
+        w += 1;
+    }
+    while w >= 2 && collinear_tail(points[w - 2], points[w - 1], final_slope) {
+        w -= 1;
+    }
+    points.truncate(w);
+}
+
+/// Scratch-buffer [`clamp_nonneg`]: writes the clamped breakpoints of `raw`
+/// into `out` (cleared first) and simplifies them in place.  The caller owns
+/// turning `out` into a [`Curve`].
+pub(crate) fn clamp_nonneg_into(raw: &[(f64, f64)], final_slope: f64, out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    let mut prev: Option<(f64, f64)> = None;
+    for &(x, y) in raw {
+        if let Some((px, py)) = prev {
+            if py < 0.0 && y > 0.0 {
+                out.push((px + (0.0 - py) * (x - px) / (y - py), 0.0));
+            }
+        }
+        out.push((x, y.max(0.0)));
+        prev = Some((x, y));
+    }
+    let (last_x, last_y) = *raw.last().expect("non-empty raw breakpoints");
+    if last_y < 0.0 && final_slope > 0.0 {
+        out.push((last_x - last_y / final_slope, 0.0));
+    }
+    simplify_points_in_place(out, final_slope);
 }
 
 #[cfg(test)]

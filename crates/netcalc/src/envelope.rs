@@ -139,6 +139,18 @@ impl Envelope {
         self.extra.as_ref()
     }
 
+    /// The effective arrival curve without cloning: borrows the extra
+    /// constraint when present (the common case on the staircase hot
+    /// path, where the curve can be large), and builds the
+    /// single-breakpoint token-bucket curve otherwise.  Same curve as
+    /// [`ArrivalBound::curve`].
+    pub fn effective_curve(&self) -> std::borrow::Cow<'_, Curve> {
+        match &self.extra {
+            Some(curve) => std::borrow::Cow::Borrowed(curve),
+            None => std::borrow::Cow::Owned(self.tb.curve()),
+        }
+    }
+
     /// `true` when the envelope is tighter than its token-bucket summary.
     pub fn has_extra(&self) -> bool {
         self.extra.is_some()
@@ -191,10 +203,21 @@ impl Envelope {
         let iter = flows.into_iter();
         let tb = TokenBucket::aggregate_all(iter.clone().map(|e| &e.tb));
         let any_extra = iter.clone().any(|e| e.has_extra());
+        // Arena-backed left fold, arithmetically identical to
+        // `reduce(|acc, c| acc.add(&c))` over the effective curves but
+        // without a fresh breakpoint Vec per member.
         let extra = any_extra.then(|| {
-            iter.map(Envelope::curve)
-                .reduce(|acc, c| acc.add(&c))
-                .unwrap_or_else(Curve::zero)
+            let mut iter = iter;
+            match iter.next() {
+                None => Curve::zero(),
+                Some(first) => {
+                    let mut acc = first.curve();
+                    for e in iter {
+                        acc = crate::arena::add(&acc, &e.effective_curve());
+                    }
+                    acc
+                }
+            }
         });
         Envelope { tb, extra }
     }

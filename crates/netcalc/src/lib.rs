@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod arrival;
 pub mod bounds;
 pub mod curve;
@@ -363,6 +364,96 @@ mod proptests {
             prop_assert_eq!(residual.rate(), capacity);
             prop_assert_eq!(residual.latency(), Duration::from_micros(16));
             prop_assert_eq!(wrr.delay_bound(0).unwrap(), fcfs.delay_bound().unwrap());
+        }
+
+        /// The arena-backed operations ([`arena::Scratch`]) produce
+        /// breakpoint-*identical* curves — same `points()`, same
+        /// `final_slope()`, exact f64 equality — to the allocating
+        /// implementations on random curve families, and the in-place
+        /// simplify matches the allocating one on random raw breakpoint
+        /// lists.  This is the license for the analysis hot paths to call
+        /// the arena without perturbing any pinned campaign fingerprint.
+        #[test]
+        fn arena_matches_allocating_breakpoint_identical(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            cross_burst in 64u64..100_000,
+            cross_period_ms in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            capacity_mbps in 1u64..1_000,
+            steps in 1usize..16,
+            increments in proptest::collection::vec((1u64..1_000, 0u64..1_000), 1..12),
+            slope_x10 in 0u64..100,
+        ) {
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let own = TokenBucket::for_message(
+                DataSize::from_bytes(burst),
+                Duration::from_millis(period_ms),
+            );
+            let cross = TokenBucket::for_message(
+                DataSize::from_bytes(cross_burst),
+                Duration::from_millis(cross_period_ms),
+            );
+            prop_assume!(own.rate().bps() + cross.rate().bps() < capacity.bps());
+            let beta = Curve::rate_latency(
+                capacity.as_f64_bps(),
+                latency_us as f64 * 1e-6,
+            ).unwrap();
+            let cross_tb = cross.curve();
+            let st_cross = Curve::staircase(
+                cross.burst().as_f64_bits(),
+                cross_period_ms as f64 * 1e-3,
+                steps,
+                capacity.as_f64_bps(),
+            ).unwrap();
+            let own_curve = own.curve();
+            let mut scratch = arena::Scratch::new();
+            for c in [&cross_tb, &st_cross] {
+                let lo_alloc = minplus::leftover(&beta, c).unwrap();
+                let lo_arena = scratch.leftover(&beta, c).unwrap();
+                prop_assert_eq!(lo_alloc.points(), lo_arena.points());
+                prop_assert_eq!(lo_alloc.final_slope(), lo_arena.final_slope());
+
+                let out_alloc = minplus::deconvolve(&own_curve, &lo_alloc).unwrap();
+                let out_arena = scratch.deconvolve(&own_curve, &lo_alloc).unwrap();
+                prop_assert_eq!(out_alloc.points(), out_arena.points());
+                prop_assert_eq!(out_alloc.final_slope(), out_arena.final_slope());
+
+                let conv_alloc = minplus::convolve(&beta, &lo_alloc);
+                let conv_arena = scratch.convolve(&beta, &lo_alloc);
+                prop_assert_eq!(conv_alloc.points(), conv_arena.points());
+                prop_assert_eq!(conv_alloc.final_slope(), conv_arena.final_slope());
+
+                let sum_alloc = st_cross.add(c);
+                let sum_arena = scratch.add(&st_cross, c);
+                prop_assert_eq!(sum_alloc.points(), sum_arena.points());
+                let back_alloc = sum_alloc.sub_envelope(c);
+                let back_arena = scratch.sub_envelope(&sum_alloc, c);
+                prop_assert_eq!(back_alloc.points(), back_arena.points());
+
+                prop_assert_eq!(
+                    minplus::horizontal_deviation(&own_curve, &lo_alloc).unwrap(),
+                    scratch.horizontal_deviation(&own_curve, &lo_alloc).unwrap()
+                );
+                prop_assert_eq!(
+                    minplus::vertical_deviation(&own_curve, &lo_alloc).unwrap(),
+                    scratch.vertical_deviation(&own_curve, &lo_alloc).unwrap()
+                );
+            }
+            // In-place simplify on a random (possibly collinear-heavy) raw
+            // breakpoint list.
+            let mut raw = vec![(0.0_f64, 0.0_f64)];
+            let (mut x, mut y) = (0.0_f64, 0.0_f64);
+            for &(dx, dy) in &increments {
+                x += dx as f64 * 1e-4;
+                y += dy as f64;
+                raw.push((x, y));
+            }
+            let slope = slope_x10 as f64 * 0.1;
+            let alloc = crate::curve::simplify_points(raw.clone(), slope);
+            let mut in_place = raw;
+            crate::curve::simplify_points_in_place(&mut in_place, slope);
+            prop_assert_eq!(alloc, in_place);
         }
 
         /// In a strict-priority multiplexer the bound of a higher priority

@@ -26,7 +26,7 @@
 //! exactly the closed-form path (bit-identical to the paper's formulas),
 //! while flows carrying a tighter piecewise-linear constraint (e.g.
 //! staircase envelopes of periodic sources) additionally run the aggregate
-//! through [`minplus::horizontal_deviation`] and report the minimum of
+//! through [`crate::minplus::horizontal_deviation`] and report the minimum of
 //! both bounds.
 //!
 //! The policy-generic [`Mux`] dispatch wraps the three multiplexers behind
@@ -34,10 +34,9 @@
 //! service per port from the unified scheduling policy instead of matching
 //! on per-crate policy enums.
 
-use crate::arrival::{ArrivalBound, TokenBucket};
+use crate::arrival::TokenBucket;
 use crate::bounds;
 use crate::envelope::Envelope;
-use crate::minplus;
 use crate::service::{RateLatency, ServiceBound};
 use crate::NcError;
 use serde::{Deserialize, Serialize};
@@ -138,7 +137,10 @@ impl FcfsMux {
             return Ok(closed);
         }
         let aggregate = Envelope::aggregate_all(self.flows.iter());
-        let h = minplus::horizontal_deviation(&aggregate.curve(), &self.service_curve().curve())?;
+        let h = crate::arena::horizontal_deviation(
+            &aggregate.effective_curve(),
+            &self.service_curve().curve(),
+        )?;
         Ok(closed.min(Duration::from_secs_f64_ceil(h)))
     }
 
@@ -162,7 +164,10 @@ impl FcfsMux {
             return Ok(closed);
         }
         let curves = Envelope::aggregate_all(self.flows.iter());
-        let v = minplus::vertical_deviation(&curves.curve(), &self.service_curve().curve())?;
+        let v = crate::arena::vertical_deviation(
+            &curves.effective_curve(),
+            &self.service_curve().curve(),
+        )?;
         Ok(closed.min(DataSize::from_bits(v.ceil() as u64)))
     }
 
@@ -374,6 +379,16 @@ impl StaticPriorityMux {
     /// form and the horizontal deviation of their aggregate arrival curve
     /// against [`StaticPriorityMux::residual_service`] (both are sound
     /// non-preemptive strict-priority bounds).
+    ///
+    /// The deviation refinement has a *stronger* precondition than port
+    /// stability: it feeds the cumulative aggregate `α_{≤p}` against the
+    /// residual rate `C − Σ_{q<p} r`, so the higher-priority rates are
+    /// counted on both sides and it is only defined when
+    /// `Σ_{q≤p} r ≤ C − Σ_{q<p} r`.  A port can be perfectly stable
+    /// (`Σ_{q≤p} r ≤ C`, which [`StaticPriorityMux::check_stability`]
+    /// guarantees before bounds are computed) while violating that; the
+    /// refinement is then skipped and the closed form — sound on its own —
+    /// is the bound.
     pub fn delay_bound(&self, priority: usize) -> Result<Duration, NcError> {
         let residual = self.residual_rate(priority)?;
         let numerator = self.cumulative_burst(priority) + self.lower_blocking_burst(priority);
@@ -384,8 +399,11 @@ impl StaticPriorityMux {
         let aggregate =
             Envelope::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
         let service = self.residual_service(priority)?;
-        let h = minplus::horizontal_deviation(&aggregate.curve(), &service.curve())?;
-        Ok(closed.min(Duration::from_secs_f64_ceil(h)))
+        match crate::arena::horizontal_deviation(&aggregate.effective_curve(), &service.curve()) {
+            Ok(h) => Ok(closed.min(Duration::from_secs_f64_ceil(h))),
+            Err(NcError::Unstable { .. }) => Ok(closed),
+            Err(e) => Err(e),
+        }
     }
 
     /// The closed-form bound via the general curve machinery (aggregate
@@ -434,8 +452,14 @@ impl StaticPriorityMux {
         }
         let curves =
             Envelope::aggregate_all(self.levels[..=priority].iter().flat_map(|l| l.iter()));
-        let v = minplus::vertical_deviation(&curves.curve(), &service.curve())?;
-        Ok(closed.min(DataSize::from_bits(v.ceil() as u64)))
+        // Same stronger-than-stability precondition as in `delay_bound`:
+        // skip the refinement (not the bound) when the cumulative rate
+        // exceeds the residual.
+        match crate::arena::vertical_deviation(&curves.effective_curve(), &service.curve()) {
+            Ok(v) => Ok(closed.min(DataSize::from_bits(v.ceil() as u64))),
+            Err(NcError::Unstable { .. }) => Ok(closed),
+            Err(e) => Err(e),
+        }
     }
 
     /// Full per-level report (one entry per priority level, ordered from the
@@ -783,7 +807,7 @@ impl WrrMux {
             return Ok(closed);
         }
         let curves = Envelope::aggregate_all(self.classes[class].iter().map(|f| &f.envelope));
-        let h = minplus::horizontal_deviation(&curves.curve(), &service.curve())?;
+        let h = crate::arena::horizontal_deviation(&curves.effective_curve(), &service.curve())?;
         Ok(closed.min(Duration::from_secs_f64_ceil(h)))
     }
 
@@ -815,7 +839,7 @@ impl WrrMux {
             return Ok(closed);
         }
         let curves = Envelope::aggregate_all(self.classes[class].iter().map(|f| &f.envelope));
-        let v = minplus::vertical_deviation(&curves.curve(), &service.curve())?;
+        let v = crate::arena::vertical_deviation(&curves.effective_curve(), &service.curve())?;
         Ok(closed.min(DataSize::from_bits(v.ceil() as u64)))
     }
 
@@ -1147,6 +1171,39 @@ mod tests {
         mux.add_flow(1, tb(1518, 20)).unwrap(); // another ~607 kbps
         assert!(mux.residual_rate(1).is_ok());
         assert!(mux.check_stability().is_err());
+    }
+
+    #[test]
+    fn curve_refinement_falls_back_to_the_closed_form_when_rates_exceed_the_residual() {
+        // Stable port (600k + 300k ≤ 1M) whose cumulative rate at level 1
+        // nevertheless exceeds the level-1 residual (900k > 1M − 600k):
+        // the deviation refinement is undefined there (it counts the
+        // higher-priority rates on both sides), so the staircase-carrying
+        // bound must be the closed form rather than an `Unstable` error.
+        let peak = DataRate::from_mbps(10);
+        let mut mux = StaticPriorityMux::new(2, DataRate::from_mbps(1), Duration::ZERO);
+        mux.add_flow(
+            0,
+            Envelope::staircase(DataSize::from_bytes(1_500), Duration::from_millis(20), peak),
+        )
+        .unwrap();
+        mux.add_flow(
+            1,
+            Envelope::staircase(DataSize::from_bytes(750), Duration::from_millis(20), peak),
+        )
+        .unwrap();
+        mux.check_stability().unwrap();
+        // Level 0 keeps the refinement (600k ≤ 1M residual).
+        mux.delay_bound(0).unwrap();
+        // Closed form: (12_000 + 6_000 bits) / (1M − 600k) = 45 ms.
+        let bound = mux.delay_bound(1).unwrap();
+        assert_eq!(bound, Duration::from_millis(45));
+        // The closed-form backlog is itself a deviation against the
+        // residual, so in this regime it stays (correctly) unavailable.
+        assert!(matches!(
+            mux.backlog_bound(1),
+            Err(NcError::Unstable { .. })
+        ));
     }
 
     #[test]
