@@ -1,0 +1,145 @@
+//! E16 — the DES-substrate hot loop: old vs new future-event-list
+//! throughput and allocations, full-engine run cost, and the end-to-end
+//! sharded campaign on the refactored simulator.
+//!
+//! This binary installs a counting global allocator so the microbenchmarks
+//! report real allocations per event/run; the library code stays
+//! allocator-agnostic and reads the counter through a closure.
+//!
+//! `--baseline BENCH_campaign.json` arms the perf gate: the measured
+//! campaign scenarios/sec must stay within 20% of the recorded figure
+//! (the `e16.campaign_scenarios_per_sec` key, falling back to the E15
+//! streaming throughput for repositories that predate E16).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bench::{render_sim_hot_loop, sim_hot_loop, SimHotLoopConfig};
+use rtswitch_core::report::to_json;
+
+/// The system allocator with a relaxed allocation counter bolted on.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// side effect that never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// The recorded campaign throughput to gate against: prefers the E16 key,
+/// falls back to the E15 streaming figure (nested or legacy flat layout).
+fn baseline_scenarios_per_sec(text: &str) -> Option<f64> {
+    let value: serde::Value = serde_json::from_str(text).ok()?;
+    let number = |v: &serde::Value, key: &str| -> Option<f64> {
+        v.field(key)
+            .ok()
+            .and_then(|f| <f64 as serde::Deserialize>::from_value(f).ok())
+    };
+    if let Ok(e16) = value.field("e16") {
+        if let Some(rate) = number(e16, "campaign_scenarios_per_sec") {
+            return Some(rate);
+        }
+    }
+    if let Ok(e15) = value.field("e15") {
+        if let Some(rate) = number(e15, "scenarios_per_sec") {
+            return Some(rate);
+        }
+    }
+    number(&value, "scenarios_per_sec")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    let queue_events: usize = flag("--queue-events")
+        .map(|s| s.parse().expect("--queue-events expects a count"))
+        .unwrap_or(2_000_000);
+    let window: usize = flag("--window")
+        .map(|s| s.parse().expect("--window expects a count"))
+        .unwrap_or(256);
+    let sim_runs: usize = flag("--sim-runs")
+        .map(|s| s.parse().expect("--sim-runs expects a count"))
+        .unwrap_or(40);
+    let scenarios: usize = flag("--scenarios")
+        .map(|s| s.parse().expect("--scenarios expects a count"))
+        .unwrap_or(2_000);
+    let shards: usize = flag("--shards")
+        .map(|s| s.parse().expect("--shards expects a count"))
+        .unwrap_or(8);
+    let threads: usize = flag("--threads")
+        .map(|s| s.parse().expect("--threads expects a count"))
+        .unwrap_or(0);
+    let seed: u64 = flag("--seed")
+        .map(|s| s.parse().expect("--seed expects a u64"))
+        .unwrap_or(42);
+
+    let report = sim_hot_loop(
+        SimHotLoopConfig {
+            queue_events,
+            queue_window: window,
+            sim_runs,
+            scenarios,
+            shards,
+            threads,
+            seed,
+        },
+        || ALLOCATIONS.load(Ordering::Relaxed),
+    );
+    print!("{}", render_sim_hot_loop(&report));
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&report).expect("report serializes")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    if report.soundness_violations > 0 {
+        eprintln!(
+            "E16: {} soundness violations recorded",
+            report.soundness_violations
+        );
+        std::process::exit(1);
+    }
+    if let Some(path) = flag("--baseline") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+        match baseline_scenarios_per_sec(&text) {
+            Some(baseline) => {
+                let floor = baseline * 0.8;
+                if report.campaign_scenarios_per_sec < floor {
+                    eprintln!(
+                        "E16: campaign throughput {:.1} scenarios/sec regressed more than 20% \
+                         below the recorded baseline {:.1} (floor {:.1})",
+                        report.campaign_scenarios_per_sec, baseline, floor
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "E16 perf gate: {:.1} scenarios/sec >= floor {:.1} (baseline {:.1})",
+                    report.campaign_scenarios_per_sec, floor, baseline
+                );
+            }
+            None => eprintln!("E16 perf gate: no recorded throughput in {path}; gate skipped"),
+        }
+    }
+}

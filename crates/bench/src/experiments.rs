@@ -1,6 +1,7 @@
 //! The experiment implementations.
 
 use admission::{resolve, trace_ops, AdmissionEngine, AdmissionQuery};
+use des::{BinaryHeapQueue, EventQueue, Pool, RadixQueue};
 use ethernet::Fabric;
 use milstd1553::schedule::Scheduler;
 use milstd1553::sim::BusSimulation;
@@ -13,7 +14,7 @@ use rtswitch_core::{
 };
 use serde::Serialize;
 use shaping::TrafficClass;
-use units::{DataRate, DataSize, Duration};
+use units::{DataRate, DataSize, Duration, Instant};
 use workload::case_study::{case_study, case_study_with, CaseStudyConfig};
 use workload::map1553::{map_workload, MappingConfig};
 use workload::{Arrival, StationId, Workload};
@@ -1827,6 +1828,372 @@ pub fn render_campaign_scale(report: &CampaignScaleReport) -> String {
         report.allocating_ns_per_op,
         report.allocating_allocs_per_op,
         report.arena_speedup,
+    ));
+    out
+}
+
+/// Result of experiment E16 — the DES-substrate hot loop: the indexed radix
+/// queue moving pooled 4-byte frame handles vs the `BinaryHeap` future-event
+/// list moving inline frames (the configuration the engine used before the
+/// substrate refactor), the allocation profile of a full simulator run, and
+/// the end-to-end campaign throughput on the new engine.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimHotLoopReport {
+    /// Events pushed through each queue configuration in the microbench.
+    pub queue_events: usize,
+    /// Pending events held in the queue throughout (the hold pattern) —
+    /// sized to the p99 pending-event depth measured on real campaign
+    /// scenarios (median 47, p99 276, max 320).
+    pub queue_window: usize,
+    /// Events/sec of the old configuration: binary heap, inline 112-byte
+    /// entries (the pre-refactor `Scheduled<EventKind>` with its inline
+    /// `Packet`).
+    pub heap_events_per_sec: f64,
+    /// Events/sec of the new configuration: radix queue, 24-byte entries
+    /// with 4-byte pooled frame handles (pool insert/remove included for
+    /// the ~2/3 of events that carry frames, as in the engine).
+    pub radix_events_per_sec: f64,
+    /// `radix_events_per_sec / heap_events_per_sec` at the engine-typical
+    /// window.
+    pub queue_speedup: f64,
+    /// Pending events in the deep-population variant of the hold pattern —
+    /// the regime the 10⁶-scenario campaign and multi-replication Monte
+    /// Carlo grow into, where the heap's log-depth and cache misses bite.
+    pub queue_window_deep: usize,
+    /// Events/sec of the old configuration at the deep window.
+    pub heap_events_per_sec_deep: f64,
+    /// Events/sec of the new configuration at the deep window.
+    pub radix_events_per_sec_deep: f64,
+    /// Speedup at the deep window — the issue's ≥3× target regime.
+    pub queue_speedup_deep: f64,
+    /// Heap allocations per event, old configuration (steady state).
+    pub heap_allocs_per_event: f64,
+    /// Heap allocations per event, new configuration (steady state).
+    pub radix_allocs_per_event: f64,
+    /// Full engine runs timed on the case-study workload.
+    pub sim_runs: usize,
+    /// Engine runs per second (one run = one simulated horizon).
+    pub sim_runs_per_sec: f64,
+    /// Heap allocations per engine run — construction and report assembly
+    /// included, so this is the *whole* per-scenario allocation budget the
+    /// campaign pays; the event loop itself contributes zero in steady
+    /// state.
+    pub sim_allocs_per_run: f64,
+    /// Scenarios of the end-to-end sharded campaign run.
+    pub campaign_scenarios: usize,
+    /// Shards of the campaign run.
+    pub campaign_shards: usize,
+    /// Worker threads (0 = all cores at run time).
+    pub campaign_threads: usize,
+    /// Master seed of the campaign.
+    pub campaign_master_seed: u64,
+    /// Wall-clock seconds of the sharded campaign.
+    pub campaign_elapsed_secs: f64,
+    /// End-to-end campaign throughput — the CI perf gate compares this
+    /// against the figure recorded in `BENCH_campaign.json`.
+    pub campaign_scenarios_per_sec: f64,
+    /// The campaign fingerprint (hex) — must match the seed-42 pins.
+    pub campaign_fingerprint: String,
+    /// Bound violations across the campaign — the soundness gate greps
+    /// for zero.
+    pub soundness_violations: usize,
+}
+
+/// The event layout the engine moved through its `BinaryHeap` before the
+/// substrate refactor: a port reference plus a full inline frame — 96
+/// bytes, 112 once the queue wraps it in `Scheduled` (timestamp +
+/// sequence), matching `size_of` of the old `Scheduled<EventKind>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InlineFrameEvent {
+    port: (u64, u64, u64),
+    frame: [u64; 9],
+}
+
+/// The event layout of the refactored engine: a port reference and a
+/// 4-byte pool handle; the frame lives in a [`des::Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PooledHandleEvent {
+    port: (u32, u32),
+    handle: des::PoolId,
+}
+
+/// Deterministic pseudorandom stream for the queue microbenchmark (no RNG
+/// dependency, identical across runs).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// The engine's scheduling mix, matched to the lookahead histogram
+    /// measured on real case-study runs: ~3% simultaneous events
+    /// (synchronized releases), ~75% hop-scale lookaheads of 8 µs–1 ms
+    /// (100 Mbps serialization times, relaying latencies), ~22%
+    /// period-scale reschedules of 16–266 ms.
+    fn delta_ns(&mut self) -> u64 {
+        let r = self.next();
+        match r % 36 {
+            0 => 0,
+            1..=27 => 8_192 + r % (1_048_576 - 8_192),
+            _ => 16_000_000 + r % 250_000_000,
+        }
+    }
+}
+
+/// Drives the old queue configuration through a pop-one/schedule-one hold
+/// pattern of `window` pending events; returns `(events_per_sec,
+/// allocs_per_event)`.
+fn time_heap_queue(window: usize, events: usize, alloc_count: &dyn Fn() -> u64) -> (f64, f64) {
+    let mut queue: BinaryHeapQueue<InlineFrameEvent> = BinaryHeapQueue::new();
+    let mut lcg = Lcg(0x5EED_CAFE);
+    let mut now = 0u64;
+    let make = |t: u64| InlineFrameEvent {
+        port: (1, 2, 3),
+        frame: [t; 9],
+    };
+    for _ in 0..window {
+        let t = now + lcg.delta_ns();
+        queue.schedule(Instant::EPOCH + Duration::from_nanos(t), make(t));
+    }
+    let allocs_before = alloc_count();
+    let started = std::time::Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..events {
+        let popped = queue.pop().expect("hold pattern keeps the queue full");
+        now = popped.time.as_nanos();
+        sink = sink.wrapping_add(popped.event.frame[0]);
+        let t = now + lcg.delta_ns();
+        queue.schedule(Instant::EPOCH + Duration::from_nanos(t), make(t));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = alloc_count().saturating_sub(allocs_before);
+    assert!(sink > 0);
+    (
+        events as f64 / elapsed.max(1e-9),
+        allocs as f64 / events.max(1) as f64,
+    )
+}
+
+/// Drives the new queue configuration — radix queue, frames in a pool,
+/// events carrying 4-byte handles — through the identical hold pattern.
+/// The pool roundtrip runs on two events of every three, the fraction of
+/// engine events that carry a frame (`TxComplete` / `SwitchEnqueue`;
+/// `Generate` / `ShaperCheck` do not).
+fn time_radix_queue(window: usize, events: usize, alloc_count: &dyn Fn() -> u64) -> (f64, f64) {
+    let mut queue: RadixQueue<PooledHandleEvent> = RadixQueue::new();
+    let mut pool: Pool<[u64; 8]> = Pool::new();
+    let mut lcg = Lcg(0x5EED_CAFE);
+    let mut now = 0u64;
+    for _ in 0..window {
+        let t = now + lcg.delta_ns();
+        let handle = pool.insert([t; 8]);
+        queue.schedule(
+            Instant::EPOCH + Duration::from_nanos(t),
+            PooledHandleEvent {
+                port: (1, 2),
+                handle,
+            },
+        );
+    }
+    let allocs_before = alloc_count();
+    let started = std::time::Instant::now();
+    let mut sink = 0u64;
+    for i in 0..events {
+        let popped = queue.pop().expect("hold pattern keeps the queue full");
+        now = popped.time.as_nanos();
+        let handle = if i % 3 != 0 {
+            let frame = pool.remove(popped.event.handle);
+            sink = sink.wrapping_add(frame[0]);
+            pool.insert([now; 8])
+        } else {
+            sink = sink.wrapping_add(now);
+            popped.event.handle
+        };
+        let t = now + lcg.delta_ns();
+        queue.schedule(
+            Instant::EPOCH + Duration::from_nanos(t),
+            PooledHandleEvent {
+                port: (1, 2),
+                handle,
+            },
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = alloc_count().saturating_sub(allocs_before);
+    assert!(sink > 0);
+    (
+        events as f64 / elapsed.max(1e-9),
+        allocs as f64 / events.max(1) as f64,
+    )
+}
+
+/// The knobs of the E16 hot-loop experiment: how hard to drive each of its
+/// three stages (queue microbench, engine runs, sharded campaign).
+#[derive(Debug, Clone, Copy)]
+pub struct SimHotLoopConfig {
+    /// Events pushed through each future-event-list configuration.
+    pub queue_events: usize,
+    /// Steady pending-event population for the queue microbench (the deep
+    /// variant runs at 16× this).
+    pub queue_window: usize,
+    /// Full engine runs on the case-study workload.
+    pub sim_runs: usize,
+    /// Scenario count for the end-to-end sharded campaign.
+    pub scenarios: usize,
+    /// Campaign shard count.
+    pub shards: usize,
+    /// Campaign worker threads (0 = all cores).
+    pub threads: usize,
+    /// Master seed for the engine runs and the campaign.
+    pub seed: u64,
+}
+
+/// E16 — the DES-substrate hot loop.  Microbenches the old vs new
+/// future-event-list configuration under a steady hold pattern, times full
+/// engine runs on the case-study workload (counting their allocations),
+/// and runs the end-to-end sharded campaign on the refactored engine.
+/// `alloc_count` reads the calling binary's allocation counter (`|| 0`
+/// when none is installed).
+pub fn sim_hot_loop(config: SimHotLoopConfig, alloc_count: impl Fn() -> u64) -> SimHotLoopReport {
+    let SimHotLoopConfig {
+        queue_events,
+        queue_window,
+        sim_runs,
+        scenarios,
+        shards,
+        threads,
+        seed,
+    } = config;
+    let (heap_events_per_sec, heap_allocs_per_event) =
+        time_heap_queue(queue_window, queue_events, &alloc_count);
+    let (radix_events_per_sec, radix_allocs_per_event) =
+        time_radix_queue(queue_window, queue_events, &alloc_count);
+    // The same hold pattern at 16× the pending-event population: the
+    // regime larger campaigns and replicated Monte Carlo runs grow into.
+    let queue_window_deep = queue_window * 16;
+    let (heap_events_per_sec_deep, _) =
+        time_heap_queue(queue_window_deep, queue_events, &alloc_count);
+    let (radix_events_per_sec_deep, _) =
+        time_radix_queue(queue_window_deep, queue_events, &alloc_count);
+
+    // Full engine runs: the per-scenario cost the campaign pays, allocation
+    // count included.
+    let simulator = Simulator::new(
+        case_study(),
+        SimConfig::paper_default().with_horizon(Duration::from_millis(320)),
+    );
+    let allocs_before = alloc_count();
+    let started = std::time::Instant::now();
+    let mut delivered = 0u64;
+    for run in 0..sim_runs {
+        delivered += simulator.run_with_seed(seed ^ run as u64).total_delivered;
+    }
+    let sim_elapsed = started.elapsed().as_secs_f64();
+    let sim_allocs = alloc_count().saturating_sub(allocs_before);
+    assert!(sim_runs == 0 || delivered > 0);
+
+    // End-to-end: the sharded streaming campaign on the refactored engine,
+    // same configuration as E15's streaming run.
+    let sharded = campaign::run_sharded_campaign(&campaign::ShardedCampaignConfig {
+        base: campaign::CampaignConfig {
+            scenarios,
+            master_seed: seed,
+            threads,
+            with_1553: false,
+            envelope_override: None,
+            policy_override: None,
+            faults: campaign::FaultMode::Off,
+        },
+        shards,
+        state_dir: None,
+        resume: false,
+    })
+    .expect("in-memory sharded run cannot fail");
+
+    SimHotLoopReport {
+        queue_events,
+        queue_window,
+        heap_events_per_sec,
+        radix_events_per_sec,
+        queue_speedup: if heap_events_per_sec > 0.0 {
+            radix_events_per_sec / heap_events_per_sec
+        } else {
+            0.0
+        },
+        queue_window_deep,
+        heap_events_per_sec_deep,
+        radix_events_per_sec_deep,
+        queue_speedup_deep: if heap_events_per_sec_deep > 0.0 {
+            radix_events_per_sec_deep / heap_events_per_sec_deep
+        } else {
+            0.0
+        },
+        heap_allocs_per_event,
+        radix_allocs_per_event,
+        sim_runs,
+        sim_runs_per_sec: sim_runs as f64 / sim_elapsed.max(1e-9),
+        sim_allocs_per_run: sim_allocs as f64 / sim_runs.max(1) as f64,
+        campaign_scenarios: scenarios,
+        campaign_shards: shards,
+        campaign_threads: threads,
+        campaign_master_seed: seed,
+        campaign_elapsed_secs: sharded.runtime.elapsed_secs,
+        campaign_scenarios_per_sec: sharded.runtime.scenarios_per_sec,
+        campaign_fingerprint: format!("{:#018x}", sharded.outcome.fingerprint),
+        soundness_violations: sharded.outcome.summary.violations.len(),
+    }
+}
+
+/// Renders E16 as the table `EXPERIMENTS.md` records.
+pub fn render_sim_hot_loop(report: &SimHotLoopReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E16 — DES substrate hot loop ({} events, window {}, {} engine runs, \
+         {} campaign scenarios)\n\n",
+        report.queue_events, report.queue_window, report.sim_runs, report.campaign_scenarios
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14} {:>14} {:>16}\n",
+        "future-event list", "events/sec", "allocs/event", "deep events/sec"
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14.0} {:>14.4} {:>16.0}\n",
+        "binary heap, inline frames",
+        report.heap_events_per_sec,
+        report.heap_allocs_per_event,
+        report.heap_events_per_sec_deep,
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14.0} {:>14.4} {:>16.0}\n",
+        "radix queue, pooled handles",
+        report.radix_events_per_sec,
+        report.radix_allocs_per_event,
+        report.radix_events_per_sec_deep,
+    ));
+    out.push_str(&format!(
+        "queue speedup {:.2}x at window {} | {:.2}x at window {}\n\n",
+        report.queue_speedup,
+        report.queue_window,
+        report.queue_speedup_deep,
+        report.queue_window_deep,
+    ));
+    out.push_str(&format!(
+        "engine: {:.1} runs/sec on the case study ({:.0} allocs/run)\n",
+        report.sim_runs_per_sec, report.sim_allocs_per_run,
+    ));
+    out.push_str(&format!(
+        "campaign: {:.1} scenarios/sec over {} scenarios in {:.2} s | fingerprint {} | \
+         soundness violations: {}\n",
+        report.campaign_scenarios_per_sec,
+        report.campaign_scenarios,
+        report.campaign_elapsed_secs,
+        report.campaign_fingerprint,
+        report.soundness_violations,
     ));
     out
 }

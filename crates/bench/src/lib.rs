@@ -21,6 +21,9 @@
 //! | E11 | envelope ablation — closed forms vs the piecewise-linear curve engine | [`experiments::envelope_curve_ablation`] |
 //! | E12 | policy ablation — FCFS vs strict priority vs WRR, per-class tightness and deadline margins | [`experiments::policy_ablation`] |
 //! | E13 | admission throughput — incremental per-port-cached admission vs from-scratch re-analysis, batched 1/64/1024 | [`experiments::admission_throughput`] |
+//! | E14 | fault injection — degraded-mode bound inflation ladder | [`experiments::fault_inflation`] |
+//! | E15 | campaign scale — sharded streaming throughput, peak RSS, arena min-plus microbenchmark | [`experiments::campaign_scale`] |
+//! | E16 | DES substrate — radix-queue vs binary-heap hot loop, allocs/event, campaign throughput | [`experiments::sim_hot_loop`] |
 
 pub mod experiments;
 

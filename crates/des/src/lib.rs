@@ -1,0 +1,42 @@
+//! Generic discrete-event simulation substrate.
+//!
+//! The workspace runs two simulators — the switched-Ethernet fabric
+//! (`netsim`) and the MIL-STD-1553 bus replay (`milstd1553`) — and a
+//! campaign that executes them hundreds of thousands of times.  This crate
+//! is the shared core both stand on:
+//!
+//! * [`Simulation`] — the simulation state: integer-nanosecond clock, the
+//!   indexed future-event list and a seeded RNG, so one `u64` seed fully
+//!   determines a run;
+//! * [`Component`] — the event-handler trait a domain simulator implements;
+//!   the driver loop ([`Simulation::run`]) pops events in strict
+//!   `(time, sequence)` order and dispatches them with no per-event
+//!   allocation;
+//! * [`RadixQueue`] — a monotone radix heap keyed on integer nanoseconds
+//!   with FIFO-stable ties, O(1) amortized per operation (the
+//!   [`BinaryHeapQueue`] it replaced is retained as the differential-test
+//!   reference);
+//! * [`SymbolTable`] / [`Symbol`] — name interning so run-time state
+//!   carries 4-byte handles and reports resolve strings once at the end;
+//! * [`Pool`] / [`PoolId`] — a free-list arena so in-flight payloads ride
+//!   events as 4-byte handles instead of inline copies or boxes.
+//!
+//! Determinism contract: a simulation is a pure function of its component's
+//! initial state and the seed.  The queue's total `(time, sequence)` order
+//! makes simultaneous events fire in scheduling order, and all randomness
+//! flows through [`Simulation::rng`] — which is what lets the campaign pin
+//! byte-identical fingerprints across refactors, thread counts and shard
+//! layouts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod queue;
+pub mod sim;
+pub mod symbol;
+
+pub use pool::{Pool, PoolId};
+pub use queue::{BinaryHeapQueue, EventQueue, RadixQueue, Scheduled};
+pub use sim::{Component, Simulation};
+pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,167 @@
+//! A free-list object pool with `u32` handles.
+//!
+//! The simulation hot loop moves payloads (packets, frames) between queues
+//! and events millions of times per run.  Carrying them inline makes every
+//! event as large as the payload; boxing them allocates per event.  A
+//! [`Pool`] gives the third option: payloads live in one dense `Vec`,
+//! events carry a copyable 4-byte [`PoolId`], and freed slots are recycled
+//! through an intrusive free list — zero allocation once the pool has
+//! reached the simulation's peak in-flight population.
+
+/// A handle to a pooled object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(u32);
+
+/// One slot: occupied, or a link in the free list.
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Occupied(T),
+    /// Free; holds the index of the next free slot, `u32::MAX` for none.
+    Free(u32),
+}
+
+/// A dense free-list pool.
+#[derive(Debug, Clone)]
+pub struct Pool<T> {
+    slots: Vec<Slot<T>>,
+    /// Head of the free list, `u32::MAX` for empty.
+    free_head: u32,
+    live: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool {
+            slots: Vec::new(),
+            free_head: NONE,
+            live: 0,
+        }
+    }
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool with room for `capacity` objects before any slot allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Pool {
+            slots: Vec::with_capacity(capacity),
+            free_head: NONE,
+            live: 0,
+        }
+    }
+
+    /// Stores `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> PoolId {
+        if self.free_head != NONE {
+            let idx = self.free_head;
+            match self.slots[idx as usize] {
+                Slot::Free(next) => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            }
+            self.slots[idx as usize] = Slot::Occupied(value);
+            self.live += 1;
+            return PoolId(idx);
+        }
+        let idx = u32::try_from(self.slots.len()).expect("pool overflow");
+        self.slots.push(Slot::Occupied(value));
+        self.live += 1;
+        PoolId(idx)
+    }
+
+    /// Reads a pooled object.
+    ///
+    /// # Panics
+    /// Panics when the slot was already removed — a sign the caller's
+    /// lifecycle bookkeeping double-freed or leaked a handle.
+    #[inline]
+    pub fn get(&self, id: PoolId) -> &T {
+        match &self.slots[id.0 as usize] {
+            Slot::Occupied(v) => v,
+            Slot::Free(_) => panic!("Pool::get on a freed slot"),
+        }
+    }
+
+    /// Takes a pooled object out, freeing its slot for reuse.
+    ///
+    /// # Panics
+    /// Panics on double-removal.
+    pub fn remove(&mut self, id: PoolId) -> T {
+        let slot = std::mem::replace(&mut self.slots[id.0 as usize], Slot::Free(self.free_head));
+        match slot {
+            Slot::Occupied(v) => {
+                self.free_head = id.0;
+                self.live -= 1;
+                v
+            }
+            Slot::Free(_) => panic!("Pool::remove on a freed slot"),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no object is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free): the peak in-flight
+    /// population the pool has absorbed.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut pool = Pool::new();
+        let a = pool.insert("a");
+        let b = pool.insert("b");
+        assert_eq!(pool.len(), 2);
+        assert_eq!(*pool.get(a), "a");
+        assert_eq!(pool.remove(a), "a");
+        assert_eq!(pool.len(), 1);
+        // The freed slot is reused: no capacity growth.
+        let c = pool.insert("c");
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(*pool.get(c), "c");
+        assert_eq!(*pool.get(b), "b");
+        assert_eq!(pool.remove(b), "b");
+        assert_eq!(pool.remove(c), "c");
+        assert!(pool.is_empty());
+        // LIFO recycling through the free list.
+        let d = pool.insert("d");
+        let e = pool.insert("e");
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(*pool.get(d), "d");
+        assert_eq!(*pool.get(e), "e");
+    }
+
+    #[test]
+    #[should_panic(expected = "freed slot")]
+    fn double_remove_panics() {
+        let mut pool = Pool::new();
+        let a = pool.insert(1u32);
+        pool.remove(a);
+        pool.remove(a);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let pool: Pool<u64> = Pool::with_capacity(16);
+        assert!(pool.is_empty());
+        assert_eq!(pool.capacity(), 0);
+    }
+}

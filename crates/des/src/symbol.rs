@@ -1,0 +1,97 @@
+//! Name interning for the simulation hot path.
+//!
+//! Simulators label flows and ports with human-readable names, but cloning
+//! `String`s while the simulation executes is pure hot-loop waste: the
+//! names are only *read* when the final report is assembled.  A
+//! [`SymbolTable`] interns every name once at construction into a dense
+//! `u32`-indexed table; the run-time state carries copyable [`Symbol`]s and
+//! the report resolves them back to strings at the very end.
+
+use std::collections::HashMap;
+
+/// A handle to an interned name: a dense index into its [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The table index of the symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only intern table mapping names to dense [`Symbol`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol when the name was
+    /// interned before.
+    pub fn intern(&mut self, name: impl Into<String>) -> Symbol {
+        let name = name.into();
+        if let Some(&idx) = self.lookup.get(&name) {
+            return Symbol(idx);
+        }
+        let idx = u32::try_from(self.names.len()).expect("symbol table overflow");
+        self.lookup.insert(name.clone(), idx);
+        self.names.push(name);
+        Symbol(idx)
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    /// Panics when the symbol was interned in a different table and is out
+    /// of range here.
+    #[inline]
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.names[symbol.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("uplink[s0]");
+        let b = t.intern("switch-out[s0]");
+        let a2 = t.intern("uplink[s0]".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "uplink[s0]");
+        assert_eq!(t.resolve(b), "switch-out[s0]");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn symbols_are_dense_indices() {
+        let mut t = SymbolTable::new();
+        for i in 0..10 {
+            let s = t.intern(format!("name-{i}"));
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Differential property test: the radix queue must pop in exactly the
+//! `(time, seq)` order of the reference `BinaryHeap` future-event list,
+//! FIFO-stable on ties, over arbitrary monotone insert/pop interleavings.
+
+use des::{BinaryHeapQueue, EventQueue, RadixQueue, Scheduled};
+use proptest::prelude::*;
+use units::{Duration, Instant};
+
+/// Replays one op sequence against both queues and asserts identical pops.
+///
+/// Each op is `(delta, pops)`: schedule one event `delta` nanoseconds after
+/// the last popped timestamp (so the schedule is always monotone, as in a
+/// real simulation), then pop up to `pops` events from both queues.  Small
+/// deltas force heavy ties; the trailing drain compares whatever is left.
+fn replay(ops: &[(u64, usize)]) -> Result<(), String> {
+    let mut radix = RadixQueue::new();
+    let mut heap = BinaryHeapQueue::new();
+    let mut last = 0u64;
+    for (payload, &(delta, pops)) in ops.iter().enumerate() {
+        let time = Instant::EPOCH + Duration::from_nanos(last + delta);
+        radix.schedule(time, payload as u64);
+        heap.schedule(time, payload as u64);
+        for _ in 0..pops {
+            let a: Option<Scheduled<u64>> = radix.pop();
+            let b = heap.pop();
+            if a != b {
+                return Err(format!("pop diverged: radix {a:?} vs heap {b:?}"));
+            }
+            match a {
+                Some(e) => last = e.time.as_nanos(),
+                None => break,
+            }
+        }
+        if radix.len() != heap.len() {
+            return Err(format!(
+                "length diverged: radix {} vs heap {}",
+                radix.len(),
+                heap.len()
+            ));
+        }
+    }
+    loop {
+        let a = radix.pop();
+        let b = heap.pop();
+        if a != b {
+            return Err(format!("drain diverged: radix {a:?} vs heap {b:?}"));
+        }
+        if a.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn radix_matches_binary_heap_on_arbitrary_interleavings(
+        ops in proptest::collection::vec((0u64..200, 0usize..3), 1..400),
+    ) {
+        prop_assert!(replay(&ops).is_ok(), "{}", replay(&ops).unwrap_err());
+    }
+
+    #[test]
+    fn radix_matches_binary_heap_under_heavy_ties(
+        ops in proptest::collection::vec((0u64..2, 0usize..2), 1..600),
+    ) {
+        prop_assert!(replay(&ops).is_ok(), "{}", replay(&ops).unwrap_err());
+    }
+
+    #[test]
+    fn radix_matches_binary_heap_over_wide_time_jumps(
+        ops in proptest::collection::vec((0u64..u64::MAX >> 20, 0usize..4), 1..120),
+    ) {
+        prop_assert!(replay(&ops).is_ok(), "{}", replay(&ops).unwrap_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! jitter figures for the comparison experiments (E2 and E5).
 
 use crate::schedule::MajorFrameSchedule;
+use des::{Component, Simulation};
 use serde::{Deserialize, Serialize};
 use units::{Duration, Instant};
 
@@ -85,73 +86,145 @@ impl BusSimulation {
     /// phase drawn uniformly in `[0, T)` from a splitmix-style hash of the
     /// seed and the requirement index, so runs are reproducible and
     /// independent of iteration order.
+    ///
+    /// The replay runs on the generic DES substrate: every scheduled issue
+    /// of the major frame becomes one event at its transaction's *start*
+    /// instant, and the `BusReplay` component consumes, per requirement,
+    /// all production instants at or before that start — each production is
+    /// delivered by the first issue starting at or after it, exactly the
+    /// cyclic bus-controller semantics.  The event queue replaces the
+    /// per-requirement sort-and-scan over the issue list.
     pub fn run(&self) -> Vec<ObservedMessageStats> {
         let major = self.schedule.major_frame();
-        let horizon = major * self.major_frames;
-        let mut results = Vec::with_capacity(self.schedule.requirements.len());
+        let horizon_end = Instant::EPOCH + major * self.major_frames;
+        let mut sim: Simulation<BusIssue> = Simulation::new(self.seed);
 
+        // Schedule every issue of every requirement over the horizon.  The
+        // queue orders them by start instant (FIFO on ties, in major-frame
+        // then minor-frame order — the order the bus controller walks the
+        // schedule).
         for (req_idx, req) in self.schedule.requirements.iter().enumerate() {
-            // Completion instants of every issue of this requirement over
-            // the horizon, together with the matching start instants.
             let duration = req.transaction.duration();
-            let mut issues: Vec<(Instant, Instant)> = Vec::new();
             for m in 0..self.major_frames {
                 let major_start = Instant::EPOCH + major * m;
                 for frame in self.schedule.frames_of(req_idx) {
                     if let Some(offset) = self.schedule.completion_offset(frame, req_idx) {
                         let completion =
                             major_start + self.schedule.minor_frame * frame as u64 + offset;
-                        let start = completion - duration;
-                        issues.push((start, completion));
+                        sim.schedule(
+                            completion - duration,
+                            BusIssue {
+                                req: req_idx,
+                                completion,
+                            },
+                        );
                     }
                 }
             }
-            issues.sort_by_key(|&(start, _)| start);
-
-            // Replay production instants.
-            let phase_ns =
-                splitmix(self.seed ^ (req_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                    % req.period.as_nanos().max(1);
-            let mut production = Instant::EPOCH + Duration::from_nanos(phase_ns);
-            let mut min = Duration::MAX;
-            let mut max = Duration::ZERO;
-            let mut sum_ns: u128 = 0;
-            let mut samples = 0usize;
-            while production + req.period <= Instant::EPOCH + horizon {
-                // The data is delivered by the first issue whose start is at
-                // or after the production instant.
-                if let Some(&(_, completion)) =
-                    issues.iter().find(|&&(start, _)| start >= production)
-                {
-                    if completion <= Instant::EPOCH + horizon {
-                        let latency = completion.since(production);
-                        min = min.min(latency);
-                        max = max.max(latency);
-                        sum_ns += latency.as_nanos() as u128;
-                        samples += 1;
-                    }
-                }
-                production += req.period;
-            }
-
-            let mean = if samples > 0 {
-                Duration::from_nanos((sum_ns / samples as u128) as u64)
-            } else {
-                Duration::ZERO
-            };
-            if samples == 0 {
-                min = Duration::ZERO;
-            }
-            results.push(ObservedMessageStats {
-                label: req.transaction.label.clone(),
-                samples,
-                min,
-                max,
-                mean,
-                jitter: max.saturating_sub(min),
-            });
         }
-        results
+
+        let mut replay = BusReplay {
+            horizon_end,
+            reqs: self
+                .schedule
+                .requirements
+                .iter()
+                .enumerate()
+                .map(|(req_idx, req)| {
+                    let phase_ns =
+                        splitmix(self.seed ^ (req_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            % req.period.as_nanos().max(1);
+                    ReqState {
+                        period: req.period,
+                        next_production: Instant::EPOCH + Duration::from_nanos(phase_ns),
+                        min: Duration::MAX,
+                        max: Duration::ZERO,
+                        sum_ns: 0,
+                        samples: 0,
+                    }
+                })
+                .collect(),
+        };
+        sim.run(&mut replay);
+
+        replay
+            .reqs
+            .iter()
+            .zip(&self.schedule.requirements)
+            .map(|(st, req)| {
+                let mean = if st.samples > 0 {
+                    Duration::from_nanos((st.sum_ns / st.samples as u128) as u64)
+                } else {
+                    Duration::ZERO
+                };
+                let min = if st.samples == 0 {
+                    Duration::ZERO
+                } else {
+                    st.min
+                };
+                ObservedMessageStats {
+                    label: req.transaction.label.clone(),
+                    samples: st.samples,
+                    min,
+                    max: st.max,
+                    mean,
+                    jitter: st.max.saturating_sub(min),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One scheduled issue of a requirement: the event fires at the
+/// transaction's start instant and carries its completion instant.
+#[derive(Debug, Clone, Copy)]
+struct BusIssue {
+    req: usize,
+    completion: Instant,
+}
+
+/// Per-requirement replay state.
+#[derive(Debug)]
+struct ReqState {
+    period: Duration,
+    /// The earliest production instant not yet delivered by an issue.
+    next_production: Instant,
+    min: Duration,
+    max: Duration,
+    sum_ns: u128,
+    samples: usize,
+}
+
+/// The bus replay as a [`des::Component`]: each issue event delivers every
+/// pending production of its requirement produced at or before the issue's
+/// start.
+#[derive(Debug)]
+struct BusReplay {
+    horizon_end: Instant,
+    reqs: Vec<ReqState>,
+}
+
+impl Component for BusReplay {
+    type Event = BusIssue;
+
+    fn handle(&mut self, issue: BusIssue, sim: &mut Simulation<BusIssue>) {
+        let start = sim.now();
+        let st = &mut self.reqs[issue.req];
+        // Deliver every production at or before this issue's start.  The
+        // production train is `phase + k·T`; productions whose *next* period
+        // boundary falls past the horizon are outside the observation
+        // window, and completions past the horizon are delivered but not
+        // observed — both exactly as the cyclic replay defines its samples.
+        while st.next_production <= start && st.next_production + st.period <= self.horizon_end {
+            if issue.completion <= self.horizon_end {
+                let latency = issue.completion.since(st.next_production);
+                st.min = st.min.min(latency);
+                st.max = st.max.max(latency);
+                st.sum_ns += latency.as_nanos() as u128;
+                st.samples += 1;
+            }
+            st.next_production += st.period;
+        }
     }
 }
 

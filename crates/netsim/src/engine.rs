@@ -1,17 +1,29 @@
 //! The discrete-event simulation engine.
+//!
+//! The engine is a [`des::Component`] over the generic simulation substrate:
+//! [`des::Simulation`] owns the clock, the indexed future-event list and the
+//! seeded RNG, while `Run` owns the domain state (flows, ports, fabric,
+//! faults) and handles each event.  Everything name- or topology-shaped that
+//! is identical across runs — interned flow/port names, the directed trunk
+//! list, the prebuilt failover fabric, the isolation schedule — lives in a
+//! `SimPlan` built once per [`Simulator`], so the per-run hot path touches
+//! only integers and pooled frames and allocates nothing per event.
 
 use crate::config::{Phasing, SimConfig, SporadicModel};
-use crate::event::{EventKind, EventQueue, PortRef};
+use crate::event::{EventKind, PortRef};
 use crate::fault::{Babbler, FaultModel};
 use crate::metrics::{DelayAccumulator, FaultReport, FlowStats, PortStats, SimReport};
 use crate::packet::Packet;
+use des::{Component, Pool, PoolId, Simulation, Symbol, SymbolTable};
 use ethernet::switch::{SchedulingPolicy, WrrUnit};
 use ethernet::Fabric;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use shaping::{Classifier, PriorityQueues, Regulator, ReleaseDecision, TokenBucketShaper};
 use units::{DataSize, Duration, Instant};
 use workload::{MessageId, StationId, Workload};
+
+/// The per-event simulation state the engine runs in.
+type Sim = Simulation<EventKind>;
 
 /// The simulator: a workload, a configuration and a switch fabric,
 /// executable any number of times (each [`Simulator::run`] is independent
@@ -22,6 +34,7 @@ pub struct Simulator {
     config: SimConfig,
     fabric: Fabric,
     faults: FaultModel,
+    plan: SimPlan,
 }
 
 impl Simulator {
@@ -30,11 +43,14 @@ impl Simulator {
     /// switch.
     pub fn new(workload: Workload, config: SimConfig) -> Self {
         let fabric = Fabric::single_switch(workload.stations.len());
+        let faults = FaultModel::default();
+        let plan = SimPlan::build(&workload, &fabric, &faults);
         Simulator {
             workload,
             config,
             fabric,
-            faults: FaultModel::default(),
+            faults,
+            plan,
         }
     }
 
@@ -52,11 +68,14 @@ impl Simulator {
             workload.stations.len(),
             "fabric and workload disagree on the station count"
         );
+        let faults = FaultModel::default();
+        let plan = SimPlan::build(&workload, &fabric, &faults);
         Simulator {
             workload,
             config,
             fabric,
-            faults: FaultModel::default(),
+            faults,
+            plan,
         }
     }
 
@@ -81,12 +100,11 @@ impl Simulator {
                 "link fault references an unknown station"
             );
         }
-        if let Some(f) = &faults.failover {
-            self.fabric
-                .with_failover(f.trunk, f.backup)
-                .expect("failover backup must reconnect the fabric");
-        }
         self.faults = faults;
+        // Rebuild the plan: the fault model shapes the directed trunk list
+        // (failover backup ports), the failover fabric and the isolation
+        // schedule.  A misconfigured failover panics here, at attach time.
+        self.plan = SimPlan::build(&self.workload, &self.fabric, &self.faults);
         self
     }
 
@@ -112,19 +130,33 @@ impl Simulator {
 
     /// Executes the simulation and returns the measured statistics.
     pub fn run(&self) -> SimReport {
-        Run::new(&self.workload, &self.config, &self.fabric, &self.faults).execute()
+        Run::new(
+            &self.workload,
+            &self.config,
+            &self.fabric,
+            &self.faults,
+            &self.plan,
+        )
+        .execute()
     }
 
     /// Executes the simulation with the configured parameters but a
     /// different RNG seed.
     ///
     /// This is the campaign runner's per-run entry point: one `Simulator`
-    /// value (workload + base configuration) can be shared across worker
-    /// threads — the type is `Send + Sync`, see the compile-time assertion
-    /// below — and each run only overrides the seed.
+    /// value (workload + base configuration + prebuilt `SimPlan`) can be
+    /// shared across worker threads — the type is `Send + Sync`, see the
+    /// compile-time assertion below — and each run only overrides the seed.
     pub fn run_with_seed(&self, seed: u64) -> SimReport {
         let config = self.config.with_seed(seed);
-        Run::new(&self.workload, &config, &self.fabric, &self.faults).execute()
+        Run::new(
+            &self.workload,
+            &config,
+            &self.fabric,
+            &self.faults,
+            &self.plan,
+        )
+        .execute()
     }
 }
 
@@ -135,10 +167,101 @@ const _: () = {
     assert_send_sync::<Simulator>();
 };
 
+/// Everything about a simulation that is identical across runs, computed
+/// once per [`Simulator`] instead of once per run: the interned name table,
+/// the directed trunk list (including pre-provisioned failover backups), the
+/// prebuilt post-failover fabric and the health monitor's isolation
+/// schedule.  The campaign executes the same simulator tens of thousands of
+/// times with different seeds; hoisting this out of the per-run constructor
+/// removes every `String` allocation and route recomputation from that path.
+#[derive(Debug, Clone)]
+struct SimPlan {
+    /// All flow and port names, interned once.
+    table: SymbolTable,
+    /// Per-flow name, in message order.
+    flow_names: Vec<Symbol>,
+    /// Per-station uplink port name.
+    uplink_names: Vec<Symbol>,
+    /// Per-station switch output port name.
+    downlink_names: Vec<Symbol>,
+    /// Per-directed-trunk port name, aligned with `directed_trunks`.
+    trunk_names: Vec<Symbol>,
+    /// The directed trunks of the fabric: two per undirected trunk link, in
+    /// fabric trunk order (plus the failover backup pair, when scheduled).
+    directed_trunks: Vec<(usize, usize)>,
+    /// The post-failover fabric, prebuilt when a failover is scheduled.
+    failover_fabric: Option<Fabric>,
+    /// Per station: the instant the health monitor isolates it, if ever.
+    isolated_at: Vec<Option<Instant>>,
+}
+
+impl SimPlan {
+    fn build(workload: &Workload, fabric: &Fabric, faults: &FaultModel) -> Self {
+        let mut table = SymbolTable::new();
+        let flow_names = workload
+            .messages
+            .iter()
+            .map(|spec| table.intern(spec.name.as_str()))
+            .collect();
+        let uplink_names = workload
+            .stations
+            .iter()
+            .map(|s| table.intern(format!("uplink[{}]", s.id)))
+            .collect();
+        let downlink_names = workload
+            .stations
+            .iter()
+            .map(|s| table.intern(format!("switch-out[{}]", s.id)))
+            .collect();
+        let mut directed_trunks: Vec<(usize, usize)> = fabric
+            .trunks()
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        // A scheduled failover pre-provisions the backup trunk's directed
+        // ports (cold standby: idle until the failure fires).  A parallel
+        // backup on an existing pair reuses the existing ports.
+        let failover_fabric = faults.failover.as_ref().map(|f| {
+            for pair in [f.backup, (f.backup.1, f.backup.0)] {
+                if !directed_trunks.contains(&pair) {
+                    directed_trunks.push(pair);
+                }
+            }
+            fabric
+                .with_failover(f.trunk, f.backup)
+                .expect("failover backup must reconnect the fabric")
+        });
+        let trunk_names = directed_trunks
+            .iter()
+            .map(|&(a, b)| table.intern(format!("trunk[sw{a}->sw{b}]")))
+            .collect();
+        // The health monitor isolates each babbling station one detection
+        // window after its babble onset.
+        let mut isolated_at = vec![None; workload.stations.len()];
+        if let Some(monitor) = &faults.monitor {
+            for b in &faults.babblers {
+                let at = Instant::EPOCH + b.start + monitor.window;
+                let slot = &mut isolated_at[b.station.0];
+                *slot = Some(slot.map_or(at, |t: Instant| t.min(at)));
+            }
+        }
+        SimPlan {
+            table,
+            flow_names,
+            uplink_names,
+            downlink_names,
+            trunk_names,
+            directed_trunks,
+            failover_fabric,
+            isolated_at,
+        }
+    }
+}
+
 /// Per-flow mutable state during a run.
 struct FlowState {
     message: MessageId,
-    name: String,
+    name: Symbol,
     class: shaping::TrafficClass,
     source: StationId,
     destination: StationId,
@@ -256,7 +379,7 @@ impl WrrState {
 
 /// One directed output port (station uplink or switch output).
 struct Port {
-    name: String,
+    name: Symbol,
     queues: PriorityQueues<Packet>,
     scheduler: PortScheduler,
     busy: bool,
@@ -266,7 +389,7 @@ struct Port {
 }
 
 impl Port {
-    fn new(name: String, policy: &SchedulingPolicy, buffer: Option<DataSize>) -> Self {
+    fn new(name: Symbol, policy: &SchedulingPolicy, buffer: Option<DataSize>) -> Self {
         let levels = policy.queue_count();
         let queues = match buffer {
             Some(cap) => PriorityQueues::bounded(levels, cap),
@@ -298,31 +421,29 @@ impl Port {
     }
 }
 
-/// The mutable state of one execution.
+/// The mutable state of one execution: the [`des::Component`] the
+/// substrate's driver loop dispatches events into.
 struct Run<'a> {
     config: &'a SimConfig,
     fabric: &'a Fabric,
+    plan: &'a SimPlan,
     flows: Vec<FlowState>,
     /// Station uplinks, indexed by station index.
     uplinks: Vec<Port>,
     /// Switch output ports, indexed by destination station index (owned by
     /// the station's attached switch).
     downlinks: Vec<Port>,
-    /// Directed trunk ports, aligned with `directed_trunks`.
+    /// Directed trunk ports, aligned with the plan's `directed_trunks`.
     trunk_ports: Vec<Port>,
-    /// The directed trunks of the fabric: two per undirected trunk link, in
-    /// fabric trunk order (plus the failover backup pair, when scheduled).
-    directed_trunks: Vec<(usize, usize)>,
-    events: EventQueue,
-    rng: StdRng,
+    /// In-flight frames (mid-serialization or between switches): events
+    /// carry 4-byte pool handles, the frames live here.
+    packets: Pool<Packet>,
+    /// Reusable buffer for frames flushed off a failed trunk.
+    scratch_lost: Vec<Packet>,
     next_sequence: u64,
     faults: &'a FaultModel,
-    /// The post-failover fabric, prebuilt when a failover is scheduled.
-    failover_fabric: Option<Fabric>,
     /// `true` once the scheduled trunk failure has fired.
     failover_done: bool,
-    /// Per station: the instant the health monitor isolates it, if ever.
-    isolated_at: Vec<Option<Instant>>,
     fault_tally: FaultReport,
 }
 
@@ -332,12 +453,14 @@ impl<'a> Run<'a> {
         config: &'a SimConfig,
         fabric: &'a Fabric,
         faults: &'a FaultModel,
+        plan: &'a SimPlan,
     ) -> Self {
         let classifier = Classifier::new(config.policy.queue_count());
         let flows = workload
             .messages
             .iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(idx, spec)| {
                 let frame_size = spec.frame_size();
                 // The shaper enforces the paper's per-stream contract
                 // (b_i = one frame, r_i = b_i / T_i) regardless of how the
@@ -347,7 +470,7 @@ impl<'a> Run<'a> {
                 let bucket = TokenBucketShaper::new(frame_size, spec.shaper_rate());
                 FlowState {
                     message: spec.id,
-                    name: spec.name.clone(),
+                    name: plan.flow_names[idx],
                     class: spec.traffic_class(),
                     source: spec.source,
                     destination: spec.destination,
@@ -368,88 +491,53 @@ impl<'a> Run<'a> {
             })
             .collect();
         let policy = &config.policy;
-        let uplinks = workload
-            .stations
+        let uplinks = plan
+            .uplink_names
             .iter()
-            .map(|s| Port::new(format!("uplink[{}]", s.id), policy, None))
+            .map(|&name| Port::new(name, policy, None))
             .collect();
-        let downlinks = workload
-            .stations
+        let downlinks = plan
+            .downlink_names
             .iter()
-            .map(|s| {
-                Port::new(
-                    format!("switch-out[{}]", s.id),
-                    policy,
-                    config.switch_buffer,
-                )
-            })
+            .map(|&name| Port::new(name, policy, config.switch_buffer))
             .collect();
-        let mut directed_trunks: Vec<(usize, usize)> = fabric
-            .trunks()
+        let trunk_ports = plan
+            .trunk_names
             .iter()
-            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .map(|&name| Port::new(name, policy, config.switch_buffer))
             .collect();
-        // A scheduled failover pre-provisions the backup trunk's directed
-        // ports (cold standby: idle until the failure fires).  A parallel
-        // backup on an existing pair reuses the existing ports.
-        let failover_fabric = faults.failover.as_ref().map(|f| {
-            for pair in [f.backup, (f.backup.1, f.backup.0)] {
-                if !directed_trunks.contains(&pair) {
-                    directed_trunks.push(pair);
-                }
-            }
-            fabric
-                .with_failover(f.trunk, f.backup)
-                .expect("failover backup must reconnect the fabric")
-        });
-        let trunk_ports = directed_trunks
-            .iter()
-            .map(|&(a, b)| Port::new(format!("trunk[sw{a}->sw{b}]"), policy, config.switch_buffer))
-            .collect();
-        // The health monitor isolates each babbling station one detection
-        // window after its babble onset.
-        let mut isolated_at = vec![None; workload.stations.len()];
-        if let Some(monitor) = &faults.monitor {
-            for b in &faults.babblers {
-                let at = Instant::EPOCH + b.start + monitor.window;
-                let slot = &mut isolated_at[b.station.0];
-                *slot = Some(slot.map_or(at, |t: Instant| t.min(at)));
-            }
-        }
         Run {
             config,
             fabric,
+            plan,
             flows,
             uplinks,
             downlinks,
             trunk_ports,
-            directed_trunks,
-            events: EventQueue::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            packets: Pool::new(),
+            scratch_lost: Vec::new(),
             next_sequence: 0,
             faults,
-            failover_fabric,
             failover_done: false,
-            isolated_at,
             fault_tally: FaultReport::default(),
         }
     }
 
     fn execute(mut self) -> SimReport {
+        let mut sim = Sim::new(self.config.seed);
         // Schedule the injected faults first; with an empty model nothing
         // is scheduled, so healthy runs keep their exact event sequence.
         let faults = self.faults;
         for (babbler, b) in faults.babblers.iter().enumerate() {
             let first = Instant::EPOCH + b.start;
             if first.saturating_since(Instant::EPOCH) <= self.config.horizon {
-                self.events
-                    .schedule(first, EventKind::BabbleEmit { babbler });
+                sim.schedule(first, EventKind::BabbleEmit { babbler });
             }
         }
         if let Some(f) = &faults.failover {
             let at = Instant::EPOCH + f.at;
             if at.saturating_since(Instant::EPOCH) <= self.config.horizon {
-                self.events.schedule(at, EventKind::TrunkFail);
+                sim.schedule(at, EventKind::TrunkFail);
             }
         }
 
@@ -459,12 +547,12 @@ impl<'a> Run<'a> {
             let phase = match self.config.phasing {
                 Phasing::Synchronized => Duration::ZERO,
                 Phasing::Random => {
-                    Duration::from_nanos(self.rng.gen_range(0..interval.as_nanos().max(1)))
+                    Duration::from_nanos(sim.rng().gen_range(0..interval.as_nanos().max(1)))
                 }
             };
             let first = Instant::EPOCH + phase;
             if first.saturating_since(Instant::EPOCH) <= self.config.horizon {
-                self.events.schedule(
+                sim.schedule(
                     first,
                     EventKind::Generate {
                         message: MessageId(idx),
@@ -476,25 +564,14 @@ impl<'a> Run<'a> {
         // Main loop: Generate events are never scheduled past the horizon,
         // so the queue drains on its own; in-flight frames finish delivery
         // and their delays are counted.
-        while let Some(event) = self.events.pop() {
-            let now = event.time;
-            match event.kind {
-                EventKind::Generate { message } => self.on_generate(message, now),
-                EventKind::ShaperCheck { message } => self.on_shaper_check(message, now),
-                EventKind::TxComplete { port, packet } => self.on_tx_complete(port, packet, now),
-                EventKind::SwitchEnqueue { switch, packet } => {
-                    self.on_switch_enqueue(switch, packet, now)
-                }
-                EventKind::BabbleEmit { babbler } => self.on_babble(babbler, now),
-                EventKind::TrunkFail => self.on_trunk_fail(now),
-            }
-        }
+        sim.run(&mut self);
         self.into_report()
     }
 
     // ---------------- event handlers ----------------
 
-    fn on_generate(&mut self, message: MessageId, now: Instant) {
+    fn on_generate(&mut self, message: MessageId, sim: &mut Sim) {
+        let now = sim.now();
         let burst = self.flows[message.0].burst_factor.max(1);
         for _ in 0..burst {
             let packet = self.make_packet(message, now);
@@ -502,26 +579,27 @@ impl<'a> Run<'a> {
             if self.config.shaping {
                 self.flows[message.0].regulator.enqueue(packet);
             } else {
-                self.enqueue_port(PortRef::StationUplink(packet.source), packet, now);
+                self.enqueue_port(PortRef::StationUplink(packet.source), packet, sim);
             }
         }
         if self.config.shaping {
-            self.drain_shaper(message, now);
+            self.drain_shaper(message, sim);
         }
 
         // Schedule the next activation.
-        let gap = self.next_gap(message);
+        let gap = self.next_gap(message, sim);
         let next = now + gap;
         if next.saturating_since(Instant::EPOCH) <= self.config.horizon {
-            self.events.schedule(next, EventKind::Generate { message });
+            sim.schedule(next, EventKind::Generate { message });
         }
     }
 
-    fn on_shaper_check(&mut self, message: MessageId, now: Instant) {
-        self.drain_shaper(message, now);
+    fn on_shaper_check(&mut self, message: MessageId, sim: &mut Sim) {
+        self.drain_shaper(message, sim);
     }
 
-    fn on_tx_complete(&mut self, port_ref: PortRef, packet: Packet, now: Instant) {
+    fn on_tx_complete(&mut self, port_ref: PortRef, packet: PoolId, sim: &mut Sim) {
+        let now = sim.now();
         {
             let port = self.port_mut(port_ref);
             port.busy = false;
@@ -531,27 +609,28 @@ impl<'a> Run<'a> {
                 // A link error burst corrupts every frame completing
                 // serialization inside its window; the switch discards it.
                 if self.link_fault_corrupts(source.0, now) {
+                    let packet = self.packets.remove(packet);
                     self.fault_tally.corrupted += 1;
                     self.count_loss(packet.message);
                 } else {
                     // Fully received by the station's switch after the
                     // propagation delay, eligible for output queueing after
-                    // the relaying latency.
+                    // the relaying latency.  The frame stays pooled; only
+                    // its handle rides the event.
                     let eligible = now + self.config.propagation + self.config.ttechno;
                     let switch = self.fabric.switch_of(source.0);
-                    self.events
-                        .schedule(eligible, EventKind::SwitchEnqueue { switch, packet });
+                    sim.schedule(eligible, EventKind::SwitchEnqueue { switch, packet });
                 }
             }
             PortRef::Trunk { to, .. } => {
                 // Fully received by the downstream switch after the
                 // propagation delay, eligible after its relaying latency.
                 let eligible = now + self.config.propagation + self.config.ttechno;
-                self.events
-                    .schedule(eligible, EventKind::SwitchEnqueue { switch: to, packet });
+                sim.schedule(eligible, EventKind::SwitchEnqueue { switch: to, packet });
             }
             PortRef::SwitchOutput(_) => {
                 // Delivered to the destination after the propagation delay.
+                let packet = self.packets.remove(packet);
                 let delivered = now + self.config.propagation;
                 if let Some(flow) = self.flows.get_mut(packet.message.0) {
                     let delay = delivered.since(packet.generated);
@@ -563,10 +642,11 @@ impl<'a> Run<'a> {
                 }
             }
         }
-        self.try_start_tx(port_ref, now);
+        self.try_start_tx(port_ref, sim);
     }
 
-    fn on_switch_enqueue(&mut self, switch: usize, mut packet: Packet, now: Instant) {
+    fn on_switch_enqueue(&mut self, switch: usize, packet: PoolId, sim: &mut Sim) {
+        let mut packet = self.packets.remove(packet);
         // Forward towards the destination: deliver locally when the
         // destination hangs off this switch, otherwise queue on the trunk
         // towards the next switch of the minimum-hop route (of the
@@ -598,12 +678,13 @@ impl<'a> Run<'a> {
                 to: fabric.next_hop(switch, dest_switch),
             }
         };
-        self.enqueue_port(port, packet, now);
+        self.enqueue_port(port, packet, sim);
     }
 
     // ---------------- fault handlers ----------------
 
-    fn on_babble(&mut self, babbler: usize, now: Instant) {
+    fn on_babble(&mut self, babbler: usize, sim: &mut Sim) {
+        let now = sim.now();
         let b = self.faults.babblers[babbler];
         let packet = Packet {
             sequence: self.next_sequence,
@@ -619,17 +700,16 @@ impl<'a> Run<'a> {
         };
         self.next_sequence += 1;
         self.fault_tally.babble_emitted += 1;
-        self.enqueue_port(PortRef::StationUplink(b.station), packet, now);
+        self.enqueue_port(PortRef::StationUplink(b.station), packet, sim);
         // A babbling idiot keeps babbling even while isolated (the monitor
         // contains it at the uplink; it does not repair the station).
         let next = now + b.interval;
         if next.saturating_since(Instant::EPOCH) <= self.config.horizon {
-            self.events
-                .schedule(next, EventKind::BabbleEmit { babbler });
+            sim.schedule(next, EventKind::BabbleEmit { babbler });
         }
     }
 
-    fn on_trunk_fail(&mut self, _now: Instant) {
+    fn on_trunk_fail(&mut self, _sim: &mut Sim) {
         let Some(f) = self.faults.failover else {
             return;
         };
@@ -638,8 +718,9 @@ impl<'a> Run<'a> {
         // the frame mid-serialization still completes (the failure is
         // detected at the next frame boundary).
         let (a, b) = self.fabric.trunks()[f.trunk];
-        let mut lost = Vec::new();
-        for (i, &pair) in self.directed_trunks.iter().enumerate() {
+        let mut lost = std::mem::take(&mut self.scratch_lost);
+        lost.clear();
+        for (i, &pair) in self.plan.directed_trunks.iter().enumerate() {
             if pair == (a, b) || pair == (b, a) {
                 while let Some((_, packet)) = self.trunk_ports[i].queues.dequeue() {
                     lost.push(packet);
@@ -647,9 +728,10 @@ impl<'a> Run<'a> {
             }
         }
         self.fault_tally.lost_on_failover += lost.len() as u64;
-        for packet in lost {
+        for packet in lost.drain(..) {
             self.count_loss(packet.message);
         }
+        self.scratch_lost = lost;
     }
 
     // ---------------- helpers ----------------
@@ -658,7 +740,7 @@ impl<'a> Run<'a> {
     /// the failover fabric once the scheduled trunk failure has fired.
     fn route_fabric(&self) -> &Fabric {
         if self.failover_done {
-            self.failover_fabric.as_ref().unwrap_or(self.fabric)
+            self.plan.failover_fabric.as_ref().unwrap_or(self.fabric)
         } else {
             self.fabric
         }
@@ -676,7 +758,7 @@ impl<'a> Run<'a> {
 
     /// `true` once the health monitor has isolated `station`.
     fn is_isolated(&self, station: usize, now: Instant) -> bool {
-        self.isolated_at[station].is_some_and(|at| now >= at)
+        self.plan.isolated_at[station].is_some_and(|at| now >= at)
     }
 
     /// Counts one lost frame against its flow — or against the babble
@@ -705,7 +787,7 @@ impl<'a> Run<'a> {
         packet
     }
 
-    fn next_gap(&mut self, message: MessageId) -> Duration {
+    fn next_gap(&mut self, message: MessageId, sim: &mut Sim) -> Duration {
         let flow = &self.flows[message.0];
         if flow.is_periodic {
             return flow.interval;
@@ -714,13 +796,14 @@ impl<'a> Run<'a> {
             SporadicModel::Saturating => flow.interval,
             SporadicModel::RandomSlack { max_extra_percent } => {
                 let interval = flow.interval;
-                let extra_pct = self.rng.gen_range(0..=max_extra_percent as u64);
+                let extra_pct = sim.rng().gen_range(0..=max_extra_percent as u64);
                 interval + Duration::from_nanos(interval.as_nanos() / 100 * extra_pct)
             }
         }
     }
 
-    fn drain_shaper(&mut self, message: MessageId, now: Instant) {
+    fn drain_shaper(&mut self, message: MessageId, sim: &mut Sim) {
+        let now = sim.now();
         loop {
             let decision = self.flows[message.0].regulator.head_decision(now);
             match decision {
@@ -730,10 +813,10 @@ impl<'a> Run<'a> {
                         .regulator
                         .release(now)
                         .expect("head conforms, release cannot fail");
-                    self.enqueue_port(PortRef::StationUplink(packet.source), packet, now);
+                    self.enqueue_port(PortRef::StationUplink(packet.source), packet, sim);
                 }
                 ReleaseDecision::WaitUntil(t) => {
-                    self.events.schedule(t, EventKind::ShaperCheck { message });
+                    sim.schedule(t, EventKind::ShaperCheck { message });
                     break;
                 }
                 ReleaseDecision::NeverConforms => {
@@ -746,11 +829,11 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn enqueue_port(&mut self, port_ref: PortRef, packet: Packet, now: Instant) {
+    fn enqueue_port(&mut self, port_ref: PortRef, packet: Packet, sim: &mut Sim) {
         // An isolated station's uplink refuses everything — babble and
         // legitimate traffic alike (containment, not surgery).
         if let PortRef::StationUplink(s) = port_ref {
-            if self.is_isolated(s.0, now) {
+            if self.is_isolated(s.0, sim.now()) {
                 self.fault_tally.dropped_after_isolation += 1;
                 self.count_loss(packet.message);
                 return;
@@ -770,28 +853,31 @@ impl<'a> Run<'a> {
             self.count_loss(message);
             return;
         }
-        self.try_start_tx(port_ref, now);
+        self.try_start_tx(port_ref, sim);
     }
 
-    fn try_start_tx(&mut self, port_ref: PortRef, now: Instant) {
+    fn try_start_tx(&mut self, port_ref: PortRef, sim: &mut Sim) {
         let rate = self.config.link_rate;
+        let now = sim.now();
         let port = self.port_mut(port_ref);
         if port.busy {
             return;
         }
-        if let Some((_, packet)) = port.next_packet() {
-            port.busy = true;
-            port.transmitted += 1;
-            let tx_time = rate.transmission_time(packet.size);
-            port.busy_ns += tx_time.as_nanos() as u128;
-            self.events.schedule(
-                now + tx_time,
-                EventKind::TxComplete {
-                    port: port_ref,
-                    packet,
-                },
-            );
-        }
+        let Some((_, packet)) = port.next_packet() else {
+            return;
+        };
+        port.busy = true;
+        port.transmitted += 1;
+        let tx_time = rate.transmission_time(packet.size);
+        port.busy_ns += tx_time.as_nanos() as u128;
+        let packet = self.packets.insert(packet);
+        sim.schedule(
+            now + tx_time,
+            EventKind::TxComplete {
+                port: port_ref,
+                packet,
+            },
+        );
     }
 
     fn port_mut(&mut self, port_ref: PortRef) -> &mut Port {
@@ -800,6 +886,7 @@ impl<'a> Run<'a> {
             PortRef::SwitchOutput(s) => &mut self.downlinks[s.0],
             PortRef::Trunk { from, to } => {
                 let index = self
+                    .plan
                     .directed_trunks
                     .iter()
                     .position(|&t| t == (from, to))
@@ -809,11 +896,15 @@ impl<'a> Run<'a> {
         }
     }
 
-    fn into_report(self) -> SimReport {
+    fn into_report(mut self) -> SimReport {
         let horizon_ns = self.config.horizon.as_nanos().max(1) as f64;
+        let table = &self.plan.table;
         let mut total_generated = 0;
         let mut total_delivered = 0;
         let mut total_dropped = 0;
+        // Symbols resolve back to owned strings exactly once, here: the
+        // report's JSON shape is unchanged, but no name was cloned while the
+        // simulation executed.
         let flows = self
             .flows
             .iter()
@@ -823,7 +914,7 @@ impl<'a> Run<'a> {
                 total_dropped += flow.dropped;
                 FlowStats {
                     message: flow.message,
-                    name: flow.name.clone(),
+                    name: table.resolve(flow.name).to_string(),
                     class: flow.class,
                     generated: flow.generated,
                     delivered: flow.delays.count,
@@ -841,7 +932,7 @@ impl<'a> Run<'a> {
             .chain(self.downlinks.iter())
             .chain(self.trunk_ports.iter())
             .map(|port| PortStats {
-                name: port.name.clone(),
+                name: table.resolve(port.name).to_string(),
                 max_backlog: port.max_backlog,
                 dropped: port.queues.dropped(),
                 transmitted: port.transmitted,
@@ -858,11 +949,15 @@ impl<'a> Run<'a> {
             .chain(self.trunk_ports.iter())
             .map(|p| p.queues.dropped())
             .sum();
-        debug_assert!(total_dropped + self.fault_tally.babble_lost >= port_drops);
+        debug_assert!(
+            self.flows.iter().map(|f| f.dropped).sum::<u64>() + self.fault_tally.babble_lost
+                >= port_drops
+        );
         let faults = (!self.faults.is_empty()).then(|| {
-            let mut tally = self.fault_tally.clone();
+            let mut tally = std::mem::take(&mut self.fault_tally);
             tally.failover_applied = self.failover_done;
             tally.isolated_stations = self
+                .plan
                 .isolated_at
                 .iter()
                 .enumerate()
@@ -881,6 +976,23 @@ impl<'a> Run<'a> {
             total_dropped,
             horizon: self.config.horizon,
             faults,
+        }
+    }
+}
+
+impl Component for Run<'_> {
+    type Event = EventKind;
+
+    fn handle(&mut self, event: EventKind, sim: &mut Sim) {
+        match event {
+            EventKind::Generate { message } => self.on_generate(message, sim),
+            EventKind::ShaperCheck { message } => self.on_shaper_check(message, sim),
+            EventKind::TxComplete { port, packet } => self.on_tx_complete(port, packet, sim),
+            EventKind::SwitchEnqueue { switch, packet } => {
+                self.on_switch_enqueue(switch, packet, sim)
+            }
+            EventKind::BabbleEmit { babbler } => self.on_babble(babbler, sim),
+            EventKind::TrunkFail => self.on_trunk_fail(sim),
         }
     }
 }

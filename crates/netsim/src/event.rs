@@ -1,9 +1,14 @@
-//! The simulation event queue.
+//! The simulation events.
+//!
+//! The future-event list itself lives in the generic DES substrate
+//! ([`des::Simulation`] over a [`des::RadixQueue`]); this module defines the
+//! Ethernet fabric's event vocabulary.  Events are deliberately small —
+//! in-flight frames ride as 4-byte [`des::PoolId`] handles into the
+//! engine's packet pool instead of inline [`crate::packet::Packet`] copies,
+//! so the queue moves 24-byte entries through its buckets instead of
+//! ~100-byte ones.
 
-use crate::packet::Packet;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use units::Instant;
+use des::PoolId;
 use workload::{MessageId, StationId};
 
 /// A reference to one of the simulated output ports.
@@ -39,7 +44,7 @@ impl core::fmt::Display for PortRef {
 }
 
 /// The kinds of events the engine processes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A message stream produces its next instance.
     Generate {
@@ -55,16 +60,16 @@ pub enum EventKind {
     TxComplete {
         /// The transmitting port.
         port: PortRef,
-        /// The frame that finished transmission.
-        packet: Packet,
+        /// The frame that finished transmission (pooled).
+        packet: PoolId,
     },
     /// A frame fully received by a switch becomes eligible for output
     /// queueing after the relaying latency.
     SwitchEnqueue {
         /// The switch that received the frame.
         switch: usize,
-        /// The relayed frame.
-        packet: Packet,
+        /// The relayed frame (pooled).
+        packet: PoolId,
     },
     /// A babbling-idiot talker emits its next adversarial frame.
     BabbleEmit {
@@ -78,77 +83,26 @@ pub enum EventKind {
 
 /// An event scheduled at an instant; the sequence number makes the ordering
 /// total and deterministic for simultaneous events (FIFO in scheduling
-/// order).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Event {
-    /// When the event fires.
-    pub time: Instant,
-    /// Tie-breaker: scheduling order.
-    pub sequence: u64,
-    /// What happens.
-    pub kind: EventKind,
-}
+/// order).  Alias of the substrate's entry type, re-exported so event-order
+/// tests and diagnostics keep a netsim-local name.
+pub type Event = des::Scheduled<EventKind>;
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.sequence.cmp(&self.sequence))
-    }
-}
+/// The engine's future-event list: the generic indexed radix queue over
+/// integer nanoseconds, popping in `(time, sequence)` order.
+pub type EventQueue = des::RadixQueue<EventKind>;
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A deterministic future-event list.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Event>,
-    next_sequence: u64,
-}
-
-impl EventQueue {
-    /// An empty queue.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Schedules `kind` at `time`.
-    pub fn schedule(&mut self, time: Instant, kind: EventKind) {
-        let sequence = self.next_sequence;
-        self.next_sequence += 1;
-        self.heap.push(Event {
-            time,
-            sequence,
-            kind,
-        });
-    }
-
-    /// Pops the earliest event.
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// `true` when no event is pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
+/// Convenience used by tests: pops every pending event in order.
+#[cfg(test)]
+fn drain(queue: &mut EventQueue) -> Vec<Event> {
+    use des::EventQueue as _;
+    std::iter::from_fn(|| queue.pop()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use units::Duration;
+    use des::EventQueue as QueueApi;
+    use units::{Duration, Instant};
 
     fn at(ns: u64) -> Instant {
         Instant::EPOCH + Duration::from_nanos(ns)
@@ -175,9 +129,7 @@ mod tests {
                 message: MessageId(2),
             },
         );
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.time.as_nanos())
-            .collect();
+        let order: Vec<u64> = drain(&mut q).iter().map(|e| e.time.as_nanos()).collect();
         assert_eq!(order, vec![100, 200, 300]);
         assert!(q.is_empty());
     }
@@ -193,8 +145,9 @@ mod tests {
                 },
             );
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
+        let order: Vec<usize> = drain(&mut q)
+            .iter()
+            .map(|e| match e.event {
                 EventKind::Generate { message } => message.0,
                 _ => unreachable!(),
             })
