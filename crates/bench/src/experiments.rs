@@ -2198,6 +2198,379 @@ pub fn render_sim_hot_loop(report: &SimHotLoopReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------- E17
+
+/// Configuration of experiment E17 (`e17_minplus_kernels` bin).
+#[derive(Debug, Clone, Copy)]
+pub struct MinplusKernelsConfig {
+    /// Timing iterations per operator pair.
+    pub iterations: usize,
+    /// Staircase flows aggregated into the campaign-typical operands.
+    pub flows: usize,
+    /// Hops of the breakpoint-growth chain.
+    pub chain_hops: usize,
+    /// Scenarios of the end-to-end sharded campaign run.
+    pub scenarios: usize,
+    /// Shards of the campaign run.
+    pub shards: usize,
+    /// Worker threads (0 = all cores at run time).
+    pub threads: usize,
+    /// Master seed of the campaign.
+    pub seed: u64,
+}
+
+/// One operator's old-vs-new microbenchmark row.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBench {
+    /// Operator label.
+    pub operator: String,
+    /// ns/op of the pre-PR candidate-enumeration implementation
+    /// (preserved verbatim in `netcalc::minplus::reference`).
+    pub old_ns_per_op: f64,
+    /// ns/op of the sorted-merge / sweep-line implementation.
+    pub new_ns_per_op: f64,
+    /// `old_ns_per_op / new_ns_per_op`.
+    pub speedup: f64,
+    /// Breakpoint counts of the two operands.
+    pub operand_breakpoints: (usize, usize),
+    /// Breakpoint count of the result.
+    pub result_breakpoints: usize,
+}
+
+/// Result of experiment E17 — the sorted-merge min-plus kernels: ns/op old
+/// vs new per operator at campaign-typical breakpoint counts, breakpoint
+/// growth along a multi-hop chain with and without horizon truncation, and
+/// the end-to-end sharded campaign with the curve cache live (hit rate and
+/// op counters from the run's own [`campaign::RuntimeStats`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct MinplusKernelsReport {
+    /// Timing iterations per operator pair.
+    pub iterations: usize,
+    /// Per-operator rows, old vs new.
+    pub kernels: Vec<KernelBench>,
+    /// Differential mismatches between old and new results across the
+    /// operator benches (0 expected; the bin exits non-zero otherwise).
+    pub kernel_mismatches: usize,
+    /// Breakpoints of the accumulated general-convolution network curve
+    /// after each hop of the chain, untruncated.
+    pub chain_breakpoints: Vec<usize>,
+    /// The same chain with [`netcalc::Curve::truncate_service`] applied
+    /// after every convolution.
+    pub chain_breakpoints_truncated: Vec<usize>,
+    /// The truncation horizon in seconds.
+    pub truncation_horizon_s: f64,
+    /// Scenarios of the end-to-end sharded campaign run.
+    pub campaign_scenarios: usize,
+    /// Shards of the campaign run.
+    pub campaign_shards: usize,
+    /// Worker threads (0 = all cores at run time).
+    pub campaign_threads: usize,
+    /// Master seed of the campaign.
+    pub campaign_master_seed: u64,
+    /// Wall-clock seconds of the sharded campaign.
+    pub campaign_elapsed_secs: f64,
+    /// End-to-end campaign throughput — the CI perf gate compares this
+    /// against the figure recorded in `BENCH_campaign.json`.
+    pub campaign_scenarios_per_sec: f64,
+    /// The campaign fingerprint (hex) — must match the seed-42 pins.
+    pub campaign_fingerprint: String,
+    /// Bound violations across the campaign (zero expected).
+    pub soundness_violations: usize,
+    /// Min-plus operator and curve-cache counters of the campaign run.
+    pub campaign_ops: netcalc::cache::OpCounters,
+    /// Curve-cache hit rate of the campaign run in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+/// A deterministic family of staircase arrival envelopes shaped like the
+/// campaign's: frame sizes and periods cycle through the ranges the
+/// scenario space draws from, on a 100 Mbps line.
+fn typical_staircase_envelopes(flows: usize) -> Vec<netcalc::Envelope> {
+    let line = DataRate::from_mbps(100);
+    (0..flows)
+        .map(|i| {
+            let size = DataSize::from_bytes(64 + ((i as u64 * 97) % 1_455));
+            let period = Duration::from_millis(5 + ((i as u64 * 7) % 45));
+            netcalc::Envelope::staircase(size, period, line)
+        })
+        .collect()
+}
+
+/// Times `f` and returns nanoseconds per call (one warm-up call first).
+fn time_ns_per_op(iterations: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let started = std::time::Instant::now();
+    for _ in 0..iterations.max(1) {
+        f();
+    }
+    started.elapsed().as_nanos() as f64 / iterations.max(1) as f64
+}
+
+/// E17: old-vs-new min-plus kernel throughput, truncation behaviour and
+/// the cache-enabled end-to-end campaign.
+pub fn minplus_kernels(config: MinplusKernelsConfig) -> MinplusKernelsReport {
+    use netcalc::{minplus, minplus::reference, ArrivalBound, Curve};
+    let MinplusKernelsConfig {
+        iterations,
+        flows,
+        chain_hops,
+        scenarios,
+        shards,
+        threads,
+        seed,
+    } = config;
+
+    // Campaign-typical operands: an aggregate of staircase envelopes (the
+    // per-port cross traffic), a rate-latency port service, the general
+    // left-over hull, and the convex minorants the PBOO composition
+    // convolves.
+    let envelopes = typical_staircase_envelopes(flows);
+    let aggregate = netcalc::Envelope::aggregate_all(envelopes.iter()).curve();
+    let own = envelopes[0].curve();
+    let cross = aggregate.sub_envelope(&own);
+    let beta = Curve::rate_latency(100e6, 16e-6).expect("valid service curve");
+    let hull = minplus::leftover(&beta, &cross).expect("stable by construction");
+    let hull_b = minplus::leftover(&beta, &aggregate.sub_envelope(&envelopes[1].curve()))
+        .expect("stable by construction");
+    let (minor_a, minor_b) = (hull.convex_minorant(), hull_b.convex_minorant());
+
+    let mut kernels = Vec::new();
+    let mut mismatches = 0usize;
+    let mut row = |operator: &str,
+                   operands: (&Curve, &Curve),
+                   old: &mut dyn FnMut() -> Curve,
+                   new: &mut dyn FnMut() -> Curve,
+                   exact: bool| {
+        let old_result = old();
+        let new_result = new();
+        let matches = if exact {
+            old_result.points() == new_result.points()
+                && old_result.final_slope().to_bits() == new_result.final_slope().to_bits()
+        } else {
+            old_result.approx_eq(&new_result)
+        };
+        if !matches {
+            mismatches += 1;
+        }
+        let old_ns = time_ns_per_op(iterations, || {
+            std::hint::black_box(old());
+        });
+        let new_ns = time_ns_per_op(iterations, || {
+            std::hint::black_box(new());
+        });
+        kernels.push(KernelBench {
+            operator: operator.to_string(),
+            old_ns_per_op: old_ns,
+            new_ns_per_op: new_ns,
+            speedup: if new_ns > 0.0 { old_ns / new_ns } else { 0.0 },
+            operand_breakpoints: (operands.0.points().len(), operands.1.points().len()),
+            result_breakpoints: new_result.points().len(),
+        });
+    };
+
+    // The general convolution on the PBOO path (convex minorants of two
+    // left-over hulls): candidate fold vs the O(n+m) slope merge.
+    row(
+        "convolve (general, convex minorants)",
+        (&minor_a, &minor_b),
+        &mut || reference::convolve(&minor_a, &minor_b),
+        &mut || minplus::convolve(&minor_a, &minor_b),
+        true,
+    );
+    // The general deconvolution propagating the staircase envelope through
+    // the hull: left-fold all-candidates envelope vs the balanced pairwise
+    // reduction over the same member family.  Pinned approximately — the
+    // reduction computes the same pointwise maximum but associates the
+    // intermediate simplifications differently.
+    row(
+        "deconvolve (general)",
+        (&own, &hull),
+        &mut || reference::deconvolve(&own, &hull).expect("stable"),
+        &mut || netcalc::arena::deconvolve(&own, &hull).expect("stable"),
+        false,
+    );
+    // The blind-multiplexing left-over hull build (arena path, as shipped).
+    row(
+        "leftover (general)",
+        (&beta, &cross),
+        &mut || reference::leftover(&beta, &cross).expect("stable"),
+        &mut || netcalc::arena::leftover(&beta, &cross).expect("stable"),
+        true,
+    );
+    // The pointwise envelope intersection (aggregate ∧ token bucket).
+    let tb_summary = netcalc::Envelope::aggregate_all(envelopes.iter())
+        .token_bucket()
+        .curve();
+    row(
+        "min (sweep envelope combine)",
+        (&aggregate, &tb_summary),
+        &mut || reference::min(&aggregate, &tb_summary),
+        &mut || aggregate.min(&tb_summary),
+        true,
+    );
+    // The staircase ⊗ rate-latency closed form vs the general fold (the
+    // fast path is a separate entry point, pinned approximately — its
+    // breakpoints are the closed form's, not the fold's).
+    let st = envelopes[0]
+        .extra()
+        .cloned()
+        .unwrap_or_else(|| envelopes[0].curve());
+    row(
+        "convolve (staircase ⊗ rate-latency)",
+        (&st, &beta),
+        &mut || reference::convolve(&st, &beta),
+        &mut || minplus::convolve_staircase_rate_latency(&st, &beta).expect("rate-latency operand"),
+        false,
+    );
+    // Both deviation kernels: O(n·m) rescans vs sorted candidates with
+    // monotone cursors.  Wrapped as degenerate one-point curves so the
+    // closure signature stays uniform.
+    let wrap = |v: f64| Curve::new(vec![(0.0, v)], 0.0).expect("finite deviation");
+    row(
+        "horizontal_deviation",
+        (&own, &hull),
+        &mut || wrap(reference::horizontal_deviation(&own, &hull).expect("stable")),
+        &mut || wrap(minplus::horizontal_deviation(&own, &hull).expect("stable")),
+        true,
+    );
+    row(
+        "vertical_deviation",
+        (&own, &hull),
+        &mut || wrap(reference::vertical_deviation(&own, &hull).expect("stable")),
+        &mut || wrap(minplus::vertical_deviation(&own, &hull).expect("stable")),
+        true,
+    );
+
+    // Breakpoint growth along a multi-hop chain of general (non-convex)
+    // left-over hulls, with and without horizon truncation after each
+    // convolution.  The horizon covers every deviation candidate of the
+    // operand family (4× the largest staircase period), so truncation is
+    // lossless for the bounds while capping the representation.
+    let horizon = 0.2;
+    let hop_hulls: Vec<Curve> = (0..chain_hops.max(1))
+        .map(|k| {
+            let idx = k % envelopes.len();
+            minplus::leftover(&beta, &aggregate.sub_envelope(&envelopes[idx].curve()))
+                .expect("stable by construction")
+        })
+        .collect();
+    let mut chain_breakpoints = Vec::with_capacity(hop_hulls.len());
+    let mut chain_breakpoints_truncated = Vec::with_capacity(hop_hulls.len());
+    let mut acc = hop_hulls[0].clone();
+    let mut acc_truncated = hop_hulls[0]
+        .truncate_service(horizon)
+        .expect("valid horizon");
+    chain_breakpoints.push(acc.points().len());
+    chain_breakpoints_truncated.push(acc_truncated.points().len());
+    for hull in &hop_hulls[1..] {
+        acc = minplus::convolve(&acc, hull);
+        acc_truncated = minplus::convolve(&acc_truncated, hull)
+            .truncate_service(horizon)
+            .expect("valid horizon");
+        chain_breakpoints.push(acc.points().len());
+        chain_breakpoints_truncated.push(acc_truncated.points().len());
+    }
+
+    // End-to-end: the sharded streaming campaign with the curve cache
+    // enabled on every shard worker (same configuration as E16, so the
+    // scenarios/sec figures compare directly).
+    let sharded = campaign::run_sharded_campaign(&campaign::ShardedCampaignConfig {
+        base: campaign::CampaignConfig {
+            scenarios,
+            master_seed: seed,
+            threads,
+            with_1553: false,
+            envelope_override: None,
+            policy_override: None,
+            faults: campaign::FaultMode::Off,
+        },
+        shards,
+        state_dir: None,
+        resume: false,
+    })
+    .expect("in-memory sharded run cannot fail");
+    let ops = sharded.runtime.ops;
+
+    MinplusKernelsReport {
+        iterations,
+        kernels,
+        kernel_mismatches: mismatches,
+        chain_breakpoints,
+        chain_breakpoints_truncated,
+        truncation_horizon_s: horizon,
+        campaign_scenarios: scenarios,
+        campaign_shards: shards,
+        campaign_threads: threads,
+        campaign_master_seed: seed,
+        campaign_elapsed_secs: sharded.runtime.elapsed_secs,
+        campaign_scenarios_per_sec: sharded.runtime.scenarios_per_sec,
+        campaign_fingerprint: format!("{:#018x}", sharded.outcome.fingerprint),
+        soundness_violations: sharded.outcome.summary.violations.len(),
+        campaign_ops: ops,
+        cache_hit_rate: ops.cache_hit_rate(),
+    }
+}
+
+/// Renders E17 as the table `EXPERIMENTS.md` records.
+pub fn render_minplus_kernels(report: &MinplusKernelsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E17 — sorted-merge min-plus kernels ({} iterations/op, {} campaign scenarios)\n\n",
+        report.iterations, report.campaign_scenarios
+    ));
+    out.push_str(&format!(
+        "{:<40} {:>12} {:>12} {:>9} {:>12}\n",
+        "operator", "old ns/op", "new ns/op", "speedup", "breakpoints"
+    ));
+    for k in &report.kernels {
+        out.push_str(&format!(
+            "{:<40} {:>12.0} {:>12.0} {:>8.2}x {:>5}x{:<6}\n",
+            k.operator,
+            k.old_ns_per_op,
+            k.new_ns_per_op,
+            k.speedup,
+            k.operand_breakpoints.0,
+            k.operand_breakpoints.1,
+        ));
+    }
+    out.push_str(&format!(
+        "\nchain breakpoints over {} hops: untruncated {:?} | truncated at {:.2}s {:?}\n",
+        report.chain_breakpoints.len(),
+        report.chain_breakpoints,
+        report.truncation_horizon_s,
+        report.chain_breakpoints_truncated,
+    ));
+    let ops = &report.campaign_ops;
+    out.push_str(&format!(
+        "campaign: {:.1} scenarios/sec over {} scenarios in {:.2} s | fingerprint {} | \
+         soundness violations: {}\n",
+        report.campaign_scenarios_per_sec,
+        report.campaign_scenarios,
+        report.campaign_elapsed_secs,
+        report.campaign_fingerprint,
+        report.soundness_violations,
+    ));
+    out.push_str(&format!(
+        "min-plus ops: {} convolve | {} deconvolve | {} leftover | {} add | {} sub_envelope | \
+         cache {:.1}% hit ({} / {})\n",
+        ops.convolve,
+        ops.deconvolve,
+        ops.leftover,
+        ops.add,
+        ops.sub_envelope,
+        report.cache_hit_rate * 100.0,
+        ops.cache_hits,
+        ops.cache_hits + ops.cache_misses,
+    ));
+    if report.kernel_mismatches > 0 {
+        out.push_str(&format!(
+            "KERNEL MISMATCHES: {} operator(s) disagree with the reference\n",
+            report.kernel_mismatches,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

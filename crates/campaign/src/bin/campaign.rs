@@ -185,6 +185,19 @@ fn print_runtime(executed: usize, runtime: &RuntimeStats) {
         runtime.busy_threads(),
         runtime.per_thread,
     );
+    let ops = &runtime.ops;
+    say!(
+        "min-plus ops: {} convolve | {} deconvolve | {} leftover | {} add | {} sub_envelope | {} deviations | curve cache {:.1}% hit ({} hits / {} lookups)",
+        ops.convolve,
+        ops.deconvolve,
+        ops.leftover,
+        ops.add,
+        ops.sub_envelope,
+        ops.horizontal_deviation + ops.vertical_deviation,
+        ops.cache_hit_rate() * 100.0,
+        ops.cache_hits,
+        ops.cache_hits + ops.cache_misses,
+    );
 }
 
 /// Prints the aggregate sections shared by the buffered and sharded

@@ -10,19 +10,24 @@
 //! [`leftover`](crate::minplus::leftover), [`Curve::add`],
 //! [`Curve::sub_envelope`] and the deviation routines.  The mirrors reuse
 //! the *same* slice-level kernels as the allocating implementations
-//! (`eval_points`, `slope_after`, `clamp_nonneg_into`, in-place
-//! simplify) so both paths
+//! (`eval_points`, `slope_after`, in-place simplify) so both paths
 //! perform bit-for-bit identical float arithmetic; the module-level
 //! property tests pin breakpoint-identical equality on random curve
 //! families, and the campaign fingerprints pin it end-to-end.
+//! (Deconvolution, which the per-scenario analyses never call, simply
+//! delegates to the allocating balanced-reduction kernel.)
 //!
 //! The free functions at the bottom ([`convolve`], [`deconvolve`],
 //! [`leftover`], [`add`], [`sub_envelope`], [`horizontal_deviation`],
 //! [`vertical_deviation`]) route through a thread-local [`Scratch`], which
 //! is what the per-port analysis hot paths call.
 
+use crate::cache::{record_op, OpKind};
 use crate::curve::{
-    clamp_nonneg_into, eval_points, simplify_points_in_place, slope_after, Curve, EPS,
+    add_points_into, combine_points_into, simplify_points_in_place, sub_envelope_points_into, Curve,
+};
+use crate::minplus::{
+    horizontal_deviation_into, leftover_into, merge_convolve_convex_into, vertical_deviation_into,
 };
 use crate::NcError;
 use std::cell::RefCell;
@@ -35,7 +40,9 @@ use std::cell::RefCell;
 /// next call (buffers are cleared on entry, never on exit).
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// Merged abscissa grid (mirror of `merged_abscissas`).
+    /// Merged breakpoint grid of the sweep combine (before crossings).
+    grid: Vec<f64>,
+    /// Final evaluation grid (breakpoints + crossings).
     xs: Vec<f64>,
     /// Interior-crossing abscissas of the min/max combine.
     crossings: Vec<f64>,
@@ -49,63 +56,6 @@ pub struct Scratch {
     diff: Vec<(f64, f64)>,
     /// Candidate abscissas for the deviation routines.
     candidates: Vec<f64>,
-}
-
-/// The sorted, deduplicated union of two breakpoint lists' abscissas —
-/// slice-level mirror of `merged_abscissas`, written into `xs`.
-fn merged_xs_into(a: &[(f64, f64)], b: &[(f64, f64)], xs: &mut Vec<f64>) {
-    xs.clear();
-    xs.extend(a.iter().chain(b.iter()).map(|&(x, _)| x));
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-}
-
-/// Mirror of `Curve::combine` on raw `(breakpoints, final_slope)` pairs:
-/// computes `min`/`max` of `a` and `b` into `out` and returns the result's
-/// final slope.  Same grid construction, same tail-crossing check on the
-/// breakpoint grid *before* interior crossings are appended, same
-/// simplification.
-fn combine_into(
-    a: (&[(f64, f64)], f64),
-    b: (&[(f64, f64)], f64),
-    take_min: bool,
-    xs: &mut Vec<f64>,
-    crossings: &mut Vec<f64>,
-    out: &mut Vec<(f64, f64)>,
-) -> f64 {
-    let (ap, a_slope) = a;
-    let (bp, b_slope) = b;
-    merged_xs_into(ap, bp, xs);
-    let last = *xs.last().expect("non-empty");
-    let da = eval_points(ap, a_slope, last) - eval_points(bp, b_slope, last);
-    let ds = slope_after(ap, a_slope, last) - slope_after(bp, b_slope, last);
-    let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
-        .then(|| last + da.abs() / ds.abs());
-    crossings.clear();
-    for w in xs.windows(2) {
-        let (x0, x1) = (w[0], w[1]);
-        let d0 = eval_points(ap, a_slope, x0) - eval_points(bp, b_slope, x0);
-        let d1 = eval_points(ap, a_slope, x1) - eval_points(bp, b_slope, x1);
-        if (d0 > EPS && d1 < -EPS) || (d0 < -EPS && d1 > EPS) {
-            let t = x0 + (x1 - x0) * d0.abs() / (d0.abs() + d1.abs());
-            crossings.push(t);
-        }
-    }
-    xs.extend_from_slice(crossings);
-    xs.extend(tail_cross);
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-    let pick = if take_min { f64::min } else { f64::max };
-    out.clear();
-    out.extend(xs.iter().map(|&x| {
-        (
-            x,
-            pick(eval_points(ap, a_slope, x), eval_points(bp, b_slope, x)),
-        )
-    }));
-    let final_slope = pick(a_slope, b_slope);
-    simplify_points_in_place(out, final_slope);
-    final_slope
 }
 
 /// Mirror of `minplus::shifted_raised`: writes the member curve
@@ -124,25 +74,6 @@ fn shifted_raised_into(member: &mut Vec<(f64, f64)>, h: &Curve, d: f64, c: f64) 
     }
     simplify_points_in_place(member, h.final_slope());
     h.final_slope()
-}
-
-/// Mirror of `Curve::shift_left` for the non-negative shifts produced by
-/// breakpoint abscissas: writes `t ↦ f(t + s)` into `member` and returns
-/// its final slope.
-fn shift_left_into(member: &mut Vec<(f64, f64)>, f: &Curve, s: f64) -> f64 {
-    member.clear();
-    if s == 0.0 {
-        member.extend_from_slice(f.points());
-        return f.final_slope();
-    }
-    member.push((0.0, f.eval(s)));
-    for &(x, y) in f.points() {
-        if x > s + 1e-15 {
-            member.push((x - s, y));
-        }
-    }
-    simplify_points_in_place(member, f.final_slope());
-    f.final_slope()
 }
 
 impl Scratch {
@@ -165,12 +96,13 @@ impl Scratch {
             std::mem::swap(&mut self.acc, &mut self.member);
             member_slope
         } else {
-            let slope = combine_into(
+            let slope = combine_points_into(
                 (&self.acc, acc_slope),
                 (&self.member, member_slope),
                 take_min,
-                &mut self.xs,
+                &mut self.grid,
                 &mut self.crossings,
+                &mut self.xs,
                 &mut self.work,
             );
             std::mem::swap(&mut self.acc, &mut self.work);
@@ -178,8 +110,13 @@ impl Scratch {
         }
     }
 
-    /// Arena mirror of [`crate::minplus::convolve`].
+    /// Arena mirror of [`crate::minplus::convolve`], including the convex
+    /// slope-merge fast path.
     pub fn convolve(&mut self, f: &Curve, g: &Curve) -> Curve {
+        if f.is_convex() && g.is_convex() {
+            let slope = merge_convolve_convex_into(f, g, &mut self.work);
+            return Curve::from_simplified_parts(self.work.clone(), slope);
+        }
         let mut acc_slope = 0.0_f64;
         let mut first = true;
         for &(x, y) in f.points() {
@@ -195,180 +132,83 @@ impl Scratch {
         Curve::from_simplified_parts(self.acc.clone(), acc_slope)
     }
 
-    /// Arena mirror of [`crate::minplus::deconvolve`].
+    /// Arena [`Curve::min`] (sweep combine on scratch buffers).
+    pub fn min(&mut self, a: &Curve, b: &Curve) -> Curve {
+        self.combine(a, b, true)
+    }
+
+    /// Arena [`Curve::max`] (sweep combine on scratch buffers).
+    pub fn max(&mut self, a: &Curve, b: &Curve) -> Curve {
+        self.combine(a, b, false)
+    }
+
+    /// Shared sweep combine for [`Scratch::min`] / [`Scratch::max`].
+    fn combine(&mut self, a: &Curve, b: &Curve, take_min: bool) -> Curve {
+        let slope = combine_points_into(
+            (a.points(), a.final_slope()),
+            (b.points(), b.final_slope()),
+            take_min,
+            &mut self.grid,
+            &mut self.crossings,
+            &mut self.xs,
+            &mut self.work,
+        );
+        Curve::from_simplified_parts(self.work.clone(), slope)
+    }
+
+    /// Arena entry for [`crate::minplus::deconvolve`].  Deconvolution sits
+    /// off the per-scenario hot path (the campaign records zero deconvolve
+    /// ops), so rather than a buffer-reusing mirror this delegates to the
+    /// allocating balanced-reduction kernel — one code path, trivially
+    /// breakpoint-identical to it.
     pub fn deconvolve(&mut self, alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
-        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
-            return Err(NcError::Unstable {
-                context: "deconvolution".into(),
-                demand_bps: alpha.long_term_rate().ceil() as u64,
-                capacity_bps: beta.long_term_rate().floor() as u64,
-            });
-        }
-        let mut acc_slope = 0.0_f64;
-        let mut first = true;
-        // Family over β's breakpoints: α read s later, lowered by β(s),
-        // clamped at zero — shift_left then saturating_sub_const, with the
-        // intermediate simplification happening at exactly the same point
-        // as in the allocating pipeline.
-        for &(s, v) in beta.points() {
-            let ms = shift_left_into(&mut self.member, alpha, s);
-            if v != 0.0 {
-                for p in self.member.iter_mut() {
-                    p.1 -= v;
-                }
-                clamp_nonneg_into(&self.member, ms, &mut self.diff);
-                std::mem::swap(&mut self.member, &mut self.diff);
-            }
-            acc_slope = self.fold_member(first, acc_slope, ms, false);
-            first = false;
-        }
-        // Family over α's breakpoints: the reflected service curve
-        // t ↦ (α(x) − β((x − t)⁺))⁺, constant for t ≥ x.
-        for &(x, y) in alpha.points() {
-            self.diff.clear();
-            self.diff.push((0.0, y - beta.eval(x)));
-            for &(u, v) in beta.points().iter().rev() {
-                if u < x {
-                    self.diff.push((x - u, y - v));
-                }
-            }
-            clamp_nonneg_into(&self.diff, 0.0, &mut self.member);
-            acc_slope = self.fold_member(first, acc_slope, 0.0, false);
-            first = false;
-        }
-        Ok(Curve::from_simplified_parts(self.acc.clone(), acc_slope))
+        crate::minplus::deconvolve(alpha, beta)
     }
 
     /// Arena mirror of [`crate::minplus::leftover`].
     pub fn leftover(&mut self, beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
-        let slope = beta.long_term_rate() - cross.long_term_rate();
-        if slope <= EPS {
-            return Err(NcError::Unstable {
-                context: "left-over service".into(),
-                demand_bps: cross.long_term_rate().ceil() as u64,
-                capacity_bps: beta.long_term_rate().floor() as u64,
-            });
-        }
-        merged_xs_into(beta.points(), cross.points(), &mut self.xs);
-        self.diff.clear();
-        self.diff
-            .extend(self.xs.iter().map(|&x| (x, beta.eval(x) - cross.eval(x))));
-        // Non-decreasing lower hull from the right (see minplus::leftover).
-        self.member.clear();
-        let mut cap = self.diff.last().expect("non-empty grid").1;
-        self.member.push(*self.diff.last().expect("non-empty grid"));
-        for w in self.diff.windows(2).rev() {
-            let (x0, y0) = w[0];
-            let (x1, y1) = w[1];
-            if y0 > y1 {
-                cap = cap.min(y1);
-                self.member.push((x0, cap));
-            } else {
-                if y1 > cap && y0 < cap {
-                    self.member
-                        .push((x0 + (cap - y0) * (x1 - x0) / (y1 - y0), cap));
-                }
-                cap = cap.min(y0);
-                self.member.push((x0, cap));
-            }
-        }
-        self.member.reverse();
-        clamp_nonneg_into(&self.member, slope, &mut self.work);
+        let slope = leftover_into(
+            beta,
+            cross,
+            &mut self.xs,
+            &mut self.diff,
+            &mut self.member,
+            &mut self.work,
+        )?;
         Ok(Curve::from_simplified_parts(self.work.clone(), slope))
     }
 
-    /// Arena mirror of [`Curve::add`].
+    /// Arena mirror of [`Curve::add`] (two-pointer grid + cursor walk).
     pub fn add(&mut self, a: &Curve, b: &Curve) -> Curve {
-        merged_xs_into(a.points(), b.points(), &mut self.xs);
-        self.work.clear();
-        self.work
-            .extend(self.xs.iter().map(|&x| (x, a.eval(x) + b.eval(x))));
-        let final_slope = a.final_slope() + b.final_slope();
-        simplify_points_in_place(&mut self.work, final_slope);
+        let final_slope = add_points_into(
+            (a.points(), a.final_slope()),
+            (b.points(), b.final_slope()),
+            &mut self.xs,
+            &mut self.work,
+        );
         Curve::from_simplified_parts(self.work.clone(), final_slope)
     }
 
-    /// Arena mirror of [`Curve::sub_envelope`].
+    /// Arena mirror of [`Curve::sub_envelope`] (two-pointer grid + cursor
+    /// walk — the aggregate-minus-own split in a single merge).
     pub fn sub_envelope(&mut self, a: &Curve, b: &Curve) -> Curve {
-        merged_xs_into(a.points(), b.points(), &mut self.xs);
-        self.work.clear();
-        let mut prev = 0.0_f64;
-        for &x in &self.xs {
-            let y = (a.eval(x) - b.eval(x)).max(prev).max(0.0);
-            self.work.push((x, y));
-            prev = y;
-        }
-        let final_slope = (a.final_slope() - b.final_slope()).max(0.0);
-        simplify_points_in_place(&mut self.work, final_slope);
+        let final_slope = sub_envelope_points_into(
+            (a.points(), a.final_slope()),
+            (b.points(), b.final_slope()),
+            &mut self.xs,
+            &mut self.work,
+        );
         Curve::from_simplified_parts(self.work.clone(), final_slope)
     }
 
     /// Arena mirror of [`crate::minplus::horizontal_deviation`].
     pub fn horizontal_deviation(&mut self, alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
-        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
-            return Err(NcError::Unstable {
-                context: "horizontal deviation".into(),
-                demand_bps: alpha.long_term_rate().ceil() as u64,
-                capacity_bps: beta.long_term_rate().floor() as u64,
-            });
-        }
-        self.candidates.clear();
-        self.candidates
-            .extend(alpha.points().iter().map(|&(x, _)| x));
-        for &(_, by) in beta.points() {
-            if let Some(t) = alpha.inverse(by) {
-                self.candidates.push(t);
-            }
-        }
-        if let Some(&(bx, _)) = beta.points().last() {
-            self.candidates.push(bx);
-        }
-        let mut worst: f64 = 0.0;
-        for &t in &self.candidates {
-            let a = alpha.eval(t);
-            let d = match beta.inverse_upper(a) {
-                Some(x) => (x - t).max(0.0),
-                None => {
-                    return Err(NcError::Unstable {
-                        context: "service curve plateaus below arrival curve".into(),
-                        demand_bps: alpha.long_term_rate().ceil() as u64,
-                        capacity_bps: beta.long_term_rate().floor() as u64,
-                    });
-                }
-            };
-            if d > worst {
-                worst = d;
-            }
-        }
-        Ok(worst)
+        horizontal_deviation_into(alpha, beta, &mut self.candidates)
     }
 
     /// Arena mirror of [`crate::minplus::vertical_deviation`].
     pub fn vertical_deviation(&mut self, alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
-        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
-            return Err(NcError::Unstable {
-                context: "vertical deviation".into(),
-                demand_bps: alpha.long_term_rate().ceil() as u64,
-                capacity_bps: beta.long_term_rate().floor() as u64,
-            });
-        }
-        self.candidates.clear();
-        self.candidates.extend(
-            alpha
-                .points()
-                .iter()
-                .chain(beta.points().iter())
-                .map(|&(x, _)| x),
-        );
-        self.candidates
-            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        self.candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let worst = self
-            .candidates
-            .iter()
-            .map(|&t| alpha.eval(t) - beta.eval(t))
-            .fold(0.0_f64, f64::max);
-        Ok(worst)
+        vertical_deviation_into(alpha, beta, &mut self.candidates)
     }
 }
 
@@ -378,36 +218,55 @@ thread_local! {
 
 /// Thread-local-arena [`crate::minplus::convolve`].
 pub fn convolve(f: &Curve, g: &Curve) -> Curve {
+    record_op(OpKind::Convolve);
     SCRATCH.with(|s| s.borrow_mut().convolve(f, g))
 }
 
 /// Thread-local-arena [`crate::minplus::deconvolve`].
 pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+    record_op(OpKind::Deconvolve);
     SCRATCH.with(|s| s.borrow_mut().deconvolve(alpha, beta))
 }
 
 /// Thread-local-arena [`crate::minplus::leftover`].
 pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+    record_op(OpKind::Leftover);
     SCRATCH.with(|s| s.borrow_mut().leftover(beta, cross))
 }
 
 /// Thread-local-arena [`Curve::add`].
 pub fn add(a: &Curve, b: &Curve) -> Curve {
+    record_op(OpKind::Add);
     SCRATCH.with(|s| s.borrow_mut().add(a, b))
 }
 
 /// Thread-local-arena [`Curve::sub_envelope`].
 pub fn sub_envelope(a: &Curve, b: &Curve) -> Curve {
+    record_op(OpKind::SubEnvelope);
     SCRATCH.with(|s| s.borrow_mut().sub_envelope(a, b))
+}
+
+/// Thread-local-arena [`Curve::min`].
+pub fn min(a: &Curve, b: &Curve) -> Curve {
+    record_op(OpKind::Combine);
+    SCRATCH.with(|s| s.borrow_mut().min(a, b))
+}
+
+/// Thread-local-arena [`Curve::max`].
+pub fn max(a: &Curve, b: &Curve) -> Curve {
+    record_op(OpKind::Combine);
+    SCRATCH.with(|s| s.borrow_mut().max(a, b))
 }
 
 /// Thread-local-arena [`crate::minplus::horizontal_deviation`].
 pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    record_op(OpKind::HorizontalDeviation);
     SCRATCH.with(|s| s.borrow_mut().horizontal_deviation(alpha, beta))
 }
 
 /// Thread-local-arena [`crate::minplus::vertical_deviation`].
 pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    record_op(OpKind::VerticalDeviation);
     SCRATCH.with(|s| s.borrow_mut().vertical_deviation(alpha, beta))
 }
 

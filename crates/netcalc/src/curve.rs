@@ -360,48 +360,131 @@ impl Curve {
         self.combine(other, false)
     }
 
-    /// Shared implementation of [`Curve::min`] / [`Curve::max`]: evaluate on
-    /// the merged breakpoint grid with every intersection abscissa inserted
-    /// so the result stays exactly piecewise-linear.
+    /// Shared implementation of [`Curve::min`] / [`Curve::max`]: the
+    /// sweep-line [`combine_points_into`] kernel on fresh buffers.
     fn combine(&self, other: &Curve, take_min: bool) -> Curve {
-        let mut xs = merged_abscissas(self, other);
-        // Tail crossing beyond the last breakpoint of either curve —
-        // checked on the *breakpoint* grid before the interior crossings
-        // are appended (they are unsorted and all lie strictly inside it,
-        // so consulting `xs.last()` after the extend would inspect the
-        // wrong point and miss genuine tail crossings).
-        let last = *xs.last().expect("non-empty");
-        let da = self.eval(last) - other.eval(last);
-        let ds = self.final_slope_at(last) - other.final_slope_at(last);
-        let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
-            .then(|| last + da.abs() / ds.abs());
-        // Insert intersection abscissas so the extremum stays
-        // piecewise-linear on the breakpoint grid.
-        let mut crossings = Vec::new();
-        for w in xs.windows(2) {
-            let (x0, x1) = (w[0], w[1]);
-            let d0 = self.eval(x0) - other.eval(x0);
-            let d1 = self.eval(x1) - other.eval(x1);
-            if (d0 > EPS && d1 < -EPS) || (d0 < -EPS && d1 > EPS) {
-                // Linear in between, so a single crossing.
-                let t = x0 + (x1 - x0) * d0.abs() / (d0.abs() + d1.abs());
-                crossings.push(t);
-            }
-        }
-        xs.extend(crossings);
-        xs.extend(tail_cross);
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let pick = if take_min { f64::min } else { f64::max };
-        let points = xs
-            .iter()
-            .map(|&x| (x, pick(self.eval(x), other.eval(x))))
-            .collect();
-        let final_slope = pick(self.final_slope, other.final_slope);
+        let (mut grid, mut crossings, mut xs, mut out) = (vec![], vec![], vec![], vec![]);
+        let final_slope = combine_points_into(
+            (&self.points, self.final_slope),
+            (&other.points, other.final_slope),
+            take_min,
+            &mut grid,
+            &mut crossings,
+            &mut xs,
+            &mut out,
+        );
         Curve {
-            points: simplify_points(points, final_slope),
+            points: out,
             final_slope,
         }
+    }
+
+    /// The pre-sweep [`Curve::combine`]: candidate grid by concat + sort +
+    /// dedup, every candidate evaluated through the binary-search
+    /// [`Curve::eval`].  Retained verbatim as the differential-test oracle
+    /// (the sweep kernel is pinned breakpoint-identical against it) and the
+    /// "old" side of the E17 microbenchmarks.
+    pub(crate) fn combine_candidates(&self, other: &Curve, take_min: bool) -> Curve {
+        let (mut xs, mut crossings, mut out) = (vec![], vec![], vec![]);
+        let final_slope = combine_points_into_candidates(
+            (&self.points, self.final_slope),
+            (&other.points, other.final_slope),
+            take_min,
+            &mut xs,
+            &mut crossings,
+            &mut out,
+        );
+        Curve {
+            points: out,
+            final_slope,
+        }
+    }
+
+    /// `true` when the curve is convex under *exact* slope comparisons:
+    /// segment slopes non-decreasing left to right and the final slope at
+    /// least the last segment's.  Convex operands convolve by slope merge
+    /// in linear time (see [`crate::minplus::convolve`]); curves failing the
+    /// exact test simply take the general path, so false negatives cost
+    /// speed, never correctness.
+    pub fn is_convex(&self) -> bool {
+        let mut prev: Option<f64> = None;
+        for w in self.points.windows(2) {
+            let s = (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+            if prev.is_some_and(|p| s < p) {
+                return false;
+            }
+            prev = Some(s);
+        }
+        prev.is_none_or(|p| self.final_slope >= p)
+    }
+
+    /// Truncates an **arrival** curve at `horizon_s` seconds: exact on
+    /// `[0, horizon_s]`, continued beyond with the *steepest* remaining
+    /// slope, so the result dominates `self` everywhere and is a valid
+    /// (possibly looser) arrival curve.  The result carries at most one
+    /// breakpoint more than `self` has inside the horizon — re-truncating
+    /// after every propagation step provably caps breakpoint growth along
+    /// a multi-hop chain, because each hop's output can only populate the
+    /// fixed window `[0, horizon_s]`.
+    pub fn truncate_arrival(&self, horizon_s: f64) -> Result<Curve, NcError> {
+        if !horizon_s.is_finite() || horizon_s < 0.0 {
+            return Err(NcError::InvalidCurve(format!(
+                "invalid horizon {horizon_s}"
+            )));
+        }
+        let (last_x, _) = *self.points.last().expect("non-empty");
+        if horizon_s >= last_x {
+            return Ok(self.clone());
+        }
+        let keep = self.points.partition_point(|&(x, _)| x <= horizon_s);
+        // keep >= 1: the first breakpoint sits at x = 0 <= horizon_s.
+        let mut points = self.points[..keep].to_vec();
+        let mut tail_slope = self.final_slope;
+        for w in self.points[keep - 1..].windows(2) {
+            tail_slope = tail_slope.max((w[1].1 - w[0].1) / (w[1].0 - w[0].0));
+        }
+        let boundary = self.eval(horizon_s);
+        if horizon_s > points.last().expect("non-empty").0 {
+            points.push((horizon_s, boundary));
+        }
+        Ok(Curve {
+            points: simplify_points(points, tail_slope),
+            final_slope: tail_slope,
+        })
+    }
+
+    /// Truncates a **service** curve at `horizon_s` seconds: exact on
+    /// `[0, horizon_s]`, continued beyond with the *shallowest* remaining
+    /// slope (clamped at zero), so the result lower-bounds `self`
+    /// everywhere — up to the crate-wide [`EPS`] validity tolerance on
+    /// nearly-flat noise segments — and stays a valid service curve, with
+    /// the same at-most-one-extra-breakpoint bound as
+    /// [`Curve::truncate_arrival`].
+    pub fn truncate_service(&self, horizon_s: f64) -> Result<Curve, NcError> {
+        if !horizon_s.is_finite() || horizon_s < 0.0 {
+            return Err(NcError::InvalidCurve(format!(
+                "invalid horizon {horizon_s}"
+            )));
+        }
+        let (last_x, _) = *self.points.last().expect("non-empty");
+        if horizon_s >= last_x {
+            return Ok(self.clone());
+        }
+        let keep = self.points.partition_point(|&(x, _)| x <= horizon_s);
+        let mut points = self.points[..keep].to_vec();
+        let mut tail_slope = self.final_slope;
+        for w in self.points[keep - 1..].windows(2) {
+            tail_slope = tail_slope.min((w[1].1 - w[0].1) / (w[1].0 - w[0].0));
+        }
+        let tail_slope = tail_slope.max(0.0);
+        let boundary = self.eval(horizon_s);
+        if horizon_s > points.last().expect("non-empty").0 {
+            points.push((horizon_s, boundary));
+        }
+        Ok(Curve {
+            points: simplify_points(points, tail_slope),
+            final_slope: tail_slope,
+        })
     }
 
     /// Horizontal shift to the left by `delta` seconds:
@@ -513,11 +596,6 @@ impl Curve {
             points: simplify_points(hull, self.final_slope),
             final_slope: self.final_slope,
         }
-    }
-
-    /// Slope of the curve just after abscissa `x`.
-    fn final_slope_at(&self, x: f64) -> f64 {
-        slope_after(&self.points, self.final_slope, x)
     }
 
     /// `true` if the two curves are equal within [`EPS`] at every breakpoint
@@ -651,7 +729,7 @@ pub(crate) fn eval_points(points: &[(f64, f64)], final_slope: f64, t: f64) -> f6
     y0 + (y1 - y0) * (t - x0) / (x1 - x0)
 }
 
-/// Slice-level slope just after abscissa `x` (see `Curve::final_slope_at`).
+/// Slice-level slope just after abscissa `x`.
 pub(crate) fn slope_after(points: &[(f64, f64)], final_slope: f64, x: f64) -> f64 {
     let (last_x, _) = *points.last().expect("non-empty");
     if x >= last_x {
@@ -715,6 +793,407 @@ pub(crate) fn clamp_nonneg_into(raw: &[(f64, f64)], final_slope: f64, out: &mut 
         out.push((last_x - last_y / final_slope, 0.0));
     }
     simplify_points_in_place(out, final_slope);
+}
+
+/// Scale-aware tolerance for deduplicating two nearby candidate abscissas
+/// `a` and `b` (seconds): one part in 10⁹ of their magnitude, capped at the
+/// absolute `1e-12` floor the breakpoint grids use.  At the campaign's
+/// millisecond-to-second abscissas this is exactly the historical `1e-12`,
+/// but nanosecond-scale abscissas get a proportionally finer tolerance
+/// (`1e-18` at `1e-9` seconds) instead of being spuriously merged three
+/// decades above their resolution.
+pub(crate) fn candidate_eps(a: f64, b: f64) -> f64 {
+    (1e-12f64).min(1e-9 * a.abs().max(b.abs()))
+}
+
+/// A forward-only evaluation cursor over a breakpoint list: bitwise mirror
+/// of [`eval_points`] for non-decreasing query sequences, advancing a
+/// remembered segment index instead of binary-searching per query.  Every
+/// branch (exact hit, linear tail, interior interpolation) performs the
+/// identical float arithmetic on the identical operands.
+pub(crate) struct CurveCursor<'a> {
+    points: &'a [(f64, f64)],
+    final_slope: f64,
+    seg: usize,
+}
+
+impl<'a> CurveCursor<'a> {
+    /// A cursor at the origin of `points`.
+    pub(crate) fn new(points: &'a [(f64, f64)], final_slope: f64) -> Self {
+        CurveCursor {
+            points,
+            final_slope,
+            seg: 0,
+        }
+    }
+
+    /// Evaluates at `t`.  Queries must be non-decreasing (callers pass
+    /// sorted grids); the cursor only ever advances.
+    pub(crate) fn eval(&mut self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        let (last_x, last_y) = *self.points.last().expect("curve has at least one point");
+        if t >= last_x {
+            return last_y + self.final_slope * (t - last_x);
+        }
+        while self.points[self.seg].0 < t {
+            self.seg += 1;
+        }
+        let (x1, y1) = self.points[self.seg];
+        if x1 == t {
+            // Exact breakpoint hit: the stored ordinate, like the Ok arm of
+            // the binary search.
+            return y1;
+        }
+        // seg >= 1 because points[0].0 == 0.0 <= t < points[seg].0.
+        let (x0, y0) = self.points[self.seg - 1];
+        y0 + (y1 - y0) * (t - x0) / (x1 - x0)
+    }
+}
+
+/// Forward-only mirror of [`Curve::inverse`] for (mostly) non-decreasing
+/// query ordinates: resumes the window scan where the previous query
+/// matched instead of rescanning from the origin.  A query below its
+/// predecessor (possible at EPS-level noise on nearly-flat curves) rewinds
+/// to the start, so every answer is bitwise identical to the fresh scan.
+pub(crate) struct InverseCursor<'a> {
+    points: &'a [(f64, f64)],
+    final_slope: f64,
+    win: usize,
+    last_y: f64,
+}
+
+impl<'a> InverseCursor<'a> {
+    /// A cursor over `points` with the scan window at the origin.
+    pub(crate) fn new(points: &'a [(f64, f64)], final_slope: f64) -> Self {
+        InverseCursor {
+            points,
+            final_slope,
+            win: 0,
+            last_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The smallest `t` with `f(t) ≥ y`, exactly as [`Curve::inverse`].
+    pub(crate) fn inverse(&mut self, y: f64) -> Option<f64> {
+        if y < self.last_y {
+            self.win = 0;
+        }
+        self.last_y = y;
+        if y <= self.points[0].1 + EPS {
+            return Some(0.0);
+        }
+        // Windows before `win` failed `y' <= y1 + EPS` for some y' <= y, so
+        // they fail for y too: the first satisfying window is never behind
+        // the cursor.
+        while self.win + 1 < self.points.len() {
+            let (x0, y0) = self.points[self.win];
+            let (x1, y1) = self.points[self.win + 1];
+            if y <= y1 + EPS {
+                if (y1 - y0).abs() < EPS {
+                    return Some(x1.min(x0));
+                }
+                let t = x0 + (y - y0) * (x1 - x0) / (y1 - y0);
+                return Some(t.clamp(x0, x1));
+            }
+            self.win += 1;
+        }
+        let (last_x, last_y) = *self.points.last().expect("non-empty");
+        if y <= last_y + EPS {
+            return Some(last_x);
+        }
+        if self.final_slope <= 0.0 {
+            return None;
+        }
+        Some(last_x + (y - last_y) / self.final_slope)
+    }
+}
+
+/// Forward-only mirror of [`Curve::inverse_upper`], with the same
+/// resume-or-rewind discipline as [`InverseCursor`].
+pub(crate) struct InverseUpperCursor<'a> {
+    points: &'a [(f64, f64)],
+    final_slope: f64,
+    win: usize,
+    last_y: f64,
+}
+
+impl<'a> InverseUpperCursor<'a> {
+    /// A cursor over `points` with the scan window at the origin.
+    pub(crate) fn new(points: &'a [(f64, f64)], final_slope: f64) -> Self {
+        InverseUpperCursor {
+            points,
+            final_slope,
+            win: 0,
+            last_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `inf { x : f(x) > y }`, exactly as [`Curve::inverse_upper`].
+    pub(crate) fn inverse_upper(&mut self, y: f64) -> Option<f64> {
+        if y < self.last_y {
+            self.win = 0;
+        }
+        self.last_y = y;
+        if self.points[0].1 > y + EPS {
+            return Some(0.0);
+        }
+        while self.win + 1 < self.points.len() {
+            let (x0, y0) = self.points[self.win];
+            let (x1, y1) = self.points[self.win + 1];
+            if y1 > y + EPS {
+                if (y1 - y0).abs() < EPS {
+                    return Some(x0);
+                }
+                let t = x0 + (y - y0).max(0.0) * (x1 - x0) / (y1 - y0);
+                return Some(t.clamp(x0, x1));
+            }
+            self.win += 1;
+        }
+        let (last_x, last_y) = *self.points.last().expect("non-empty");
+        if self.final_slope <= 0.0 {
+            return None;
+        }
+        Some(last_x + (y - last_y).max(0.0) / self.final_slope)
+    }
+}
+
+/// The historical merged-abscissa construction: concat both breakpoint
+/// lists, sort, dedup within an absolute `1e-12`.  Retained for the
+/// candidates combine kernel so the oracle path stays verbatim.
+pub(crate) fn merged_xs_concat_sort_into(a: &[(f64, f64)], b: &[(f64, f64)], xs: &mut Vec<f64>) {
+    xs.clear();
+    xs.extend(a.iter().chain(b.iter()).map(|&(x, _)| x));
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+}
+
+/// Two-pointer [`merged_xs_concat_sort_into`]: the union of two
+/// *individually sorted* breakpoint lists' abscissas without the sort.
+/// Ties take the first list's element first (what the stable sort of the
+/// concatenation did) and the keep-first `1e-12` dedup is applied against
+/// the last kept value (what `Vec::dedup_by` did), so the output is
+/// element-for-element identical.
+pub(crate) fn merged_xs_two_pointer_into(a: &[(f64, f64)], b: &[(f64, f64)], xs: &mut Vec<f64>) {
+    xs.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let x = match (a.get(i), b.get(j)) {
+            (Some(&(xa, _)), Some(&(xb, _))) => {
+                if xa <= xb {
+                    i += 1;
+                    xa
+                } else {
+                    j += 1;
+                    xb
+                }
+            }
+            (Some(&(xa, _)), None) => {
+                i += 1;
+                xa
+            }
+            (None, Some(&(xb, _))) => {
+                j += 1;
+                xb
+            }
+            (None, None) => break,
+        };
+        if xs.last().is_none_or(|&last| (x - last).abs() >= 1e-12) {
+            xs.push(x);
+        }
+    }
+}
+
+/// Merges the sorted base grid with the sorted crossing abscissas into
+/// `out`, base values first on exact ties (they preceded the crossings in
+/// the concatenation the stable sort saw), dropping any value within
+/// `1e-12` of the last kept one.
+pub(crate) fn merge_grids_into(base: &[f64], extra: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let x = match (base.get(i), extra.get(j)) {
+            (Some(&xb), Some(&xe)) => {
+                if xb <= xe {
+                    i += 1;
+                    xb
+                } else {
+                    j += 1;
+                    xe
+                }
+            }
+            (Some(&xb), None) => {
+                i += 1;
+                xb
+            }
+            (None, Some(&xe)) => {
+                j += 1;
+                xe
+            }
+            (None, None) => break,
+        };
+        if out.last().is_none_or(|&last| (x - last).abs() >= 1e-12) {
+            out.push(x);
+        }
+    }
+}
+
+/// Sweep-line combine kernel on raw `(breakpoints, final_slope)` pairs:
+/// computes `min`/`max` of `a` and `b` into `out` and returns the result's
+/// final slope.  Replaces the historical concat-sort-dedup candidate pass
+/// with two-pointer merges and forward-only cursors — O(n+m) instead of
+/// O((n+m)·log(n+m)) with a binary search per candidate — while keeping
+/// every comparison and float expression identical to
+/// [`combine_points_into_candidates`]; the differential property tests pin
+/// the two breakpoint-for-breakpoint.
+pub(crate) fn combine_points_into(
+    a: (&[(f64, f64)], f64),
+    b: (&[(f64, f64)], f64),
+    take_min: bool,
+    grid: &mut Vec<f64>,
+    crossings: &mut Vec<f64>,
+    xs: &mut Vec<f64>,
+    out: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let (ap, a_slope) = a;
+    let (bp, b_slope) = b;
+    merged_xs_two_pointer_into(ap, bp, grid);
+    // Tail crossing beyond the last breakpoint of either curve — checked
+    // on the *breakpoint* grid before the interior crossings are appended
+    // (see the regression note on the candidates kernel).
+    let last = *grid.last().expect("non-empty");
+    let da = eval_points(ap, a_slope, last) - eval_points(bp, b_slope, last);
+    let ds = slope_after(ap, a_slope, last) - slope_after(bp, b_slope, last);
+    let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
+        .then(|| last + da.abs() / ds.abs());
+    // Interior crossings, walking the grid once with forward cursors: the
+    // per-window differences are the same values the candidates kernel
+    // recomputes per endpoint, and the crossing formula is verbatim.
+    crossings.clear();
+    let mut ca = CurveCursor::new(ap, a_slope);
+    let mut cb = CurveCursor::new(bp, b_slope);
+    let mut prev: Option<(f64, f64)> = None;
+    for &x in grid.iter() {
+        let d = ca.eval(x) - cb.eval(x);
+        if let Some((x0, d0)) = prev {
+            if (d0 > EPS && d < -EPS) || (d0 < -EPS && d > EPS) {
+                crossings.push(x0 + (x - x0) * d0.abs() / (d0.abs() + d.abs()));
+            }
+        }
+        prev = Some((x, d));
+    }
+    crossings.extend(tail_cross);
+    merge_grids_into(grid, crossings, xs);
+    let pick = if take_min { f64::min } else { f64::max };
+    let mut ca = CurveCursor::new(ap, a_slope);
+    let mut cb = CurveCursor::new(bp, b_slope);
+    out.clear();
+    for &x in xs.iter() {
+        out.push((x, pick(ca.eval(x), cb.eval(x))));
+    }
+    let final_slope = pick(a_slope, b_slope);
+    simplify_points_in_place(out, final_slope);
+    final_slope
+}
+
+/// The pre-sweep combine kernel, verbatim: candidate grid built by
+/// concat, sort and dedup, every candidate evaluated through the
+/// binary-search [`eval_points`].  Retained as the differential-test
+/// oracle and the "old" side of the E17 microbenchmarks.
+///
+/// The tail crossing is checked on the breakpoint grid *before* interior
+/// crossings are appended (they are unsorted and all lie strictly inside
+/// it, so consulting `xs.last()` after the extend would inspect the wrong
+/// point and miss genuine tail crossings — a past regression made `min()`
+/// dip below both operands).
+pub(crate) fn combine_points_into_candidates(
+    a: (&[(f64, f64)], f64),
+    b: (&[(f64, f64)], f64),
+    take_min: bool,
+    xs: &mut Vec<f64>,
+    crossings: &mut Vec<f64>,
+    out: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let (ap, a_slope) = a;
+    let (bp, b_slope) = b;
+    merged_xs_concat_sort_into(ap, bp, xs);
+    let last = *xs.last().expect("non-empty");
+    let da = eval_points(ap, a_slope, last) - eval_points(bp, b_slope, last);
+    let ds = slope_after(ap, a_slope, last) - slope_after(bp, b_slope, last);
+    let tail_cross = (da.abs() > EPS && ds.abs() > EPS && da.signum() != ds.signum())
+        .then(|| last + da.abs() / ds.abs());
+    crossings.clear();
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        let d0 = eval_points(ap, a_slope, x0) - eval_points(bp, b_slope, x0);
+        let d1 = eval_points(ap, a_slope, x1) - eval_points(bp, b_slope, x1);
+        if (d0 > EPS && d1 < -EPS) || (d0 < -EPS && d1 > EPS) {
+            let t = x0 + (x1 - x0) * d0.abs() / (d0.abs() + d1.abs());
+            crossings.push(t);
+        }
+    }
+    xs.extend_from_slice(crossings);
+    xs.extend(tail_cross);
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let pick = if take_min { f64::min } else { f64::max };
+    out.clear();
+    out.extend(xs.iter().map(|&x| {
+        (
+            x,
+            pick(eval_points(ap, a_slope, x), eval_points(bp, b_slope, x)),
+        )
+    }));
+    let final_slope = pick(a_slope, b_slope);
+    simplify_points_in_place(out, final_slope);
+    final_slope
+}
+
+/// Two-pointer [`Curve::add`] kernel: merged grid plus cursor evaluations,
+/// written into `out`.  Returns the sum's final slope.
+pub(crate) fn add_points_into(
+    a: (&[(f64, f64)], f64),
+    b: (&[(f64, f64)], f64),
+    xs: &mut Vec<f64>,
+    out: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let (ap, a_slope) = a;
+    let (bp, b_slope) = b;
+    merged_xs_two_pointer_into(ap, bp, xs);
+    let mut ca = CurveCursor::new(ap, a_slope);
+    let mut cb = CurveCursor::new(bp, b_slope);
+    out.clear();
+    for &x in xs.iter() {
+        out.push((x, ca.eval(x) + cb.eval(x)));
+    }
+    let final_slope = a_slope + b_slope;
+    simplify_points_in_place(out, final_slope);
+    final_slope
+}
+
+/// Two-pointer [`Curve::sub_envelope`] kernel — the "aggregate minus own
+/// flow" split done in a single merge, written into `out`.  Returns the
+/// difference's final slope.
+pub(crate) fn sub_envelope_points_into(
+    a: (&[(f64, f64)], f64),
+    b: (&[(f64, f64)], f64),
+    xs: &mut Vec<f64>,
+    out: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let (ap, a_slope) = a;
+    let (bp, b_slope) = b;
+    merged_xs_two_pointer_into(ap, bp, xs);
+    let mut ca = CurveCursor::new(ap, a_slope);
+    let mut cb = CurveCursor::new(bp, b_slope);
+    out.clear();
+    let mut prev = 0.0_f64;
+    for &x in xs.iter() {
+        let y = (ca.eval(x) - cb.eval(x)).max(prev).max(0.0);
+        out.push((x, y));
+        prev = y;
+    }
+    let final_slope = (a_slope - b_slope).max(0.0);
+    simplify_points_in_place(out, final_slope);
+    final_slope
 }
 
 #[cfg(test)]

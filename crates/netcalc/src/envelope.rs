@@ -85,7 +85,10 @@ impl Envelope {
     /// curve is intersected with the token bucket so the stored constraint
     /// never exceeds the affine summary.
     pub fn with_extra(tb: TokenBucket, extra: Curve) -> Self {
-        let extra = extra.min(&tb.curve());
+        // Arena-backed min: this runs once per flow per hop on the
+        // staircase path, so the combine scratch is reused instead of
+        // allocated fresh.
+        let extra = crate::arena::min(&extra, &tb.curve());
         Envelope {
             tb,
             extra: Some(extra),
@@ -183,8 +186,9 @@ impl Envelope {
             Some(curve) => {
                 let shifted = curve.shift_left(delay.as_secs_f64())?;
                 // Re-intersect with the inflated token bucket so float
-                // noise in the shift can never exceed the affine summary.
-                Some(shifted.min(&tb.curve()))
+                // noise in the shift can never exceed the affine summary
+                // (arena-backed: this runs per flow per hop).
+                Some(crate::arena::min(&shifted, &tb.curve()))
             }
             None => None,
         };

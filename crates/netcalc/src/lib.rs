@@ -30,6 +30,7 @@
 pub mod arena;
 pub mod arrival;
 pub mod bounds;
+pub mod cache;
 pub mod curve;
 pub mod envelope;
 pub mod minplus;
@@ -481,6 +482,227 @@ mod proptests {
                     "priority {} bound {} > priority {} bound {}",
                     w[0].priority, w[0].delay_bound, w[1].priority, w[1].delay_bound);
             }
+        }
+
+        /// Every rewritten min-plus kernel agrees with the preserved
+        /// candidate-enumeration implementation ([`minplus::reference`]) on
+        /// campaign-shaped operand families.  The convex slope-merge
+        /// convolution, the general (non-convex) convolution, the left-over
+        /// hull, the sweep min/max combine and both deviations are pinned
+        /// **bitwise**; the balanced-reduction deconvolution and the
+        /// staircase ⊗ rate-latency closed form compute the same function
+        /// through a different association order, so they are pinned with
+        /// the relative-tolerance [`Curve::approx_eq`].
+        #[test]
+        fn kernels_match_candidate_reference(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            cross_burst in 64u64..100_000,
+            cross_period_ms in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            capacity_mbps in 1u64..1_000,
+            steps in 1usize..16,
+        ) {
+            use minplus::reference;
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let own = TokenBucket::for_message(
+                DataSize::from_bytes(burst),
+                Duration::from_millis(period_ms),
+            );
+            let cross = TokenBucket::for_message(
+                DataSize::from_bytes(cross_burst),
+                Duration::from_millis(cross_period_ms),
+            );
+            prop_assume!(own.rate().bps() + cross.rate().bps() < capacity.bps());
+            let beta = Curve::rate_latency(
+                capacity.as_f64_bps(),
+                latency_us as f64 * 1e-6,
+            ).unwrap();
+            let cross_tb = cross.curve();
+            let st_cross = Curve::staircase(
+                cross.burst().as_f64_bits(),
+                cross_period_ms as f64 * 1e-3,
+                steps,
+                capacity.as_f64_bps(),
+            ).unwrap();
+            let own_curve = own.curve();
+            for c in [&cross_tb, &st_cross] {
+                // Left-over hull: single grid merge vs sort-and-bisect.
+                let lo = minplus::leftover(&beta, c).unwrap();
+                let lo_ref = reference::leftover(&beta, c).unwrap();
+                prop_assert_eq!(lo.points(), lo_ref.points());
+                prop_assert_eq!(lo.final_slope(), lo_ref.final_slope());
+
+                // Convex ⊗ convex: the O(n+m) slope merge vs the member fold.
+                let minorant = lo.convex_minorant();
+                let fast = minplus::convolve(&minorant, &beta);
+                let slow = reference::convolve(&minorant, &beta);
+                prop_assert_eq!(fast.points(), slow.points());
+                prop_assert_eq!(fast.final_slope(), slow.final_slope());
+
+                // General convolution (staircase operand defeats the convex
+                // dispatch): member fold with sweep combines vs with
+                // candidate-enumeration combines.
+                let gen_new = minplus::convolve(&st_cross, &lo);
+                let gen_ref = reference::convolve(&st_cross, &lo);
+                prop_assert_eq!(gen_new.points(), gen_ref.points());
+                prop_assert_eq!(gen_new.final_slope(), gen_ref.final_slope());
+
+                // Sweep envelope combine vs candidate enumeration.
+                let lo_min = st_cross.min(c);
+                let min_ref = reference::min(&st_cross, c);
+                prop_assert_eq!(lo_min.points(), min_ref.points());
+                let lo_max = st_cross.max(c);
+                let max_ref = reference::max(&st_cross, c);
+                prop_assert_eq!(lo_max.points(), max_ref.points());
+
+                // Deviations: monotone-cursor candidates vs O(n·m) rescans.
+                prop_assert_eq!(
+                    minplus::horizontal_deviation(&own_curve, &lo).unwrap(),
+                    reference::horizontal_deviation(&own_curve, &lo).unwrap()
+                );
+                prop_assert_eq!(
+                    minplus::vertical_deviation(&own_curve, &lo).unwrap(),
+                    reference::vertical_deviation(&own_curve, &lo).unwrap()
+                );
+
+                // Balanced-reduction deconvolution: same upper envelope,
+                // different association order.
+                let out = minplus::deconvolve(&own_curve, &lo).unwrap();
+                let out_ref = reference::deconvolve(&own_curve, &lo).unwrap();
+                prop_assert!(out.approx_eq(&out_ref), "{out:?} vs {out_ref:?}");
+            }
+            // Staircase ⊗ rate-latency closed form vs the general fold.
+            let closed = minplus::convolve_staircase_rate_latency(&st_cross, &beta).unwrap();
+            let folded = reference::convolve(&st_cross, &beta);
+            prop_assert!(closed.approx_eq(&folded), "{closed:?} vs {folded:?}");
+        }
+
+        /// Horizon truncation is sound: a truncated arrival curve dominates
+        /// the original everywhere (it stays a valid upper envelope), a
+        /// truncated service curve lower-bounds the original everywhere (it
+        /// stays a valid guarantee), both are exact inside the horizon, and
+        /// both carry at most one breakpoint more than the original had
+        /// inside the horizon.
+        #[test]
+        fn horizon_truncation_is_sound(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            steps in 1usize..16,
+            capacity_mbps in 1u64..1_000,
+            latency_us in 0u64..10_000,
+            horizon_pct in 5u64..200,
+        ) {
+            let horizon_frac = horizon_pct as f64 / 100.0;
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let st = Curve::staircase(
+                burst as f64 * 8.0,
+                period_ms as f64 * 1e-3,
+                steps,
+                capacity.as_f64_bps(),
+            ).unwrap();
+            let beta = Curve::rate_latency(
+                capacity.as_f64_bps(),
+                latency_us as f64 * 1e-6,
+            ).unwrap();
+            let last_x = st.points().last().unwrap().0.max(1e-6);
+            let horizon = horizon_frac * last_x;
+            let tol = |v: f64| 1e-6f64.max(1e-9 * v.abs());
+
+            let ta = st.truncate_arrival(horizon).unwrap();
+            let within = st.points().iter().filter(|p| p.0 <= horizon).count();
+            prop_assert!(ta.points().len() <= within + 1);
+            for i in 0..40 {
+                let t = 2.0 * last_x * i as f64 / 39.0;
+                let (orig, trunc) = (st.eval(t), ta.eval(t));
+                prop_assert!(trunc + tol(orig) >= orig,
+                    "arrival truncation dipped below the original at t={t}: {trunc} < {orig}");
+                if t <= horizon {
+                    prop_assert!((trunc - orig).abs() <= tol(orig),
+                        "arrival truncation inexact inside the horizon at t={t}");
+                }
+            }
+
+            let tb = beta.truncate_service(horizon).unwrap();
+            let within = beta.points().iter().filter(|p| p.0 <= horizon).count();
+            prop_assert!(tb.points().len() <= within + 1);
+            for i in 0..40 {
+                let t = 2.0 * last_x * i as f64 / 39.0;
+                let (orig, trunc) = (beta.eval(t), tb.eval(t));
+                prop_assert!(trunc <= orig + tol(orig),
+                    "service truncation rose above the original at t={t}: {trunc} > {orig}");
+                if t <= horizon {
+                    prop_assert!((trunc - orig).abs() <= tol(orig),
+                        "service truncation inexact inside the horizon at t={t}");
+                }
+            }
+        }
+
+        /// With the thread-local curve cache enabled, arbitrary operation
+        /// sequences over a shared operand pool return curves **bitwise
+        /// identical** to direct recomputation — hits and misses alike, and
+        /// across distinct `ctx` words.  This is the license for the
+        /// campaign workers and the admission engine to keep the cache on
+        /// without perturbing any pinned fingerprint.
+        #[test]
+        fn cache_hits_match_recomputation_bitwise(
+            burst in 64u64..100_000,
+            period_ms in 1u64..1_000,
+            cross_burst in 64u64..100_000,
+            cross_period_ms in 1u64..1_000,
+            capacity_mbps in 1u64..1_000,
+            steps in 1usize..16,
+            ops in proptest::collection::vec((0u8..4, 0u64..3), 8..48),
+        ) {
+            let capacity = DataRate::from_mbps(capacity_mbps);
+            let own = TokenBucket::for_message(
+                DataSize::from_bytes(burst),
+                Duration::from_millis(period_ms),
+            );
+            let cross = TokenBucket::for_message(
+                DataSize::from_bytes(cross_burst),
+                Duration::from_millis(cross_period_ms),
+            );
+            prop_assume!(own.rate().bps() + cross.rate().bps() < capacity.bps());
+            let beta = Curve::rate_latency(capacity.as_f64_bps(), 16e-6).unwrap();
+            let st = Curve::staircase(
+                cross.burst().as_f64_bits(),
+                cross_period_ms as f64 * 1e-3,
+                steps,
+                capacity.as_f64_bps(),
+            ).unwrap();
+            let (own_c, cross_c) = (own.curve(), cross.curve());
+            let aggregate = own_c.add(&st);
+
+            cache::enable_thread_cache();
+            let mut scratch = arena::Scratch::new();
+            for &(op, ctx) in &ops {
+                match op {
+                    0 => {
+                        let cached = cache::convolve(ctx, &beta, &st);
+                        let direct = scratch.convolve(&beta, &st);
+                        prop_assert_eq!(cached.points(), direct.points());
+                        prop_assert_eq!(cached.final_slope(), direct.final_slope());
+                    }
+                    1 => {
+                        let cached = cache::leftover(ctx, &beta, &cross_c).unwrap();
+                        let direct = scratch.leftover(&beta, &cross_c).unwrap();
+                        prop_assert_eq!(cached.points(), direct.points());
+                        prop_assert_eq!(cached.final_slope(), direct.final_slope());
+                    }
+                    2 => {
+                        let cached = cache::add(ctx, &own_c, &st);
+                        let direct = scratch.add(&own_c, &st);
+                        prop_assert_eq!(cached.points(), direct.points());
+                    }
+                    _ => {
+                        let cached = cache::sub_envelope(ctx, &aggregate, &own_c);
+                        let direct = scratch.sub_envelope(&aggregate, &own_c);
+                        prop_assert_eq!(cached.points(), direct.points());
+                    }
+                }
+            }
+            cache::disable_thread_cache();
         }
     }
 }

@@ -8,7 +8,10 @@
 //! non-decreasing piecewise-linear curves, evaluating candidates on the
 //! union of breakpoints and handling the linear tails analytically.
 
-use crate::curve::{Curve, EPS};
+use crate::curve::{
+    candidate_eps, clamp_nonneg_into, merged_xs_two_pointer_into, Curve, CurveCursor,
+    InverseCursor, InverseUpperCursor, EPS,
+};
 use crate::NcError;
 
 /// The horizontal deviation `h(α, β) = sup_{t ≥ 0} inf { d ≥ 0 : α(t) ≤ β(t + d) }`
@@ -34,6 +37,31 @@ use crate::NcError;
 /// assert!(horizontal_deviation(&flood, &beta).is_err());
 /// ```
 pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    horizontal_deviation_into(alpha, beta, &mut Vec::new())
+}
+
+/// Kernel of [`horizontal_deviation`] on a caller-provided candidate
+/// buffer, shared with the arena mirror.
+///
+/// Candidate abscissas: α's breakpoints, plus the abscissas where α reaches
+/// the ordinate of one of β's breakpoints (the pseudo-inverse of a
+/// breakpoint ordinate), plus β's last abscissa (beyond the last
+/// breakpoints of both curves the deviation is non-increasing once
+/// stability holds).  In between candidates both α(t) and β⁻¹(α(t)) are
+/// affine in t, so the deviation is affine and its maximum over each
+/// interval is attained at an endpoint.
+///
+/// The historical implementation rescanned α per β ordinate and rescanned β
+/// per candidate — O(n·m).  Here the candidates are walked once, sorted,
+/// with forward-only cursors ([`InverseCursor`], [`CurveCursor`],
+/// [`InverseUpperCursor`]) that perform the identical per-query arithmetic;
+/// the supremum over the candidate set is evaluation-order independent, so
+/// the result is bitwise identical (pinned by the differential proptests).
+pub(crate) fn horizontal_deviation_into(
+    alpha: &Curve,
+    beta: &Curve,
+    candidates: &mut Vec<f64>,
+) -> Result<f64, NcError> {
     if alpha.long_term_rate() > beta.long_term_rate() + EPS {
         return Err(NcError::Unstable {
             context: "horizontal deviation".into(),
@@ -41,33 +69,33 @@ pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError>
             capacity_bps: beta.long_term_rate().floor() as u64,
         });
     }
-    // Candidate abscissas: α's breakpoints, plus the abscissas where α
-    // reaches the ordinate of one of β's breakpoints (the pseudo-inverse of
-    // a breakpoint ordinate).  In between candidates both α(t) and
-    // β⁻¹(α(t)) are affine in t, so the deviation is affine and its maximum
-    // over each interval is attained at an endpoint.
-    let mut candidates: Vec<f64> = alpha.points().iter().map(|&(x, _)| x).collect();
+    candidates.clear();
+    candidates.extend(alpha.points().iter().map(|&(x, _)| x));
+    // β's ordinates are non-decreasing (up to EPS noise, which the cursor
+    // absorbs by rewinding), so one resumable inverse cursor serves every
+    // breakpoint.
+    let mut inv = InverseCursor::new(alpha.points(), alpha.final_slope());
     for &(_, by) in beta.points() {
-        if let Some(t) = alpha.inverse(by) {
+        if let Some(t) = inv.inverse(by) {
             candidates.push(t);
         }
     }
-    // Also include the abscissa of β's last breakpoint itself: beyond the
-    // last breakpoints of both curves the deviation is non-increasing
-    // (stability was checked above), so no further candidates are needed.
     if let Some(&(bx, _)) = beta.points().last() {
         candidates.push(bx);
     }
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut av = CurveCursor::new(alpha.points(), alpha.final_slope());
+    let mut binv = InverseUpperCursor::new(beta.points(), beta.final_slope());
     let mut worst: f64 = 0.0;
-    for &t in &candidates {
-        let a = alpha.eval(t);
+    for &t in candidates.iter() {
+        let a = av.eval(t);
         // Use the *upper* pseudo-inverse of β: a bit arriving when the
         // arrival curve reads `a` may wait until the end of any plateau of β
         // at level `a` (e.g. the full dead time of a rate-latency curve even
         // when `a = 0`).  This makes the computed value the true supremum
         // for the concave-arrival / convex-service pairs used here, and a
         // safe over-approximation otherwise.
-        let d = match beta.inverse_upper(a) {
+        let d = match binv.inverse_upper(a) {
             Some(x) => (x - t).max(0.0),
             None => {
                 // β never reaches α(t): only possible if β is eventually flat
@@ -90,6 +118,19 @@ pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError>
 /// the worst-case backlog of a flow with arrival curve `α` served with
 /// service curve `β`.
 pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+    vertical_deviation_into(alpha, beta, &mut Vec::new())
+}
+
+/// Kernel of [`vertical_deviation`] on a caller-provided candidate buffer,
+/// shared with the arena mirror: a single two-pointer candidate merge with
+/// the scale-aware [`candidate_eps`] dedup tolerance (the historical
+/// absolute `1e-12` merged nanosecond-scale abscissas three decades above
+/// their resolution), then one cursor walk over the sorted candidates.
+pub(crate) fn vertical_deviation_into(
+    alpha: &Curve,
+    beta: &Curve,
+    candidates: &mut Vec<f64>,
+) -> Result<f64, NcError> {
     if alpha.long_term_rate() > beta.long_term_rate() + EPS {
         return Err(NcError::Unstable {
             context: "vertical deviation".into(),
@@ -97,18 +138,43 @@ pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
             capacity_bps: beta.long_term_rate().floor() as u64,
         });
     }
-    let mut candidates: Vec<f64> = alpha
-        .points()
-        .iter()
-        .chain(beta.points().iter())
-        .map(|&(x, _)| x)
-        .collect();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-    let worst = candidates
-        .iter()
-        .map(|&t| alpha.eval(t) - beta.eval(t))
-        .fold(0.0_f64, f64::max);
+    candidates.clear();
+    let (ap, bp) = (alpha.points(), beta.points());
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let x = match (ap.get(i), bp.get(j)) {
+            (Some(&(xa, _)), Some(&(xb, _))) => {
+                if xa <= xb {
+                    i += 1;
+                    xa
+                } else {
+                    j += 1;
+                    xb
+                }
+            }
+            (Some(&(xa, _)), None) => {
+                i += 1;
+                xa
+            }
+            (None, Some(&(xb, _))) => {
+                j += 1;
+                xb
+            }
+            (None, None) => break,
+        };
+        if candidates
+            .last()
+            .is_none_or(|&last| (x - last).abs() >= candidate_eps(x, last))
+        {
+            candidates.push(x);
+        }
+    }
+    let mut ca = CurveCursor::new(ap, alpha.final_slope());
+    let mut cb = CurveCursor::new(bp, beta.final_slope());
+    let mut worst = 0.0_f64;
+    for &t in candidates.iter() {
+        worst = worst.max(ca.eval(t) - cb.eval(t));
+    }
     Ok(worst)
 }
 
@@ -191,6 +257,11 @@ fn as_rate_latency(c: &Curve) -> Result<(f64, f64), NcError> {
 /// assert!(convolve(&a, &b).approx_eq(&convolve_rate_latency(&a, &b).unwrap()));
 /// ```
 pub fn convolve(f: &Curve, g: &Curve) -> Curve {
+    if f.is_convex() && g.is_convex() {
+        let mut out = Vec::new();
+        let slope = merge_convolve_convex_into(f, g, &mut out);
+        return Curve::from_simplified_parts(out, slope);
+    }
     let mut result: Option<Curve> = None;
     let mut fold = |member: Curve| {
         result = Some(match result.take() {
@@ -205,6 +276,100 @@ pub fn convolve(f: &Curve, g: &Curve) -> Curve {
         fold(shifted_raised(f, x, y));
     }
     result.expect("curves have at least one breakpoint each")
+}
+
+/// O(n+m) slope-merge convolution of two **convex** operands, written into
+/// `out`; returns the result's final slope.
+///
+/// Classical result: the convolution of convex piecewise-linear curves
+/// starts at `(0, f(0) + g(0))` and concatenates the segments of both
+/// operands sorted by slope.  Each corner is emitted as the *absolute*
+/// coordinate sum `(f_i.x + g_j.x, f_i.y + g_j.y)` of the breakpoints
+/// consumed so far — exactly the member-curve breakpoints the
+/// candidate-enumeration fold evaluates, so surviving corners carry
+/// bit-identical coordinates (pinned by the differential proptests).
+/// Segments at least as steep as the result's final slope
+/// `min(f_slope, g_slope)` never materialize: the linear tail dominates
+/// them, which also caps the output length.  Ties take `f`'s segment
+/// first; either order yields the same polyline.
+pub(crate) fn merge_convolve_convex_into(f: &Curve, g: &Curve, out: &mut Vec<(f64, f64)>) -> f64 {
+    let fp = f.points();
+    let gp = g.points();
+    let final_slope = f.final_slope().min(g.final_slope());
+    out.clear();
+    out.push((fp[0].0 + gp[0].0, fp[0].1 + gp[0].1));
+    let (mut fi, mut gi) = (0usize, 0usize);
+    loop {
+        let sf = (fi + 1 < fp.len()).then(|| (fp[fi + 1].1 - fp[fi].1) / (fp[fi + 1].0 - fp[fi].0));
+        let sg = (gi + 1 < gp.len()).then(|| (gp[gi + 1].1 - gp[gi].1) / (gp[gi + 1].0 - gp[gi].0));
+        let take_f = match (sf, sg) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let s = if take_f { sf } else { sg }.expect("selected side has a segment");
+        if s >= final_slope {
+            // Every remaining segment is at least as steep as the tail ray,
+            // so the tail already dominates them.
+            break;
+        }
+        if take_f {
+            fi += 1;
+        } else {
+            gi += 1;
+        }
+        out.push((fp[fi].0 + gp[gi].0, fp[fi].1 + gp[gi].1));
+    }
+    crate::curve::simplify_points_in_place(out, final_slope);
+    final_slope
+}
+
+/// Closed-form convolution of an arbitrary (e.g. staircase) arrival
+/// envelope with a **rate-latency** service curve `β_{R,T}`, in one forward
+/// pass over the envelope's breakpoints instead of the quadratic member
+/// fold.
+///
+/// The member family of the general convolution specializes: β's
+/// breakpoints contribute the delayed envelope `t ↦ st((t − T)⁺)` and each
+/// envelope breakpoint `(x_i, y_i)` contributes the held ray
+/// `t ↦ y_i + R·(t − x_i − T)⁺`.  Because the knees `x_i + T` are sorted
+/// and the plateaus `y_i` non-decreasing, the lower envelope of all rays is
+/// a single sweep tracking the cheapest intercept seen so far; the result
+/// is its pointwise min with the delayed envelope.  Exactness against the
+/// general [`convolve`] is property-tested on staircase ⊗ rate-latency
+/// pairs.
+pub fn convolve_staircase_rate_latency(st: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+    let (r, t_lat) = as_rate_latency(beta)?;
+    let pts = st.points();
+    if r <= 0.0 {
+        // A zero-rate server: the infimum parks all time in the server and
+        // collapses to the constant st(0).
+        return Curve::new(vec![(0.0, pts[0].1)], 0.0);
+    }
+    let mut env: Vec<(f64, f64)> = Vec::with_capacity(2 * pts.len() + 1);
+    env.push((0.0, pts[0].1));
+    // Cheapest ray intercept y_i − R·(x_i + T) over the knees passed so far.
+    let mut best = f64::INFINITY;
+    for i in 1..pts.len() {
+        let (k_prev, y_prev) = (pts[i - 1].0 + t_lat, pts[i - 1].1);
+        let (k_i, y_i) = (pts[i].0 + t_lat, pts[i].1);
+        best = best.min(y_prev - r * k_prev);
+        // On [k_prev, k_i) the ray envelope is min(y_i, best + R·t): flat
+        // at the next plateau until the cheapest ray crosses it.
+        let ray_at_prev = best + r * k_prev;
+        env.push((k_prev, ray_at_prev.min(y_i)));
+        let tstar = (y_i - best) / r;
+        if tstar < k_i {
+            env.push((tstar.max(k_prev), y_i));
+        }
+    }
+    let (k_last, y_last) = (pts[pts.len() - 1].0 + t_lat, pts[pts.len() - 1].1);
+    best = best.min(y_last - r * k_last);
+    env.push((k_last, best + r * k_last));
+    let env = Curve::new(crate::curve::simplify_points(env, r), r)?;
+    let delayed = shifted_raised(st, t_lat, 0.0);
+    Ok(delayed.min(&env))
 }
 
 /// The member curve `t ↦ h((t − d)⁺) + c` of the convolution family: `h`
@@ -241,6 +406,16 @@ fn shifted_raised(h: &Curve, d: f64, c: f64) -> Curve {
 /// because the result is itself non-negative, so clamping changes no value
 /// on the upper envelope.
 ///
+/// The envelope is taken by a *balanced pairwise reduction* over the
+/// member family rather than a left fold: with `N` members totalling `S`
+/// breakpoints the sweep combines cost `O(S log N)` instead of the fold's
+/// `O(N · R)` re-merges of an `R`-breakpoint accumulator.  The reduction
+/// computes the same pointwise maximum; individual breakpoints may differ
+/// from [`reference::deconvolve`] at the simplification tolerance because
+/// intermediate envelopes simplify in a different association order — the
+/// crate-root property tests pin `approx_eq` equality against the
+/// reference on random curve pairs.
+///
 /// Returns [`NcError::Unstable`] when `α`'s long-term rate exceeds `β`'s
 /// (the output burst would be unbounded).
 ///
@@ -262,16 +437,10 @@ pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
             capacity_bps: beta.long_term_rate().floor() as u64,
         });
     }
-    let mut result: Option<Curve> = None;
-    let mut fold = |member: Curve| {
-        result = Some(match result.take() {
-            Some(acc) => acc.max(&member),
-            None => member,
-        });
-    };
+    let mut members: Vec<Curve> = Vec::with_capacity(beta.points().len() + alpha.points().len());
     // Family over β's breakpoints: α read s_j later, lowered by β(s_j).
     for &(s, v) in beta.points() {
-        fold(alpha.shift_left(s)?.saturating_sub_const(v)?);
+        members.push(alpha.shift_left(s)?.saturating_sub_const(v)?);
     }
     // Family over α's breakpoints: the reflected service curve
     // t ↦ (α(x_i) − β((x_i − t)⁺))⁺, constant for t ≥ x_i.
@@ -282,9 +451,24 @@ pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
                 raw.push((x - u, y - v));
             }
         }
-        fold(crate::curve::clamp_nonneg(raw, 0.0));
+        members.push(crate::curve::clamp_nonneg(raw, 0.0));
     }
-    Ok(result.expect("curves have at least one breakpoint each"))
+    // Balanced pairwise reduction: adjacent members combine first, so the
+    // large envelopes only appear near the root of the reduction tree.
+    while members.len() > 1 {
+        let mut next = Vec::with_capacity(members.len().div_ceil(2));
+        let mut pairs = members.chunks_exact(2);
+        for pair in &mut pairs {
+            next.push(pair[0].max(&pair[1]));
+        }
+        if let [odd] = pairs.remainder() {
+            next.push(odd.clone());
+        }
+        members = next;
+    }
+    Ok(members
+        .pop()
+        .expect("curves have at least one breakpoint each"))
 }
 
 /// The general blind-multiplexing **left-over service curve**: the service
@@ -321,6 +505,24 @@ pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
 /// assert!(leftover(&beta, &Curve::affine(0.0, 10e6).unwrap()).is_err());
 /// ```
 pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+    let (mut xs, mut diff, mut hull, mut out) = (vec![], vec![], vec![], vec![]);
+    let slope = leftover_into(beta, cross, &mut xs, &mut diff, &mut hull, &mut out)?;
+    Ok(Curve::from_simplified_parts(out, slope))
+}
+
+/// Kernel of [`leftover`] on caller-provided buffers, shared with the arena
+/// mirror: a single two-pointer grid merge with cursor evaluations (the
+/// historical path sorted the concatenated abscissas and binary-searched
+/// per evaluation), then the identical right-to-left hull walk.  Writes the
+/// simplified result into `out` and returns its final slope.
+pub(crate) fn leftover_into(
+    beta: &Curve,
+    cross: &Curve,
+    xs: &mut Vec<f64>,
+    diff: &mut Vec<(f64, f64)>,
+    hull: &mut Vec<(f64, f64)>,
+    out: &mut Vec<(f64, f64)>,
+) -> Result<f64, NcError> {
     let slope = beta.long_term_rate() - cross.long_term_rate();
     if slope <= EPS {
         return Err(NcError::Unstable {
@@ -331,17 +533,19 @@ pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
     }
     // The difference β − α_cross on the merged breakpoint grid (piecewise
     // linear there, possibly negative and non-monotone).
-    let xs = crate::curve::merged_abscissas(beta, cross);
-    let diff: Vec<(f64, f64)> = xs
-        .iter()
-        .map(|&x| (x, beta.eval(x) - cross.eval(x)))
-        .collect();
+    merged_xs_two_pointer_into(beta.points(), cross.points(), xs);
+    diff.clear();
+    let mut cb = CurveCursor::new(beta.points(), beta.final_slope());
+    let mut cc = CurveCursor::new(cross.points(), cross.final_slope());
+    for &x in xs.iter() {
+        diff.push((x, cb.eval(x) - cc.eval(x)));
+    }
     // Non-decreasing lower hull from the right: beyond the last breakpoint
     // the difference grows at `slope > 0`, so the hull equals the
     // difference there; walking segments right to left, a decreasing piece
     // flattens to its right endpoint and an increasing piece is capped by
     // the minimum seen so far (with the cap crossing inserted exactly).
-    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(diff.len() + 4);
+    hull.clear();
     let mut cap = diff.last().expect("non-empty grid").1;
     hull.push(*diff.last().expect("non-empty grid"));
     for w in diff.windows(2).rev() {
@@ -361,7 +565,198 @@ pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
         }
     }
     hull.reverse();
-    Ok(crate::curve::clamp_nonneg(hull, slope))
+    clamp_nonneg_into(hull, slope, out);
+    Ok(slope)
+}
+
+pub mod reference {
+    //! The candidate-enumeration min-plus operators retained **verbatim**
+    //! from the pre-sweep implementation: every grid is built by
+    //! concat + sort + dedup and every evaluation goes through the
+    //! binary-search [`Curve::eval`] / scan-from-origin
+    //! [`Curve::inverse_upper`].
+    //!
+    //! These are the oracles the differential property tests pin the sorted-
+    //! merge kernels against (breakpoint-for-breakpoint, bit-for-bit) and
+    //! the "old" side of the E17 kernel microbenchmarks.  They are *not*
+    //! called by any analysis path.
+
+    use crate::curve::{clamp_nonneg, merged_abscissas, Curve, EPS};
+    use crate::NcError;
+
+    /// Pre-sweep pointwise minimum (candidate enumeration).
+    pub fn min(a: &Curve, b: &Curve) -> Curve {
+        a.combine_candidates(b, true)
+    }
+
+    /// Pre-sweep pointwise maximum (candidate enumeration).
+    pub fn max(a: &Curve, b: &Curve) -> Curve {
+        a.combine_candidates(b, false)
+    }
+
+    /// Pre-sweep [`crate::minplus::convolve`]: the member fold with the
+    /// candidate-enumeration combine, no convex fast path.
+    pub fn convolve(f: &Curve, g: &Curve) -> Curve {
+        let mut result: Option<Curve> = None;
+        let mut fold = |member: Curve| {
+            result = Some(match result.take() {
+                Some(acc) => min(&acc, &member),
+                None => member,
+            });
+        };
+        for &(x, y) in f.points() {
+            fold(super::shifted_raised(g, x, y));
+        }
+        for &(x, y) in g.points() {
+            fold(super::shifted_raised(f, x, y));
+        }
+        result.expect("curves have at least one breakpoint each")
+    }
+
+    /// Pre-sweep [`crate::minplus::deconvolve`]: the member fold with the
+    /// candidate-enumeration combine.
+    pub fn deconvolve(alpha: &Curve, beta: &Curve) -> Result<Curve, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "deconvolution".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        let mut result: Option<Curve> = None;
+        let mut fold = |member: Curve| {
+            result = Some(match result.take() {
+                Some(acc) => max(&acc, &member),
+                None => member,
+            });
+        };
+        for &(s, v) in beta.points() {
+            fold(alpha.shift_left(s)?.saturating_sub_const(v)?);
+        }
+        for &(x, y) in alpha.points() {
+            let mut raw: Vec<(f64, f64)> = vec![(0.0, y - beta.eval(x))];
+            for &(u, v) in beta.points().iter().rev() {
+                if u < x {
+                    raw.push((x - u, y - v));
+                }
+            }
+            fold(clamp_nonneg(raw, 0.0));
+        }
+        Ok(result.expect("curves have at least one breakpoint each"))
+    }
+
+    /// Pre-sweep [`crate::minplus::leftover`]: sorted-grid difference with
+    /// binary-search evaluations, then the right-to-left hull walk.
+    pub fn leftover(beta: &Curve, cross: &Curve) -> Result<Curve, NcError> {
+        let slope = beta.long_term_rate() - cross.long_term_rate();
+        if slope <= EPS {
+            return Err(NcError::Unstable {
+                context: "left-over service".into(),
+                demand_bps: cross.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        let xs = merged_abscissas(beta, cross);
+        let diff: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x, beta.eval(x) - cross.eval(x)))
+            .collect();
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(diff.len() + 4);
+        let mut cap = diff.last().expect("non-empty grid").1;
+        hull.push(*diff.last().expect("non-empty grid"));
+        for w in diff.windows(2).rev() {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if y0 > y1 {
+                cap = cap.min(y1);
+                hull.push((x0, cap));
+            } else {
+                if y1 > cap && y0 < cap {
+                    hull.push((x0 + (cap - y0) * (x1 - x0) / (y1 - y0), cap));
+                }
+                cap = cap.min(y0);
+                hull.push((x0, cap));
+            }
+        }
+        hull.reverse();
+        Ok(clamp_nonneg(hull, slope))
+    }
+
+    /// Pre-sweep pointwise sum: [`Curve::add`] is itself still the
+    /// sorted-grid implementation, so the oracle just delegates (the
+    /// two-pointer kernel lives behind the arena mirror).
+    pub fn add(a: &Curve, b: &Curve) -> Curve {
+        a.add(b)
+    }
+
+    /// Pre-sweep envelope difference, delegating like [`add`].
+    pub fn sub_envelope(a: &Curve, b: &Curve) -> Curve {
+        a.sub_envelope(b)
+    }
+
+    /// Pre-sweep [`crate::minplus::horizontal_deviation`]: rescans α per β
+    /// ordinate and rescans β per candidate (O(n·m)).
+    pub fn horizontal_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "horizontal deviation".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        let mut candidates: Vec<f64> = alpha.points().iter().map(|&(x, _)| x).collect();
+        for &(_, by) in beta.points() {
+            if let Some(t) = alpha.inverse(by) {
+                candidates.push(t);
+            }
+        }
+        if let Some(&(bx, _)) = beta.points().last() {
+            candidates.push(bx);
+        }
+        let mut worst: f64 = 0.0;
+        for &t in &candidates {
+            let a = alpha.eval(t);
+            let d = match beta.inverse_upper(a) {
+                Some(x) => (x - t).max(0.0),
+                None => {
+                    return Err(NcError::Unstable {
+                        context: "service curve plateaus below arrival curve".into(),
+                        demand_bps: alpha.long_term_rate().ceil() as u64,
+                        capacity_bps: beta.long_term_rate().floor() as u64,
+                    });
+                }
+            };
+            if d > worst {
+                worst = d;
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Pre-sweep [`crate::minplus::vertical_deviation`], including the
+    /// historical absolute `1e-12` candidate dedup.
+    pub fn vertical_deviation(alpha: &Curve, beta: &Curve) -> Result<f64, NcError> {
+        if alpha.long_term_rate() > beta.long_term_rate() + EPS {
+            return Err(NcError::Unstable {
+                context: "vertical deviation".into(),
+                demand_bps: alpha.long_term_rate().ceil() as u64,
+                capacity_bps: beta.long_term_rate().floor() as u64,
+            });
+        }
+        let mut candidates: Vec<f64> = alpha
+            .points()
+            .iter()
+            .chain(beta.points().iter())
+            .map(|&(x, _)| x)
+            .collect();
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let worst = candidates
+            .iter()
+            .map(|&t| alpha.eval(t) - beta.eval(t))
+            .fold(0.0_f64, f64::max);
+        Ok(worst)
+    }
 }
 
 #[cfg(test)]
